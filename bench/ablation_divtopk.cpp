@@ -1,0 +1,82 @@
+// Ablation (DESIGN.md §6): diversified top-k algorithm choice. The paper
+// adopts Qin et al.'s exact div-astar and cites that greedy has no bounded
+// approximation factor. This harness measures, over the real candidate sets
+// produced while building CAD Views, (a) how often greedy is suboptimal,
+// (b) how much score no-diversity gains at the cost of redundant IUnits.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/cad_view_builder.h"
+#include "src/core/iunit_similarity.h"
+#include "src/data/used_cars.h"
+#include "src/util/string_util.h"
+
+int main() {
+  using namespace dbx;
+  bench::Header("Ablation: div-astar vs greedy vs no-diversity top-k");
+
+  Table cars = GenerateUsedCars(40000, 7);
+  TableSlice slice = TableSlice::All(cars);
+
+  struct Tally {
+    double score_sum = 0.0;
+    size_t redundant_pairs = 0;  // chosen pairs violating diversity
+    size_t views = 0;
+  };
+
+  auto evaluate = [&](DivTopKAlgorithm algo) -> Tally {
+    Tally tally;
+    for (const char* pivot : {"Make", "BodyType", "Drivetrain", "Color"}) {
+      CadViewOptions opt;
+      opt.pivot_attr = pivot;
+      opt.max_compare_attrs = 5;
+      opt.iunits_per_value = 3;
+      opt.generated_iunits = 12;
+      opt.topk_algorithm = algo;
+      opt.seed = 5;
+      auto view = BuildCadView(slice, opt);
+      if (!view.ok()) continue;
+      ++tally.views;
+      for (const CadViewRow& r : view->rows) {
+        for (const IUnit& u : r.iunits) tally.score_sum += u.score;
+        for (size_t i = 0; i < r.iunits.size(); ++i) {
+          for (size_t j = i + 1; j < r.iunits.size(); ++j) {
+            if (IUnitsSimilar(r.iunits[i], r.iunits[j], view->tau)) {
+              ++tally.redundant_pairs;
+            }
+          }
+        }
+      }
+    }
+    return tally;
+  };
+
+  Tally exact = evaluate(DivTopKAlgorithm::kDivAstar);
+  Tally greedy = evaluate(DivTopKAlgorithm::kGreedy);
+  Tally naive = evaluate(DivTopKAlgorithm::kNoDiversity);
+
+  std::printf("  %-14s %16s %18s\n", "algorithm", "total score",
+              "redundant pairs");
+  std::printf("  %-14s %16.0f %18zu\n", "div-astar", exact.score_sum,
+              exact.redundant_pairs);
+  std::printf("  %-14s %16.0f %18zu\n", "greedy", greedy.score_sum,
+              greedy.redundant_pairs);
+  std::printf("  %-14s %16.0f %18zu\n", "no-diversity", naive.score_sum,
+              naive.redundant_pairs);
+
+  bench::PaperShape(
+      "div-astar never scores below greedy under the diversity constraint "
+      "and keeps zero redundant IUnit pairs; ignoring diversity maximizes "
+      "raw score but shows near-duplicate IUnits (what the paper's top-k "
+      "definition forbids)");
+  bench::Measured(StringPrintf(
+      "score div-astar %.0f >= greedy %.0f; redundant pairs: exact %zu, "
+      "greedy %zu, no-diversity %zu",
+      exact.score_sum, greedy.score_sum, exact.redundant_pairs,
+      greedy.redundant_pairs, naive.redundant_pairs));
+  return exact.score_sum + 1e-6 >= greedy.score_sum &&
+                 exact.redundant_pairs == 0
+             ? 0
+             : 1;
+}

@@ -1,0 +1,68 @@
+// Ablation (DESIGN.md §6): Compare-Attribute ranker choice, including the
+// paper's §3.1.1 anecdote — when distinguishing Year values, Model beats
+// Mileage because specific models are prominent for only a short period.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/data/used_cars.h"
+#include "src/stats/feature_selection.h"
+#include "src/util/string_util.h"
+
+int main() {
+  using namespace dbx;
+  bench::Header("Ablation: Compare-Attribute rankers (chi2 / MI / Cramer's V)");
+
+  Table cars = GenerateUsedCars(40000, 7);
+  auto dt = DiscretizedTable::Build(TableSlice::All(cars),
+                                    DiscretizerOptions{});
+  if (!dt.ok()) return 1;
+
+  auto rank_for_pivot = [&](const std::string& pivot, FeatureRanker ranker) {
+    auto pidx = dt->IndexOf(pivot);
+    const DiscreteAttr& p = dt->attr(*pidx);
+    std::vector<size_t> candidates;
+    for (size_t a = 0; a < dt->num_attrs(); ++a) {
+      if (a != *pidx && dt->attr(a).cardinality() > 0) candidates.push_back(a);
+    }
+    FeatureSelectionOptions opt;
+    opt.ranker = ranker;
+    return RankFeatures(*dt, p.codes, p.cardinality(), candidates, opt);
+  };
+
+  for (const char* pivot : {"Make", "Year", "BodyType"}) {
+    bench::Section(std::string("pivot = ") + pivot);
+    for (FeatureRanker ranker :
+         {FeatureRanker::kChiSquare, FeatureRanker::kMutualInformation,
+          FeatureRanker::kCramersV}) {
+      auto ranked = rank_for_pivot(pivot, ranker);
+      if (!ranked.ok()) return 1;
+      std::string top5;
+      for (size_t i = 0; i < 5 && i < ranked->size(); ++i) {
+        if (i) top5 += ", ";
+        top5 += (*ranked)[i].name;
+      }
+      std::printf("  %-20s %s\n", FeatureRankerName(ranker), top5.c_str());
+    }
+  }
+
+  // The anecdote: for pivot = Year, where do Model and Mileage rank (chi2)?
+  auto year_ranked = rank_for_pivot("Year", FeatureRanker::kChiSquare);
+  if (!year_ranked.ok()) return 1;
+  size_t model_rank = 0, mileage_rank = 0;
+  for (size_t i = 0; i < year_ranked->size(); ++i) {
+    if ((*year_ranked)[i].name == "Model") model_rank = i + 1;
+    if ((*year_ranked)[i].name == "Mileage") mileage_rank = i + 1;
+  }
+
+  bench::PaperShape(
+      "rankers largely agree on the top attributes; for pivot = Year the "
+      "chi-square ranking places Model above Mileage (the paper's "
+      "counter-intuitive observation)");
+  bench::Measured(StringPrintf("pivot=Year chi2 ranks: Model #%zu, "
+                               "Mileage #%zu",
+                               model_rank, mileage_rank));
+  return model_rank != 0 && (mileage_rank == 0 || model_rank < mileage_rank)
+             ? 0
+             : 1;
+}

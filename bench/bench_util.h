@@ -1,0 +1,38 @@
+// Shared helpers for the experiment harnesses: uniform row printing so every
+// bench emits figure-ready series ("x, series, y") plus PAPER-SHAPE summary
+// lines that EXPERIMENTS.md records.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dbx::bench {
+
+inline void Header(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void Section(const std::string& name) {
+  std::printf("\n-- %s --\n", name.c_str());
+}
+
+/// A figure data point: x value, series label, y value.
+inline void Row(const std::string& x, const std::string& series, double y,
+                const char* unit = "") {
+  std::printf("  %-14s %-28s %10.3f %s\n", x.c_str(), series.c_str(), y, unit);
+}
+
+/// The claim the paper makes about this experiment, followed by what we
+/// measured; EXPERIMENTS.md quotes these lines.
+inline void PaperShape(const std::string& claim) {
+  std::printf("PAPER-SHAPE: %s\n", claim.c_str());
+}
+
+inline void Measured(const std::string& result) {
+  std::printf("MEASURED:    %s\n", result.c_str());
+}
+
+}  // namespace dbx::bench

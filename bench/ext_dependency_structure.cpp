@@ -1,0 +1,74 @@
+// Extension (DESIGN.md §6 / paper §7 related work): global attribute-
+// interaction summaries — the Chow-Liu dependency tree ("a Bayesian network
+// can provide a more accurate description of attribute interactions") and
+// CORDS-style soft functional dependencies — computed on both datasets.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/data/mushroom.h"
+#include "src/data/used_cars.h"
+#include "src/stats/chow_liu.h"
+#include "src/stats/soft_fd.h"
+#include "src/util/string_util.h"
+
+int main() {
+  using namespace dbx;
+  bench::Header("Extension: dependency structure (Chow-Liu tree + soft FDs)");
+
+  bool found_make_model_edge = false;
+  bool found_model_make_fd = false;
+
+  for (const char* which : {"UsedCars", "Mushroom"}) {
+    Table table = std::string(which) == "UsedCars"
+                      ? GenerateUsedCars(20000, 7)
+                      : GenerateMushrooms(8124, 11);
+    auto dt = DiscretizedTable::Build(TableSlice::All(table),
+                                      DiscretizerOptions{});
+    if (!dt.ok()) return 1;
+
+    bench::Section(std::string(which) + ": Chow-Liu dependency tree");
+    auto tree = BuildChowLiuTree(*dt);
+    if (!tree.ok()) return 1;
+    std::printf("%s", tree->ToString().c_str());
+    std::printf("  total tree information: %.2f bits\n",
+                tree->total_information());
+    for (const DependencyEdge& e : tree->edges) {
+      if ((e.attr_a == "Make" && e.attr_b == "Model") ||
+          (e.attr_a == "Model" && e.attr_b == "Make")) {
+        found_make_model_edge = true;
+      }
+    }
+
+    bench::Section(std::string(which) + ": soft functional dependencies");
+    SoftFdOptions opt;
+    opt.min_strength = 0.9;
+    opt.min_lift = 0.5;
+    auto fds = DiscoverSoftFds(*dt, opt);
+    if (!fds.ok()) return 1;
+    size_t shown = 0;
+    for (const SoftFd& fd : *fds) {
+      if (++shown > 10) break;
+      std::printf("  %-22s -> %-22s strength %.3f  lift %.2f\n",
+                  fd.determinant_name.c_str(), fd.dependent_name.c_str(),
+                  fd.strength, fd.Lift());
+      if (fd.determinant_name == "Model" && fd.dependent_name == "Make") {
+        found_model_make_fd = true;
+      }
+    }
+    if (fds->size() > shown) {
+      std::printf("  ... %zu more\n", fds->size() - shown);
+    }
+  }
+
+  bench::PaperShape(
+      "the dependency summaries surface the data's known structure: the "
+      "used-car tree is anchored on the Make--Model edge and Model -> Make "
+      "is an exact soft FD; the mushroom tree links the class-informative "
+      "attributes (odor, spore print, bruises) to Class");
+  bench::Measured(StringPrintf(
+      "Make--Model edge: %s; Model -> Make FD: %s",
+      found_make_model_edge ? "found" : "MISSING",
+      found_model_make_fd ? "found" : "MISSING"));
+  return found_make_model_edge && found_model_make_fd ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Extension: Limitation 2 made operational. The paper's Mary wants V4
+// engines but Engine is not queriable; she must express it through queriable
+// surrogates she cannot see. This harness computes, for every Engine value,
+// the best queriable 1-2 value surrogate selections.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/surrogate.h"
+#include "src/data/used_cars.h"
+#include "src/util/string_util.h"
+
+int main() {
+  using namespace dbx;
+  bench::Header(
+      "Extension: queriable surrogates for the hidden Engine attribute");
+
+  Table cars = GenerateUsedCars(40000, 7);
+  auto dt = DiscretizedTable::Build(TableSlice::All(cars),
+                                    DiscretizerOptions{});
+  if (!dt.ok()) return 1;
+
+  double worst_best_f1 = 1.0;
+  for (const char* engine : {"V4", "V6", "V8"}) {
+    bench::Section(std::string("Engine = ") + engine);
+    SurrogateOptions opt;
+    opt.top_k = 4;
+    auto surrogates = FindSurrogates(*dt, "Engine", engine, opt);
+    if (!surrogates.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   surrogates.status().ToString().c_str());
+      return 1;
+    }
+    for (const Surrogate& s : *surrogates) {
+      std::string cond;
+      for (const auto& [attr, value] : s.conditions) {
+        if (!cond.empty()) cond += " AND ";
+        cond += attr + "=" + value;
+      }
+      std::printf("  F1 %.3f (P %.3f, R %.3f)  %s\n", s.f1, s.precision,
+                  s.recall, cond.c_str());
+    }
+    if (!surrogates->empty()) {
+      worst_best_f1 = std::min(worst_best_f1, surrogates->front().f1);
+    }
+  }
+
+  bench::PaperShape(
+      "queriable attributes can stand in for the hidden Engine attribute "
+      "(the paper suggests fuel efficiency as a V4 surrogate); every engine "
+      "class has a high-F1 queriable surrogate, which is exactly the "
+      "cross-attribute relationship the CAD View makes visible");
+  bench::Measured(StringPrintf(
+      "worst best-surrogate F1 across V4/V6/V8 = %.3f", worst_best_f1));
+  return worst_best_f1 > 0.5 ? 0 : 1;
+}

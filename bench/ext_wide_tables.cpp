@@ -1,0 +1,78 @@
+// Extension: scaling beyond the paper's datasets. The paper: "These numbers
+// are at the lower end of what one sees in a typical e-commerce dataset. The
+// CAD View will become more valuable in datasets that have more number of
+// attributes or tuples." This harness sweeps attribute count and cardinality
+// on synthetic tables and reports build time (does the pipeline stay
+// interactive?) and view quality (do the IUnits still recover the latent
+// clusters?).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/cad_view_builder.h"
+#include "src/data/synthetic.h"
+#include "src/util/string_util.h"
+
+int main() {
+  using namespace dbx;
+  bench::Header("Extension: CAD Views on wide tables (attribute sweep)");
+
+  std::printf("  %-8s %-8s %10s %14s %16s\n", "attrs", "card", "rows",
+              "build (ms)", "cluster purity");
+  double worst_purity = 1.0;
+  double t_widest = 0.0;
+  for (size_t attrs : {10u, 20u, 30u, 50u}) {
+    for (size_t card : {8u, 16u}) {
+      SyntheticSpec spec;
+      spec.rows = 20000;
+      spec.categorical_attrs = attrs;
+      spec.numeric_attrs = 4;
+      spec.cardinality = card;
+      spec.clusters = 6;
+      spec.cluster_fidelity = 0.8;
+      spec.seed = 33;
+      auto table = GenerateSynthetic(spec);
+      if (!table.ok()) return 1;
+
+      CadViewOptions opt;
+      opt.pivot_attr = "C0";  // latent cluster id
+      opt.max_compare_attrs = 6;
+      opt.iunits_per_value = 2;
+      opt.feature_selection_sample = 5000;  // interactive settings
+      opt.adaptive_l = true;
+      opt.seed = 5;
+      auto view = BuildCadView(TableSlice::All(*table), opt);
+      if (!view.ok()) {
+        std::fprintf(stderr, "error: %s\n", view.status().ToString().c_str());
+        return 1;
+      }
+
+      // Quality: each pivot row is one latent cluster; its top IUnit's cells
+      // should show the cluster's characteristic values, i.e. the top IUnit
+      // should cover most of the partition (high purity).
+      double purity_sum = 0.0;
+      size_t rows_counted = 0;
+      for (const CadViewRow& r : view->rows) {
+        if (r.iunits.empty() || r.partition_size == 0) continue;
+        purity_sum += static_cast<double>(r.iunits[0].size()) /
+                      static_cast<double>(r.partition_size);
+        ++rows_counted;
+      }
+      double purity = rows_counted ? purity_sum / rows_counted : 0.0;
+      worst_purity = std::min(worst_purity, purity);
+      std::printf("  %-8zu %-8zu %10zu %14.1f %16.3f\n", attrs, card,
+                  spec.rows, view->timings.total_ms, purity);
+      if (attrs == 50u && card == 16u) t_widest = view->timings.total_ms;
+    }
+  }
+
+  bench::PaperShape(
+      "the pipeline stays interactive as attribute count grows well past the "
+      "paper's 11-23 attributes, and the top IUnit still captures the bulk "
+      "of each latent cluster — the regime where the paper argues the CAD "
+      "View matters most");
+  bench::Measured(StringPrintf(
+      "50 attrs x 16 values x 20K rows builds in %.1f ms; worst top-IUnit "
+      "coverage %.2f", t_widest, worst_purity));
+  return t_widest < 2000.0 && worst_purity > 0.3 ? 0 : 1;
+}

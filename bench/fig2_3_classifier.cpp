@@ -1,0 +1,20 @@
+// Experiment: Figures 2 and 3 — the Simple Classifier task (§6.2.1).
+// Figure 2: F1 score per user, Solr vs TPFacet.
+// Figure 3: task completion time per user.
+
+#include "bench/study_common.h"
+
+int main() {
+  dbx::bench::StudyFigure fig;
+  fig.task_type = 'C';
+  fig.quality_name = "F1 score";
+  fig.quality_claim =
+      "TPFacet raises classifier F1 (paper: chi2(1)=5.57, p=0.018, "
+      "+0.078 +- 0.029) and shrinks its variance across users";
+  fig.time_claim =
+      "TPFacet lowers task time (paper: chi2(1)=8.54, p=0.003, "
+      "-5.44 +- 1.56 min; roughly 8-16 min down to 2-6 min)";
+  return dbx::bench::RunStudyFigure(
+      "Figures 2-3: Simple Classifier task (Mushroom, 8 users, crossover)",
+      fig);
+}

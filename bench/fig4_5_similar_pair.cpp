@@ -1,0 +1,22 @@
+// Experiment: Figures 4 and 5 — the Most Similar Attribute-Value Pair task
+// (§6.2.2). Figure 4: rank (1..6) of the chosen pair under the task's cosine
+// metric. Figure 5: task completion time per user.
+
+#include "bench/study_common.h"
+
+int main() {
+  dbx::bench::StudyFigure fig;
+  fig.task_type = 'S';
+  fig.quality_name = "similar pair rank";
+  fig.quality_claim =
+      "no significant quality difference: nearly every user finds the true "
+      "most-similar pair (rank 1) on both interfaces, with an occasional "
+      "rank-2 pick on the harder variant (paper: users U7/U8)";
+  fig.time_claim =
+      "TPFacet is about 4x faster (paper: chi2(1)=12.04, p=0.0005, "
+      "-6.00 +- 1.23 min; ~10-14 min down to ~2-4 min)";
+  return dbx::bench::RunStudyFigure(
+      "Figures 4-5: Most Similar Attribute-Value Pair task "
+      "(Mushroom, 8 users, crossover)",
+      fig);
+}

@@ -1,0 +1,22 @@
+// Experiment: Figures 6 and 7 — the Alternative Search Condition task
+// (§6.2.3). Figure 6: retrieval error of the user's alternative selection.
+// Figure 7: task completion time per user.
+
+#include "bench/study_common.h"
+
+int main() {
+  dbx::bench::StudyFigure fig;
+  fig.task_type = 'A';
+  fig.quality_name = "retrieval error";
+  fig.quality_claim =
+      "TPFacet lowers retrieval error several-fold with smaller variance "
+      "(paper: chi2(1)=3.28, p=0.07, -0.329 +- 0.172; 'five times lower "
+      "retrieval error' for most users)";
+  fig.time_claim =
+      "TPFacet is ~1.5-2x faster (paper: chi2(1)=2.58, p=0.108, "
+      "-2.00 +- 1.14 min) — the smallest speedup of the three tasks";
+  return dbx::bench::RunStudyFigure(
+      "Figures 6-7: Alternative Search Condition task "
+      "(Mushroom, 8 users, crossover)",
+      fig);
+}

@@ -1,0 +1,144 @@
+// Experiment: Optimization 1 (§6.3) — sampling for Compare-Attribute
+// selection and clustering. The paper: ranking over a 5K-10K sample returns
+// "almost the same set" of top Compare Attributes in 20-50 ms instead of
+// ~1.7 s over the full 40K.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/cad_view_builder.h"
+#include "src/stats/feature_selection.h"
+#include "src/stats/rank_correlation.h"
+#include "src/data/used_cars.h"
+#include "src/stats/sampling.h"
+#include "src/util/string_util.h"
+
+int main() {
+  using namespace dbx;
+  bench::Header(
+      "Optimization 1: sampling for feature selection + clustering "
+      "(UsedCars 40K, |I|=5, l=10, k=6, |V|=5)");
+
+  Table cars = GenerateUsedCars(40000, 7);
+  TableSlice slice = TableSlice::All(cars);
+
+  CadViewOptions base;
+  base.pivot_attr = "Make";
+  base.pivot_values = {"Toyota", "Honda", "Ford", "Chevrolet", "Jeep"};
+  base.max_compare_attrs = 5;
+  base.iunits_per_value = 6;
+  base.generated_iunits = 10;
+  base.seed = 5;
+
+  auto full = BuildCadView(slice, base);
+  if (!full.ok()) {
+    std::fprintf(stderr, "error: %s\n", full.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> full_attrs;
+  for (const CompareAttribute& ca : full->compare_attrs) {
+    full_attrs.push_back(ca.name);
+  }
+
+  bench::Section("feature-selection sample size sweep");
+  std::printf("  %-12s %16s %14s %s\n", "sample", "compare-attrs ms",
+              "attr overlap", "top attribute");
+  double t_full = full->timings.compare_attrs_ms;
+  double t_5k = 0.0;
+  size_t overlap_5k = 0;
+  for (size_t sample : {1000u, 2000u, 5000u, 10000u, 20000u}) {
+    CadViewOptions opt = base;
+    opt.feature_selection_sample = sample;
+    auto view = BuildCadView(slice, opt);
+    if (!view.ok()) {
+      std::fprintf(stderr, "error: %s\n", view.status().ToString().c_str());
+      return 1;
+    }
+    std::set<std::string> sampled;
+    for (const CompareAttribute& ca : view->compare_attrs) {
+      sampled.insert(ca.name);
+    }
+    size_t overlap = 0;
+    for (const std::string& a : full_attrs) overlap += sampled.count(a);
+    std::printf("  %-12zu %16.2f %11zu/%zu %s\n", sample,
+                view->timings.compare_attrs_ms, overlap, full_attrs.size(),
+                view->compare_attrs[0].name.c_str());
+    if (sample == 5000u) {
+      t_5k = view->timings.compare_attrs_ms;
+      overlap_5k = overlap;
+    }
+  }
+  std::printf("  %-12s %16.2f %11zu/%zu %s\n", "full(40K)", t_full,
+              full_attrs.size(), full_attrs.size(),
+              full_attrs.empty() ? "-" : full_attrs[0].c_str());
+
+  bench::Section("rank stability: Kendall tau-b of sampled vs full chi2 "
+                 "scores over all candidate attributes");
+  {
+    auto dt = DiscretizedTable::Build(slice, DiscretizerOptions{});
+    if (!dt.ok()) return 1;
+    auto make_idx = dt->IndexOf("Make");
+    const DiscreteAttr& pivot = dt->attr(*make_idx);
+    std::vector<size_t> candidates;
+    for (size_t a = 0; a < dt->num_attrs(); ++a) {
+      if (a != *make_idx && dt->attr(a).cardinality() > 0) {
+        candidates.push_back(a);
+      }
+    }
+    auto full_rank = RankFeatures(*dt, pivot.codes, pivot.cardinality(),
+                                  candidates, FeatureSelectionOptions{});
+    if (!full_rank.ok()) return 1;
+    std::vector<double> full_scores(dt->num_attrs(), 0.0);
+    for (const FeatureScore& fs : *full_rank) {
+      full_scores[fs.attr_index] = fs.score;
+    }
+    Rng rng(91);
+    for (size_t sample : {1000u, 2000u, 5000u, 10000u}) {
+      RowSet pos = SampleRows(slice.rows, sample, &rng);
+      DiscretizedTable projected = dt->Project(pos);
+      const DiscreteAttr& p2 = projected.attr(*make_idx);
+      auto sampled_rank = RankFeatures(projected, p2.codes, p2.cardinality(),
+                                       candidates, FeatureSelectionOptions{});
+      if (!sampled_rank.ok()) return 1;
+      std::vector<double> a_scores, b_scores;
+      std::vector<double> sampled_scores(dt->num_attrs(), 0.0);
+      for (const FeatureScore& fs : *sampled_rank) {
+        sampled_scores[fs.attr_index] = fs.score;
+      }
+      for (size_t c : candidates) {
+        a_scores.push_back(full_scores[c]);
+        b_scores.push_back(sampled_scores[c]);
+      }
+      auto tau = KendallTauB(a_scores, b_scores);
+      bench::Row(std::to_string(sample), "kendall tau-b",
+                 tau.ok() ? *tau : 0.0);
+    }
+  }
+
+  bench::Section("clustering sample (Optimization 1b) on top of fs sample 5K");
+  {
+    CadViewOptions opt = base;
+    opt.feature_selection_sample = 5000;
+    for (size_t csample : {500u, 1000u, 2000u, 4000u}) {
+      opt.clustering_sample = csample;
+      auto view = BuildCadView(slice, opt);
+      if (!view.ok()) return 1;
+      bench::Row(std::to_string(csample), "iunit-gen",
+                 view->timings.iunit_gen_ms, "ms");
+    }
+  }
+
+  bench::PaperShape(
+      "a 5K-10K sample reproduces (nearly) the same top Compare Attributes "
+      "at a fraction of the full-data ranking cost (paper: 20-50 ms vs "
+      "~1700 ms)");
+  bench::Measured(StringPrintf(
+      "5K sample: %.2f ms vs full %.2f ms (%.0fx faster), overlap %zu/%zu",
+      t_5k, t_full, t_full / std::max(t_5k, 1e-9), overlap_5k,
+      full_attrs.size()));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared driver for the user-study figure benches (Figs 2-7): runs the
+// paper-scale crossover study once and prints one task type's per-user
+// quality and time series plus the mixed-model LRT lines.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/analysis/wilcoxon.h"
+#include "src/data/mushroom.h"
+#include "src/sim/study.h"
+#include "src/util/string_util.h"
+
+namespace dbx::bench {
+
+struct StudyFigure {
+  char task_type;
+  std::string quality_name;   // "F1 score", "similar pair rank", ...
+  std::string quality_claim;  // the paper's quality PAPER-SHAPE line
+  std::string time_claim;     // the paper's time PAPER-SHAPE line
+};
+
+inline int RunStudyFigure(const std::string& title, const StudyFigure& fig) {
+  Header(title);
+
+  Table mushroom = GenerateMushrooms(8124, 11);
+  StudyConfig config = StudyConfig::Default();
+  auto results = RunUserStudy(&mushroom, config);
+  if (!results.ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  auto solr = results->Of(fig.task_type, false);
+  auto tp = results->Of(fig.task_type, true);
+
+  Section(fig.quality_name + " per user (paper figure's left axis)");
+  for (const StudyRecord& r : solr) {
+    Row("U" + std::to_string(r.user + 1), "Solr", r.quality);
+  }
+  for (const StudyRecord& r : tp) {
+    Row("U" + std::to_string(r.user + 1), "TPFacet", r.quality);
+  }
+
+  Section("task time per user (minutes)");
+  for (const StudyRecord& r : solr) {
+    Row("U" + std::to_string(r.user + 1), "Solr", r.minutes, "min");
+  }
+  for (const StudyRecord& r : tp) {
+    Row("U" + std::to_string(r.user + 1), "TPFacet", r.minutes, "min");
+  }
+
+  Section("answers (TPFacet arm)");
+  for (const StudyRecord& r : tp) {
+    std::printf("  U%zu [%s]: %s\n", r.user + 1, r.task_id.c_str(),
+                r.answer.c_str());
+  }
+
+  auto analysis = AnalyzeTask(*results, fig.task_type, config.num_users);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 analysis.status().ToString().c_str());
+    return 1;
+  }
+  // Nonparametric cross-check (extension): with 8 users per arm, back the
+  // LRT with a paired Wilcoxon signed-rank test on task times.
+  {
+    std::vector<double> t_solr, t_tp;
+    for (const StudyRecord& r : solr) t_solr.push_back(r.minutes);
+    for (const StudyRecord& r : tp) t_tp.push_back(r.minutes);
+    auto w = WilcoxonSignedRank(t_tp, t_solr);
+    if (w.ok()) {
+      Section("paired Wilcoxon signed-rank on task time (extension)");
+      std::printf("  W+ = %.1f, n = %zu, p = %.4f, median diff = %.2f min\n",
+                  w->w_plus, w->n, w->p_value, w->median_difference);
+    }
+  }
+
+  Section("mixed-model LRT (display type as fixed effect, user as block)");
+  std::printf("  quality: chi2(1) = %.2f, p = %.4f, effect = %.3f +- %.3f\n",
+              analysis->quality.chi2, analysis->quality.p_value,
+              analysis->quality.effect, analysis->quality.effect_se);
+  std::printf("  time:    chi2(1) = %.2f, p = %.4f, effect = %.2f +- %.2f min\n",
+              analysis->time.chi2, analysis->time.p_value,
+              analysis->time.effect, analysis->time.effect_se);
+
+  double speedup = analysis->mean_minutes_solr /
+                   std::max(analysis->mean_minutes_tpfacet, 1e-9);
+  PaperShape(fig.quality_claim);
+  Measured(StringPrintf("mean %s: Solr %.3f vs TPFacet %.3f",
+                        fig.quality_name.c_str(),
+                        analysis->mean_quality_solr,
+                        analysis->mean_quality_tpfacet));
+  PaperShape(fig.time_claim);
+  Measured(StringPrintf(
+      "mean time: Solr %.1f min vs TPFacet %.1f min (%.1fx faster)",
+      analysis->mean_minutes_solr, analysis->mean_minutes_tpfacet, speedup));
+  return 0;
+}
+
+}  // namespace dbx::bench

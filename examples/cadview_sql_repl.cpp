@@ -1,0 +1,305 @@
+// An interactive REPL for the CADVIEW SQL dialect (paper §2.1.2). Built-in
+// datasets load on demand; custom tables load from CSV with an inline schema.
+//
+//   $ ./cadview_sql_repl
+//   dbx> \load UsedCars
+//   dbx> CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM UsedCars
+//        WHERE BodyType = SUV LIMIT COLUMNS 5 IUNITS 3
+//   dbx> HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(Ford, 1) > 3.0
+//   dbx> REORDER ROWS IN v ORDER BY SIMILARITY(Ford) DESC
+//   dbx> \quit
+//
+// Also scriptable: echo '...' | ./cadview_sql_repl
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/core/cad_view_html.h"
+#include "src/core/cad_view_io.h"
+#include "src/core/surrogate.h"
+#include "src/query/engine.h"
+#include "src/relation/csv.h"
+#include "src/stats/chow_liu.h"
+#include "src/stats/soft_fd.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+using namespace dbx;
+
+void PrintHelp() {
+  std::printf(
+      "statements:\n"
+      "  CREATE CADVIEW v AS SET pivot = Attr SELECT a, b FROM t\n"
+      "      [WHERE ...] [LIMIT COLUMNS m] [IUNITS k] [ORDER BY a ASC|DESC]\n"
+      "  HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(value, rank) > x\n"
+      "  REORDER ROWS IN v ORDER BY SIMILARITY(value) [DESC]\n"
+      "  DROP CADVIEW v | SHOW TABLES | SHOW CADVIEWS\n"
+      "  SELECT */cols FROM t [WHERE ...] [ORDER BY ...] [LIMIT n]\n"
+      "  SELECT g, COUNT(*), AVG(a), ... FROM t [WHERE ...] GROUP BY g\n"
+      "  DESCRIBE t\n"
+      "commands:\n"
+      "  \\load <UsedCars|Mushroom> [rows]   load a built-in dataset\n"
+      "  \\csv <name> <path> <a:cat|num,...> load a CSV file as table <name>\n"
+      "  \\deps <table>                      Chow-Liu dependency tree\n"
+      "  \\surrogate <table> <attr> <value>  queriable surrogate queries\n"
+      "  \\json <view>                       print a CAD View as JSON\n"
+      "  \\html <view> <path>                export a CAD View as HTML\n"
+      "  \\fds <table>                       strong soft functional deps\n"
+      "  \\tables                            list registered tables\n"
+      "  \\help                              this text\n"
+      "  \\quit                              exit\n");
+}
+
+// Parses "Make:cat,Price:num,..." into a Schema.
+Result<Schema> ParseInlineSchema(const std::string& spec) {
+  std::vector<AttributeDef> attrs;
+  for (const std::string& part : Split(spec, ',')) {
+    auto bits = Split(part, ':');
+    if (bits.size() != 2) {
+      return Status::InvalidArgument("bad schema entry: " + part);
+    }
+    AttributeDef def;
+    def.name = std::string(Trim(bits[0]));
+    if (EqualsIgnoreCase(Trim(bits[1]), "num")) {
+      def.type = AttrType::kNumeric;
+    } else if (EqualsIgnoreCase(Trim(bits[1]), "cat")) {
+      def.type = AttrType::kCategorical;
+    } else {
+      return Status::InvalidArgument("type must be cat or num: " + part);
+    }
+    attrs.push_back(std::move(def));
+  }
+  return Schema::Make(std::move(attrs));
+}
+
+class Repl {
+ public:
+  int Run() {
+    std::printf("DBExplorer CADVIEW SQL shell — \\help for help\n");
+    std::string line;
+    std::string pending;
+    while (true) {
+      std::printf(pending.empty() ? "dbx> " : "...> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      std::string trimmed(Trim(line));
+      if (trimmed.empty()) continue;
+
+      if (pending.empty() && trimmed[0] == '\\') {
+        if (!Command(trimmed)) break;
+        continue;
+      }
+      // A trailing backslash continues the statement on the next line.
+      bool continues = trimmed.back() == '\\';
+      if (continues) trimmed.pop_back();
+      pending += (pending.empty() ? "" : " ") + trimmed;
+      if (continues) continue;
+      Execute(pending);
+      pending.clear();
+    }
+    return 0;
+  }
+
+ private:
+  bool Command(const std::string& cmd) {
+    auto parts = Split(cmd, ' ');
+    const std::string& op = parts[0];
+    if (op == "\\quit" || op == "\\q") return false;
+    if (op == "\\help") {
+      PrintHelp();
+      return true;
+    }
+    if (op == "\\tables") {
+      for (const auto& [name, table] : tables_) {
+        std::printf("  %-12s %zu rows x %zu attrs\n", name.c_str(),
+                    table->num_rows(), table->num_cols());
+      }
+      return true;
+    }
+    if (op == "\\load") {
+      if (parts.size() < 2) {
+        std::printf("usage: \\load <UsedCars|Mushroom> [rows]\n");
+        return true;
+      }
+      size_t rows = 0;
+      if (parts.size() >= 3) {
+        int64_t n = 0;
+        if (ParseInt64(parts[2], &n) && n > 0) rows = static_cast<size_t>(n);
+      }
+      auto d = LoadDataset(parts[1], rows);
+      if (!d.ok()) {
+        std::printf("error: %s\n", d.status().ToString().c_str());
+        return true;
+      }
+      tables_[d->name] = d->table;
+      engine_.RegisterTable(d->name, d->table.get());
+      std::printf("loaded %s: %zu rows\n", d->name.c_str(),
+                  d->table->num_rows());
+      return true;
+    }
+    if (op == "\\csv") {
+      if (parts.size() < 4) {
+        std::printf("usage: \\csv <name> <path> <attr:cat|num,...>\n");
+        return true;
+      }
+      auto schema = ParseInlineSchema(parts[3]);
+      if (!schema.ok()) {
+        std::printf("error: %s\n", schema.status().ToString().c_str());
+        return true;
+      }
+      auto table = ReadCsv(parts[2], *schema);
+      if (!table.ok()) {
+        std::printf("error: %s\n", table.status().ToString().c_str());
+        return true;
+      }
+      auto shared = std::make_shared<Table>(std::move(*table));
+      tables_[parts[1]] = shared;
+      engine_.RegisterTable(parts[1], shared.get());
+      std::printf("loaded %s: %zu rows\n", parts[1].c_str(),
+                  shared->num_rows());
+      return true;
+    }
+    if (op == "\\json" || op == "\\html") {
+      if (parts.size() < 2) {
+        std::printf("usage: %s <view> [path]\n", op.c_str());
+        return true;
+      }
+      auto view = engine_.GetView(parts[1]);
+      if (!view.ok()) {
+        std::printf("error: %s\n", view.status().ToString().c_str());
+        return true;
+      }
+      if (op == "\\json") {
+        std::printf("%s\n", CadViewToJson(**view).c_str());
+        return true;
+      }
+      if (parts.size() < 3) {
+        std::printf("usage: \\html <view> <path>\n");
+        return true;
+      }
+      HtmlRenderOptions hro;
+      hro.title = parts[1];
+      std::FILE* f = std::fopen(parts[2].c_str(), "w");
+      if (!f) {
+        std::printf("error: cannot open %s\n", parts[2].c_str());
+        return true;
+      }
+      std::string html = RenderCadViewHtml(**view, hro);
+      std::fwrite(html.data(), 1, html.size(), f);
+      std::fclose(f);
+      std::printf("wrote %zu bytes to %s\n", html.size(), parts[2].c_str());
+      return true;
+    }
+    if (op == "\\surrogate") {
+      if (parts.size() < 4 || !tables_.count(parts[1])) {
+        std::printf("usage: \\surrogate <table> <attr> <value>\n");
+        return true;
+      }
+      auto dt = DiscretizedTable::Build(TableSlice::All(*tables_[parts[1]]),
+                                        DiscretizerOptions{});
+      if (!dt.ok()) {
+        std::printf("error: %s\n", dt.status().ToString().c_str());
+        return true;
+      }
+      auto surrogates = FindSurrogates(*dt, parts[2], parts[3],
+                                       SurrogateOptions{});
+      if (!surrogates.ok()) {
+        std::printf("error: %s\n", surrogates.status().ToString().c_str());
+        return true;
+      }
+      for (const Surrogate& su : *surrogates) {
+        std::string cond;
+        for (const auto& [attr, value] : su.conditions) {
+          if (!cond.empty()) cond += " AND ";
+          cond += attr + "=" + value;
+        }
+        std::printf("  F1 %.3f (P %.3f R %.3f)  %s\n", su.f1, su.precision,
+                    su.recall, cond.c_str());
+      }
+      return true;
+    }
+    if (op == "\\deps" || op == "\\fds") {
+      if (parts.size() < 2 || !tables_.count(parts[1])) {
+        std::printf("usage: %s <registered table>\n", op.c_str());
+        return true;
+      }
+      const Table& t = *tables_[parts[1]];
+      auto dt = DiscretizedTable::Build(TableSlice::All(t),
+                                        DiscretizerOptions{});
+      if (!dt.ok()) {
+        std::printf("error: %s\n", dt.status().ToString().c_str());
+        return true;
+      }
+      if (op == "\\deps") {
+        auto tree = BuildChowLiuTree(*dt);
+        if (!tree.ok()) {
+          std::printf("error: %s\n", tree.status().ToString().c_str());
+        } else {
+          std::printf("%s", tree->ToString().c_str());
+        }
+      } else {
+        auto fds = DiscoverSoftFds(*dt, SoftFdOptions{});
+        if (!fds.ok()) {
+          std::printf("error: %s\n", fds.status().ToString().c_str());
+        } else if (fds->empty()) {
+          std::printf("no strong soft FDs found\n");
+        } else {
+          for (const SoftFd& fd : *fds) {
+            std::printf("  %s -> %s  (strength %.3f, lift %.2f)\n",
+                        fd.determinant_name.c_str(),
+                        fd.dependent_name.c_str(), fd.strength, fd.Lift());
+          }
+        }
+      }
+      return true;
+    }
+    std::printf("unknown command %s (\\help for help)\n", op.c_str());
+    return true;
+  }
+
+  void Execute(const std::string& sql) {
+    auto outcome = engine_.ExecuteSql(sql);
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+      return;
+    }
+    switch (outcome->kind) {
+      case ExecOutcome::Kind::kSelection: {
+        std::printf("%s\n", outcome->rendered.c_str());
+        if (outcome->derived) break;  // aggregates render their own table
+        // Print the first rows as a quick preview.
+        size_t shown = std::min<size_t>(outcome->rows.size(), 5);
+        for (size_t i = 0; i < shown; ++i) {
+          std::string row;
+          for (const std::string& col : outcome->projected_columns) {
+            auto idx = outcome->table->schema().IndexOf(col);
+            if (!idx) continue;
+            if (!row.empty()) row += " | ";
+            row += outcome->table->At(outcome->rows[i], *idx).ToDisplay();
+          }
+          std::printf("  %s\n", row.c_str());
+        }
+        if (outcome->rows.size() > shown) std::printf("  ...\n");
+        break;
+      }
+      default:
+        std::printf("%s\n", outcome->rendered.c_str());
+        break;
+    }
+  }
+
+  Engine engine_;
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace
+
+int main() {
+  Repl repl;
+  return repl.Run();
+}

@@ -1,0 +1,115 @@
+// Scenario: Mary's full interactive session (paper Example 1) through the
+// TPFacet two-phase interface — query panel selections, phase toggling, pivot
+// choice, IUnit highlighting, row reordering, and drill-down — exactly the
+// §5 interaction model, driven programmatically.
+
+#include <cstdio>
+
+#include "src/core/cad_view_renderer.h"
+#include "src/facet/panel_renderer.h"
+#include "src/data/dataset.h"
+#include "src/explorer/tpfacet_session.h"
+
+namespace {
+
+int Fail(const dbx::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // Mary opens the used-car site.
+  auto dataset = dbx::LoadDataset("UsedCars");
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  dbx::CadViewOptions cad;
+  cad.max_compare_attrs = 5;
+  cad.iunits_per_value = 3;
+  cad.seed = 42;
+  // Interactive setting: enable the paper's §6.3 optimizations.
+  cad.feature_selection_sample = 5000;
+  cad.adaptive_l = true;
+
+  auto session = dbx::TpFacetSession::Create(dataset->table.get(),
+                                             dbx::DiscretizerOptions{}, cad);
+  if (!session.ok()) return Fail(session.status());
+  dbx::TpFacetSession& s = *session;
+
+  // Phase 1 (results phase): she narrows with the query panel.
+  // Numeric attributes are selected by bin label, like a price-slider UI.
+  dbx::Status st = s.SelectValue("BodyType", "SUV");
+  if (st.ok()) st = s.SelectValue("Transmission", "Automatic");
+  if (!st.ok()) return Fail(st);
+  std::printf("Selected BodyType=SUV, Transmission=Automatic -> %zu cars\n",
+              s.result_rows().size());
+
+  // Mileage facet: pick the bins covering roughly 10K-30K miles.
+  const dbx::DiscretizedTable& dt = s.facets().discretized();
+  auto mileage_idx = dt.IndexOf("Mileage");
+  size_t selected_bins = 0;
+  if (mileage_idx) {
+    const dbx::DiscreteAttr& mileage = dt.attr(*mileage_idx);
+    for (size_t b = 0; b < mileage.bins.num_bins(); ++b) {
+      double lo = mileage.bins.edges[b];
+      double hi = mileage.bins.edges[b + 1];
+      if (lo >= 8000 && hi <= 35000) {
+        if (s.SelectValue("Mileage", mileage.labels[b]).ok()) ++selected_bins;
+      }
+    }
+  }
+  std::printf("Selected %zu low-mileage bins -> %zu cars\n", selected_bins,
+              s.result_rows().size());
+
+  // The query panel (Figure 1's sidebar) after her selections.
+  dbx::PanelRenderOptions panel_opt;
+  panel_opt.max_values_per_attr = 4;
+  std::printf("\n== query panel ==\n%s",
+              dbx::RenderQueryPanel(s.facets(), panel_opt).c_str());
+
+  // Phase 2 (query revision): toggle to the CAD View, pivot on Make.
+  s.TogglePhase();
+  if (!s.SetPivot("Make").ok()) return 1;
+  s.SetPivotValues({"Ford", "Chevrolet", "Toyota", "Honda", "Jeep"});
+  auto view = s.View();
+  if (!view.ok()) return Fail(view.status());
+  std::printf("\n== CAD View (pivot = Make) ==\n%s\n",
+              dbx::RenderCadView(**view).c_str());
+  if (auto t = s.last_build_timings()) {
+    std::printf("interactive build: %s\n", dbx::RenderTimings(*t).c_str());
+  }
+
+  // She likes Chevrolet's first IUnit — which other IUnits are similar?
+  auto similar = s.ClickIUnit("Chevrolet", 0);
+  if (!similar.ok()) return Fail(similar.status());
+  std::printf("\nClick on Chevrolet IUnit 1 -> %zu similar IUnit(s):\n",
+              similar->size());
+  for (const dbx::IUnitRef& ref : *similar) {
+    std::printf("  %s IUnit %zu (similarity %.2f of %zu)\n",
+                (*view)->rows[ref.row].pivot_value.c_str(), ref.iunit + 1,
+                ref.similarity, (*view)->compare_attrs.size());
+  }
+
+  // Which Makes are most like Chevrolet overall?
+  auto ranked = s.ClickPivotValue("Chevrolet");
+  if (!ranked.ok()) return Fail(ranked.status());
+  std::printf("\nClick on pivot value Chevrolet -> rows reordered:\n");
+  for (const auto& [value, distance] : *ranked) {
+    std::printf("  %-12s (Algorithm-2 distance %.1f)\n", value.c_str(),
+                distance);
+  }
+
+  // She settles on the most similar alternative make and drills down.
+  std::string alt = (*ranked)[1].first;
+  s.TogglePhase();  // back to results
+  s.SetPivotValues({});
+  if (!s.SelectValue("Make", "Chevrolet").ok()) return 1;
+  if (!s.SelectValue("Make", alt).ok()) return 1;
+  std::printf("\nPhase toggled back to results; Make in {Chevrolet, %s} -> "
+              "%zu cars to browse\n",
+              alt.c_str(), s.result_rows().size());
+  std::printf("total interface operations this session: %zu\n",
+              s.operation_count());
+  return 0;
+}

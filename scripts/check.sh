@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, test, run every bench and example.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "== $b"
+  "$b"
+done
+
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  case "$e" in
+    */cadview_sql_repl) printf '\\quit\n' | "$e" ;;  # interactive: smoke only
+    *) "$e" ;;
+  esac
+done
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs every bench binary, the way EXPERIMENTS.md numbers are produced.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+rc=0
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo
+  echo "################ $(basename "$b") ################"
+  "$b" || { echo "BENCH FAILED: $b"; rc=1; }
+done
+exit $rc

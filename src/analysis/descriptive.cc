@@ -1,0 +1,53 @@
+#include "src/analysis/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dbx {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double SampleStdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t mid = v.size() / 2;
+  if (v.size() % 2 == 1) return v[mid];
+  return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+double MinOf(const std::vector<double>& v) {
+  double m = std::numeric_limits<double>::infinity();
+  for (double x : v) m = std::min(m, x);
+  return m;
+}
+
+double MaxOf(const std::vector<double>& v) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : v) m = std::max(m, x);
+  return m;
+}
+
+double MeanPairedDifference(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] - b[i];
+  return s / static_cast<double>(n);
+}
+
+}  // namespace dbx

@@ -1,0 +1,26 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Small descriptive-statistics helpers for reporting benchmark and study
+// results (means, deviations, paired summaries).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dbx {
+
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double SampleStdDev(const std::vector<double>& v);
+
+double Median(std::vector<double> v);
+
+double MinOf(const std::vector<double>& v);
+double MaxOf(const std::vector<double>& v);
+
+/// Mean of pairwise differences a[i] - b[i] (vectors must be equal length).
+double MeanPairedDifference(const std::vector<double>& a,
+                            const std::vector<double>& b);
+
+}  // namespace dbx

@@ -1,0 +1,121 @@
+#include "src/analysis/linear_model.h"
+
+#include <cmath>
+
+namespace dbx {
+
+Result<std::vector<double>> SolveLinearSystem(std::vector<double> a, size_t n,
+                                              std::vector<double> b) {
+  if (a.size() != n * n || b.size() != n) {
+    return Status::InvalidArgument("bad linear-system dimensions");
+  }
+  // Gaussian elimination with partial pivoting on the augmented system.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return Status::FailedPrecondition("singular matrix");
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a[pivot * n + c], a[col * n + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    double inv = 1.0 / a[col * n + col];
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = a[r * n + col] * inv;
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= a[ri * n + c] * x[c];
+    x[ri] = acc / a[ri * n + ri];
+  }
+  return x;
+}
+
+Result<std::vector<double>> InvertMatrix(std::vector<double> a, size_t n) {
+  if (a.size() != n * n) {
+    return Status::InvalidArgument("bad matrix dimensions");
+  }
+  std::vector<double> inv(n * n, 0.0);
+  // Solve A x = e_i column by column. Re-running elimination per column is
+  // O(n^4) but n here is tiny (p <= ~12 predictors).
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> e(n, 0.0);
+    e[i] = 1.0;
+    auto col = SolveLinearSystem(a, n, std::move(e));
+    if (!col.ok()) return col.status();
+    for (size_t r = 0; r < n; ++r) inv[r * n + i] = (*col)[r];
+  }
+  return inv;
+}
+
+Result<OlsFit> FitOls(const DesignMatrix& X, const std::vector<double>& y) {
+  if (X.n == 0 || X.p == 0) return Status::InvalidArgument("empty design");
+  if (y.size() != X.n) {
+    return Status::InvalidArgument("y length != design rows");
+  }
+  if (X.n < X.p) {
+    return Status::FailedPrecondition("more predictors than observations");
+  }
+  const size_t n = X.n, p = X.p;
+
+  // Normal equations: (X'X) beta = X'y.
+  std::vector<double> xtx(p * p, 0.0);
+  std::vector<double> xty(p, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = X.row(i);
+    for (size_t a = 0; a < p; ++a) {
+      xty[a] += r[a] * y[i];
+      for (size_t b = a; b < p; ++b) xtx[a * p + b] += r[a] * r[b];
+    }
+  }
+  for (size_t a = 0; a < p; ++a) {
+    for (size_t b = 0; b < a; ++b) xtx[a * p + b] = xtx[b * p + a];
+  }
+
+  auto xtx_inv = InvertMatrix(xtx, p);
+  if (!xtx_inv.ok()) return xtx_inv.status();
+  OlsFit fit;
+  fit.n = n;
+  fit.p = p;
+  fit.beta.assign(p, 0.0);
+  for (size_t a = 0; a < p; ++a) {
+    for (size_t b = 0; b < p; ++b) {
+      fit.beta[a] += (*xtx_inv)[a * p + b] * xty[b];
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = X.row(i);
+    double pred = 0.0;
+    for (size_t a = 0; a < p; ++a) pred += r[a] * fit.beta[a];
+    double resid = y[i] - pred;
+    fit.rss += resid * resid;
+  }
+  fit.sigma2_ml = fit.rss / static_cast<double>(n);
+  // Guard against a perfect fit: clamp the variance to keep the likelihood
+  // finite (the LRT then saturates rather than exploding).
+  double s2 = std::max(fit.sigma2_ml, 1e-12);
+  fit.log_likelihood = -0.5 * static_cast<double>(n) *
+                       (std::log(2.0 * M_PI * s2) + 1.0);
+
+  double dof = static_cast<double>(n > p ? n - p : 1);
+  double s2_unbiased = fit.rss / dof;
+  fit.beta_se.assign(p, 0.0);
+  for (size_t a = 0; a < p; ++a) {
+    fit.beta_se[a] = std::sqrt(std::max(0.0, (*xtx_inv)[a * p + a] * s2_unbiased));
+  }
+  return fit;
+}
+
+}  // namespace dbx

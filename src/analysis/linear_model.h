@@ -1,0 +1,51 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Ordinary least squares with Gaussian log-likelihood — the fitting machinery
+// behind the paper's user-study statistics (§6.2: "linear mixed model
+// analysis ... Display type as fixed effect and User ID as random effect",
+// compared via a likelihood-ratio test). With one observation per
+// user x condition cell, the random-intercept model's ML fit coincides with a
+// fixed user-blocking OLS, which is what we implement.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Dense row-major design matrix.
+struct DesignMatrix {
+  size_t n = 0;  // observations
+  size_t p = 0;  // predictors (including intercept)
+  std::vector<double> x;  // n * p
+
+  double* row(size_t i) { return x.data() + i * p; }
+  const double* row(size_t i) const { return x.data() + i * p; }
+};
+
+struct OlsFit {
+  std::vector<double> beta;       // p coefficients
+  std::vector<double> beta_se;    // standard errors (sqrt of diag((X'X)^-1 s2))
+  double rss = 0.0;               // residual sum of squares
+  double sigma2_ml = 0.0;         // ML variance estimate rss / n
+  double log_likelihood = 0.0;    // Gaussian ML log-likelihood
+  size_t n = 0;
+  size_t p = 0;
+};
+
+/// Fits y = X beta + e by least squares (normal equations with partial
+/// pivoting). Fails when X'X is singular (collinear design) or dimensions
+/// mismatch.
+Result<OlsFit> FitOls(const DesignMatrix& X, const std::vector<double>& y);
+
+/// Solves A x = b for a dense n x n system (Gaussian elimination, partial
+/// pivoting). Fails on singular A. Exposed for tests.
+Result<std::vector<double>> SolveLinearSystem(std::vector<double> a, size_t n,
+                                              std::vector<double> b);
+
+/// Inverts a dense n x n matrix. Fails on singular input. Exposed for tests.
+Result<std::vector<double>> InvertMatrix(std::vector<double> a, size_t n);
+
+}  // namespace dbx

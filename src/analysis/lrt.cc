@@ -1,0 +1,66 @@
+#include "src/analysis/lrt.h"
+
+#include <algorithm>
+
+#include "src/analysis/linear_model.h"
+#include "src/stats/gamma.h"
+
+namespace dbx {
+
+Result<LrtResult> DisplayTypeLrt(const std::vector<StudyObservation>& obs,
+                                 size_t num_users) {
+  if (num_users < 2) return Status::InvalidArgument("need >= 2 users");
+  bool has_treated = false, has_control = false;
+  for (const StudyObservation& o : obs) {
+    if (o.user >= num_users) {
+      return Status::OutOfRange("user id out of range");
+    }
+    (o.treatment ? has_treated : has_control) = true;
+  }
+  if (!has_treated || !has_control) {
+    return Status::FailedPrecondition("need observations in both arms");
+  }
+
+  const size_t n = obs.size();
+  // Full design: intercept, user dummies (users 1..U-1), treatment flag.
+  const size_t p_full = 1 + (num_users - 1) + 1;
+  DesignMatrix full;
+  full.n = n;
+  full.p = p_full;
+  full.x.assign(n * p_full, 0.0);
+  DesignMatrix null_m;
+  null_m.n = n;
+  null_m.p = p_full - 1;
+  null_m.x.assign(n * (p_full - 1), 0.0);
+  std::vector<double> y(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const StudyObservation& o = obs[i];
+    y[i] = o.response;
+    double* rf = full.row(i);
+    double* rn = null_m.row(i);
+    rf[0] = 1.0;
+    rn[0] = 1.0;
+    if (o.user > 0) {
+      rf[o.user] = 1.0;
+      rn[o.user] = 1.0;
+    }
+    rf[p_full - 1] = o.treatment ? 1.0 : 0.0;
+  }
+
+  auto fit_full = FitOls(full, y);
+  if (!fit_full.ok()) return fit_full.status();
+  auto fit_null = FitOls(null_m, y);
+  if (!fit_null.ok()) return fit_null.status();
+
+  LrtResult r;
+  r.chi2 = std::max(
+      0.0, 2.0 * (fit_full->log_likelihood - fit_null->log_likelihood));
+  r.df = 1.0;
+  r.p_value = ChiSquareSf(r.chi2, r.df);
+  r.effect = fit_full->beta[p_full - 1];
+  r.effect_se = fit_full->beta_se[p_full - 1];
+  return r;
+}
+
+}  // namespace dbx

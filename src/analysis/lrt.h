@@ -1,0 +1,39 @@
+// Copyright (c) DBExplorer reproduction authors.
+// The paper's user-study analysis (§6.2): a likelihood-ratio test comparing
+// the model with the Display-type factor against the null model without it,
+// with User ID as a blocking factor — reported as chi2(1) and p, plus the
+// effect size ("lowering it by about 5.44 ± 1.56 minutes").
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// One user-study measurement.
+struct StudyObservation {
+  size_t user = 0;       // 0-based user id
+  bool treatment = false;  // true = TPFacet, false = baseline (Solr)
+  double response = 0.0;   // time in minutes, F1, rank, or retrieval error
+};
+
+struct LrtResult {
+  double chi2 = 0.0;
+  double df = 1.0;
+  double p_value = 1.0;
+  /// Treatment coefficient (response change caused by TPFacet) and its SE —
+  /// the paper's "by about X ± Y" numbers.
+  double effect = 0.0;
+  double effect_se = 0.0;
+};
+
+/// Fits response ~ 1 + user + treatment against response ~ 1 + user and
+/// compares them with a chi-square(1) likelihood-ratio test.
+/// Requires >= 2 users and both treatment arms present.
+Result<LrtResult> DisplayTypeLrt(const std::vector<StudyObservation>& obs,
+                                 size_t num_users);
+
+}  // namespace dbx

@@ -1,0 +1,99 @@
+#include "src/analysis/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/descriptive.h"
+
+namespace dbx {
+namespace {
+
+// Standard normal survival function via erfc.
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired samples must have equal length");
+  }
+  std::vector<double> diffs;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  if (diffs.size() < 2) {
+    return Status::FailedPrecondition(
+        "need at least 2 non-zero paired differences");
+  }
+  const size_t n = diffs.size();
+
+  // Rank |d| ascending with midranks for ties.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return std::fabs(diffs[x]) < std::fabs(diffs[y]);
+  });
+  std::vector<double> ranks(n, 0.0);
+  for (size_t i = 0; i < n;) {
+    size_t j = i;
+    while (j + 1 < n &&
+           std::fabs(diffs[order[j + 1]]) == std::fabs(diffs[order[i]])) {
+      ++j;
+    }
+    double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                     1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+
+  WilcoxonResult res;
+  res.n = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (diffs[i] > 0) res.w_plus += ranks[i];
+  }
+  {
+    std::vector<double> med = diffs;
+    res.median_difference = Median(std::move(med));
+  }
+
+  if (n <= 20) {
+    // Exact distribution of W+ under the null: each rank joins the positive
+    // side independently with probability 1/2. Work in doubled ranks so
+    // midranks stay integral.
+    std::vector<int> ranks2(n);
+    int total2 = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ranks2[i] = static_cast<int>(std::lround(ranks[i] * 2.0));
+      total2 += ranks2[i];
+    }
+    std::vector<double> count(static_cast<size_t>(total2) + 1, 0.0);
+    count[0] = 1.0;
+    int reach = 0;
+    for (size_t i = 0; i < n; ++i) {
+      reach += ranks2[i];
+      for (int s = reach; s >= ranks2[i]; --s) {
+        count[static_cast<size_t>(s)] +=
+            count[static_cast<size_t>(s - ranks2[i])];
+      }
+    }
+    double denom = std::pow(2.0, static_cast<double>(n));
+    int w2 = static_cast<int>(std::lround(res.w_plus * 2.0));
+    double le = 0.0, ge = 0.0;
+    for (int s = 0; s <= total2; ++s) {
+      if (s <= w2) le += count[static_cast<size_t>(s)];
+      if (s >= w2) ge += count[static_cast<size_t>(s)];
+    }
+    res.p_value = std::min(1.0, 2.0 * std::min(le, ge) / denom);
+  } else {
+    double nn = static_cast<double>(n);
+    double mean = nn * (nn + 1.0) / 4.0;
+    double var = nn * (nn + 1.0) * (2.0 * nn + 1.0) / 24.0;
+    double z = (std::fabs(res.w_plus - mean) - 0.5) / std::sqrt(var);
+    res.p_value = std::min(1.0, 2.0 * NormalSf(std::max(0.0, z)));
+  }
+  return res;
+}
+
+}  // namespace dbx

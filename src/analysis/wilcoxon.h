@@ -1,0 +1,33 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Wilcoxon signed-rank test for paired samples — the nonparametric
+// companion to the study's LRT. With 8 users per arm, normality is a leap;
+// the signed-rank test checks the same "TPFacet shifts the response"
+// hypothesis without it. Exact null distribution for small n (the study's
+// regime), normal approximation beyond.
+
+#pragma once
+
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace dbx {
+
+struct WilcoxonResult {
+  /// Signed-rank statistic W+ (sum of ranks of positive differences).
+  double w_plus = 0.0;
+  /// Number of non-zero paired differences actually ranked.
+  size_t n = 0;
+  /// Two-sided p-value. Exact for n <= 20, normal approximation above.
+  double p_value = 1.0;
+  /// Median of the paired differences (the effect's location).
+  double median_difference = 0.0;
+};
+
+/// Tests whether paired differences a[i] - b[i] are symmetric about zero.
+/// Zero differences are dropped (standard treatment); ties share midranks.
+/// Fails when fewer than 2 non-zero differences remain.
+Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+}  // namespace dbx

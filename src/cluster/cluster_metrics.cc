@@ -1,0 +1,52 @@
+#include "src/cluster/cluster_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dbx {
+
+double SimplifiedSilhouette(const EncodedMatrix& points,
+                            const KMeansResult& result) {
+  if (result.k_effective < 2 || points.num_points == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < points.num_points; ++i) {
+    size_t own = static_cast<size_t>(result.assignments[i]);
+    double a = std::sqrt(SquaredDistance(points.point(i),
+                                         result.centroid(own), points.dims));
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < result.k_effective; ++c) {
+      if (c == own) continue;
+      double d = std::sqrt(SquaredDistance(points.point(i), result.centroid(c),
+                                           points.dims));
+      b = std::min(b, d);
+    }
+    double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(points.num_points);
+}
+
+double CentroidDispersion(const KMeansResult& result) {
+  double total = 0.0;
+  for (size_t i = 0; i < result.k_effective; ++i) {
+    for (size_t j = i + 1; j < result.k_effective; ++j) {
+      total += SquaredDistance(result.centroid(i), result.centroid(j),
+                               result.dims);
+    }
+  }
+  return total;
+}
+
+std::vector<double> PerClusterInertia(const EncodedMatrix& points,
+                                      const KMeansResult& result) {
+  std::vector<double> inertia(result.k_effective, 0.0);
+  for (size_t i = 0; i < points.num_points; ++i) {
+    size_t c = static_cast<size_t>(result.assignments[i]);
+    inertia[c] +=
+        SquaredDistance(points.point(i), result.centroid(c), points.dims);
+  }
+  return inertia;
+}
+
+}  // namespace dbx

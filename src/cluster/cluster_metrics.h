@@ -1,0 +1,27 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Cluster quality measures: used by tests (invariants) and the ablation
+// benches (how IUnit quality moves with l, sampling, and attribute count).
+
+#pragma once
+
+#include <vector>
+
+#include "src/cluster/kmeans.h"
+
+namespace dbx {
+
+/// Simplified silhouette (Hamerly-style): for each point, a = distance to own
+/// centroid, b = distance to nearest other centroid; silhouette is the mean
+/// of (b - a) / max(a, b). Returns 0 for k < 2.
+double SimplifiedSilhouette(const EncodedMatrix& points,
+                            const KMeansResult& result);
+
+/// Sum of squared pairwise centroid distances — a dispersion measure for
+/// diversity ablations.
+double CentroidDispersion(const KMeansResult& result);
+
+/// Per-cluster inertia (sum of squared point-to-centroid distances).
+std::vector<double> PerClusterInertia(const EncodedMatrix& points,
+                                      const KMeansResult& result);
+
+}  // namespace dbx

@@ -1,0 +1,44 @@
+#include "src/cluster/encoder.h"
+
+namespace dbx {
+
+Result<OneHotEncoder> OneHotEncoder::Plan(
+    const DiscretizedTable& dt, const std::vector<size_t>& attr_indices) {
+  OneHotEncoder enc;
+  for (size_t idx : attr_indices) {
+    if (idx >= dt.num_attrs()) {
+      return Status::OutOfRange("encoder attribute index out of range");
+    }
+    size_t card = dt.attr(idx).cardinality();
+    if (card == 0) continue;  // all-null attribute carries no signal
+    enc.attrs_.push_back(idx);
+    enc.offsets_.push_back(enc.dims_);
+    enc.cards_.push_back(card);
+    enc.dims_ += card;
+  }
+  if (enc.dims_ == 0) {
+    return Status::InvalidArgument("no encodable attributes (all null/empty)");
+  }
+  return enc;
+}
+
+EncodedMatrix OneHotEncoder::Encode(
+    const DiscretizedTable& dt, const std::vector<size_t>& row_positions) const {
+  EncodedMatrix m;
+  m.num_points = row_positions.size();
+  m.dims = dims_;
+  m.data.assign(m.num_points * m.dims, 0.0);
+  for (size_t p = 0; p < row_positions.size(); ++p) {
+    size_t row = row_positions[p];
+    double* out = m.point(p);
+    for (size_t a = 0; a < attrs_.size(); ++a) {
+      int32_t code = dt.attr(attrs_[a]).codes[row];
+      if (code >= 0 && static_cast<size_t>(code) < cards_[a]) {
+        out[offsets_[a] + static_cast<size_t>(code)] = 1.0;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace dbx

@@ -1,0 +1,53 @@
+// Copyright (c) DBExplorer reproduction authors.
+// One-hot encoding of discretized attributes into dense vectors for k-means
+// (the Weka SimpleKMeans treatment of nominal attributes). Every attribute
+// contributes one unit-norm block, so no attribute dominates the distance.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/stats/discretizer.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Dense row-major matrix of encoded points.
+struct EncodedMatrix {
+  size_t num_points = 0;
+  size_t dims = 0;
+  std::vector<double> data;  // num_points * dims
+
+  const double* point(size_t i) const { return data.data() + i * dims; }
+  double* point(size_t i) { return data.data() + i * dims; }
+};
+
+/// One-hot encoder over a chosen subset of a DiscretizedTable's attributes.
+class OneHotEncoder {
+ public:
+  /// Plans the encoding for `attr_indices` of `dt`. Attributes with zero
+  /// cardinality (all-null) are skipped.
+  static Result<OneHotEncoder> Plan(const DiscretizedTable& dt,
+                                    const std::vector<size_t>& attr_indices);
+
+  /// Encodes the rows of `dt` at positions `row_positions` (indices into the
+  /// discretized rows, NOT base-table row ids). Null cells encode to a zero
+  /// block.
+  EncodedMatrix Encode(const DiscretizedTable& dt,
+                       const std::vector<size_t>& row_positions) const;
+
+  size_t dims() const { return dims_; }
+  const std::vector<size_t>& attr_indices() const { return attrs_; }
+
+  /// Column offset of attribute block `i` (parallel to attr_indices()).
+  size_t BlockOffset(size_t i) const { return offsets_[i]; }
+
+ private:
+  std::vector<size_t> attrs_;    // attribute indices included
+  std::vector<size_t> offsets_;  // starting dim of each attribute block
+  std::vector<size_t> cards_;    // cardinality of each block
+  size_t dims_ = 0;
+};
+
+}  // namespace dbx

@@ -1,0 +1,153 @@
+#include "src/cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dbx {
+
+double SquaredDistance(const double* a, const double* b, size_t dims) {
+  double d = 0.0;
+  for (size_t i = 0; i < dims; ++i) {
+    double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+std::vector<size_t> KMeansResult::ClusterSizes() const {
+  std::vector<size_t> sizes(k_effective, 0);
+  for (int32_t a : assignments) {
+    if (a >= 0) ++sizes[static_cast<size_t>(a)];
+  }
+  return sizes;
+}
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, subsequent ones proportional to
+// squared distance from the nearest chosen centroid.
+std::vector<size_t> KMeansPlusPlusSeeds(const EncodedMatrix& pts, size_t k,
+                                        Rng* rng) {
+  std::vector<size_t> seeds;
+  seeds.reserve(k);
+  size_t n = pts.num_points;
+  seeds.push_back(static_cast<size_t>(rng->NextBounded(n)));
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  for (size_t s = 1; s < k; ++s) {
+    const double* last = pts.point(seeds.back());
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = SquaredDistance(pts.point(i), last, pts.dims);
+      if (d < d2[i]) d2[i] = d;
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; fall back to uniform.
+      seeds.push_back(static_cast<size_t>(rng->NextBounded(n)));
+      continue;
+    }
+    double target = rng->NextDouble() * total;
+    double acc = 0.0;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      acc += d2[i];
+      if (target < acc) {
+        chosen = i;
+        break;
+      }
+    }
+    seeds.push_back(chosen);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(const EncodedMatrix& points,
+                               const KMeansOptions& options) {
+  size_t n = points.num_points;
+  if (n == 0) return Status::InvalidArgument("k-means over zero points");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  size_t k = std::min(options.k, n);
+  size_t dims = points.dims;
+
+  Rng rng(options.seed);
+  KMeansResult res;
+  res.k_effective = k;
+  res.dims = dims;
+  res.assignments.assign(n, -1);
+  res.centroids.assign(k * dims, 0.0);
+
+  std::vector<size_t> seeds = KMeansPlusPlusSeeds(points, k, &rng);
+  for (size_t c = 0; c < k; ++c) {
+    const double* src = points.point(seeds[c]);
+    std::copy(src, src + dims, res.centroids.data() + c * dims);
+  }
+
+  std::vector<double> sums(k * dims);
+  std::vector<size_t> counts(k);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* p = points.point(i);
+      double best = std::numeric_limits<double>::infinity();
+      int32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d = SquaredDistance(p, res.centroid(c), dims);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int32_t>(c);
+        }
+      }
+      res.assignments[i] = best_c;
+      inertia += best;
+    }
+    res.inertia = inertia;
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = static_cast<size_t>(res.assignments[i]);
+      const double* p = points.point(i);
+      double* s = sums.data() + c * dims;
+      for (size_t d = 0; d < dims; ++d) s[d] += p[d];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at the point farthest from its centroid.
+        size_t far_i = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          size_t ci = static_cast<size_t>(res.assignments[i]);
+          double d = SquaredDistance(points.point(i), res.centroid(ci), dims);
+          if (d > far_d) {
+            far_d = d;
+            far_i = i;
+          }
+        }
+        const double* src = points.point(far_i);
+        std::copy(src, src + dims, res.centroids.data() + c * dims);
+        continue;
+      }
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      double* dst = res.centroids.data() + c * dims;
+      const double* s = sums.data() + c * dims;
+      for (size_t d = 0; d < dims; ++d) dst[d] = s[d] * inv;
+    }
+
+    if (prev_inertia - inertia <= options.tolerance * std::max(prev_inertia, 1e-12)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return res;
+}
+
+}  // namespace dbx

@@ -1,0 +1,87 @@
+#include "src/core/cad_view.h"
+
+#include <algorithm>
+
+#include "src/core/iunit_similarity.h"
+#include "src/core/ranked_list_distance.h"
+
+namespace dbx {
+
+Result<size_t> CadView::RowIndexOf(const std::string& pivot_value) const {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].pivot_value == pivot_value) return i;
+  }
+  return Status::NotFound("no CAD View row for pivot value '" + pivot_value +
+                          "'");
+}
+
+Result<std::vector<IUnitRef>> CadView::FindSimilarIUnits(
+    const std::string& pivot_value, size_t iunit_rank,
+    double min_similarity) const {
+  DBX_ASSIGN_OR_RETURN(size_t row_idx, RowIndexOf(pivot_value));
+  const CadViewRow& row = rows[row_idx];
+  if (iunit_rank >= row.iunits.size()) {
+    return Status::OutOfRange("IUnit rank " + std::to_string(iunit_rank) +
+                              " out of range for '" + pivot_value + "'");
+  }
+  const IUnit& target = row.iunits[iunit_rank];
+
+  std::vector<IUnitRef> matches;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t u = 0; u < rows[r].iunits.size(); ++u) {
+      if (r == row_idx && u == iunit_rank) continue;
+      double sim = IUnitSimilarity(target, rows[r].iunits[u]);
+      if (sim >= min_similarity) {
+        matches.push_back(IUnitRef{r, u, sim});
+      }
+    }
+  }
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const IUnitRef& a, const IUnitRef& b) {
+                     return a.similarity > b.similarity;
+                   });
+  return matches;
+}
+
+Result<std::vector<std::pair<std::string, double>>>
+CadView::RankRowsBySimilarity(const std::string& pivot_value) const {
+  DBX_ASSIGN_OR_RETURN(size_t row_idx, RowIndexOf(pivot_value));
+  const CadViewRow& anchor = rows[row_idx];
+
+  std::vector<std::pair<std::string, double>> ranked;
+  ranked.reserve(rows.size());
+  for (const CadViewRow& r : rows) {
+    double d = RankedListDistance(anchor.iunits, r.iunits, tau);
+    ranked.emplace_back(r.pivot_value, d);
+  }
+  // Ascending distance; the anchor always leads (other rows can tie it at
+  // distance 0 when their IUnit lists are fully similar).
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](const auto& a, const auto& b) {
+                     bool a_anchor = a.first == pivot_value;
+                     bool b_anchor = b.first == pivot_value;
+                     if (a_anchor != b_anchor) return a_anchor;
+                     return a.second < b.second;
+                   });
+  return ranked;
+}
+
+Status CadView::ReorderRowsBySimilarity(const std::string& pivot_value) {
+  auto ranked = RankRowsBySimilarity(pivot_value);
+  if (!ranked.ok()) return ranked.status();
+  // Resolve all indices before moving anything out of `rows`.
+  std::vector<size_t> order;
+  order.reserve(rows.size());
+  for (const auto& [value, dist] : *ranked) {
+    auto idx = RowIndexOf(value);
+    if (!idx.ok()) return idx.status();
+    order.push_back(*idx);
+  }
+  std::vector<CadViewRow> reordered;
+  reordered.reserve(rows.size());
+  for (size_t idx : order) reordered.push_back(std::move(rows[idx]));
+  rows = std::move(reordered);
+  return Status::OK();
+}
+
+}  // namespace dbx

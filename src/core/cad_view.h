@@ -1,0 +1,94 @@
+// Copyright (c) DBExplorer reproduction authors.
+// The Conditional Attribute Dependency (CAD) View itself (paper §2.1): one
+// row per Pivot-Attribute value, a shared ordered Compare-Attribute list, and
+// each row's diversified top-k IUnits — plus the two in-view search
+// operations (Problems 3 and 4).
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/iunit.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// One Compare Attribute of the view, with its relevance diagnostics.
+struct CompareAttribute {
+  size_t attr_index = 0;  // into the DiscretizedTable used by the builder
+  std::string name;
+  double relevance = 0.0;  // chi-square statistic (or ranker score)
+  double p_value = 1.0;
+  bool user_selected = false;  // explicitly given in the SELECT clause
+};
+
+/// One row: a Pivot-Attribute value and its ranked IUnits.
+struct CadViewRow {
+  std::string pivot_value;
+  int32_t pivot_code = -1;
+  size_t partition_size = 0;  // tuples carrying this pivot value
+  std::vector<IUnit> iunits;  // best first
+};
+
+/// Per-stage build timings (milliseconds) — the decomposition reported in the
+/// paper's Figure 8 (Compare-Attribute time, IUnit-generation time, others).
+struct CadViewTimings {
+  double discretize_ms = 0.0;
+  double compare_attrs_ms = 0.0;
+  double iunit_gen_ms = 0.0;  // clustering + labeling
+  double topk_ms = 0.0;
+  double total_ms = 0.0;
+
+  /// Everything that is neither Compare-Attribute selection nor IUnit
+  /// generation (Fig 8's "others" series).
+  double others_ms() const {
+    return total_ms - compare_attrs_ms - iunit_gen_ms;
+  }
+};
+
+/// Reference to an IUnit inside a view: (row index, IUnit index).
+struct IUnitRef {
+  size_t row = 0;
+  size_t iunit = 0;
+  double similarity = 0.0;  // filled by FindSimilarIUnits
+
+  bool operator==(const IUnitRef& o) const {
+    return row == o.row && iunit == o.iunit;
+  }
+};
+
+/// The materialized view.
+class CadView {
+ public:
+  std::string pivot_attr;
+  std::vector<CompareAttribute> compare_attrs;
+  std::vector<CadViewRow> rows;
+  /// IUnit-similarity threshold used for diversification and highlighting
+  /// (tau = alpha * |compare_attrs|).
+  double tau = 0.0;
+  CadViewTimings timings;
+
+  /// Row index of `pivot_value`; Status::NotFound if absent.
+  Result<size_t> RowIndexOf(const std::string& pivot_value) const;
+
+  /// Problem 3 (HIGHLIGHT SIMILAR IUNITS): all IUnits in the view whose
+  /// Algorithm-1 similarity to the referenced IUnit is >= `min_similarity`.
+  /// `iunit_rank` is 0-based within the row. The reference IUnit itself is
+  /// excluded. Results are ordered by descending similarity.
+  Result<std::vector<IUnitRef>> FindSimilarIUnits(
+      const std::string& pivot_value, size_t iunit_rank,
+      double min_similarity) const;
+
+  /// Problem 4 (REORDER ROWS): every row's Algorithm-2 distance to the given
+  /// row, ascending (the given row first, at distance 0 to itself).
+  Result<std::vector<std::pair<std::string, double>>> RankRowsBySimilarity(
+      const std::string& pivot_value) const;
+
+  /// Applies the Problem-4 ordering in place (the paper's REORDER ROWS ...
+  /// ORDER BY SIMILARITY(value) DESC).
+  Status ReorderRowsBySimilarity(const std::string& pivot_value);
+};
+
+}  // namespace dbx

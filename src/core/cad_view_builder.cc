@@ -1,0 +1,455 @@
+#include "src/core/cad_view_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+
+#include "src/cluster/cluster_metrics.h"
+#include "src/cluster/kmeans.h"
+#include "src/stats/contingency.h"
+#include "src/core/iunit_similarity.h"
+#include "src/stats/sampling.h"
+#include "src/util/stopwatch.h"
+
+namespace dbx {
+namespace {
+
+// Resolves the pivot attribute and the selected value codes.
+struct PivotPlan {
+  size_t attr_index = 0;
+  std::vector<int32_t> value_codes;       // selected pivot codes, view order
+  std::vector<std::string> value_labels;  // parallel
+};
+
+Result<PivotPlan> PlanPivot(const DiscretizedTable& dt,
+                            const CadViewOptions& options) {
+  auto idx = dt.IndexOf(options.pivot_attr);
+  if (!idx) {
+    return Status::NotFound("pivot attribute '" + options.pivot_attr +
+                            "' not in table");
+  }
+  const DiscreteAttr& pivot = dt.attr(*idx);
+  PivotPlan plan;
+  plan.attr_index = *idx;
+  if (options.pivot_values.empty()) {
+    // All values present in the fragment, most frequent first, for a stable
+    // default row order.
+    std::vector<uint64_t> freq(pivot.cardinality(), 0);
+    for (int32_t c : pivot.codes) {
+      if (c >= 0) ++freq[static_cast<size_t>(c)];
+    }
+    std::vector<int32_t> codes;
+    for (size_t c = 0; c < freq.size(); ++c) {
+      if (freq[c] > 0) codes.push_back(static_cast<int32_t>(c));
+    }
+    std::stable_sort(codes.begin(), codes.end(), [&](int32_t a, int32_t b) {
+      if (freq[a] != freq[b]) return freq[a] > freq[b];
+      return a < b;
+    });
+    for (int32_t c : codes) {
+      plan.value_codes.push_back(c);
+      plan.value_labels.push_back(pivot.labels[c]);
+    }
+  } else {
+    for (const std::string& v : options.pivot_values) {
+      int32_t code = -1;
+      for (size_t c = 0; c < pivot.labels.size(); ++c) {
+        if (pivot.labels[c] == v) {
+          code = static_cast<int32_t>(c);
+          break;
+        }
+      }
+      // Values absent from the fragment still get a (possibly empty) row;
+      // encode them with -2 so partitioning yields zero members.
+      plan.value_codes.push_back(code >= 0 ? code : -2);
+      plan.value_labels.push_back(v);
+    }
+  }
+  if (plan.value_codes.empty()) {
+    return Status::InvalidArgument("pivot attribute '" + options.pivot_attr +
+                                   "' has no values in the fragment");
+  }
+  return plan;
+}
+
+// Class coding for feature selection: row -> index into plan.value_codes,
+// -1 for rows whose pivot value is not selected.
+std::vector<int32_t> ClassCodes(const DiscreteAttr& pivot,
+                                const PivotPlan& plan) {
+  std::vector<int32_t> cls(pivot.codes.size(), -1);
+  std::vector<int32_t> code_to_class;
+  int32_t max_code = -1;
+  for (int32_t c : plan.value_codes) max_code = std::max(max_code, c);
+  code_to_class.assign(static_cast<size_t>(max_code) + 1, -1);
+  for (size_t v = 0; v < plan.value_codes.size(); ++v) {
+    int32_t c = plan.value_codes[v];
+    if (c >= 0) code_to_class[static_cast<size_t>(c)] = static_cast<int32_t>(v);
+  }
+  for (size_t i = 0; i < pivot.codes.size(); ++i) {
+    int32_t c = pivot.codes[i];
+    if (c >= 0 && static_cast<size_t>(c) < code_to_class.size()) {
+      cls[i] = code_to_class[static_cast<size_t>(c)];
+    }
+  }
+  return cls;
+}
+
+}  // namespace
+
+Result<CadView> BuildCadView(const TableSlice& slice,
+                             const CadViewOptions& options) {
+  Stopwatch total;
+  Stopwatch sw;
+  auto dt = DiscretizedTable::Build(slice, options.discretizer);
+  if (!dt.ok()) return dt.status();
+  double discretize_ms = sw.ElapsedMillis();
+
+  auto view = BuildCadViewFromDiscretized(*dt, options);
+  if (!view.ok()) return view.status();
+  view->timings.discretize_ms = discretize_ms;
+  view->timings.total_ms = total.ElapsedMillis();
+  return view;
+}
+
+Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
+                                            const CadViewOptions& options) {
+  Stopwatch total;
+  if (options.iunits_per_value == 0) {
+    return Status::InvalidArgument("iunits_per_value must be >= 1");
+  }
+  if (options.max_compare_attrs == 0) {
+    return Status::InvalidArgument("max_compare_attrs must be >= 1");
+  }
+
+  DBX_ASSIGN_OR_RETURN(PivotPlan plan, PlanPivot(dt, options));
+  const DiscreteAttr& pivot = dt.attr(plan.attr_index);
+  if (pivot.original_type != AttrType::kCategorical &&
+      pivot.cardinality() > 64) {
+    return Status::InvalidArgument(
+        "pivot attribute '" + options.pivot_attr +
+        "' has too many values; discretize it or choose another pivot");
+  }
+
+  std::vector<int32_t> cls = ClassCodes(pivot, plan);
+
+  CadView view;
+  view.pivot_attr = options.pivot_attr;
+
+  // --- Compare-Attribute selection (Problem 1.1) ---------------------------
+  Stopwatch sw;
+  Rng rng(options.seed);
+
+  // User-selected attributes come first, in the order given.
+  std::vector<size_t> chosen_attrs;
+  for (const std::string& name : options.user_compare_attrs) {
+    auto idx = dt.IndexOf(name);
+    if (!idx) {
+      return Status::NotFound("compare attribute '" + name + "' not in table");
+    }
+    if (*idx == plan.attr_index) {
+      return Status::InvalidArgument(
+          "pivot attribute cannot also be a compare attribute");
+    }
+    if (std::find(chosen_attrs.begin(), chosen_attrs.end(), *idx) !=
+        chosen_attrs.end()) {
+      return Status::InvalidArgument("duplicate compare attribute '" + name +
+                                     "'");
+    }
+    chosen_attrs.push_back(*idx);
+    CompareAttribute ca;
+    ca.attr_index = *idx;
+    ca.name = name;
+    ca.user_selected = true;
+    view.compare_attrs.push_back(std::move(ca));
+  }
+  if (chosen_attrs.size() > options.max_compare_attrs) {
+    return Status::InvalidArgument(
+        "more user compare attributes than LIMIT COLUMNS");
+  }
+
+  // Auto-select the remaining M - N by chi-square relevance.
+  if (chosen_attrs.size() < options.max_compare_attrs) {
+    std::vector<size_t> candidates;
+    for (size_t a = 0; a < dt.num_attrs(); ++a) {
+      if (a == plan.attr_index) continue;
+      if (std::find(chosen_attrs.begin(), chosen_attrs.end(), a) !=
+          chosen_attrs.end()) {
+        continue;
+      }
+      if (dt.attr(a).cardinality() == 0) continue;
+      candidates.push_back(a);
+    }
+
+    // Optimization 1: rank over a row sample.
+    if (options.feature_selection_sample > 0 &&
+        options.feature_selection_sample < dt.num_rows()) {
+      // Sample row *positions* uniformly; rebuild parallel code vectors.
+      std::vector<uint32_t> positions(dt.num_rows());
+      for (uint32_t i = 0; i < positions.size(); ++i) positions[i] = i;
+      RowSet pos_sample =
+          SampleRows(positions, options.feature_selection_sample, &rng);
+      // Rather than copy the whole table, rank with per-attribute code
+      // subsets using a lightweight shim below.
+      std::vector<int32_t> sub_cls(pos_sample.size());
+      for (size_t i = 0; i < pos_sample.size(); ++i) {
+        sub_cls[i] = cls[pos_sample[i]];
+      }
+      // Build contingency-ready codes per candidate on the fly.
+      std::vector<FeatureScore> scores;
+      scores.reserve(candidates.size());
+      for (size_t a : candidates) {
+        const DiscreteAttr& attr = dt.attr(a);
+        std::vector<int32_t> sub_codes(pos_sample.size());
+        for (size_t i = 0; i < pos_sample.size(); ++i) {
+          sub_codes[i] = attr.codes[pos_sample[i]];
+        }
+        ContingencyTable ct = ContingencyTable::FromCodes(
+            sub_cls, plan.value_codes.size(), sub_codes, attr.cardinality());
+        ChiSquareResult chi = ChiSquareTest(ct);
+        FeatureScore fs;
+        fs.attr_index = a;
+        fs.name = attr.name;
+        fs.chi2 = chi.statistic;
+        fs.score = chi.statistic;
+        fs.df = chi.df;
+        fs.p_value = chi.p_value;
+        fs.significant =
+            chi.p_value <= options.feature_selection.significance && chi.df > 0;
+        scores.push_back(std::move(fs));
+      }
+      std::stable_sort(scores.begin(), scores.end(),
+                       [](const FeatureScore& x, const FeatureScore& y) {
+                         if (x.score != y.score) return x.score > y.score;
+                         return x.attr_index < y.attr_index;
+                       });
+      for (const FeatureScore& fs : scores) {
+        if (view.compare_attrs.size() >= options.max_compare_attrs) break;
+        if (!fs.significant) continue;
+        CompareAttribute ca;
+        ca.attr_index = fs.attr_index;
+        ca.name = fs.name;
+        ca.relevance = fs.score;
+        ca.p_value = fs.p_value;
+        view.compare_attrs.push_back(std::move(ca));
+        chosen_attrs.push_back(fs.attr_index);
+      }
+    } else {
+      auto ranked = RankFeatures(dt, cls, plan.value_codes.size(),
+                                 candidates, options.feature_selection);
+      if (!ranked.ok()) return ranked.status();
+      for (const FeatureScore& fs : *ranked) {
+        if (view.compare_attrs.size() >= options.max_compare_attrs) break;
+        if (!fs.significant) continue;
+        CompareAttribute ca;
+        ca.attr_index = fs.attr_index;
+        ca.name = fs.name;
+        ca.relevance = fs.score;
+        ca.p_value = fs.p_value;
+        view.compare_attrs.push_back(std::move(ca));
+        chosen_attrs.push_back(fs.attr_index);
+      }
+    }
+  }
+  if (view.compare_attrs.empty()) {
+    // Degenerate fragment (e.g. a single pivot value): nothing passes the
+    // significance test. Fall back to the top-scoring candidates so the view
+    // still summarizes the fragment rather than failing.
+    std::vector<size_t> candidates;
+    for (size_t a = 0; a < dt.num_attrs(); ++a) {
+      if (a != plan.attr_index && dt.attr(a).cardinality() > 0) {
+        candidates.push_back(a);
+      }
+    }
+    auto ranked = RankFeatures(dt, cls, plan.value_codes.size(), candidates,
+                               options.feature_selection);
+    if (!ranked.ok()) return ranked.status();
+    for (const FeatureScore& fs : *ranked) {
+      if (view.compare_attrs.size() >= options.max_compare_attrs) break;
+      CompareAttribute ca;
+      ca.attr_index = fs.attr_index;
+      ca.name = fs.name;
+      ca.relevance = fs.score;
+      ca.p_value = fs.p_value;
+      view.compare_attrs.push_back(std::move(ca));
+      chosen_attrs.push_back(fs.attr_index);
+    }
+  }
+  if (view.compare_attrs.empty()) {
+    return Status::FailedPrecondition(
+        "no usable compare attributes in the fragment");
+  }
+  view.timings.compare_attrs_ms = sw.ElapsedMillis();
+  view.tau = DefaultTau(view.compare_attrs.size(), options.similarity_alpha);
+
+  // --- Candidate IUnit generation + labeling (Problems 1.2) ----------------
+  sw.Reset();
+  std::vector<size_t> compare_indices;
+  compare_indices.reserve(view.compare_attrs.size());
+  for (const CompareAttribute& ca : view.compare_attrs) {
+    compare_indices.push_back(ca.attr_index);
+  }
+
+  auto encoder = OneHotEncoder::Plan(dt, compare_indices);
+  if (!encoder.ok()) return encoder.status();
+
+  // Partition rows by selected pivot value.
+  std::vector<std::vector<size_t>> partitions(plan.value_codes.size());
+  {
+    std::vector<int32_t> code_to_view(pivot.cardinality(), -1);
+    for (size_t v = 0; v < plan.value_codes.size(); ++v) {
+      int32_t c = plan.value_codes[v];
+      if (c >= 0) code_to_view[static_cast<size_t>(c)] = static_cast<int32_t>(v);
+    }
+    for (size_t i = 0; i < pivot.codes.size(); ++i) {
+      int32_t c = pivot.codes[i];
+      if (c >= 0 && code_to_view[static_cast<size_t>(c)] >= 0) {
+        partitions[static_cast<size_t>(code_to_view[c])].push_back(i);
+      }
+    }
+  }
+
+  size_t k = options.iunits_per_value;
+  struct Candidates {
+    std::vector<IUnit> iunits;
+  };
+  std::vector<Candidates> all_candidates(partitions.size());
+
+  auto build_partition = [&](size_t v) -> Status {
+    std::vector<size_t>& members = partitions[v];
+    if (members.empty()) return Status::OK();
+    // Per-partition generator so parallel and serial builds are identical.
+    Rng part_rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (v + 1)));
+
+    // Optimization 2: adaptive l.
+    size_t l = options.generated_iunits;
+    if (l == 0) {
+      l = static_cast<size_t>(
+          std::ceil(options.candidate_factor * static_cast<double>(k)));
+    }
+    if (options.adaptive_l && members.size() > options.adaptive_l_threshold) {
+      size_t lmin = options.adaptive_l_min == 0 ? k : options.adaptive_l_min;
+      l = std::max(k, lmin);
+    }
+    l = std::max<size_t>(1, l);
+
+    // Optimization 1b: cluster over a sample of the partition.
+    std::vector<size_t> cluster_members;
+    if (options.clustering_sample > 0 &&
+        options.clustering_sample < members.size()) {
+      RowSet as_rows(members.begin(), members.end());
+      RowSet sampled =
+          SampleRows(as_rows, options.clustering_sample, &part_rng);
+      cluster_members.assign(sampled.begin(), sampled.end());
+    } else {
+      cluster_members = members;
+    }
+
+    EncodedMatrix mat = encoder->Encode(dt, cluster_members);
+    KMeansOptions ko;
+    ko.k = std::min(l, cluster_members.size());
+    ko.max_iterations = options.kmeans_max_iterations;
+    ko.seed = options.seed + v;  // distinct but deterministic per partition
+    Result<KMeansResult> km = Status::Internal("unreached");
+    if (options.auto_l) {  // NOLINT
+      // §2.2.2: sweep plausible l values and keep the best-quality
+      // clustering (simplified silhouette).
+      size_t l_max = std::max(
+          k, static_cast<size_t>(
+                 std::ceil(options.auto_l_max_factor * static_cast<double>(k))));
+      double best_quality = -2.0;
+      for (size_t trial_l = k; trial_l <= l_max; ++trial_l) {
+        KMeansOptions trial = ko;
+        trial.k = std::min(trial_l, cluster_members.size());
+        auto res = RunKMeans(mat, trial);
+        if (!res.ok()) return res.status();
+        double quality = SimplifiedSilhouette(mat, *res);
+        if (quality > best_quality) {
+          best_quality = quality;
+          km = std::move(res);
+        }
+        if (trial.k == cluster_members.size()) break;
+      }
+    } else {
+      km = RunKMeans(mat, ko);
+    }
+    if (!km.ok()) return km.status();
+
+    // Materialize member lists per cluster.
+    std::vector<std::vector<size_t>> cluster_rows(km->k_effective);
+    for (size_t i = 0; i < cluster_members.size(); ++i) {
+      cluster_rows[static_cast<size_t>(km->assignments[i])].push_back(
+          cluster_members[i]);
+    }
+    for (size_t c = 0; c < cluster_rows.size(); ++c) {
+      if (cluster_rows[c].empty()) continue;
+      auto iu = LabelCluster(dt, compare_indices, std::move(cluster_rows[c]),
+                             options.labeler);
+      if (!iu.ok()) return iu.status();
+      iu->pivot_value = plan.value_labels[v];
+      iu->cluster_id = c;
+      if (options.preference) {
+        iu->score = options.preference(*iu);
+      }
+      all_candidates[v].iunits.push_back(std::move(*iu));
+    }
+    return Status::OK();
+  };
+
+  if (options.num_threads > 1 && partitions.size() > 1) {
+    // Partitions are independent; fan out, bounded by num_threads.
+    std::vector<std::future<Status>> inflight;
+    Status first_error;
+    for (size_t v = 0; v < partitions.size(); ++v) {
+      if (inflight.size() >= options.num_threads) {
+        Status st = inflight.front().get();
+        if (first_error.ok() && !st.ok()) first_error = st;
+        inflight.erase(inflight.begin());
+      }
+      inflight.push_back(
+          std::async(std::launch::async, build_partition, v));
+    }
+    for (auto& f : inflight) {
+      Status st = f.get();
+      if (first_error.ok() && !st.ok()) first_error = st;
+    }
+    if (!first_error.ok()) return first_error;
+  } else {
+    for (size_t v = 0; v < partitions.size(); ++v) {
+      DBX_RETURN_IF_ERROR(build_partition(v));
+    }
+  }
+  view.timings.iunit_gen_ms = sw.ElapsedMillis();
+
+  // --- Diversified top-k (Problem 2) ---------------------------------------
+  sw.Reset();
+  for (size_t v = 0; v < partitions.size(); ++v) {
+    CadViewRow row;
+    row.pivot_value = plan.value_labels[v];
+    row.pivot_code = plan.value_codes[v] >= 0 ? plan.value_codes[v] : -1;
+    row.partition_size = partitions[v].size();
+
+    std::vector<IUnit>& cand = all_candidates[v].iunits;
+    if (!cand.empty()) {
+      SimilarityGraph graph(cand.size());
+      for (size_t i = 0; i < cand.size(); ++i) {
+        for (size_t j = i + 1; j < cand.size(); ++j) {
+          if (IUnitsSimilar(cand[i], cand[j], view.tau)) graph.SetSimilar(i, j);
+        }
+      }
+      std::vector<double> scores;
+      scores.reserve(cand.size());
+      for (const IUnit& u : cand) scores.push_back(u.score);
+      auto chosen =
+          DiversifiedTopK(scores, graph, k, options.topk_algorithm);
+      if (!chosen.ok()) return chosen.status();
+      row.iunits.reserve(chosen->size());
+      for (size_t idx : *chosen) row.iunits.push_back(std::move(cand[idx]));
+    }
+    view.rows.push_back(std::move(row));
+  }
+  view.timings.topk_ms = sw.ElapsedMillis();
+  view.timings.total_ms = total.ElapsedMillis();
+  return view;
+}
+
+}  // namespace dbx

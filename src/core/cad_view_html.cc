@@ -1,0 +1,146 @@
+#include "src/core/cad_view_html.h"
+
+#include "src/core/cad_view_io.h"
+#include "src/util/string_util.h"
+
+namespace dbx {
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#39;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderCadViewHtml(const CadView& view,
+                              const HtmlRenderOptions& options) {
+  auto highlighted = [&](size_t row, size_t iunit) {
+    for (const IUnitRef& h : options.highlights) {
+      if (h.row == row && h.iunit == iunit) return true;
+    }
+    return false;
+  };
+
+  size_t max_iunits = 0;
+  for (const CadViewRow& r : view.rows) {
+    max_iunits = std::max(max_iunits, r.iunits.size());
+  }
+
+  std::string html;
+  html += "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n";
+  html += "<title>" + HtmlEscape(options.title) + "</title>\n";
+  html +=
+      "<style>\n"
+      "  body { font-family: sans-serif; margin: 1.5em; }\n"
+      "  table.cadview { border-collapse: collapse; }\n"
+      "  table.cadview th, table.cadview td {\n"
+      "    border: 1px solid #999; padding: 6px 10px; vertical-align: top;\n"
+      "  }\n"
+      "  table.cadview th { background: #eee; }\n"
+      "  td.iunit { cursor: pointer; }\n"
+      "  td.iunit.highlight { background: #fff3b0; }\n"
+      "  td.iunit div { white-space: nowrap; }\n"
+      "  span.attr { color: #666; font-size: 85%; margin-right: 4px; }\n"
+      "</style>\n</head>\n<body>\n";
+  html += "<h1>" + HtmlEscape(options.title) + "</h1>\n";
+  html += StringPrintf(
+      "<p>pivot: <b>%s</b> &middot; %zu compare attributes &middot; "
+      "&tau; = %.2f</p>\n",
+      HtmlEscape(view.pivot_attr).c_str(), view.compare_attrs.size(),
+      view.tau);
+
+  html += "<table class=\"cadview\">\n<tr><th>" +
+          HtmlEscape(view.pivot_attr) + "</th><th>Compare Attrs.</th>";
+  for (size_t u = 0; u < max_iunits; ++u) {
+    html += StringPrintf("<th>IUnit %zu</th>", u + 1);
+  }
+  html += "</tr>\n";
+
+  for (size_t r = 0; r < view.rows.size(); ++r) {
+    const CadViewRow& row = view.rows[r];
+    html += "<tr><td><b>" + HtmlEscape(row.pivot_value) + "</b><br>" +
+            StringPrintf("<small>%zu tuples</small></td>",
+                         row.partition_size);
+    html += "<td>";
+    for (const CompareAttribute& ca : view.compare_attrs) {
+      html += HtmlEscape(ca.name) + "<br>";
+    }
+    html += "</td>";
+    for (size_t u = 0; u < max_iunits; ++u) {
+      if (u >= row.iunits.size()) {
+        html += "<td></td>";
+        continue;
+      }
+      const IUnit& iu = row.iunits[u];
+      html += StringPrintf(
+          "<td class=\"iunit%s\" data-row=\"%zu\" data-iunit=\"%zu\" "
+          "onclick=\"dbxHighlightSimilar(%zu,%zu)\">",
+          highlighted(r, u) ? " highlight" : "", r, u, r, u);
+      for (size_t c = 0; c < iu.cells.size(); ++c) {
+        html += "<div><span class=\"attr\">" +
+                HtmlEscape(view.compare_attrs[c].name) + "</span>" +
+                HtmlEscape(iu.cells[c].ToDisplay()) + "</div>";
+      }
+      html += "</td>";
+    }
+    html += "</tr>\n";
+  }
+  html += "</table>\n";
+
+  if (options.embed_json) {
+    // Algorithm-1 similarities are precomputed pairwise so the page can
+    // highlight without recomputing cosines in Javascript.
+    html += "<script>\nconst dbxView = " + CadViewToJson(view) + ";\n";
+    html += "const dbxTau = " + StringPrintf("%.6g", view.tau) + ";\n";
+    html += R"js(
+// Pairwise Algorithm-1 similarity from the embedded frequency-less labels is
+// not reconstructible client-side, so the harness embeds the threshold graph.
+const dbxSimilar = )js";
+    // Embed the tau-similarity adjacency between all IUnits.
+    html += "[";
+    bool first = true;
+    for (size_t r1 = 0; r1 < view.rows.size(); ++r1) {
+      for (size_t u1 = 0; u1 < view.rows[r1].iunits.size(); ++u1) {
+        auto matches = view.FindSimilarIUnits(view.rows[r1].pivot_value, u1,
+                                              view.tau);
+        if (!matches.ok()) continue;
+        for (const IUnitRef& m : *matches) {
+          if (!first) html += ",";
+          first = false;
+          html += StringPrintf("[%zu,%zu,%zu,%zu]", r1, u1, m.row, m.iunit);
+        }
+      }
+    }
+    html += "];\n";
+    html += R"js(
+function dbxHighlightSimilar(row, iunit) {
+  document.querySelectorAll('td.iunit').forEach(td =>
+      td.classList.remove('highlight'));
+  const self = document.querySelector(
+      `td.iunit[data-row="${row}"][data-iunit="${iunit}"]`);
+  if (self) self.classList.add('highlight');
+  for (const [r1, u1, r2, u2] of dbxSimilar) {
+    if (r1 === row && u1 === iunit) {
+      const td = document.querySelector(
+          `td.iunit[data-row="${r2}"][data-iunit="${u2}"]`);
+      if (td) td.classList.add('highlight');
+    }
+  }
+}
+</script>
+)js";
+  }
+  html += "</body>\n</html>\n";
+  return html;
+}
+
+}  // namespace dbx

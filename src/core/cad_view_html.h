@@ -1,0 +1,33 @@
+// Copyright (c) DBExplorer reproduction authors.
+// HTML rendering of a CAD View — the output format of the paper's TPFacet
+// prototype ("return the resulting CAD View and similarity information using
+// HTML and Javascript", §6.1). Produces a self-contained document: the Table
+// 1 layout, click-to-highlight wiring for similar IUnits, and the view's
+// JSON embedded for scripting.
+
+#pragma once
+
+#include <string>
+
+#include "src/core/cad_view.h"
+
+namespace dbx {
+
+struct HtmlRenderOptions {
+  /// Document title.
+  std::string title = "CAD View";
+  /// Pre-highlighted IUnits (e.g. HIGHLIGHT SIMILAR IUNITS results).
+  std::vector<IUnitRef> highlights;
+  /// Embed the view's JSON (data-* payload + <script> constant) so front-end
+  /// code can re-rank and highlight without a server round trip.
+  bool embed_json = true;
+};
+
+/// Renders a complete standalone HTML document.
+std::string RenderCadViewHtml(const CadView& view,
+                              const HtmlRenderOptions& options);
+
+/// Escapes text for an HTML context.
+std::string HtmlEscape(const std::string& s);
+
+}  // namespace dbx

@@ -1,0 +1,79 @@
+#include "src/core/cad_view_renderer.h"
+
+#include <algorithm>
+
+#include "src/util/ascii_table.h"
+#include "src/util/string_util.h"
+
+namespace dbx {
+
+std::string RenderCadView(const CadView& view, const RenderOptions& options) {
+  size_t max_iunits = 0;
+  for (const CadViewRow& r : view.rows) {
+    max_iunits = std::max(max_iunits, r.iunits.size());
+  }
+
+  AsciiTable t;
+  t.SetMaxColumnWidth(options.max_cell_width);
+  std::vector<std::string> header = {view.pivot_attr, "Compare Attrs."};
+  for (size_t u = 0; u < max_iunits; ++u) {
+    header.push_back("IUnit " + std::to_string(u + 1));
+  }
+  t.SetHeader(std::move(header));
+
+  auto highlighted = [&](size_t row, size_t iunit) {
+    for (const IUnitRef& h : options.highlights) {
+      if (h.row == row && h.iunit == iunit) return true;
+    }
+    return false;
+  };
+
+  for (size_t r = 0; r < view.rows.size(); ++r) {
+    const CadViewRow& row = view.rows[r];
+    std::vector<std::string> cells;
+    std::string pivot_cell = row.pivot_value;
+    if (options.show_partition_sizes) {
+      pivot_cell += " (" + std::to_string(row.partition_size) + ")";
+    }
+    cells.push_back(pivot_cell);
+
+    std::vector<std::string> attr_names;
+    attr_names.reserve(view.compare_attrs.size());
+    for (const CompareAttribute& ca : view.compare_attrs) {
+      attr_names.push_back(ca.name);
+    }
+    cells.push_back(Join(attr_names, "\n"));
+
+    for (size_t u = 0; u < max_iunits; ++u) {
+      if (u >= row.iunits.size()) {
+        cells.emplace_back();
+        continue;
+      }
+      const IUnit& iu = row.iunits[u];
+      std::vector<std::string> lines;
+      lines.reserve(iu.cells.size());
+      for (const IUnitCell& cell : iu.cells) {
+        lines.push_back(cell.labels.empty() ? "[-]" : cell.ToDisplay());
+      }
+      std::string body = Join(lines, "\n");
+      if (highlighted(r, u)) body = "* " + body;
+      cells.push_back(std::move(body));
+    }
+    t.AddRow(std::move(cells));
+  }
+  return t.Render();
+}
+
+std::string RenderCadView(const CadView& view) {
+  return RenderCadView(view, RenderOptions{});
+}
+
+std::string RenderTimings(const CadViewTimings& t) {
+  return StringPrintf(
+      "discretize: %.2f ms | compare-attrs: %.2f ms | iunit-gen: %.2f ms | "
+      "top-k: %.2f ms | others: %.2f ms | total: %.2f ms",
+      t.discretize_ms, t.compare_attrs_ms, t.iunit_gen_ms, t.topk_ms,
+      t.others_ms(), t.total_ms);
+}
+
+}  // namespace dbx

@@ -1,0 +1,34 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Text rendering of a CAD View in the layout of the paper's Table 1: one row
+// per Pivot-Attribute value, a Compare-Attributes column, and one column per
+// IUnit rank, each cell stacking the "[value, value]" groups per attribute.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/cad_view.h"
+
+namespace dbx {
+
+struct RenderOptions {
+  /// Highlighted IUnits (e.g. the result of HIGHLIGHT SIMILAR IUNITS); they
+  /// are marked with a '*' in the header cell.
+  std::vector<IUnitRef> highlights;
+  /// Hard cap on cell width (word-wrapped). 0 = unlimited.
+  size_t max_cell_width = 28;
+  /// Show each row's partition size next to the pivot value.
+  bool show_partition_sizes = false;
+};
+
+/// Renders the view as an ASCII table (paper Table 1 layout).
+std::string RenderCadView(const CadView& view, const RenderOptions& options);
+
+/// Convenience overload with default options.
+std::string RenderCadView(const CadView& view);
+
+/// One-line-per-stage timing summary (Figure 8's decomposition).
+std::string RenderTimings(const CadViewTimings& timings);
+
+}  // namespace dbx

@@ -1,0 +1,65 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Diversified top-k selection (paper §3.2, following Qin, Yu & Chang [25]):
+// choose at most k items, no two of which are "similar", maximizing the score
+// sum. Equivalent to maximum-weight independent set (NP-hard); the paper uses
+// Qin et al.'s exact div-astar because candidate sets are small (l ≈ 1.5k).
+// The greedy and diversity-blind variants exist for the ablation benches —
+// the paper cites that greedy can be arbitrarily bad.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Symmetric boolean similarity relation over n items.
+class SimilarityGraph {
+ public:
+  explicit SimilarityGraph(size_t n) : n_(n), adj_(n * n, false) {}
+
+  size_t size() const { return n_; }
+
+  void SetSimilar(size_t i, size_t j) {
+    adj_[i * n_ + j] = true;
+    adj_[j * n_ + i] = true;
+  }
+
+  bool Similar(size_t i, size_t j) const { return adj_[i * n_ + j]; }
+
+ private:
+  size_t n_;
+  std::vector<bool> adj_;  // row-major n x n
+};
+
+enum class DivTopKAlgorithm {
+  /// Exact best-first search (Qin et al.'s div-astar). Items beyond 64 fall
+  /// back to greedy (candidate sets in this system are far smaller).
+  kDivAstar,
+  /// Take the best non-conflicting item repeatedly.
+  kGreedy,
+  /// Ignore similarity entirely (pure top-k by score) — ablation baseline.
+  kNoDiversity,
+};
+
+const char* DivTopKAlgorithmName(DivTopKAlgorithm a);
+
+/// Returns indices of the chosen items (sorted by descending score). Requires
+/// scores.size() == graph.size(); k >= 1.
+Result<std::vector<size_t>> DiversifiedTopK(const std::vector<double>& scores,
+                                            const SimilarityGraph& graph,
+                                            size_t k,
+                                            DivTopKAlgorithm algorithm);
+
+/// Total score of a selection.
+double SelectionScore(const std::vector<double>& scores,
+                      const std::vector<size_t>& chosen);
+
+/// True iff no two chosen items are similar (condition 2 of the paper's
+/// Diversified Top-k definition).
+bool SelectionIsDiverse(const SimilarityGraph& graph,
+                        const std::vector<size_t>& chosen);
+
+}  // namespace dbx

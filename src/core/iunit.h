@@ -1,0 +1,54 @@
+// Copyright (c) DBExplorer reproduction authors.
+// The IUnit ("Interaction Unit", paper §2.1.1): a labeled cluster of tuples
+// from one Pivot-Attribute value's partition, described uniformly over the
+// CAD View's Compare Attributes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace dbx {
+
+/// The label cell of one Compare Attribute inside an IUnit: the
+/// representative value(s) of that attribute among the cluster's tuples.
+/// Multiple values appear when they have statistically similar frequency
+/// (paper: "[Traverse LT] [Equinox LT]" vs "[V6, V4]").
+struct IUnitCell {
+  /// Representative discrete codes, most frequent first.
+  std::vector<int32_t> codes;
+  /// Display labels parallel to `codes`.
+  std::vector<std::string> labels;
+  /// Cluster-local frequency of each representative, parallel to `codes`.
+  std::vector<uint64_t> counts;
+
+  /// "[a, b]" display form used in the paper's Table 1.
+  std::string ToDisplay() const {
+    return "[" + Join(labels, ", ") + "]";
+  }
+};
+
+/// One labeled cluster. `cells` and `attr_freqs` are parallel to the CAD
+/// View's Compare Attribute list.
+struct IUnit {
+  /// Which Pivot Attribute value's row this IUnit belongs to.
+  std::string pivot_value;
+  /// Id of the originating cluster within its partition (stable per build).
+  size_t cluster_id = 0;
+  /// Positions (into the DiscretizedTable's row order) of member tuples.
+  std::vector<size_t> member_positions;
+  /// Preference score used for top-k selection (default: cluster size).
+  double score = 0.0;
+  /// Display cells, one per Compare Attribute.
+  std::vector<IUnitCell> cells;
+  /// Full frequency vector per Compare Attribute (counts per discrete code)
+  /// — the term-frequency vectors of Algorithm 1.
+  std::vector<std::vector<double>> attr_freqs;
+
+  size_t size() const { return member_positions.size(); }
+};
+
+}  // namespace dbx

@@ -1,0 +1,72 @@
+#include "src/core/iunit_labeler.h"
+
+#include <algorithm>
+
+namespace dbx {
+
+Result<IUnit> LabelCluster(const DiscretizedTable& dt,
+                           const std::vector<size_t>& compare_attrs,
+                           std::vector<size_t> member_positions,
+                           const LabelerOptions& options) {
+  if (options.max_display_count == 0) {
+    return Status::InvalidArgument("max_display_count must be >= 1");
+  }
+  IUnit u;
+  u.score = static_cast<double>(member_positions.size());
+  u.cells.reserve(compare_attrs.size());
+  u.attr_freqs.reserve(compare_attrs.size());
+
+  for (size_t attr_idx : compare_attrs) {
+    if (attr_idx >= dt.num_attrs()) {
+      return Status::OutOfRange("compare attribute index out of range");
+    }
+    const DiscreteAttr& attr = dt.attr(attr_idx);
+
+    // Cluster-local frequency of every discrete code.
+    std::vector<uint64_t> freq(attr.cardinality(), 0);
+    for (size_t pos : member_positions) {
+      int32_t code = attr.codes[pos];
+      if (code >= 0) ++freq[static_cast<size_t>(code)];
+    }
+    std::vector<double> freq_d(freq.size());
+    for (size_t i = 0; i < freq.size(); ++i) {
+      freq_d[i] = static_cast<double>(freq[i]);
+    }
+
+    // Rank codes by descending frequency (code asc to break ties
+    // deterministically).
+    std::vector<int32_t> order(attr.cardinality());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int32_t a, int32_t b) {
+                       if (freq[a] != freq[b]) return freq[a] > freq[b];
+                       return a < b;
+                     });
+
+    // Representatives: the top value, plus further values while (a) under the
+    // display budget and (b) frequency within `frequency_ratio` of the top.
+    IUnitCell cell;
+    if (!order.empty() && freq[order[0]] > 0) {
+      uint64_t top = freq[order[0]];
+      for (int32_t code : order) {
+        if (cell.codes.size() >= options.max_display_count) break;
+        uint64_t f = freq[code];
+        if (f == 0) break;
+        if (!cell.codes.empty() &&
+            static_cast<double>(f) <
+                options.frequency_ratio * static_cast<double>(top)) {
+          break;
+        }
+        cell.codes.push_back(code);
+        cell.labels.push_back(attr.labels[code]);
+        cell.counts.push_back(f);
+      }
+    }
+    u.cells.push_back(std::move(cell));
+    u.attr_freqs.push_back(std::move(freq_d));
+  }
+  u.member_positions = std::move(member_positions);
+  return u;
+}
+
+}  // namespace dbx

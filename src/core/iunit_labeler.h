@@ -1,0 +1,38 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Cluster labeling — the paper's "key contribution in creating the IUnits"
+// (§3.1.2): summarize each cluster per Compare Attribute by frequency-ranked
+// representative values, grouping values whose frequencies are statistically
+// close, under a max-display-count budget.
+
+#pragma once
+
+#include <vector>
+
+#include "src/core/iunit.h"
+#include "src/stats/discretizer.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+struct LabelerOptions {
+  /// Max representative values shown per Compare Attribute (the paper's
+  /// "max display count").
+  size_t max_display_count = 2;
+  /// A further value joins the representatives only while its frequency is
+  /// at least this fraction of the top value's frequency (the paper's
+  /// "statistical difference between frequency counts").
+  double frequency_ratio = 0.5;
+};
+
+/// Builds the labeled IUnit for one cluster.
+///
+/// `member_positions` index the DiscretizedTable's rows; `compare_attrs` are
+/// attribute indices into `dt` defining the label schema. Fills `cells`,
+/// `attr_freqs`, `member_positions`, and `score` (cluster size; callers may
+/// override with a custom preference).
+Result<IUnit> LabelCluster(const DiscretizedTable& dt,
+                           const std::vector<size_t>& compare_attrs,
+                           std::vector<size_t> member_positions,
+                           const LabelerOptions& options);
+
+}  // namespace dbx

@@ -1,0 +1,26 @@
+#include "src/core/iunit_similarity.h"
+
+#include <algorithm>
+
+#include "src/stats/cosine.h"
+
+namespace dbx {
+
+double IUnitSimilarity(const IUnit& a, const IUnit& b) {
+  size_t n = std::min(a.attr_freqs.size(), b.attr_freqs.size());
+  double s = 0.0;
+  for (size_t d = 0; d < n; ++d) {
+    s += CosineSimilarity(a.attr_freqs[d], b.attr_freqs[d]);
+  }
+  return s;
+}
+
+bool IUnitsSimilar(const IUnit& a, const IUnit& b, double tau) {
+  return IUnitSimilarity(a, b) >= tau;
+}
+
+double DefaultTau(size_t num_compare_attrs, double alpha) {
+  return alpha * static_cast<double>(num_compare_attrs);
+}
+
+}  // namespace dbx

@@ -1,0 +1,24 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Algorithm 1 of the paper (§4.1): IUnit-pair similarity as the sum of
+// per-Compare-Attribute cosine similarities between cluster term-frequency
+// vectors. Range is [0, |I|] for |I| Compare Attributes; the similarity
+// threshold is chosen as tau = alpha * |I| with alpha in (0, 1).
+
+#pragma once
+
+#include "src/core/iunit.h"
+
+namespace dbx {
+
+/// Algorithm 1: sum over Compare Attributes of the cosine similarity between
+/// the two IUnits' per-attribute frequency vectors. Both IUnits must be
+/// labeled over the same Compare Attribute list.
+double IUnitSimilarity(const IUnit& a, const IUnit& b);
+
+/// True when IUnitSimilarity(a, b) >= tau (the paper's a ≈ b relation).
+bool IUnitsSimilar(const IUnit& a, const IUnit& b, double tau);
+
+/// The default threshold tau = alpha * num_compare_attrs.
+double DefaultTau(size_t num_compare_attrs, double alpha);
+
+}  // namespace dbx

@@ -1,0 +1,51 @@
+#include "src/core/ranked_list_distance.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/core/iunit_similarity.h"
+
+namespace dbx {
+namespace {
+
+// One direction of Algorithm 2 (lines 2-9): displacement of each item of
+// `from` against the most rank-aligned similar item of `to`.
+double OneDirection(const std::vector<IUnit>& from,
+                    const std::vector<IUnit>& to, double tau) {
+  double d = 0.0;
+  for (size_t i0 = 0; i0 < from.size(); ++i0) {
+    int i = static_cast<int>(i0) + 1;  // 1-based rank, as in the paper
+    int best_index = static_cast<int>(to.size()) + 1;  // "no similar IUnit"
+    bool found = false;
+    for (size_t j0 = 0; j0 < to.size(); ++j0) {
+      if (!IUnitsSimilar(from[i0], to[j0], tau)) continue;
+      int j = static_cast<int>(j0) + 1;
+      if (!found || std::abs(j - i) < std::abs(best_index - i)) {
+        best_index = j;
+        found = true;
+      }
+    }
+    d += std::abs(i - best_index);
+  }
+  return d;
+}
+
+}  // namespace
+
+double RankedListDistance(const std::vector<IUnit>& tx,
+                          const std::vector<IUnit>& ty, double tau) {
+  return OneDirection(tx, ty, tau) + OneDirection(ty, tx, tau);
+}
+
+double RankedListDistanceUpperBound(size_t nx, size_t ny) {
+  double d = 0.0;
+  for (size_t i = 1; i <= nx; ++i) {
+    d += std::abs(static_cast<double>(ny) + 1.0 - static_cast<double>(i));
+  }
+  for (size_t j = 1; j <= ny; ++j) {
+    d += std::abs(static_cast<double>(nx) + 1.0 - static_cast<double>(j));
+  }
+  return d;
+}
+
+}  // namespace dbx

@@ -1,0 +1,31 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Algorithm 2 of the paper (§4.2): distance between two Pivot-Attribute
+// values, measured as a rank-aware distance between their top-k IUnit lists.
+// The paper notes no existing metric compares ranked lists of *disjoint*
+// items; similarity of items substitutes for identity.
+
+#pragma once
+
+#include <vector>
+
+#include "src/core/iunit.h"
+
+namespace dbx {
+
+/// Algorithm 2: for each IUnit in one list, find the most rank-aligned
+/// similar IUnit in the other (|other|+1 when none is similar) and accumulate
+/// rank displacements, symmetrically in both directions. Ranks are 1-based as
+/// in the paper. Lower = more similar; 0 when the lists are rank-aligned
+/// similar item by item.
+///
+/// `tau` is the IUnit-similarity threshold (see DefaultTau in
+/// iunit_similarity.h).
+double RankedListDistance(const std::vector<IUnit>& tx,
+                          const std::vector<IUnit>& ty, double tau);
+
+/// Upper bound of RankedListDistance for list sizes |tx| and |ty| (every item
+/// unmatched): sum_i (|ty|+1-i) + sum_j (|tx|+1-j)... simplified closed form.
+/// Useful for normalizing distances into [0, 1].
+double RankedListDistanceUpperBound(size_t nx, size_t ny);
+
+}  // namespace dbx

@@ -1,0 +1,179 @@
+#include "src/core/surrogate.h"
+
+#include <algorithm>
+
+namespace dbx {
+namespace {
+
+struct Bitmask {
+  // Row membership as packed words; fragments here are small enough that a
+  // dense mask beats sorted-vector intersections for repeated refinement.
+  std::vector<uint64_t> words;
+  size_t count = 0;
+
+  explicit Bitmask(size_t n) : words((n + 63) / 64, 0) {}
+
+  void Set(size_t i) {
+    uint64_t& w = words[i >> 6];
+    uint64_t bit = 1ULL << (i & 63);
+    if (!(w & bit)) {
+      w |= bit;
+      ++count;
+    }
+  }
+
+  static size_t IntersectCount(const Bitmask& a, const Bitmask& b) {
+    size_t n = std::min(a.words.size(), b.words.size());
+    size_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      total += static_cast<size_t>(__builtin_popcountll(a.words[i] & b.words[i]));
+    }
+    return total;
+  }
+
+  static Bitmask Intersect(const Bitmask& a, const Bitmask& b) {
+    Bitmask out(a.words.size() * 64);
+    out.words.resize(std::min(a.words.size(), b.words.size()));
+    out.count = 0;
+    for (size_t i = 0; i < out.words.size(); ++i) {
+      out.words[i] = a.words[i] & b.words[i];
+      out.count += static_cast<size_t>(__builtin_popcountll(out.words[i]));
+    }
+    return out;
+  }
+
+  static Bitmask Union(const Bitmask& a, const Bitmask& b) {
+    Bitmask out(a.words.size() * 64);
+    out.words.resize(std::min(a.words.size(), b.words.size()));
+    out.count = 0;
+    for (size_t i = 0; i < out.words.size(); ++i) {
+      out.words[i] = a.words[i] | b.words[i];
+      out.count += static_cast<size_t>(__builtin_popcountll(out.words[i]));
+    }
+    return out;
+  }
+};
+
+double F1(size_t tp, size_t selected, size_t positives) {
+  if (tp == 0 || selected == 0 || positives == 0) return 0.0;
+  double p = static_cast<double>(tp) / static_cast<double>(selected);
+  double r = static_cast<double>(tp) / static_cast<double>(positives);
+  return 2.0 * p * r / (p + r);
+}
+
+}  // namespace
+
+Result<std::vector<Surrogate>> FindSurrogates(const DiscretizedTable& dt,
+                                              const std::string& target_attr,
+                                              const std::string& target_label,
+                                              const SurrogateOptions& options) {
+  if (options.max_conditions == 0 || options.top_k == 0) {
+    return Status::InvalidArgument("max_conditions and top_k must be >= 1");
+  }
+  auto target_idx = dt.IndexOf(target_attr);
+  if (!target_idx) {
+    return Status::NotFound("no attribute named '" + target_attr + "'");
+  }
+  const DiscreteAttr& target = dt.attr(*target_idx);
+  int32_t target_code = -1;
+  for (size_t v = 0; v < target.labels.size(); ++v) {
+    if (target.labels[v] == target_label) {
+      target_code = static_cast<int32_t>(v);
+      break;
+    }
+  }
+  if (target_code < 0) {
+    return Status::NotFound("attribute '" + target_attr + "' has no value '" +
+                            target_label + "'");
+  }
+
+  const size_t n = dt.num_rows();
+  Bitmask positives(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (target.codes[i] == target_code) positives.Set(i);
+  }
+  if (positives.count == 0) {
+    return Status::FailedPrecondition("target value selects no tuples");
+  }
+
+  // Single-condition candidates with their row masks.
+  struct Single {
+    size_t attr;
+    int32_t code;
+    Bitmask mask;
+    double f1;
+  };
+  std::vector<Single> singles;
+  for (size_t a = 0; a < dt.num_attrs(); ++a) {
+    if (a == *target_idx) continue;
+    const DiscreteAttr& attr = dt.attr(a);
+    if (attr.cardinality() == 0) continue;
+    if (options.queriable_only && !attr.queriable) continue;
+    std::vector<Bitmask> masks(attr.cardinality(), Bitmask(n));
+    for (size_t i = 0; i < n; ++i) {
+      int32_t c = attr.codes[i];
+      if (c >= 0) masks[static_cast<size_t>(c)].Set(i);
+    }
+    for (size_t c = 0; c < masks.size(); ++c) {
+      if (masks[c].count == 0) continue;
+      size_t tp = Bitmask::IntersectCount(masks[c], positives);
+      double f1 = F1(tp, masks[c].count, positives.count);
+      if (f1 <= 0.0) continue;
+      singles.push_back(Single{a, static_cast<int32_t>(c),
+                               std::move(masks[c]), f1});
+    }
+  }
+  std::stable_sort(singles.begin(), singles.end(),
+                   [](const Single& x, const Single& y) { return x.f1 > y.f1; });
+
+  auto make_surrogate = [&](const std::vector<const Single*>& parts,
+                            const Bitmask& mask) {
+    Surrogate s;
+    size_t tp = Bitmask::IntersectCount(mask, positives);
+    s.precision = mask.count == 0
+                      ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(mask.count);
+    s.recall = static_cast<double>(tp) / static_cast<double>(positives.count);
+    s.f1 = F1(tp, mask.count, positives.count);
+    for (const Single* p : parts) {
+      s.conditions.emplace_back(dt.attr(p->attr).name,
+                                dt.attr(p->attr).labels[p->code]);
+    }
+    return s;
+  };
+
+  std::vector<Surrogate> out;
+  size_t beam = std::min(options.beam_width, singles.size());
+  for (size_t i = 0; i < beam; ++i) {
+    out.push_back(make_surrogate({&singles[i]}, singles[i].mask));
+  }
+  if (options.max_conditions >= 2) {
+    for (size_t i = 0; i < beam; ++i) {
+      for (size_t j = i + 1; j < beam; ++j) {
+        bool same_attr = singles[i].attr == singles[j].attr;
+        if (same_attr && !options.allow_or_pairs) continue;
+        // Facet semantics: AND across attributes, OR within one.
+        Bitmask joint = same_attr
+                            ? Bitmask::Union(singles[i].mask, singles[j].mask)
+                            : Bitmask::Intersect(singles[i].mask,
+                                                 singles[j].mask);
+        if (joint.count == 0) continue;
+        out.push_back(make_surrogate({&singles[i], &singles[j]}, joint));
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Surrogate& x, const Surrogate& y) {
+                     return x.f1 > y.f1;
+                   });
+  // Threshold + truncate.
+  std::vector<Surrogate> kept;
+  for (Surrogate& s : out) {
+    if (s.f1 < options.min_f1) continue;
+    kept.push_back(std::move(s));
+    if (kept.size() >= options.top_k) break;
+  }
+  return kept;
+}
+
+}  // namespace dbx

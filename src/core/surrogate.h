@@ -1,0 +1,56 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Surrogate queries for hidden attributes — the operational answer to the
+// paper's Limitation 2: "It is possible that queriable attributes ... can be
+// used as surrogates to express her preference for a 4 cylinder engine.
+// However, such cross-attribute relationships are completely opaque to
+// Mary." The CAD View surfaces them visually; this module computes them
+// directly: given a target condition on a (possibly non-queriable)
+// attribute, find the queriable 1-2 value conditions that best retrieve the
+// same tuples.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/stats/discretizer.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// One candidate surrogate selection.
+struct Surrogate {
+  /// The surrogate conditions as (attribute name, discrete value label)
+  /// pairs, AND-ed together (values on the same attribute OR-ed).
+  std::vector<std::pair<std::string, std::string>> conditions;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct SurrogateOptions {
+  /// Max conditions per surrogate (the paper's examples use up to two).
+  size_t max_conditions = 2;
+  /// How many single-condition candidates are considered for pairing.
+  size_t beam_width = 8;
+  /// Keep surrogates with at least this F1.
+  double min_f1 = 0.0;
+  /// How many surrogates to return.
+  size_t top_k = 5;
+  /// Only use queriable attributes (the point of the exercise). Set false to
+  /// allow any attribute except the target's.
+  bool queriable_only = true;
+  /// Also consider same-attribute value pairs, which a facet panel evaluates
+  /// as a union (e.g. Model IN (a, b) as an Engine=V6 surrogate).
+  bool allow_or_pairs = true;
+};
+
+/// Finds the best surrogate selections for `target_attr = target_label` over
+/// the discretized fragment. Greedy beam construction: best singles, then
+/// the best AND-refinements of the beam. Deterministic.
+Result<std::vector<Surrogate>> FindSurrogates(const DiscretizedTable& dt,
+                                              const std::string& target_attr,
+                                              const std::string& target_label,
+                                              const SurrogateOptions& options);
+
+}  // namespace dbx

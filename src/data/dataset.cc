@@ -1,0 +1,41 @@
+#include "src/data/dataset.h"
+
+#include "src/data/hotels.h"
+#include "src/data/mushroom.h"
+#include "src/data/used_cars.h"
+#include "src/util/string_util.h"
+
+namespace dbx {
+
+Result<Dataset> LoadDataset(const std::string& name, size_t rows,
+                            uint64_t seed) {
+  if (EqualsIgnoreCase(name, "UsedCars")) {
+    Dataset d;
+    d.name = "UsedCars";
+    d.table = std::make_shared<Table>(
+        GenerateUsedCars(rows == 0 ? 40000 : rows, seed == 0 ? 7 : seed));
+    return d;
+  }
+  if (EqualsIgnoreCase(name, "Hotels")) {
+    Dataset d;
+    d.name = "Hotels";
+    d.table = std::make_shared<Table>(
+        GenerateHotels(rows == 0 ? 6000 : rows, seed == 0 ? 21 : seed));
+    return d;
+  }
+  if (EqualsIgnoreCase(name, "Mushroom")) {
+    Dataset d;
+    d.name = "Mushroom";
+    d.table = std::make_shared<Table>(
+        GenerateMushrooms(rows == 0 ? 8124 : rows, seed == 0 ? 11 : seed));
+    return d;
+  }
+  return Status::NotFound("no built-in dataset named '" + name +
+                          "' (try UsedCars, Mushroom, or Hotels)");
+}
+
+std::vector<std::string> BuiltinDatasetNames() {
+  return {"UsedCars", "Mushroom", "Hotels"};
+}
+
+}  // namespace dbx

@@ -1,0 +1,28 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Named access to the built-in datasets, for examples and the SQL REPL.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/relation/table.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// A named in-memory dataset.
+struct Dataset {
+  std::string name;
+  std::shared_ptr<Table> table;
+};
+
+/// Loads a built-in dataset by name ("UsedCars", "Mushroom", or "Hotels",
+/// case-insensitive). `rows` = 0 uses the default size (40000 / 8124 / 6000).
+Result<Dataset> LoadDataset(const std::string& name, size_t rows = 0,
+                            uint64_t seed = 0);
+
+/// Names accepted by LoadDataset.
+std::vector<std::string> BuiltinDatasetNames();
+
+}  // namespace dbx

@@ -1,0 +1,124 @@
+#include "src/data/hotels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace dbx {
+namespace {
+
+struct DistrictSpec {
+  const char* name;
+  double center_km;   // typical distance to the city center
+  double price_mult;  // location premium
+  // Star-rating mix (index 0 = hostel, 1..5 = stars).
+  double star_w[6];
+};
+
+// The financial district concentrates the 5-star properties; the station
+// quarter concentrates hostels; suburbs are cheap and far.
+constexpr DistrictSpec kDistricts[] = {
+    {"Financial", 0.8, 1.45, {0.1, 0.2, 0.8, 2.2, 3.2, 3.6}},
+    {"OldTown", 1.2, 1.30, {0.6, 0.8, 2.0, 3.0, 2.2, 0.9}},
+    {"StationQuarter", 1.8, 1.00, {3.2, 2.6, 2.4, 1.6, 0.5, 0.1}},
+    {"Riverside", 3.0, 1.10, {0.8, 1.2, 2.4, 2.8, 1.4, 0.4}},
+    {"University", 4.2, 0.90, {2.6, 2.2, 2.4, 1.4, 0.4, 0.05}},
+    {"Suburbs", 8.5, 0.70, {1.4, 2.8, 3.0, 1.6, 0.3, 0.02}},
+    {"Airport", 12.0, 0.85, {0.5, 1.6, 3.0, 2.4, 0.6, 0.05}},
+};
+
+constexpr const char* kAdjectives[] = {"Grand",  "Royal", "Central", "Golden",
+                                       "Quiet",  "Park",  "City",    "Star",
+                                       "Harbor", "Garden"};
+constexpr const char* kNouns[] = {"Plaza", "Court", "Lodge", "House", "Suites",
+                                  "Inn",   "Rooms", "Palace", "View", "Stay"};
+
+}  // namespace
+
+Schema HotelSchema() {
+  return std::move(Schema::Make({
+                       {"Name", AttrType::kCategorical, true},
+                       {"District", AttrType::kCategorical, true},
+                       {"PropertyType", AttrType::kCategorical, true},
+                       {"Stars", AttrType::kCategorical, true},
+                       {"Price", AttrType::kNumeric, true},
+                       {"DistanceToCenter", AttrType::kNumeric, true},
+                       {"ReviewScore", AttrType::kNumeric, true},
+                       {"RoomCapacity", AttrType::kNumeric, true},
+                       {"Breakfast", AttrType::kCategorical, true},
+                       {"Cancellation", AttrType::kCategorical, true},
+                   }))
+      .value();
+}
+
+Table GenerateHotels(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table table(HotelSchema());
+
+  std::vector<double> district_weights = {2.0, 2.2, 2.4, 1.8, 1.6, 2.6, 1.4};
+  std::vector<Value> row(10);
+  for (size_t i = 0; i < n; ++i) {
+    const DistrictSpec& d = kDistricts[rng.NextWeighted(district_weights)];
+    std::vector<double> sw(std::begin(d.star_w), std::end(d.star_w));
+    size_t star_idx = rng.NextWeighted(sw);  // 0 = hostel
+
+    bool hostel = star_idx == 0;
+    std::string type = hostel ? "Hostel"
+                      : star_idx >= 4
+                          ? (rng.NextBool(0.25) ? "BoutiqueHotel" : "Hotel")
+                          : (rng.NextBool(0.2) ? "GuestHouse" : "Hotel");
+    std::string stars = hostel ? "unrated" : std::to_string(star_idx);
+
+    double distance = std::max(
+        0.1, d.center_km * std::exp(rng.NextGaussian(0.0, 0.35)));
+
+    // Price: stars drive it strongly for hotels; hostels live in their own
+    // low band, nearly flat in location (the backpacker decoupling).
+    double price;
+    if (hostel) {
+      price = rng.NextUniform(18, 42);
+    } else {
+      double base = 45.0 * std::pow(1.75, static_cast<double>(star_idx) - 1.0);
+      double location = d.price_mult * (1.0 + 0.25 / (0.5 + distance));
+      price = base * location * std::exp(rng.NextGaussian(0.0, 0.18));
+    }
+
+    double review = hostel ? rng.NextGaussian(7.6, 0.9)
+                           : rng.NextGaussian(6.4 + 0.55 * star_idx, 0.55);
+    review = std::clamp(review, 2.0, 10.0);
+
+    double capacity = hostel ? rng.NextInt(4, 12)
+                             : std::max<int64_t>(1, rng.NextInt(1, 4));
+
+    std::string breakfast =
+        star_idx >= 4   ? (rng.NextBool(0.85) ? "included" : "paid")
+        : star_idx >= 2 ? (rng.NextBool(0.5) ? "included" : "paid")
+                        : (rng.NextBool(0.25) ? "included" : "none");
+    std::string cancellation = rng.NextBool(star_idx >= 3 ? 0.7 : 0.45)
+                                   ? "free"
+                                   : "non-refundable";
+
+    std::string name =
+        std::string(kAdjectives[rng.NextBounded(std::size(kAdjectives))]) +
+        " " + kNouns[rng.NextBounded(std::size(kNouns))] + " " +
+        std::to_string(i % 997);
+
+    row[0] = Value(name);
+    row[1] = Value(d.name);
+    row[2] = Value(type);
+    row[3] = Value(stars);
+    row[4] = Value(std::round(price));
+    row[5] = Value(std::round(distance * 10.0) / 10.0);
+    row[6] = Value(std::round(review * 10.0) / 10.0);
+    row[7] = Value(capacity);
+    row[8] = Value(breakfast);
+    row[9] = Value(cancellation);
+    Status st = table.AppendRow(row);
+    (void)st;
+  }
+  return table;
+}
+
+}  // namespace dbx

@@ -1,0 +1,26 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Synthetic hotel dataset for the paper's *introduction* scenario: a visitor
+// unfamiliar with a big city books a hotel without knowing that "all the
+// 5-star hotels are clustered in the financial district or how there is a
+// tradeoff between location and price". The generator encodes exactly those
+// structures: star rating clusters by district, price rises with stars and
+// centrality, and hostel-segment prices are poorly correlated with the rest
+// (the backpacker observation).
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/relation/table.h"
+
+namespace dbx {
+
+/// Schema: Name (cat, near-key), District, PropertyType, Stars (cat "1".."5"
+/// plus "hostel"-typed rows), Price, DistanceToCenter, ReviewScore,
+/// RoomCapacity, Breakfast, Cancellation — 10 attributes.
+Schema HotelSchema();
+
+/// Generates `n` hotel listings deterministically from `seed`.
+Table GenerateHotels(size_t n = 6000, uint64_t seed = 21);
+
+}  // namespace dbx

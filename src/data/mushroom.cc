@@ -1,0 +1,214 @@
+#include "src/data/mushroom.h"
+
+#include <array>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dbx {
+namespace {
+
+constexpr size_t kMaxValues = 12;
+
+struct AttrSpec {
+  const char* name;
+  const char* values[kMaxValues];
+  // Class-conditional sampling weights (0-terminated by values==nullptr).
+  double edible_w[kMaxValues];
+  double poison_w[kMaxValues];
+  // When true the attribute is drawn per-tuple from the class-conditional
+  // distribution instead of being fixed per latent species. Used for the
+  // attributes whose *value-conditioned* digests must follow the designed
+  // class structure exactly (the §6.2.2 similar-pair tasks rely on
+  // GillColor and SporePrintColor behaving this way).
+  bool class_conditional_iid = false;
+};
+
+// Domains follow the UCI mushroom data dictionary (abbreviation letters
+// expanded to words). Weights encode the dataset's well-known structure:
+// Odor and SporePrintColor are nearly class-determining, Bruises is strongly
+// informative, GillColor has an edible-leaning similar pair (brown, white),
+// a poisonous-leaning buff, and a rare poisonous green.
+constexpr AttrSpec kAttrSpecs[] = {
+    {"CapShape",
+     {"bell", "conical", "convex", "flat", "knobbed", "sunken", nullptr},
+     {1.2, 0.05, 3.0, 2.8, 0.5, 0.1},
+     {0.6, 0.15, 3.2, 2.6, 1.0, 0.05}},
+    {"CapSurface",
+     {"fibrous", "grooves", "scaly", "smooth", nullptr},
+     {2.0, 0.02, 2.4, 2.2},
+     {1.4, 0.10, 3.0, 2.0}},
+    {"CapColor",
+     {"brown", "buff", "cinnamon", "gray", "green", "pink", "purple", "red",
+      "white", "yellow", nullptr},
+     {2.6, 0.4, 0.4, 2.2, 0.1, 0.6, 0.1, 1.0, 1.4, 1.0},
+     {2.2, 0.8, 0.4, 1.6, 0.02, 0.8, 0.02, 1.6, 1.0, 1.6}},
+    {"Bruises",
+     {"true", "false", nullptr},
+     {3.0, 1.3},
+     {0.8, 3.4}},
+    {"Odor",
+     {"almond", "anise", "creosote", "fishy", "foul", "musty", "none",
+      "pungent", "spicy", nullptr},
+     {1.6, 1.6, 0.01, 0.01, 0.01, 0.01, 5.6, 0.01, 0.01},
+     {0.02, 0.02, 0.6, 1.8, 6.6, 0.15, 0.35, 0.8, 1.8}},
+    {"GillAttachment",
+     {"attached", "free", nullptr},
+     {0.4, 5.0},
+     {0.1, 5.2}},
+    {"GillSpacing",
+     {"close", "crowded", nullptr},
+     {3.2, 1.8},
+     {4.6, 0.4}},
+    {"GillSize",
+     {"broad", "narrow", nullptr},
+     {4.4, 1.0},
+     {1.8, 3.2}},
+    {"GillColor",
+     // brown and white share an edible-leaning profile (the §6.2.2 task's
+     // expected most-similar pair); buff is strongly poisonous; green rare.
+     {"black", "brown", "buff", "chocolate", "gray", "green", "orange",
+      "pink", "purple", "red", "white", "yellow", },
+     {1.8, 2.4, 0.1, 0.6, 1.0, 0.02, 0.3, 1.4, 0.8, 0.4, 2.3, 0.5},
+     {0.8, 1.0, 3.4, 1.6, 0.8, 0.30, 0.1, 1.2, 0.6, 0.3, 0.9, 0.4},
+     /*class_conditional_iid=*/true},
+    {"StalkShape",
+     {"enlarged", "tapering", nullptr},
+     {2.2, 2.8},
+     {2.6, 2.4}},
+    {"StalkRoot",
+     {"bulbous", "club", "equal", "rooted", nullptr},
+     {2.6, 1.0, 1.6, 0.6},
+     {2.8, 0.8, 1.0, 0.2}},
+    {"StalkSurfaceAboveRing",
+     {"fibrous", "scaly", "silky", "smooth", nullptr},
+     {1.2, 0.2, 0.4, 4.2},
+     {0.8, 0.4, 3.6, 1.6}},
+    {"StalkSurfaceBelowRing",
+     {"fibrous", "scaly", "silky", "smooth", nullptr},
+     {1.2, 0.4, 0.4, 4.0},
+     {0.8, 0.6, 3.4, 1.6}},
+    {"StalkColorAboveRing",
+     {"brown", "buff", "cinnamon", "gray", "orange", "pink", "red", "white",
+      "yellow", nullptr},
+     {0.6, 0.4, 0.2, 1.4, 0.4, 1.2, 0.1, 4.0, 0.1},
+     {1.2, 1.6, 0.6, 0.6, 0.1, 1.8, 0.2, 2.6, 0.3}},
+    {"StalkColorBelowRing",
+     {"brown", "buff", "cinnamon", "gray", "orange", "pink", "red", "white",
+      "yellow", nullptr},
+     {0.6, 0.4, 0.2, 1.4, 0.4, 1.2, 0.1, 3.8, 0.1},
+     {1.4, 1.6, 0.6, 0.6, 0.1, 1.8, 0.2, 2.4, 0.3}},
+    {"VeilType",
+     {"partial", nullptr},
+     {1.0},
+     {1.0}},
+    {"VeilColor",
+     {"brown", "orange", "white", "yellow", nullptr},
+     {0.1, 0.1, 5.4, 0.02},
+     {0.05, 0.05, 5.6, 0.10}},
+    {"RingNumber",
+     {"none", "one", "two", nullptr},
+     {0.05, 4.4, 1.0},
+     {0.10, 5.2, 0.4}},
+    {"RingType",
+     {"evanescent", "flaring", "large", "none", "pendant", nullptr},
+     {1.4, 0.2, 0.02, 0.05, 3.6},
+     {1.8, 0.02, 2.6, 0.10, 1.4}},
+    {"SporePrintColor",
+     // chocolate and white lean poisonous; black and brown lean edible.
+     {"black", "brown", "buff", "chocolate", "green", "orange", "purple",
+      "white", "yellow", nullptr},
+     {2.6, 2.6, 0.3, 0.6, 0.02, 0.3, 0.3, 0.6, 0.3},
+     {0.6, 0.6, 0.1, 3.0, 0.30, 0.1, 0.1, 3.2, 0.1},
+     /*class_conditional_iid=*/true},
+    {"Population",
+     {"abundant", "clustered", "numerous", "scattered", "several", "solitary",
+      nullptr},
+     {0.8, 0.6, 0.8, 1.8, 1.6, 1.4},
+     {0.1, 0.4, 0.1, 1.2, 3.6, 1.0}},
+    {"Habitat",
+     {"grasses", "leaves", "meadows", "paths", "urban", "woods", nullptr},
+     {2.2, 0.8, 0.6, 0.8, 0.4, 2.6},
+     {1.6, 1.0, 0.3, 1.4, 0.6, 2.2}},
+};
+
+size_t ValueCount(const AttrSpec& spec) {
+  size_t n = 0;
+  while (n < kMaxValues && spec.values[n] != nullptr) ++n;
+  return n;
+}
+
+}  // namespace
+
+Schema MushroomSchema() {
+  std::vector<AttributeDef> attrs;
+  attrs.push_back({"Class", AttrType::kCategorical, true});
+  for (const AttrSpec& spec : kAttrSpecs) {
+    attrs.push_back({spec.name, AttrType::kCategorical, true});
+  }
+  return std::move(Schema::Make(std::move(attrs))).value();
+}
+
+Table GenerateMushrooms(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table table(MushroomSchema());
+  constexpr size_t kNumAttrs = std::size(kAttrSpecs);
+
+  // Latent species model: like the real UCI data (derived from field-guide
+  // species descriptions), tuples come from a limited set of species, each
+  // with a characteristic value per attribute. This creates the strong
+  // cross-attribute dependencies the exploratory tasks rely on (redundant
+  // selection paths, coherent IUnits).
+  constexpr size_t kSpecies = 24;
+  constexpr double kPrimaryProb = 0.94;  // tuple keeps its species value (the
+  // real UCI table is nearly deterministic per species)
+
+  struct Species {
+    bool poisonous;
+    std::array<size_t, kNumAttrs> primary;
+    double weight;
+  };
+  std::vector<Species> species(kSpecies);
+  for (size_t s = 0; s < kSpecies; ++s) {
+    species[s].poisonous = rng.NextBool(0.48);
+    species[s].weight = 0.3 + rng.NextDouble();
+    for (size_t a = 0; a < kNumAttrs; ++a) {
+      const AttrSpec& spec = kAttrSpecs[a];
+      size_t vc = ValueCount(spec);
+      std::vector<double> w(vc);
+      for (size_t v = 0; v < vc; ++v) {
+        w[v] = species[s].poisonous ? spec.poison_w[v] : spec.edible_w[v];
+      }
+      species[s].primary[a] = rng.NextWeighted(w);
+    }
+  }
+  std::vector<double> species_weights;
+  species_weights.reserve(kSpecies);
+  for (const Species& s : species) species_weights.push_back(s.weight);
+
+  std::vector<Value> row(kNumAttrs + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const Species& sp = species[rng.NextWeighted(species_weights)];
+    row[0] = Value(sp.poisonous ? "poisonous" : "edible");
+    for (size_t a = 0; a < kNumAttrs; ++a) {
+      const AttrSpec& spec = kAttrSpecs[a];
+      size_t value_idx;
+      if (!spec.class_conditional_iid && rng.NextBool(kPrimaryProb)) {
+        value_idx = sp.primary[a];
+      } else {
+        size_t vc = ValueCount(spec);
+        std::vector<double> w(vc);
+        for (size_t v = 0; v < vc; ++v) {
+          w[v] = sp.poisonous ? spec.poison_w[v] : spec.edible_w[v];
+        }
+        value_idx = rng.NextWeighted(w);
+      }
+      row[a + 1] = Value(spec.values[value_idx]);
+    }
+    Status st = table.AppendRow(row);
+    (void)st;
+  }
+  return table;
+}
+
+}  // namespace dbx

@@ -1,0 +1,25 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Synthetic Mushroom dataset standing in for UCI Mushroom (8124 x 23
+// categorical attributes; DESIGN.md §3 substitution 2). Attribute names and
+// domains follow the UCI data dictionary; values are drawn from
+// class-conditional distributions so the paper's three user-study tasks are
+// well-posed: Odor/SporePrintColor/Bruises are strongly class-informative,
+// GillColor has a similar pair (brown ~ white) and dissimilar values (buff,
+// green), and several attribute values offer redundant selection paths.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/relation/table.h"
+
+namespace dbx {
+
+/// 23 categorical attributes: Class + the 22 UCI mushroom attributes.
+Schema MushroomSchema();
+
+/// Generates `n` tuples deterministically from `seed`. Default n matches
+/// UCI's 8124. About 52% of tuples are edible, as in the real data.
+Table GenerateMushrooms(size_t n = 8124, uint64_t seed = 11);
+
+}  // namespace dbx

@@ -1,0 +1,71 @@
+#include "src/data/synthetic.h"
+
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace dbx {
+
+Result<Table> GenerateSynthetic(const SyntheticSpec& spec) {
+  if (spec.rows == 0) return Status::InvalidArgument("rows must be >= 1");
+  if (spec.categorical_attrs == 0) {
+    return Status::InvalidArgument("need at least one categorical attribute");
+  }
+  if (spec.cardinality < 2) {
+    return Status::InvalidArgument("cardinality must be >= 2");
+  }
+  if (spec.clusters == 0) {
+    return Status::InvalidArgument("clusters must be >= 1");
+  }
+  if (spec.cluster_fidelity < 0.0 || spec.cluster_fidelity > 1.0) {
+    return Status::InvalidArgument("cluster_fidelity must be in [0, 1]");
+  }
+
+  std::vector<AttributeDef> attrs;
+  for (size_t c = 0; c < spec.categorical_attrs; ++c) {
+    attrs.push_back({"C" + std::to_string(c), AttrType::kCategorical, true});
+  }
+  for (size_t n = 0; n < spec.numeric_attrs; ++n) {
+    attrs.push_back({"N" + std::to_string(n), AttrType::kNumeric, true});
+  }
+  DBX_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+  Table table(std::move(schema));
+
+  Rng rng(spec.seed);
+  // Characteristic values per (cluster, attribute); numeric attributes get a
+  // per-cluster mean.
+  std::vector<std::vector<size_t>> cat_primary(spec.clusters);
+  std::vector<std::vector<double>> num_mean(spec.clusters);
+  for (size_t k = 0; k < spec.clusters; ++k) {
+    cat_primary[k].resize(spec.categorical_attrs);
+    for (size_t c = 0; c < spec.categorical_attrs; ++c) {
+      cat_primary[k][c] = rng.NextBounded(spec.cardinality);
+    }
+    num_mean[k].resize(spec.numeric_attrs);
+    for (size_t n = 0; n < spec.numeric_attrs; ++n) {
+      num_mean[k][n] = rng.NextUniform(0, 100);
+    }
+  }
+
+  std::vector<Value> row(spec.categorical_attrs + spec.numeric_attrs);
+  for (size_t i = 0; i < spec.rows; ++i) {
+    size_t k = rng.NextBounded(spec.clusters);
+    // C0 carries the latent cluster id (the natural pivot attribute).
+    row[0] = Value("v" + std::to_string(k));
+    for (size_t c = 1; c < spec.categorical_attrs; ++c) {
+      size_t v = rng.NextBool(spec.cluster_fidelity)
+                     ? cat_primary[k][c]
+                     : rng.NextBounded(spec.cardinality);
+      row[c] = Value("v" + std::to_string(v));
+    }
+    for (size_t n = 0; n < spec.numeric_attrs; ++n) {
+      row[spec.categorical_attrs + n] =
+          Value(num_mean[k][n] + rng.NextGaussian(0.0, 8.0));
+    }
+    DBX_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace dbx

@@ -1,0 +1,256 @@
+#include "src/data/used_cars.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace dbx {
+namespace {
+
+struct ModelSpec {
+  const char* make;
+  const char* model;
+  const char* body;           // SUV, Sedan, Truck, Coupe, Hatchback, Minivan
+  const char* engines[3];     // candidate engines, nullptr-terminated usage
+  double engine_w[3];         // weights, 0 for unused slots
+  const char* drivetrains[3]; // candidate drivetrains
+  double drive_w[3];
+  double price_mean;          // new-vehicle price anchor (USD)
+  double price_sd;
+  double weight;              // listing frequency
+};
+
+// A compact market model. The five Table-1 makes carry the paper's model
+// names; a dozen more makes give the Make attribute the paper's ">50 values"
+// long-tail flavor (several makes contribute 2+ models).
+constexpr ModelSpec kModels[] = {
+    // Chevrolet
+    {"Chevrolet", "Traverse LT", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.7, 0.3, 0}, 31000, 2500, 2.2},
+    {"Chevrolet", "Equinox LT", "SUV", {"V6", "V4", nullptr}, {0.5, 0.5, 0},
+     {"AWD", "2WD", nullptr}, {0.4, 0.6, 0}, 25000, 2200, 2.6},
+    {"Chevrolet", "Suburban 1500 LT", "SUV", {"V8", nullptr, nullptr}, {1, 0, 0},
+     {"4WD", "2WD", nullptr}, {0.6, 0.4, 0}, 42000, 3000, 1.4},
+    {"Chevrolet", "Tahoe LT", "SUV", {"V8", nullptr, nullptr}, {1, 0, 0},
+     {"4WD", "2WD", nullptr}, {0.6, 0.4, 0}, 40000, 2800, 1.5},
+    {"Chevrolet", "Captiva LS", "SUV", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 19000, 1800, 1.2},
+    {"Chevrolet", "Malibu LT", "Sedan", {"V4", "V6", nullptr}, {0.7, 0.3, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 22000, 2000, 2.0},
+    {"Chevrolet", "Silverado 1500", "Truck", {"V8", "V6", nullptr}, {0.7, 0.3, 0},
+     {"4WD", "2WD", nullptr}, {0.7, 0.3, 0}, 33000, 3500, 1.8},
+    // Ford
+    {"Ford", "Escape XLT", "SUV", {"V6", "V4", nullptr}, {0.55, 0.45, 0},
+     {"2WD", "4WD", nullptr}, {0.55, 0.45, 0}, 23000, 2000, 2.4},
+    {"Ford", "Escape Ltd.", "SUV", {"V6", "V4", nullptr}, {0.6, 0.4, 0},
+     {"2WD", "4WD", nullptr}, {0.5, 0.5, 0}, 26000, 2000, 1.6},
+    {"Ford", "Explorer XLT", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"4WD", "2WD", nullptr}, {0.7, 0.3, 0}, 31000, 2500, 1.8},
+    {"Ford", "Explorer Ltd.", "SUV", {"V8", "V6", nullptr}, {0.6, 0.4, 0},
+     {"4WD", "2WD", nullptr}, {0.5, 0.5, 0}, 35000, 2500, 1.2},
+    {"Ford", "Edge Ltd.", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.5, 0.5, 0}, 30000, 2200, 1.4},
+    {"Ford", "Edge SEL", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.5, 0.5, 0}, 28000, 2200, 1.5},
+    {"Ford", "Fusion SE", "Sedan", {"V4", "V6", nullptr}, {0.75, 0.25, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 23000, 2000, 2.2},
+    {"Ford", "F-150 XLT", "Truck", {"V8", "V6", nullptr}, {0.65, 0.35, 0},
+     {"4WD", "2WD", nullptr}, {0.7, 0.3, 0}, 34000, 3500, 2.4},
+    // Jeep
+    {"Jeep", "Wrangler Unlimited", "SUV", {"V6", "V8", nullptr}, {0.75, 0.25, 0},
+     {"4WD", nullptr, nullptr}, {1, 0, 0}, 30000, 2800, 1.8},
+    {"Jeep", "Compass Sport", "SUV", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"4WD", "2WD", nullptr}, {0.55, 0.45, 0}, 19500, 1600, 1.3},
+    {"Jeep", "Patriot Sport", "SUV", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"4WD", "2WD", nullptr}, {0.55, 0.45, 0}, 18500, 1600, 1.3},
+    {"Jeep", "Liberty Sport", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"4WD", "2WD", nullptr}, {0.6, 0.4, 0}, 21500, 1800, 1.4},
+    {"Jeep", "Grand Cherokee", "SUV", {"V6", "V8", nullptr}, {0.6, 0.4, 0},
+     {"4WD", "2WD", nullptr}, {0.75, 0.25, 0}, 34000, 3000, 1.6},
+    // Toyota
+    {"Toyota", "RAV4", "SUV", {"V4", "V6", nullptr}, {0.7, 0.3, 0},
+     {"AWD", "2WD", nullptr}, {0.55, 0.45, 0}, 24500, 1800, 2.6},
+    {"Toyota", "Highlander", "SUV", {"V6", "V4", nullptr}, {0.7, 0.3, 0},
+     {"AWD", "2WD", nullptr}, {0.6, 0.4, 0}, 31000, 2400, 2.0},
+    {"Toyota", "4Runner SR5", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"4WD", "2WD", nullptr}, {0.7, 0.3, 0}, 33000, 2400, 1.4},
+    {"Toyota", "Camry LE", "Sedan", {"V4", "V6", nullptr}, {0.8, 0.2, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 23500, 1800, 3.0},
+    {"Toyota", "Corolla LE", "Sedan", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 18500, 1400, 2.8},
+    // Honda
+    {"Honda", "CR-V EX", "SUV", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.5, 0.5, 0}, 24500, 1700, 2.6},
+    {"Honda", "Pilot EX-L", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.6, 0.4, 0}, 32000, 2400, 1.8},
+    {"Honda", "Accord EX", "Sedan", {"V4", "V6", nullptr}, {0.75, 0.25, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 24000, 1900, 2.8},
+    {"Honda", "Civic LX", "Sedan", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 19000, 1400, 2.6},
+    // Long-tail makes.
+    {"Nissan", "Rogue S", "SUV", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.5, 0.5, 0}, 23000, 1800, 1.8},
+    {"Nissan", "Altima S", "Sedan", {"V4", "V6", nullptr}, {0.8, 0.2, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 22500, 1800, 2.0},
+    {"Hyundai", "Santa Fe", "SUV", {"V6", "V4", nullptr}, {0.6, 0.4, 0},
+     {"AWD", "2WD", nullptr}, {0.45, 0.55, 0}, 26000, 2000, 1.5},
+    {"Hyundai", "Sonata GLS", "Sedan", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 21000, 1700, 1.8},
+    {"Kia", "Sorento LX", "SUV", {"V6", "V4", nullptr}, {0.55, 0.45, 0},
+     {"AWD", "2WD", nullptr}, {0.45, 0.55, 0}, 24500, 1900, 1.3},
+    {"Subaru", "Outback", "SUV", {"V4", "V6", nullptr}, {0.75, 0.25, 0},
+     {"AWD", nullptr, nullptr}, {1, 0, 0}, 26500, 1900, 1.5},
+    {"Subaru", "Forester", "SUV", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", nullptr, nullptr}, {1, 0, 0}, 24000, 1700, 1.4},
+    {"GMC", "Acadia SLE", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.55, 0.45, 0}, 32000, 2400, 1.2},
+    {"Dodge", "Durango SXT", "SUV", {"V6", "V8", nullptr}, {0.65, 0.35, 0},
+     {"AWD", "2WD", nullptr}, {0.5, 0.5, 0}, 30000, 2600, 1.1},
+    {"Dodge", "Grand Caravan", "Minivan", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 24000, 2000, 1.4},
+    {"Mazda", "CX-7", "SUV", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.45, 0.55, 0}, 25000, 1800, 1.0},
+    {"Mazda", "Mazda3", "Hatchback", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 19500, 1400, 1.4},
+    {"Volkswagen", "Tiguan SE", "SUV", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.5, 0.5, 0}, 26500, 1900, 1.0},
+    {"Volkswagen", "Jetta SE", "Sedan", {"V4", nullptr, nullptr}, {1, 0, 0},
+     {"2WD", nullptr, nullptr}, {1, 0, 0}, 20500, 1500, 1.6},
+    {"BMW", "X5 xDrive35i", "SUV", {"V6", "V8", nullptr}, {0.7, 0.3, 0},
+     {"AWD", nullptr, nullptr}, {1, 0, 0}, 52000, 4500, 0.8},
+    {"BMW", "328i", "Sedan", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"2WD", "AWD", nullptr}, {0.6, 0.4, 0}, 38000, 3200, 1.0},
+    {"Mercedes-Benz", "ML350", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", nullptr, nullptr}, {1, 0, 0}, 50000, 4200, 0.7},
+    {"Mercedes-Benz", "C300", "Sedan", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.5, 0.5, 0}, 39000, 3200, 0.9},
+    {"Buick", "Enclave CXL", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.5, 0.5, 0}, 36000, 2600, 0.8},
+    {"Acura", "MDX", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", nullptr, nullptr}, {1, 0, 0}, 42000, 3200, 0.8},
+    {"Lexus", "RX 350", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.6, 0.4, 0}, 44000, 3200, 0.9},
+    {"Infiniti", "FX35", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.6, 0.4, 0}, 43000, 3400, 0.6},
+    {"Cadillac", "SRX Luxury", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.5, 0.5, 0}, 41000, 3000, 0.7},
+    {"Audi", "Q5 Premium", "SUV", {"V6", "V4", nullptr}, {0.6, 0.4, 0},
+     {"AWD", nullptr, nullptr}, {1, 0, 0}, 41000, 3200, 0.7},
+    {"Volvo", "XC90", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
+     {"AWD", "2WD", nullptr}, {0.6, 0.4, 0}, 40000, 3000, 0.6},
+    {"Mitsubishi", "Outlander SE", "SUV", {"V4", "V6", nullptr}, {0.7, 0.3, 0},
+     {"AWD", "2WD", nullptr}, {0.5, 0.5, 0}, 23000, 1800, 0.7},
+    {"Suzuki", "Grand Vitara", "SUV", {"V4", "V6", nullptr}, {0.7, 0.3, 0},
+     {"4WD", "2WD", nullptr}, {0.5, 0.5, 0}, 20500, 1700, 0.5},
+};
+
+constexpr const char* kColors[] = {"Black", "White",  "Silver", "Gray",
+                                   "Blue",  "Red",    "Green",  "Brown",
+                                   "Gold",  "Orange"};
+constexpr double kColorWeights[] = {2.2, 2.0, 1.9, 1.6, 1.2, 1.1,
+                                    0.4, 0.4, 0.3, 0.2};
+
+// Base city fuel economy (mpg) per engine; body adjusts it.
+double FuelEconomyFor(const std::string& engine, const std::string& body,
+                      Rng* rng) {
+  double base = engine == "V4" ? 26.0 : engine == "V6" ? 20.0 : 15.5;
+  if (body == "SUV") base -= 2.0;
+  if (body == "Truck") base -= 3.0;
+  if (body == "Minivan") base -= 1.5;
+  if (body == "Hatchback" || body == "Sedan") base += 1.0;
+  return std::max(8.0, base + rng->NextGaussian(0.0, 1.2));
+}
+
+}  // namespace
+
+Schema UsedCarSchema() {
+  auto schema = Schema::Make({
+      {"Make", AttrType::kCategorical, true},
+      {"Model", AttrType::kCategorical, true},
+      {"BodyType", AttrType::kCategorical, true},
+      {"Transmission", AttrType::kCategorical, true},
+      // Engine exists in the data but is NOT exposed in the query panel —
+      // the paper's Limitation 2 ("Querying Hidden Attributes").
+      {"Engine", AttrType::kCategorical, false},
+      {"Drivetrain", AttrType::kCategorical, true},
+      {"Price", AttrType::kNumeric, true},
+      {"Mileage", AttrType::kNumeric, true},
+      {"Year", AttrType::kNumeric, true},
+      {"FuelEconomy", AttrType::kNumeric, true},
+      {"Color", AttrType::kCategorical, true},
+  });
+  // The literal schema above is valid by construction.
+  return std::move(schema).value();
+}
+
+Table GenerateUsedCars(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table table(UsedCarSchema());
+
+  std::vector<double> model_weights;
+  model_weights.reserve(std::size(kModels));
+  for (const ModelSpec& m : kModels) model_weights.push_back(m.weight);
+  std::vector<double> color_weights(std::begin(kColorWeights),
+                                    std::end(kColorWeights));
+
+  std::vector<Value> row(11);
+  for (size_t i = 0; i < n; ++i) {
+    size_t model_idx = rng.NextWeighted(model_weights);
+    const ModelSpec& m = kModels[model_idx];
+
+    // Engine / drivetrain from the model's option mix.
+    std::vector<double> ew, dw;
+    for (double w : m.engine_w) ew.push_back(w);
+    for (double w : m.drive_w) dw.push_back(w);
+    std::string engine = m.engines[rng.NextWeighted(ew)];
+    std::string drive = m.drivetrains[rng.NextWeighted(dw)];
+
+    // Listing year: each specific model is prominent for only a short window
+    // (the paper's §3.1.1 anecdote — "a specific model is prominent in the
+    // database for only a short period of time"), with recent years more
+    // common within the window.
+    int window_start = 2008 + static_cast<int>(model_idx % 4);
+    int window_len = 2 + static_cast<int>(model_idx % 2);  // 2-3 years
+    int window_end = std::min(2013, window_start + window_len - 1);
+    std::vector<double> yw;
+    for (int y = window_start; y <= window_end; ++y) {
+      yw.push_back(1.0 + 0.5 * (y - window_start));
+    }
+    int year = window_start + static_cast<int>(rng.NextWeighted(yw));
+    double age = 2013.0 - year;
+
+    // Mileage grows with age: ~12K/yr with heavy dispersion.
+    double mileage = std::max(
+        500.0, age * 12000.0 + rng.NextGaussian(6000.0, 14000.0));
+
+    // Price: anchor depreciated by age and mileage, engine premium.
+    double engine_premium = engine == "V8" ? 2500.0 : engine == "V6" ? 800.0 : 0.0;
+    double price = (m.price_mean + engine_premium) *
+                       std::pow(0.88, age) *
+                       (1.0 - 0.04 * (mileage / 30000.0)) +
+                   rng.NextGaussian(0.0, m.price_sd);
+    price = std::max(3000.0, price);
+
+    std::string transmission = rng.NextBool(0.92) ? "Automatic" : "Manual";
+    std::string color = kColors[rng.NextWeighted(color_weights)];
+
+    row[0] = Value(m.make);
+    row[1] = Value(m.model);
+    row[2] = Value(m.body);
+    row[3] = Value(transmission);
+    row[4] = Value(engine);
+    row[5] = Value(drive);
+    row[6] = Value(std::round(price / 10.0) * 10.0);
+    row[7] = Value(std::round(mileage / 100.0) * 100.0);
+    row[8] = Value(static_cast<double>(year));
+    row[9] = Value(std::round(FuelEconomyFor(engine, m.body, &rng) * 10.0) / 10.0);
+    row[10] = Value(color);
+    // Rows are schema-valid by construction.
+    Status st = table.AppendRow(row);
+    (void)st;
+  }
+  return table;
+}
+
+}  // namespace dbx

@@ -1,0 +1,26 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Synthetic used-car dataset standing in for the paper's Yahoo used-car
+// scrape (40,000 tuples x 11 attributes; see DESIGN.md §3 substitution 1).
+// The generator encodes the conditional dependencies the CAD View is meant to
+// surface: Make determines Model; Model determines BodyType and the Engine /
+// Drivetrain / Price distributions; Year drives Mileage and depreciation.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/relation/table.h"
+
+namespace dbx {
+
+/// Schema: Make, Model, BodyType, Transmission, Engine, Drivetrain (cat),
+/// Price, Mileage, Year, FuelEconomy (num), Color (cat) — 11 attributes.
+/// `Engine` is marked non-queriable, reproducing the paper's Limitation 2
+/// example (Mary cannot query V4 engines directly).
+Schema UsedCarSchema();
+
+/// Generates `n` tuples deterministically from `seed`. Default n matches the
+/// paper's 40K scrape.
+Table GenerateUsedCars(size_t n = 40000, uint64_t seed = 7);
+
+}  // namespace dbx

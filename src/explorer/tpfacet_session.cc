@@ -1,0 +1,146 @@
+#include "src/explorer/tpfacet_session.h"
+
+#include "src/util/ascii_table.h"
+#include "src/util/string_util.h"
+
+namespace dbx {
+
+Result<TpFacetSession> TpFacetSession::Create(
+    const Table* table, const DiscretizerOptions& disc_options,
+    CadViewOptions cad_defaults) {
+  TpFacetSession s;
+  auto facets = FacetEngine::Create(table, disc_options);
+  if (!facets.ok()) return facets.status();
+  s.facets_ = std::move(*facets);
+  s.cad_defaults_ = std::move(cad_defaults);
+  s.cad_defaults_.discretizer = disc_options;
+  return s;
+}
+
+Result<std::string> TpFacetSession::RenderResultPage(
+    size_t offset, size_t limit,
+    const std::vector<std::string>& columns) const {
+  const Table& table = facets_.table();
+  std::vector<size_t> col_indices;
+  std::vector<std::string> header;
+  if (columns.empty()) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      col_indices.push_back(c);
+      header.push_back(table.schema().attr(c).name);
+    }
+  } else {
+    for (const std::string& name : columns) {
+      auto idx = table.schema().IndexOf(name);
+      if (!idx) return Status::NotFound("no attribute named '" + name + "'");
+      col_indices.push_back(*idx);
+      header.push_back(name);
+    }
+  }
+  const RowSet& rows = facets_.result_rows();
+  AsciiTable render;
+  render.SetHeader(std::move(header));
+  size_t end = std::min(rows.size(), offset + limit);
+  for (size_t i = offset; i < end; ++i) {
+    std::vector<std::string> cells;
+    cells.reserve(col_indices.size());
+    for (size_t c : col_indices) {
+      cells.push_back(table.At(rows[i], c).ToDisplay());
+    }
+    render.AddRow(std::move(cells));
+  }
+  return StringPrintf("results %zu-%zu of %zu\n",
+                      rows.empty() ? 0 : std::min(offset + 1, rows.size()),
+                      end, rows.size()) +
+         render.Render();
+}
+
+Status TpFacetSession::SetPivot(const std::string& attr) {
+  auto idx = facets_.discretized().IndexOf(attr);
+  if (!idx) return Status::NotFound("no attribute named '" + attr + "'");
+  Checkpoint();
+  pivot_attr_ = attr;
+  ++operation_count_;
+  InvalidateView();
+  return Status::OK();
+}
+
+void TpFacetSession::SetPivotValues(std::vector<std::string> values) {
+  Checkpoint();
+  pivot_values_ = std::move(values);
+  ++operation_count_;
+  InvalidateView();
+}
+
+void TpFacetSession::Checkpoint() {
+  ExplorationState state;
+  state.selections = facets_.selections();
+  state.pivot_attr = pivot_attr_;
+  state.pivot_values = pivot_values_;
+  history_.push_back(std::move(state));
+  // Bound memory for very long sessions.
+  constexpr size_t kMaxHistory = 256;
+  if (history_.size() > kMaxHistory) {
+    history_.erase(history_.begin());
+  }
+}
+
+Status TpFacetSession::Undo() {
+  if (history_.empty()) {
+    return Status::FailedPrecondition("nothing to undo");
+  }
+  ExplorationState state = std::move(history_.back());
+  history_.pop_back();
+  facets_.RestoreSelections(std::move(state.selections));
+  pivot_attr_ = std::move(state.pivot_attr);
+  pivot_values_ = std::move(state.pivot_values);
+  ++operation_count_;
+  InvalidateView();
+  return Status::OK();
+}
+
+Result<const CadView*> TpFacetSession::View() {
+  if (view_.has_value()) return const_cast<const CadView*>(&*view_);
+  if (pivot_attr_.empty()) {
+    return Status::FailedPrecondition("no pivot attribute selected");
+  }
+  CadViewOptions options = cad_defaults_;
+  options.pivot_attr = pivot_attr_;
+  options.pivot_values = pivot_values_;
+
+  Result<CadView> view = Status::Internal("unreached");
+  if (reuse_global_domain_) {
+    // Fast path: project the engine's full-table discretization onto the
+    // current result set (row ids coincide with discretized positions
+    // because the engine discretizes the whole table).
+    DiscretizedTable projected =
+        facets_.discretized().Project(facets_.result_rows());
+    view = BuildCadViewFromDiscretized(projected, options);
+  } else {
+    TableSlice slice{&facets_.table(), facets_.result_rows()};
+    view = BuildCadView(slice, options);
+  }
+  if (!view.ok()) return view.status();
+  last_timings_ = view->timings;
+  view_ = std::move(*view);
+  return const_cast<const CadView*>(&*view_);
+}
+
+Result<std::vector<IUnitRef>> TpFacetSession::ClickIUnit(
+    const std::string& pivot_value, size_t iunit_rank) {
+  DBX_ASSIGN_OR_RETURN(const CadView* v, View());
+  ++operation_count_;
+  return v->FindSimilarIUnits(pivot_value, iunit_rank, v->tau);
+}
+
+Result<std::vector<std::pair<std::string, double>>>
+TpFacetSession::ClickPivotValue(const std::string& pivot_value) {
+  DBX_ASSIGN_OR_RETURN(const CadView* v, View());
+  ++operation_count_;
+  auto ranked = v->RankRowsBySimilarity(pivot_value);
+  if (!ranked.ok()) return ranked.status();
+  // Mirror the UI: the stored view's rows adopt the new order.
+  DBX_RETURN_IF_ERROR(view_->ReorderRowsBySimilarity(pivot_value));
+  return ranked;
+}
+
+}  // namespace dbx

@@ -1,0 +1,167 @@
+// Copyright (c) DBExplorer reproduction authors.
+// TPFacet (paper §5): the two-phased faceted interface integrating the CAD
+// View. One phase shows the result panel (tuples), the other the CAD View;
+// the user toggles, selects a pivot with a radio button, clicks IUnits to
+// highlight similar ones, and clicks pivot values to reorder rows. This class
+// is that interface as a programmatic session — the user study's simulated
+// users drive exactly these entry points.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/cad_view.h"
+#include "src/core/cad_view_builder.h"
+#include "src/facet/facet_engine.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Which panel currently occupies the screen (the paper's two phases).
+enum class TpFacetPhase {
+  kResults,        // result-set phase: browse tuples
+  kQueryRevision,  // query-revision phase: the CAD View
+};
+
+/// An interactive TPFacet session over one table.
+class TpFacetSession {
+ public:
+  /// `cad_defaults.pivot_attr`/`pivot_values` are ignored; they come from
+  /// interaction.
+  static Result<TpFacetSession> Create(const Table* table,
+                                       const DiscretizerOptions& disc_options,
+                                       CadViewOptions cad_defaults);
+
+  // --- Query panel (shared by both phases) ---------------------------------
+
+  Status SelectValue(const std::string& attr, const std::string& label) {
+    Checkpoint();
+    InvalidateView();
+    Status st = facets_.SelectValue(attr, label);
+    if (!st.ok()) DropCheckpoint();
+    return st;
+  }
+  Status DeselectValue(const std::string& attr, const std::string& label) {
+    Checkpoint();
+    InvalidateView();
+    Status st = facets_.DeselectValue(attr, label);
+    if (!st.ok()) DropCheckpoint();
+    return st;
+  }
+  Status ClearAttribute(const std::string& attr) {
+    Checkpoint();
+    InvalidateView();
+    Status st = facets_.ClearAttribute(attr);
+    if (!st.ok()) DropCheckpoint();
+    return st;
+  }
+  void ResetSelections() {
+    Checkpoint();
+    InvalidateView();
+    facets_.Reset();
+  }
+
+  // --- Backtracking (paper §1: "choices in sequence, with some backtracking
+  // where needed") --------------------------------------------------------
+
+  /// True when Undo() has a state to restore.
+  bool CanUndo() const { return !history_.empty(); }
+
+  /// Restores the query panel and pivot to the state before the most recent
+  /// selection change / pivot change. Fails when there is nothing to undo.
+  Status Undo();
+
+  /// Number of exploration states recorded.
+  size_t history_depth() const { return history_.size(); }
+
+  // --- Results phase ---------------------------------------------------------
+
+  /// Renders one page of the current result set as an ASCII table (the
+  /// paper's results panel). `columns` empty = all attributes. Offsets past
+  /// the end yield an empty page, not an error.
+  Result<std::string> RenderResultPage(size_t offset, size_t limit,
+                                       const std::vector<std::string>& columns
+                                       = {}) const;
+
+  const FacetEngine& facets() const { return facets_; }
+  const RowSet& result_rows() const { return facets_.result_rows(); }
+
+  // --- Phase toggle ---------------------------------------------------------
+
+  TpFacetPhase phase() const { return phase_; }
+  void TogglePhase() {
+    phase_ = phase_ == TpFacetPhase::kResults ? TpFacetPhase::kQueryRevision
+                                              : TpFacetPhase::kResults;
+    ++operation_count_;
+  }
+
+  // --- CAD View interactions (query-revision phase) -------------------------
+
+  /// Radio-button pivot selection. Rebuilds the view lazily on next access.
+  Status SetPivot(const std::string& attr);
+
+  /// Restricts the view to specific pivot values (empty = all).
+  void SetPivotValues(std::vector<std::string> values);
+
+  /// The current CAD View, building it if stale. Requires SetPivot.
+  Result<const CadView*> View();
+
+  /// Click on an IUnit: returns similar IUnits across the view (threshold
+  /// tau from the build options), mirroring the paper's highlight effect.
+  Result<std::vector<IUnitRef>> ClickIUnit(const std::string& pivot_value,
+                                           size_t iunit_rank);
+
+  /// Click on a pivot value: reorders the view's rows by Algorithm-2
+  /// similarity and returns the new order with distances.
+  Result<std::vector<std::pair<std::string, double>>> ClickPivotValue(
+      const std::string& pivot_value);
+
+  /// Total interface operations (facet ops + toggles + CAD clicks); the
+  /// user-study cost model converts these into task time.
+  size_t operation_count() const {
+    return operation_count_ + facets_.operation_count();
+  }
+
+  /// Timings of the last view build (Fig 8 decomposition), if any.
+  std::optional<CadViewTimings> last_build_timings() const {
+    return last_timings_;
+  }
+
+  /// When true (default), CAD Views are built over a projection of the
+  /// engine's full-table discretization: facet labels stay identical across
+  /// interactions and re-builds skip re-binning entirely. Set false to
+  /// re-discretize each selected fragment (per-query bins, as in the paper's
+  /// worst-case timings).
+  void set_reuse_global_domain(bool reuse) { reuse_global_domain_ = reuse; }
+  bool reuse_global_domain() const { return reuse_global_domain_; }
+
+ private:
+  TpFacetSession() = default;
+  void InvalidateView() { view_.reset(); }
+
+  /// Snapshot of the undoable exploration state.
+  struct ExplorationState {
+    std::map<size_t, FacetSelection> selections;
+    std::string pivot_attr;
+    std::vector<std::string> pivot_values;
+  };
+  void Checkpoint();
+  void DropCheckpoint() {
+    if (!history_.empty()) history_.pop_back();
+  }
+
+  std::vector<ExplorationState> history_;
+  FacetEngine facets_;
+  CadViewOptions cad_defaults_;
+  std::string pivot_attr_;
+  std::vector<std::string> pivot_values_;
+  std::optional<CadView> view_;
+  std::optional<CadViewTimings> last_timings_;
+  TpFacetPhase phase_ = TpFacetPhase::kResults;
+  size_t operation_count_ = 0;
+  bool reuse_global_domain_ = true;
+};
+
+}  // namespace dbx

@@ -1,0 +1,102 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Faceted navigation (paper §5, Figure 1): the interaction model of the
+// Apache Solr baseline. A query panel holds per-attribute selections (values
+// OR-ed within an attribute, attributes AND-ed together); the engine keeps
+// the current result set and its summary digest.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/facet/facet_index.h"
+#include "src/facet/summary_digest.h"
+#include "src/relation/table.h"
+#include "src/stats/discretizer.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// One attribute's selection state inside the query panel.
+struct FacetSelection {
+  /// Selected discrete codes (into the engine's DiscretizedTable domain).
+  std::set<int32_t> codes;
+};
+
+/// Interactive faceted-navigation engine over one table. Only queriable
+/// attributes accept selections — the paper's Limitation 2 hinges on that
+/// distinction.
+class FacetEngine {
+ public:
+  /// Discretizes the full table once (the facet domain) and starts with an
+  /// empty selection (all rows).
+  static Result<FacetEngine> Create(const Table* table,
+                                    const DiscretizerOptions& options);
+
+  const Table& table() const { return *table_; }
+  const DiscretizedTable& discretized() const { return dt_; }
+
+  /// Toggles a value by label. Fails on unknown attribute/value or on a
+  /// non-queriable attribute.
+  Status SelectValue(const std::string& attr, const std::string& label);
+  Status DeselectValue(const std::string& attr, const std::string& label);
+
+  /// Clears one attribute's selections / the whole panel.
+  Status ClearAttribute(const std::string& attr);
+  void Reset();
+
+  /// Current selections (attr index -> selection).
+  const std::map<size_t, FacetSelection>& selections() const {
+    return selections_;
+  }
+
+  /// Replaces the whole selection state (session undo/restore). Counts as
+  /// one interface operation.
+  void RestoreSelections(std::map<size_t, FacetSelection> selections);
+
+  /// Result rows under the current selections (positions into the
+  /// discretized row order AND base-table row ids, which coincide because the
+  /// engine discretizes the full table).
+  const RowSet& result_rows() const { return result_rows_; }
+
+  /// Summary digest of the current result set — what the user sees in the
+  /// query panel.
+  SummaryDigest Digest() const;
+
+  /// Digest restricted to rows that additionally carry `attr = label`
+  /// ("select each of the given attribute values, one at a time, and compare
+  /// their summary digest" — the §6.2.2 Solr workflow).
+  Result<SummaryDigest> DigestForValue(const std::string& attr,
+                                       const std::string& label) const;
+
+  /// Multi-select facet counts for the query panel: `attr`'s value counts
+  /// computed with that attribute's own selections removed, so users can
+  /// widen a multi-selected facet (standard e-commerce behaviour).
+  Result<AttributeDigest> PanelCounts(const std::string& attr) const;
+
+  /// Number of interface operations performed so far (selection changes);
+  /// the user-study cost model reads this.
+  size_t operation_count() const { return operation_count_; }
+
+  /// Default-constructed engines are empty shells; use Create().
+  FacetEngine() = default;
+
+ private:
+  Result<std::pair<size_t, int32_t>> ResolveValue(const std::string& attr,
+                                                  const std::string& label,
+                                                  bool must_be_queriable) const;
+  void Recompute();
+
+  /// Selection state in the index's vector form.
+  std::vector<std::vector<int32_t>> SelectionVectors() const;
+
+  const Table* table_ = nullptr;
+  DiscretizedTable dt_;
+  FacetIndex index_;
+  std::map<size_t, FacetSelection> selections_;
+  RowSet result_rows_;
+  size_t operation_count_ = 0;
+};
+
+}  // namespace dbx

@@ -1,0 +1,104 @@
+#include "src/facet/facet_index.h"
+
+#include <algorithm>
+
+namespace dbx {
+
+size_t RowBitmap::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) {
+    total += static_cast<size_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
+void RowBitmap::IntersectWith(const RowBitmap& other) {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) words_[i] &= other.words_[i];
+  for (size_t i = n; i < words_.size(); ++i) words_[i] = 0;
+}
+
+void RowBitmap::UnionWith(const RowBitmap& other) {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) words_[i] |= other.words_[i];
+}
+
+void RowBitmap::SetAll() {
+  if (words_.empty()) return;
+  std::fill(words_.begin(), words_.end(), ~0ULL);
+  // Clear the tail beyond n_.
+  size_t tail = n_ & 63;
+  if (tail != 0) words_.back() = (1ULL << tail) - 1;
+}
+
+size_t RowBitmap::IntersectCount(const RowBitmap& other) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+RowSet RowBitmap::ToRowSet() const {
+  RowSet rows;
+  rows.reserve(Count());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word) {
+      int bit = __builtin_ctzll(word);
+      rows.push_back(static_cast<uint32_t>(w * 64 + static_cast<size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+  return rows;
+}
+
+FacetIndex FacetIndex::Build(const DiscretizedTable& dt) {
+  FacetIndex idx;
+  idx.num_rows_ = dt.num_rows();
+  idx.per_attr_.resize(dt.num_attrs());
+  for (size_t a = 0; a < dt.num_attrs(); ++a) {
+    const DiscreteAttr& attr = dt.attr(a);
+    idx.per_attr_[a].assign(attr.cardinality(), RowBitmap(dt.num_rows()));
+    for (size_t i = 0; i < attr.codes.size(); ++i) {
+      int32_t c = attr.codes[i];
+      if (c >= 0) idx.per_attr_[a][static_cast<size_t>(c)].Set(i);
+    }
+  }
+  return idx;
+}
+
+RowBitmap FacetIndex::EvaluateSelections(
+    const std::vector<std::vector<int32_t>>& selections) const {
+  RowBitmap result(num_rows_);
+  result.SetAll();
+  size_t n = std::min(selections.size(), per_attr_.size());
+  for (size_t a = 0; a < n; ++a) {
+    if (selections[a].empty()) continue;
+    RowBitmap attr_union(num_rows_);
+    for (int32_t code : selections[a]) {
+      if (code >= 0 && static_cast<size_t>(code) < per_attr_[a].size()) {
+        attr_union.UnionWith(per_attr_[a][static_cast<size_t>(code)]);
+      }
+    }
+    result.IntersectWith(attr_union);
+  }
+  return result;
+}
+
+std::vector<uint64_t> FacetIndex::MultiSelectCounts(
+    const std::vector<std::vector<int32_t>>& selections, size_t attr) const {
+  // Selection state with `attr` unconstrained.
+  std::vector<std::vector<int32_t>> rest = selections;
+  if (attr < rest.size()) rest[attr].clear();
+  RowBitmap base = EvaluateSelections(rest);
+
+  std::vector<uint64_t> counts(per_attr_[attr].size(), 0);
+  for (size_t c = 0; c < per_attr_[attr].size(); ++c) {
+    counts[c] = base.IntersectCount(per_attr_[attr][c]);
+  }
+  return counts;
+}
+
+}  // namespace dbx

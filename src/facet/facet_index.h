@@ -1,0 +1,89 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Bitmap index over a discretized table: one bitset per (attribute, value).
+// This is the data structure a production faceted-search engine (the paper's
+// Apache Solr baseline) keeps under its query panel — selection evaluation
+// and facet counting become word-parallel AND/popcount loops instead of
+// per-row scans.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/relation/table.h"
+#include "src/stats/discretizer.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Dense bitset over row positions with the operations facet counting needs.
+class RowBitmap {
+ public:
+  RowBitmap() = default;
+  explicit RowBitmap(size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  size_t size() const { return n_; }
+
+  void Set(size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// this &= other (sizes must match).
+  void IntersectWith(const RowBitmap& other);
+
+  /// this |= other (sizes must match).
+  void UnionWith(const RowBitmap& other);
+
+  /// Sets every bit in [0, size()).
+  void SetAll();
+
+  /// popcount(this & other) without materializing.
+  size_t IntersectCount(const RowBitmap& other) const;
+
+  /// Set bit positions, ascending.
+  RowSet ToRowSet() const;
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// The per-value bitmap index.
+class FacetIndex {
+ public:
+  /// Builds bitmaps for every (attribute, value) of `dt`.
+  static FacetIndex Build(const DiscretizedTable& dt);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_attrs() const { return per_attr_.size(); }
+
+  /// Bitmap of rows carrying value `code` of attribute `attr`.
+  const RowBitmap& ValueBitmap(size_t attr, int32_t code) const {
+    return per_attr_[attr][static_cast<size_t>(code)];
+  }
+
+  size_t Cardinality(size_t attr) const { return per_attr_[attr].size(); }
+
+  /// Evaluates a facet selection state (per attribute: the selected codes;
+  /// empty vector = attribute unconstrained): OR within an attribute, AND
+  /// across attributes. Returns the matching rows as a bitmap.
+  RowBitmap EvaluateSelections(
+      const std::vector<std::vector<int32_t>>& selections) const;
+
+  /// Multi-select facet counts for `attr`: counts of each of its values over
+  /// the selection state with `attr`'s OWN selections removed — the standard
+  /// e-commerce behaviour that lets users widen a multi-selected facet.
+  /// Returns one count per value code.
+  std::vector<uint64_t> MultiSelectCounts(
+      const std::vector<std::vector<int32_t>>& selections, size_t attr) const;
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<std::vector<RowBitmap>> per_attr_;  // [attr][code]
+};
+
+}  // namespace dbx

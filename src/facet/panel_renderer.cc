@@ -1,0 +1,60 @@
+#include "src/facet/panel_renderer.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace dbx {
+
+std::string RenderQueryPanel(const FacetEngine& engine,
+                             const PanelRenderOptions& options) {
+  const DiscretizedTable& dt = engine.discretized();
+  std::string out = StringPrintf("query panel — %zu of %zu tuples selected\n",
+                                 engine.result_rows().size(), dt.num_rows());
+
+  for (size_t a = 0; a < dt.num_attrs(); ++a) {
+    const DiscreteAttr& attr = dt.attr(a);
+    if (attr.cardinality() == 0) continue;
+    if (!attr.queriable && !options.show_hidden_attrs) continue;
+
+    out += attr.name;
+    if (!attr.queriable) out += " (hidden)";
+    out += "\n";
+
+    auto counts = engine.PanelCounts(attr.name);
+    if (!counts.ok()) continue;
+    const auto& selections = engine.selections();
+    auto sel_it = selections.find(a);
+
+    // Most frequent first.
+    std::vector<size_t> order(attr.cardinality());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+      return counts->counts[x] > counts->counts[y];
+    });
+
+    size_t shown = 0;
+    size_t hidden_tail = 0;
+    for (size_t code : order) {
+      uint64_t n = counts->counts[code];
+      if (n == 0 && options.hide_zero_counts) continue;
+      if (shown >= options.max_values_per_attr) {
+        ++hidden_tail;
+        continue;
+      }
+      bool selected =
+          sel_it != selections.end() &&
+          sel_it->second.codes.count(static_cast<int32_t>(code)) > 0;
+      out += StringPrintf("  [%c] %s (%llu)\n", selected ? 'x' : ' ',
+                          attr.labels[code].c_str(),
+                          static_cast<unsigned long long>(n));
+      ++shown;
+    }
+    if (hidden_tail > 0) {
+      out += StringPrintf("      ... +%zu more\n", hidden_tail);
+    }
+  }
+  return out;
+}
+
+}  // namespace dbx

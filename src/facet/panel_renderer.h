@@ -1,0 +1,37 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Query-panel rendering — the textual equivalent of the paper's Figure 1
+// (the cars.com-style facet sidebar): every queriable attribute with its
+// values, multi-select counts, and selection markers.
+
+#pragma once
+
+#include <string>
+
+#include "src/facet/facet_engine.h"
+
+namespace dbx {
+
+struct PanelRenderOptions {
+  /// Max values listed per attribute (most frequent first; a "+N more" line
+  /// summarizes the tail).
+  size_t max_values_per_attr = 6;
+  /// Skip values whose multi-select count is zero.
+  bool hide_zero_counts = true;
+  /// Include non-queriable attributes (greyed-out "(hidden)" sections) so
+  /// the Limitation-2 gap is visible in the rendering.
+  bool show_hidden_attrs = false;
+};
+
+/// Renders the engine's current query panel:
+///
+///   BodyType
+///     [x] SUV (812)
+///     [ ] Sedan (423)
+///   ...
+///
+/// Counts follow multi-select faceting semantics (an attribute's own
+/// selections do not constrain its counts).
+std::string RenderQueryPanel(const FacetEngine& engine,
+                             const PanelRenderOptions& options);
+
+}  // namespace dbx

@@ -1,0 +1,72 @@
+#include "src/facet/summary_digest.h"
+
+#include <algorithm>
+
+#include "src/stats/cosine.h"
+
+namespace dbx {
+
+std::optional<size_t> SummaryDigest::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i].attr_name == name) return i;
+  }
+  return std::nullopt;
+}
+
+SummaryDigest BuildDigest(const DiscretizedTable& dt,
+                          const std::vector<size_t>& positions) {
+  SummaryDigest d;
+  d.result_size = positions.size();
+  d.attrs.reserve(dt.num_attrs());
+  for (size_t a = 0; a < dt.num_attrs(); ++a) {
+    const DiscreteAttr& attr = dt.attr(a);
+    AttributeDigest ad;
+    ad.attr_name = attr.name;
+    ad.labels = attr.labels;
+    ad.counts.assign(attr.cardinality(), 0);
+    for (size_t pos : positions) {
+      int32_t code = attr.codes[pos];
+      if (code >= 0) ++ad.counts[static_cast<size_t>(code)];
+    }
+    d.attrs.push_back(std::move(ad));
+  }
+  return d;
+}
+
+SummaryDigest BuildDigest(const DiscretizedTable& dt) {
+  std::vector<size_t> all(dt.num_rows());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return BuildDigest(dt, all);
+}
+
+double DigestCosineSimilarity(const SummaryDigest& a, const SummaryDigest& b) {
+  size_t n = std::min(a.attrs.size(), b.attrs.size());
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += CosineSimilarity(a.attrs[i].AsVector(), b.attrs[i].AsVector());
+  }
+  return total / static_cast<double>(n);
+}
+
+double RetrievalError(const RowSet& target, const RowSet& obtained) {
+  if (target.empty()) return obtained.empty() ? 0.0 : 1.0;
+  // Both RowSets are ascending; a merge walk counts the symmetric difference.
+  size_t i = 0, j = 0, sym_diff = 0;
+  while (i < target.size() && j < obtained.size()) {
+    if (target[i] == obtained[j]) {
+      ++i;
+      ++j;
+    } else if (target[i] < obtained[j]) {
+      ++sym_diff;
+      ++i;
+    } else {
+      ++sym_diff;
+      ++j;
+    }
+  }
+  sym_diff += (target.size() - i) + (obtained.size() - j);
+  return static_cast<double>(sym_diff) / static_cast<double>(target.size());
+}
+
+}  // namespace dbx

@@ -1,0 +1,62 @@
+// Copyright (c) DBExplorer reproduction authors.
+// The faceted interface's "summary digest" (paper §5): for the current result
+// set, every attribute's value counts. This is what the Solr baseline shows
+// its users, the comparison tool given to them in the user study (§6.2.2),
+// and the result-similarity measure of task 3 (§6.2.3).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/relation/table.h"
+#include "src/stats/discretizer.h"
+#include "src/stats/frequency.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Value counts of one attribute over a result set.
+struct AttributeDigest {
+  std::string attr_name;
+  std::vector<std::string> labels;  // discrete domain of the attribute
+  std::vector<uint64_t> counts;     // parallel to labels
+
+  std::vector<double> AsVector() const {
+    std::vector<double> v(counts.size());
+    for (size_t i = 0; i < counts.size(); ++i) {
+      v[i] = static_cast<double>(counts[i]);
+    }
+    return v;
+  }
+};
+
+/// Per-attribute value counts for a whole result set.
+struct SummaryDigest {
+  std::vector<AttributeDigest> attrs;
+  size_t result_size = 0;
+
+  /// Index of attribute `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+};
+
+/// Builds the digest from an already-discretized fragment, counting only the
+/// given row positions (positions into dt's row order). Pass all positions
+/// for the full fragment.
+SummaryDigest BuildDigest(const DiscretizedTable& dt,
+                          const std::vector<size_t>& positions);
+
+/// Builds the digest for the whole discretized fragment.
+SummaryDigest BuildDigest(const DiscretizedTable& dt);
+
+/// Mean per-attribute cosine similarity between two digests over the SAME
+/// discretization (labels must align). Range [0, 1]. This is the metric the
+/// user study gave Solr users for comparing attribute values (§6.2.2).
+double DigestCosineSimilarity(const SummaryDigest& a, const SummaryDigest& b);
+
+/// Retrieval error between a target result set and an obtained one (§6.2.3):
+/// |target Δ obtained| / |target| over raw row ids — 0 when identical, grows
+/// with both misses and spurious rows.
+double RetrievalError(const RowSet& target, const RowSet& obtained);
+
+}  // namespace dbx

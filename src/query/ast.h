@@ -1,0 +1,103 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Parsed statements of the CADVIEW SQL dialect (paper §2.1.2):
+//
+//   CREATE CADVIEW v AS SET pivot = attr SELECT a1, a2 FROM t [WHERE ...]
+//     [LIMIT COLUMNS m] [IUNITS k] [ORDER BY attr [ASC|DESC], ...]
+//   HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(value, rank) > threshold
+//   REORDER ROWS IN v ORDER BY SIMILARITY(value) [DESC]
+//   SELECT ... FROM t [WHERE ...] [ORDER BY a [ASC|DESC], ...] [LIMIT n]
+//   DESCRIBE t
+//   SHOW TABLES | SHOW CADVIEWS
+//   DROP CADVIEW v
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/relation/predicate.h"
+
+namespace dbx {
+
+/// Aggregate functions for GROUP BY queries.
+enum class AggFn { kCount, kAvg, kSum, kMin, kMax };
+
+/// One item of an aggregate SELECT list: either a grouping column
+/// (fn unset) or an aggregate over an attribute ("*" for COUNT(*)).
+struct SelectItem {
+  std::optional<AggFn> fn;
+  std::string attr;  // empty for COUNT(*)
+};
+
+/// Plain lookup query.
+struct SelectStmt {
+  bool star = false;
+  std::vector<std::string> columns;  // empty iff star (plain projection)
+  /// Aggregate form: non-empty items + group_by make this a GROUP BY query
+  /// (columns/star are then unused).
+  std::vector<SelectItem> items;
+  std::vector<std::string> group_by;
+  std::string table;
+  PredicatePtr where;  // may be null (no WHERE)
+  /// ORDER BY columns, applied left to right (attr, ascending). For
+  /// aggregate queries the names refer to output columns (e.g. "count",
+  /// "avg_Price", or a grouping attribute).
+  std::vector<std::pair<std::string, bool>> order_by;
+  std::optional<size_t> limit;
+
+  bool is_aggregate() const { return !items.empty(); }
+};
+
+/// The exploratory-search statement.
+struct CreateCadViewStmt {
+  std::string view_name;
+  std::string pivot_attr;
+  std::vector<std::string> compare_attrs;  // explicit SELECT list (may be empty)
+  std::string table;
+  PredicatePtr where;  // may be null
+  std::optional<size_t> limit_columns;  // M
+  std::optional<size_t> iunits;         // K
+  /// ORDER BY attr [ASC|DESC] — sorts each row's IUnits by the named
+  /// attribute's representative value.
+  std::vector<std::pair<std::string, bool>> order_by;  // (attr, ascending)
+};
+
+/// Problem 3 as a statement.
+struct HighlightStmt {
+  std::string view_name;
+  std::string pivot_value;
+  size_t iunit_rank = 1;  // 1-based, as in the paper's SIMILARITY(value, 3)
+  double threshold = 0.0;
+};
+
+/// Problem 4 as a statement.
+struct ReorderStmt {
+  std::string view_name;
+  std::string pivot_value;
+  bool descending = true;  // ORDER BY SIMILARITY(...) DESC
+};
+
+/// Schema/profile inspection: DESCRIBE <table>.
+struct DescribeStmt {
+  std::string table;
+};
+
+/// View removal: DROP CADVIEW <name>.
+struct DropCadViewStmt {
+  std::string view_name;
+};
+
+/// Catalog listing: SHOW TABLES / SHOW CADVIEWS.
+struct ShowStmt {
+  enum class What { kTables, kCadViews };
+  What what = What::kTables;
+};
+
+using Statement =
+    std::variant<SelectStmt, CreateCadViewStmt, HighlightStmt, ReorderStmt,
+                 DescribeStmt, ShowStmt, DropCadViewStmt>;
+
+}  // namespace dbx

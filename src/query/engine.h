@@ -1,0 +1,83 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Statement execution: a catalog of registered tables, named CAD Views, and
+// the bridge from parsed statements to the core builder. This is the
+// programmatic equivalent of the paper's extended-SQL examples in §2.1.2.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cad_view.h"
+#include "src/core/cad_view_builder.h"
+#include "src/query/ast.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// What a statement produced.
+struct ExecOutcome {
+  enum class Kind { kSelection, kCadView, kHighlight, kReorder, kDescribe,
+                    kShow, kDrop };
+  Kind kind = Kind::kSelection;
+
+  // kSelection
+  const Table* table = nullptr;
+  RowSet rows;
+  std::vector<std::string> projected_columns;
+  /// For aggregate (GROUP BY) queries: the materialized result table that
+  /// `table` points at. Null for plain selections.
+  std::shared_ptr<Table> derived;
+
+  // kCadView / kHighlight / kReorder
+  std::string view_name;
+  const CadView* view = nullptr;
+
+  // kHighlight
+  std::vector<IUnitRef> highlights;
+
+  /// Pre-rendered text (CAD View table, highlight summary, ...) for REPLs.
+  std::string rendered;
+};
+
+/// The exploratory-search engine: executes dialect statements against
+/// registered tables and keeps created CAD Views by name.
+class Engine {
+ public:
+  /// Registers `table` under `name`; the table must outlive the engine.
+  /// Re-registering a name replaces it.
+  void RegisterTable(const std::string& name, const Table* table);
+
+  /// Default options applied to every CREATE CADVIEW (seed, discretizer,
+  /// optimizations); statement clauses override M/K/pivot/attrs.
+  void SetDefaultCadViewOptions(CadViewOptions options) {
+    defaults_ = std::move(options);
+  }
+
+  /// Parses and executes one statement.
+  Result<ExecOutcome> ExecuteSql(const std::string& sql);
+
+  /// Executes an already-parsed statement.
+  Result<ExecOutcome> Execute(Statement statement);
+
+  /// Fetches a stored view; Status::NotFound for unknown names.
+  Result<const CadView*> GetView(const std::string& name) const;
+
+ private:
+  Result<ExecOutcome> ExecuteSelect(SelectStmt stmt);
+  Result<ExecOutcome> ExecuteAggregate(const Table& table, SelectStmt stmt);
+  Result<ExecOutcome> ExecuteCreateCadView(CreateCadViewStmt stmt);
+  Result<ExecOutcome> ExecuteHighlight(const HighlightStmt& stmt);
+  Result<ExecOutcome> ExecuteReorder(const ReorderStmt& stmt);
+  Result<ExecOutcome> ExecuteDescribe(const DescribeStmt& stmt);
+  Result<ExecOutcome> ExecuteShow(const ShowStmt& stmt);
+  Result<ExecOutcome> ExecuteDrop(const DropCadViewStmt& stmt);
+
+  std::map<std::string, const Table*> tables_;
+  std::map<std::string, std::unique_ptr<CadView>> views_;
+  CadViewOptions defaults_;
+};
+
+}  // namespace dbx

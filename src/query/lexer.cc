@@ -1,0 +1,152 @@
+#include "src/query/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "src/util/string_util.h"
+
+namespace dbx {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "CREATE",  "CADVIEW", "AS",       "SET",     "PIVOT",   "SELECT",
+      "FROM",    "WHERE",   "LIMIT",    "COLUMNS", "IUNITS",  "ORDER",
+      "BY",      "ASC",     "DESC",     "AND",     "OR",      "NOT",
+      "BETWEEN", "IN",      "HIGHLIGHT","SIMILAR", "SIMILARITY", "REORDER",
+      "ROWS",    "TRUE",    "FALSE",    "IS",      "NULL",    "DISTINCT",
+      "GROUP",   "COUNT",   "AVG",      "SUM",     "MIN",     "MAX",
+      "DESCRIBE","SHOW",    "TABLES",   "CADVIEWS", "DROP",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper_word) {
+  return Keywords().count(upper_word) > 0;
+}
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+
+    if (c == '\'') {  // string literal with '' escape
+      std::string body;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            body += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          body += sql[i++];
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(body);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        ++i;
+      }
+      double value;
+      if (!ParseDouble(sql.substr(start, i - start), &value)) {
+        return Status::InvalidArgument("bad numeric literal at offset " +
+                                       std::to_string(start));
+      }
+      // The paper's shorthand: 10K, 30K, 1.5M.
+      if (i < n && (sql[i] == 'K' || sql[i] == 'k')) {
+        value *= 1e3;
+        ++i;
+      } else if (i < n && (sql[i] == 'M' || sql[i] == 'm') &&
+                 !(i + 1 < n && IsIdentChar(sql[i + 1]))) {
+        value *= 1e6;
+        ++i;
+      }
+      tok.type = TokenType::kNumber;
+      tok.number = value;
+      tok.text = sql.substr(start, i - start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = std::move(word);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Operators.
+    auto two = [&](const char* op) {
+      return i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1];
+    };
+    if (two("!=") || two("<>")) {
+      tok.type = TokenType::kOperator;
+      tok.text = "!=";
+      i += 2;
+    } else if (two("<=") || two(">=")) {
+      tok.type = TokenType::kOperator;
+      tok.text = sql.substr(i, 2);
+      i += 2;
+    } else if (std::string("=<>(),*.;").find(c) != std::string::npos) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at offset " +
+                                     std::to_string(i));
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace dbx

@@ -1,0 +1,23 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Tokenizer for the CADVIEW SQL dialect. Handles the paper's numeric
+// shorthand (10K, 1.5M), single-quoted strings with '' escapes, and
+// case-insensitive keywords.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/query/token.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Tokenizes `sql`. The final token is always kEnd. Fails on unterminated
+/// strings and unexpected characters.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+/// True when `word` (upper-cased) is a keyword of the dialect.
+bool IsKeyword(const std::string& upper_word);
+
+}  // namespace dbx

@@ -1,0 +1,453 @@
+#include "src/query/parser.h"
+
+#include <cmath>
+
+#include "src/query/lexer.h"
+#include "src/util/string_util.h"
+
+namespace dbx {
+namespace {
+
+/// Token cursor with expectation helpers. All Parse* methods return Status /
+/// Result and never throw.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    if (AcceptKeyword("CREATE")) return ParseCreateCadView();
+    if (AcceptKeyword("HIGHLIGHT")) return ParseHighlight();
+    if (AcceptKeyword("REORDER")) return ParseReorder();
+    if (AcceptKeyword("SELECT")) return ParseSelect();
+    if (AcceptKeyword("DESCRIBE")) {
+      DescribeStmt stmt;
+      DBX_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+      DBX_RETURN_IF_ERROR(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("DROP")) {
+      DBX_RETURN_IF_ERROR(ExpectKeyword("CADVIEW"));
+      DropCadViewStmt stmt;
+      DBX_ASSIGN_OR_RETURN(stmt.view_name, ExpectIdentifier("view name"));
+      DBX_RETURN_IF_ERROR(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("SHOW")) {
+      ShowStmt stmt;
+      if (AcceptKeyword("TABLES")) {
+        stmt.what = ShowStmt::What::kTables;
+      } else if (AcceptKeyword("CADVIEWS")) {
+        stmt.what = ShowStmt::What::kCadViews;
+      } else {
+        return Err("expected TABLES or CADVIEWS");
+      }
+      DBX_RETURN_IF_ERROR(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    return Err("expected CREATE CADVIEW, HIGHLIGHT, REORDER, SELECT, "
+               "DESCRIBE, or SHOW");
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Cur().type == TokenType::kKeyword && Cur().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptOperator(const char* op) {
+    if (Cur().type == TokenType::kOperator && Cur().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (AcceptKeyword(kw)) return Status::OK();
+    return Status::InvalidArgument(ErrMsg(std::string("expected ") + kw));
+  }
+
+  Status ExpectOperator(const char* op) {
+    if (AcceptOperator(op)) return Status::OK();
+    return Status::InvalidArgument(ErrMsg(std::string("expected '") + op + "'"));
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Cur().type == TokenType::kIdentifier) {
+      std::string s = Cur().text;
+      ++pos_;
+      return s;
+    }
+    return Status::InvalidArgument(ErrMsg(std::string("expected ") + what));
+  }
+
+  /// Like ExpectIdentifier, but also accepts the aggregate keywords so
+  /// output columns named "count"/"avg_..." can appear in ORDER BY.
+  Result<std::string> ExpectColumnName(const char* what) {
+    if (Cur().type == TokenType::kKeyword &&
+        (Cur().text == "COUNT" || Cur().text == "AVG" || Cur().text == "SUM" ||
+         Cur().text == "MIN" || Cur().text == "MAX")) {
+      std::string s = ToLower(Cur().text);
+      ++pos_;
+      return s;
+    }
+    return ExpectIdentifier(what);
+  }
+
+  Result<double> ExpectNumber(const char* what) {
+    if (Cur().type == TokenType::kNumber) {
+      double v = Cur().number;
+      ++pos_;
+      return v;
+    }
+    return Status::InvalidArgument(ErrMsg(std::string("expected ") + what));
+  }
+
+  Status ExpectEnd() {
+    AcceptOperator(";");
+    if (Cur().type == TokenType::kEnd) return Status::OK();
+    return Status::InvalidArgument(ErrMsg("unexpected trailing input"));
+  }
+
+  std::string ErrMsg(const std::string& what) const {
+    return what + " at offset " + std::to_string(Cur().offset) +
+           (Cur().text.empty() ? "" : " (near '" + Cur().text + "')");
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(ErrMsg(what));
+  }
+
+  // --- WHERE expressions ----------------------------------------------------
+
+  Result<PredicatePtr> ParseOr() {
+    DBX_ASSIGN_OR_RETURN(PredicatePtr left, ParseAnd());
+    if (Cur().type == TokenType::kKeyword && Cur().text == "OR") {
+      std::vector<PredicatePtr> children;
+      children.push_back(std::move(left));
+      while (AcceptKeyword("OR")) {
+        DBX_ASSIGN_OR_RETURN(PredicatePtr next, ParseAnd());
+        children.push_back(std::move(next));
+      }
+      return MakeOr(std::move(children));
+    }
+    return left;
+  }
+
+  Result<PredicatePtr> ParseAnd() {
+    DBX_ASSIGN_OR_RETURN(PredicatePtr left, ParseUnary());
+    if (Cur().type == TokenType::kKeyword && Cur().text == "AND") {
+      std::vector<PredicatePtr> children;
+      children.push_back(std::move(left));
+      while (AcceptKeyword("AND")) {
+        DBX_ASSIGN_OR_RETURN(PredicatePtr next, ParseUnary());
+        children.push_back(std::move(next));
+      }
+      return MakeAnd(std::move(children));
+    }
+    return left;
+  }
+
+  Result<PredicatePtr> ParseUnary() {
+    if (AcceptKeyword("NOT")) {
+      DBX_ASSIGN_OR_RETURN(PredicatePtr child, ParseUnary());
+      return MakeNot(std::move(child));
+    }
+    if (AcceptOperator("(")) {
+      DBX_ASSIGN_OR_RETURN(PredicatePtr inner, ParseOr());
+      DBX_RETURN_IF_ERROR(ExpectOperator(")"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  /// A literal on the right-hand side of a comparison: number, 'string', or
+  /// bareword (the paper writes Make = Jeep without quotes).
+  Result<Value> ParseLiteral() {
+    if (Cur().type == TokenType::kNumber) {
+      double v = Cur().number;
+      ++pos_;
+      return Value(v);
+    }
+    if (Cur().type == TokenType::kString) {
+      std::string s = Cur().text;
+      ++pos_;
+      return Value(s);
+    }
+    if (Cur().type == TokenType::kIdentifier ||
+        (Cur().type == TokenType::kKeyword &&
+         (Cur().text == "TRUE" || Cur().text == "FALSE"))) {
+      // Barewords and TRUE/FALSE become categorical strings; the paper's
+      // Mushroom tasks use Bruises = true.
+      std::string s = Cur().type == TokenType::kKeyword ? ToLower(Cur().text)
+                                                        : Cur().text;
+      ++pos_;
+      return Value(s);
+    }
+    return Status::InvalidArgument(ErrMsg("expected literal"));
+  }
+
+  Result<PredicatePtr> ParseComparison() {
+    DBX_ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier("attribute name"));
+
+    if (AcceptKeyword("BETWEEN")) {
+      DBX_ASSIGN_OR_RETURN(double lo, ExpectNumber("lower bound"));
+      DBX_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      DBX_ASSIGN_OR_RETURN(double hi, ExpectNumber("upper bound"));
+      if (lo > hi) return Err("BETWEEN bounds out of order");
+      return MakeBetween(std::move(attr), lo, hi);
+    }
+    if (AcceptKeyword("IN")) {
+      DBX_RETURN_IF_ERROR(ExpectOperator("("));
+      std::vector<std::string> values;
+      do {
+        DBX_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        values.push_back(v.is_string() ? v.AsString() : v.ToDisplay());
+      } while (AcceptOperator(","));
+      DBX_RETURN_IF_ERROR(ExpectOperator(")"));
+      return MakeIn(std::move(attr), std::move(values));
+    }
+    if (AcceptKeyword("NOT")) {
+      DBX_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      DBX_RETURN_IF_ERROR(ExpectOperator("("));
+      std::vector<std::string> values;
+      do {
+        DBX_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        values.push_back(v.is_string() ? v.AsString() : v.ToDisplay());
+      } while (AcceptOperator(","));
+      DBX_RETURN_IF_ERROR(ExpectOperator(")"));
+      return MakeNot(MakeIn(std::move(attr), std::move(values)));
+    }
+
+    CmpOp op;
+    if (AcceptOperator("=")) {
+      op = CmpOp::kEq;
+    } else if (AcceptOperator("!=")) {
+      op = CmpOp::kNe;
+    } else if (AcceptOperator("<=")) {
+      op = CmpOp::kLe;
+    } else if (AcceptOperator(">=")) {
+      op = CmpOp::kGe;
+    } else if (AcceptOperator("<")) {
+      op = CmpOp::kLt;
+    } else if (AcceptOperator(">")) {
+      op = CmpOp::kGt;
+    } else {
+      return Err("expected comparison operator");
+    }
+    DBX_ASSIGN_OR_RETURN(Value rhs, ParseLiteral());
+    return MakeCmp(std::move(attr), op, std::move(rhs));
+  }
+
+  // --- Statements -------------------------------------------------------------
+
+  /// One SELECT-list item: a column, COUNT(*), or AGG(attr).
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    auto agg_of = [&](const char* kw, AggFn fn) -> bool {
+      if (AcceptKeyword(kw)) {
+        item.fn = fn;
+        return true;
+      }
+      return false;
+    };
+    if (agg_of("COUNT", AggFn::kCount) || agg_of("AVG", AggFn::kAvg) ||
+        agg_of("SUM", AggFn::kSum) || agg_of("MIN", AggFn::kMin) ||
+        agg_of("MAX", AggFn::kMax)) {
+      DBX_RETURN_IF_ERROR(ExpectOperator("("));
+      if (item.fn == AggFn::kCount && AcceptOperator("*")) {
+        // COUNT(*): attr stays empty.
+      } else {
+        DBX_ASSIGN_OR_RETURN(item.attr, ExpectIdentifier("attribute name"));
+      }
+      DBX_RETURN_IF_ERROR(ExpectOperator(")"));
+      return item;
+    }
+    DBX_ASSIGN_OR_RETURN(item.attr, ExpectIdentifier("column name"));
+    return item;
+  }
+
+  Result<Statement> ParseSelect() {
+    SelectStmt stmt;
+    std::vector<SelectItem> items;
+    if (AcceptOperator("*")) {
+      stmt.star = true;
+    } else {
+      do {
+        DBX_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+        items.push_back(std::move(item));
+      } while (AcceptOperator(","));
+    }
+    DBX_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DBX_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("WHERE")) {
+      DBX_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      DBX_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        DBX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("group column"));
+        stmt.group_by.push_back(std::move(col));
+      } while (AcceptOperator(","));
+    }
+    // Classify the select list: any aggregate (or a GROUP BY) makes this an
+    // aggregate query; otherwise keep the plain projection form.
+    bool has_agg = false;
+    for (const SelectItem& it : items) has_agg |= it.fn.has_value();
+    if (has_agg || !stmt.group_by.empty()) {
+      if (stmt.star) return Err("SELECT * cannot be combined with GROUP BY");
+      stmt.items = std::move(items);
+      for (const SelectItem& it : stmt.items) {
+        if (it.fn.has_value()) continue;
+        bool grouped = false;
+        for (const std::string& g : stmt.group_by) grouped |= g == it.attr;
+        if (!grouped) {
+          return Err("non-aggregate column '" + it.attr +
+                     "' must appear in GROUP BY");
+        }
+      }
+    } else {
+      for (SelectItem& it : items) stmt.columns.push_back(std::move(it.attr));
+    }
+    if (AcceptKeyword("ORDER")) {
+      DBX_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        DBX_ASSIGN_OR_RETURN(std::string col, ExpectColumnName("order column"));
+        bool asc = true;
+        if (AcceptKeyword("DESC")) {
+          asc = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt.order_by.emplace_back(std::move(col), asc);
+      } while (AcceptOperator(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      DBX_ASSIGN_OR_RETURN(double n, ExpectNumber("LIMIT count"));
+      if (n < 0 || n != std::floor(n)) return Err("LIMIT must be a whole number");
+      stmt.limit = static_cast<size_t>(n);
+    }
+    DBX_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCreateCadView() {
+    DBX_RETURN_IF_ERROR(ExpectKeyword("CADVIEW"));
+    CreateCadViewStmt stmt;
+    DBX_ASSIGN_OR_RETURN(stmt.view_name, ExpectIdentifier("view name"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("PIVOT"));
+    DBX_RETURN_IF_ERROR(ExpectOperator("="));
+    DBX_ASSIGN_OR_RETURN(stmt.pivot_attr, ExpectIdentifier("pivot attribute"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (!AcceptOperator("*")) {
+      do {
+        DBX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        stmt.compare_attrs.push_back(std::move(col));
+      } while (AcceptOperator(","));
+    }
+    DBX_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DBX_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("WHERE")) {
+      DBX_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (AcceptKeyword("LIMIT")) {
+      DBX_RETURN_IF_ERROR(ExpectKeyword("COLUMNS"));
+      DBX_ASSIGN_OR_RETURN(double m, ExpectNumber("column limit"));
+      if (m < 1 || m != std::floor(m)) return Err("LIMIT COLUMNS must be >= 1");
+      stmt.limit_columns = static_cast<size_t>(m);
+    }
+    if (AcceptKeyword("IUNITS")) {
+      DBX_ASSIGN_OR_RETURN(double k, ExpectNumber("IUNITS count"));
+      if (k < 1 || k != std::floor(k)) return Err("IUNITS must be >= 1");
+      stmt.iunits = static_cast<size_t>(k);
+    }
+    if (AcceptKeyword("ORDER")) {
+      DBX_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        DBX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("order column"));
+        bool asc = true;
+        if (AcceptKeyword("DESC")) {
+          asc = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt.order_by.emplace_back(std::move(col), asc);
+      } while (AcceptOperator(","));
+    }
+    DBX_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseHighlight() {
+    DBX_RETURN_IF_ERROR(ExpectKeyword("SIMILAR"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("IUNITS"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("IN"));
+    HighlightStmt stmt;
+    DBX_ASSIGN_OR_RETURN(stmt.view_name, ExpectIdentifier("view name"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("SIMILARITY"));
+    DBX_RETURN_IF_ERROR(ExpectOperator("("));
+    DBX_ASSIGN_OR_RETURN(stmt.pivot_value, ParsePivotValue());
+    DBX_RETURN_IF_ERROR(ExpectOperator(","));
+    DBX_ASSIGN_OR_RETURN(double rank, ExpectNumber("IUnit rank"));
+    if (rank < 1 || rank != std::floor(rank)) return Err("IUnit rank must be >= 1");
+    stmt.iunit_rank = static_cast<size_t>(rank);
+    DBX_RETURN_IF_ERROR(ExpectOperator(")"));
+    DBX_RETURN_IF_ERROR(ExpectOperator(">"));
+    DBX_ASSIGN_OR_RETURN(stmt.threshold, ExpectNumber("similarity threshold"));
+    DBX_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseReorder() {
+    DBX_RETURN_IF_ERROR(ExpectKeyword("ROWS"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("IN"));
+    ReorderStmt stmt;
+    DBX_ASSIGN_OR_RETURN(stmt.view_name, ExpectIdentifier("view name"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("ORDER"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    DBX_RETURN_IF_ERROR(ExpectKeyword("SIMILARITY"));
+    DBX_RETURN_IF_ERROR(ExpectOperator("("));
+    DBX_ASSIGN_OR_RETURN(stmt.pivot_value, ParsePivotValue());
+    DBX_RETURN_IF_ERROR(ExpectOperator(")"));
+    if (AcceptKeyword("ASC")) {
+      stmt.descending = false;
+    } else {
+      AcceptKeyword("DESC");
+    }
+    DBX_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  /// A pivot value inside SIMILARITY(...): bareword or quoted string.
+  Result<std::string> ParsePivotValue() {
+    if (Cur().type == TokenType::kIdentifier ||
+        Cur().type == TokenType::kString) {
+      std::string s = Cur().text;
+      ++pos_;
+      return s;
+    }
+    return Status::InvalidArgument(ErrMsg("expected pivot value"));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  auto toks = Lex(sql);
+  if (!toks.ok()) return toks.status();
+  Parser p(std::move(*toks));
+  return p.ParseStatement();
+}
+
+}  // namespace dbx

@@ -1,0 +1,17 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Recursive-descent parser for the CADVIEW SQL dialect.
+
+#pragma once
+
+#include <string>
+
+#include "src/query/ast.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Parses one statement (optionally ';'-terminated). Fails with
+/// InvalidArgument and a position-bearing message on syntax errors.
+Result<Statement> ParseStatement(const std::string& sql);
+
+}  // namespace dbx

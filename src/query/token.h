@@ -1,0 +1,26 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Token model for the CADVIEW SQL dialect (paper §2.1.2).
+
+#pragma once
+
+#include <string>
+
+namespace dbx {
+
+enum class TokenType {
+  kEnd,
+  kIdentifier,  // bareword: attribute, table, view names, or bare values
+  kNumber,      // numeric literal (K/M suffixes already expanded)
+  kString,      // 'quoted literal'
+  kKeyword,     // normalized upper-case SQL keyword
+  kOperator,    // = != < <= > >= ( ) , * . ;
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // identifier/keyword/operator spelling, string body
+  double number = 0.0; // for kNumber
+  size_t offset = 0;   // byte offset in the input, for error messages
+};
+
+}  // namespace dbx

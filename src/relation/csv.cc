@@ -1,0 +1,152 @@
+#include "src/relation/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace dbx {
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one CSV record honoring quotes. `pos` advances past the record's
+/// trailing newline. Returns false at end of input.
+bool NextRecord(const std::string& csv, size_t* pos,
+                std::vector<std::string>* fields) {
+  if (*pos >= csv.size()) return false;
+  fields->clear();
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < csv.size(); ++i) {
+    char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // Swallow; handles CRLF.
+    } else {
+      cur += c;
+    }
+  }
+  fields->push_back(std::move(cur));
+  *pos = i;
+  return true;
+}
+
+}  // namespace
+
+std::string ToCsvString(const Table& table) {
+  std::string out;
+  const Schema& s = table.schema();
+  {
+    std::vector<std::string> header;
+    header.reserve(s.size());
+    for (const auto& a : s.attrs()) header.push_back(QuoteField(a.name));
+    out += Join(header, ",");
+    out += '\n';
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> fields;
+    fields.reserve(s.size());
+    for (size_t c = 0; c < s.size(); ++c) {
+      fields.push_back(QuoteField(table.At(r, c).ToDisplay()));
+    }
+    out += Join(fields, ",");
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::NotFound("cannot open for write: " + path);
+  f << ToCsvString(table);
+  if (!f) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ParseCsvString(const std::string& csv, const Schema& schema) {
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  if (!NextRecord(csv, &pos, &fields)) {
+    return Status::Corruption("empty CSV: no header");
+  }
+  if (fields.size() != schema.size()) {
+    return Status::Corruption(
+        "CSV header arity " + std::to_string(fields.size()) +
+        " != schema arity " + std::to_string(schema.size()));
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (std::string(Trim(fields[i])) != schema.attr(i).name) {
+      return Status::Corruption("CSV header mismatch at column " +
+                                std::to_string(i) + ": got '" + fields[i] +
+                                "', want '" + schema.attr(i).name + "'");
+    }
+  }
+
+  Table table(schema);
+  std::vector<Value> row(schema.size());
+  size_t line = 1;
+  while (NextRecord(csv, &pos, &fields)) {
+    ++line;
+    if (fields.size() == 1 && fields[0].empty()) continue;  // trailing newline
+    if (fields.size() != schema.size()) {
+      return Status::Corruption("CSV arity mismatch at line " +
+                                std::to_string(line));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      const std::string& f = fields[i];
+      if (f.empty()) {
+        row[i] = Value::Null();
+      } else if (schema.attr(i).type == AttrType::kCategorical) {
+        row[i] = Value(f);
+      } else {
+        double d;
+        row[i] = ParseDouble(f, &d) ? Value(d) : Value::Null();
+      }
+    }
+    DBX_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ParseCsvString(ss.str(), schema);
+}
+
+}  // namespace dbx

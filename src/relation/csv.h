@@ -1,0 +1,28 @@
+// Copyright (c) DBExplorer reproduction authors.
+// CSV import/export so the synthetic datasets can be saved, inspected, and
+// re-loaded, and so users can point the library at their own data.
+
+#pragma once
+
+#include <string>
+
+#include "src/relation/table.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Writes `table` (header + rows) to `path` with RFC-4180-style quoting.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Serializes `table` to a CSV string.
+std::string ToCsvString(const Table& table);
+
+/// Reads a CSV with a header row into a table following `schema`. Header
+/// names must match the schema's attribute names (order-sensitive). Numeric
+/// cells that fail to parse become nulls; empty cells are nulls.
+Result<Table> ReadCsv(const std::string& path, const Schema& schema);
+
+/// Parses a CSV string (same semantics as ReadCsv).
+Result<Table> ParseCsvString(const std::string& csv, const Schema& schema);
+
+}  // namespace dbx

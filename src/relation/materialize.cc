@@ -1,0 +1,44 @@
+#include "src/relation/materialize.h"
+
+namespace dbx {
+
+Result<Table> MaterializeSlice(const TableSlice& slice,
+                               const std::vector<std::string>& columns) {
+  if (slice.table == nullptr) {
+    return Status::InvalidArgument("null table in slice");
+  }
+  const Table& src = *slice.table;
+
+  std::vector<size_t> col_indices;
+  std::vector<AttributeDef> attrs;
+  if (columns.empty()) {
+    for (size_t i = 0; i < src.num_cols(); ++i) {
+      col_indices.push_back(i);
+      attrs.push_back(src.schema().attr(i));
+    }
+  } else {
+    for (const std::string& name : columns) {
+      auto idx = src.schema().IndexOf(name);
+      if (!idx) return Status::NotFound("no attribute named '" + name + "'");
+      col_indices.push_back(*idx);
+      attrs.push_back(src.schema().attr(*idx));
+    }
+  }
+
+  DBX_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+  Table out(std::move(schema));
+  std::vector<Value> row(col_indices.size());
+  for (uint32_t r : slice.rows) {
+    if (r >= src.num_rows()) {
+      return Status::OutOfRange("row id " + std::to_string(r) +
+                                " out of range");
+    }
+    for (size_t c = 0; c < col_indices.size(); ++c) {
+      row[c] = src.At(r, col_indices[c]);
+    }
+    DBX_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace dbx

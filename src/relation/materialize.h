@@ -1,0 +1,21 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Materialization: turning a (slice, projection) back into a standalone
+// Table — result-set export for the REPL, CSV dumps of selections, and test
+// fixtures.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/relation/table.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Copies the given rows and columns of `slice` into a new Table. An empty
+/// `columns` list keeps every attribute. Fails on unknown column names.
+Result<Table> MaterializeSlice(const TableSlice& slice,
+                               const std::vector<std::string>& columns = {});
+
+}  // namespace dbx

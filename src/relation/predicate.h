@@ -1,0 +1,66 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Predicate trees for selections. These are what a WHERE clause, a facet
+// selection, or an exploratory-task condition compiles to.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/relation/table.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Comparison operators for leaf predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// A boolean condition over one tuple. Build leaves with the factory
+/// functions, combine with And/Or/Not, then Evaluate over a table.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// True iff the predicate accepts `row` of `table`.
+  /// Null cells never satisfy comparison leaves (SQL-like semantics).
+  virtual bool Matches(const Table& table, uint32_t row) const = 0;
+
+  /// Human-readable SQL-ish rendering, for logs and tests.
+  virtual std::string ToString() const = 0;
+
+  /// Binds attribute names to column indices; Status::NotFound on unknown
+  /// attributes. Must be called (directly or via Evaluate) before Matches.
+  virtual Status Bind(const Schema& schema) = 0;
+
+  /// Binds and evaluates over `slice`, returning the accepted rows (ascending).
+  static Result<RowSet> Evaluate(Predicate* pred, const TableSlice& slice);
+};
+
+using PredicatePtr = std::unique_ptr<Predicate>;
+
+/// attr <op> value. Numeric comparisons on numeric columns, lexicographic
+/// equality (kEq/kNe only) on categorical columns.
+PredicatePtr MakeCmp(std::string attr, CmpOp op, Value value);
+
+/// lo <= attr <= hi (numeric columns).
+PredicatePtr MakeBetween(std::string attr, double lo, double hi);
+
+/// attr IN (values...) for categorical columns.
+PredicatePtr MakeIn(std::string attr, std::vector<std::string> values);
+
+/// Conjunction; an empty child list accepts every row.
+PredicatePtr MakeAnd(std::vector<PredicatePtr> children);
+
+/// Disjunction; an empty child list rejects every row.
+PredicatePtr MakeOr(std::vector<PredicatePtr> children);
+
+/// Negation.
+PredicatePtr MakeNot(PredicatePtr child);
+
+/// Always-true predicate (the empty WHERE clause).
+PredicatePtr MakeTrue();
+
+}  // namespace dbx

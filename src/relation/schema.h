@@ -1,0 +1,66 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Relation schemas: ordered, named, typed attributes.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relation/value.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace dbx {
+
+/// One attribute (column) of a relation.
+struct AttributeDef {
+  std::string name;
+  AttrType type = AttrType::kCategorical;
+  /// Whether the attribute is exposed in the query interface. The paper's
+  /// Limitation 2 ("Querying Hidden Attributes") hinges on attributes that
+  /// exist in the data but are not queriable through the interface.
+  bool queriable = true;
+};
+
+/// Ordered set of attributes with name lookup. Immutable once built.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; fails on duplicate or empty attribute names.
+  static Result<Schema> Make(std::vector<AttributeDef> attrs) {
+    Schema s;
+    for (auto& a : attrs) {
+      if (a.name.empty()) {
+        return Status::InvalidArgument("attribute with empty name");
+      }
+      if (s.index_.count(a.name)) {
+        return Status::InvalidArgument("duplicate attribute: " + a.name);
+      }
+      s.index_[a.name] = s.attrs_.size();
+      s.attrs_.push_back(std::move(a));
+    }
+    return s;
+  }
+
+  size_t size() const { return attrs_.size(); }
+  const AttributeDef& attr(size_t i) const { return attrs_[i]; }
+  const std::vector<AttributeDef>& attrs() const { return attrs_; }
+
+  /// Index of `name`, or nullopt when absent.
+  std::optional<size_t> IndexOf(const std::string& name) const {
+    auto it = index_.find(name);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(const std::string& name) const { return index_.count(name) > 0; }
+
+ private:
+  std::vector<AttributeDef> attrs_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace dbx

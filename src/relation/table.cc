@@ -1,0 +1,43 @@
+#include "src/relation/table.h"
+
+namespace dbx {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  cols_.reserve(schema_.size());
+  for (const AttributeDef& a : schema_.attrs()) {
+    cols_.push_back(std::make_unique<Column>(a.type));
+  }
+}
+
+Result<const Column*> Table::ColByName(const std::string& name) const {
+  auto idx = schema_.IndexOf(name);
+  if (!idx) return Status::NotFound("no attribute named '" + name + "'");
+  return cols_[*idx].get();
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.size()));
+  }
+  // Validate before mutating so a failed append leaves the table unchanged.
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    bool type_ok = schema_.attr(i).type == AttrType::kCategorical
+                       ? v.is_string()
+                       : v.is_number();
+    if (!type_ok) {
+      return Status::InvalidArgument(
+          "type mismatch at attribute '" + schema_.attr(i).name + "'");
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    cols_[i]->AppendValue(row[i]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+}  // namespace dbx

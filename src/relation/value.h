@@ -1,0 +1,63 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Cell values for the in-memory relational engine.
+
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "src/util/string_util.h"
+
+namespace dbx {
+
+/// Logical attribute types. The CAD View pipeline treats attributes either as
+/// categorical (string-valued, dictionary encoded) or numeric (double), with
+/// numeric attributes discretized into bins before summarization (paper
+/// §2.2.1: "cardinality reduction ... as in histogram construction").
+enum class AttrType {
+  kCategorical,
+  kNumeric,
+};
+
+inline const char* AttrTypeName(AttrType t) {
+  return t == AttrType::kCategorical ? "categorical" : "numeric";
+}
+
+/// A single cell: null, a categorical string, or a numeric double.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+  explicit Value(double d) : v_(d) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+
+  /// Requires is_string().
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  /// Requires is_number().
+  double AsNumber() const { return std::get<double>(v_); }
+
+  /// Display form: "" for null, the string, or a trimmed numeral.
+  std::string ToDisplay() const {
+    if (is_null()) return "";
+    if (is_string()) return AsString();
+    double d = AsNumber();
+    if (d == static_cast<int64_t>(d)) {
+      return std::to_string(static_cast<int64_t>(d));
+    }
+    return FormatDouble(d, 3);
+  }
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::monostate, std::string, double> v_;
+};
+
+}  // namespace dbx

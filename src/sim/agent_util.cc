@@ -1,0 +1,67 @@
+#include "src/sim/agent_util.h"
+
+#include <algorithm>
+
+namespace dbx {
+
+std::string Candidate::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) s += " AND ";
+    s += conditions[i].attr + "=" + conditions[i].value;
+  }
+  return s;
+}
+
+size_t IntersectionSize(const RowSet& a, const RowSet& b) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++n;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return n;
+}
+
+double F1OfRows(const RowSet& rows, const RowSet& positives) {
+  if (rows.empty() || positives.empty()) return 0.0;
+  size_t tp = IntersectionSize(rows, positives);
+  if (tp == 0) return 0.0;
+  double precision = static_cast<double>(tp) / static_cast<double>(rows.size());
+  double recall = static_cast<double>(tp) / static_cast<double>(positives.size());
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+std::vector<std::pair<std::string, uint64_t>> TopValuesWithin(
+    const FacetEngine& engine, size_t attr_index, const RowSet& rows) {
+  const DiscreteAttr& attr = engine.discretized().attr(attr_index);
+  std::vector<uint64_t> counts(attr.cardinality(), 0);
+  for (uint32_t r : rows) {
+    int32_t code = attr.codes[r];
+    if (code >= 0) ++counts[static_cast<size_t>(code)];
+  }
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0) out.emplace_back(attr.labels[c], counts[c]);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+bool IsGivenCondition(const std::vector<ValueCondition>& given,
+                      const std::string& attr, const std::string& value) {
+  for (const ValueCondition& g : given) {
+    if (g.attr == attr && g.value == value) return true;
+  }
+  return false;
+}
+
+}  // namespace dbx

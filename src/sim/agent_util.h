@@ -1,0 +1,42 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Shared helpers for the simulated agents: candidate bookkeeping and the
+// facet-level quantities (counts, coverage, overlap) a user reads off the
+// screen during a task.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/facet/facet_engine.h"
+#include "src/sim/tasks.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// A candidate answer being considered by an agent: 1-2 value conditions with
+/// the agent's (possibly noisy) estimate of its merit.
+struct Candidate {
+  std::vector<ValueCondition> conditions;
+  double estimate = 0.0;  // agent-side score (noisy); higher is better
+
+  std::string ToString() const;
+};
+
+/// |a ∩ b| for ascending RowSets.
+size_t IntersectionSize(const RowSet& a, const RowSet& b);
+
+/// Exact F1 of `rows` as a retrieval of `positives`.
+double F1OfRows(const RowSet& rows, const RowSet& positives);
+
+/// Values of `attr` (labels) sorted by descending count within `rows`.
+/// Zero-count values are dropped.
+std::vector<std::pair<std::string, uint64_t>> TopValuesWithin(
+    const FacetEngine& engine, size_t attr_index, const RowSet& rows);
+
+/// True when (attr,value) equals any of `given`.
+bool IsGivenCondition(const std::vector<ValueCondition>& given,
+                      const std::string& attr, const std::string& value);
+
+}  // namespace dbx

@@ -1,0 +1,80 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Simulated participants: one strategy per (interface, task type). Each
+// agent performs the same operations a human would issue against that
+// interface; a CostMeter converts them into task time, and the task's exact
+// scoring function grades the final answer (see DESIGN.md §3 sub. 3).
+//
+// The Solr agents only ever see what the Solr baseline showed study
+// participants: the query panel, result counts, and the summary digest.
+// The TPFacet agents additionally see the CAD View built over the current
+// selection, exactly as §5 describes.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/cad_view_builder.h"
+#include "src/facet/facet_engine.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/tasks.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// The grade and cost of one simulated task execution.
+struct TaskOutcome {
+  double quality = 0.0;  // F1 / pair rank / retrieval error
+  double minutes = 0.0;
+  size_t operations = 0;
+  std::string answer;  // human-readable final answer
+};
+
+/// Tunables shared by all agents.
+struct AgentConfig {
+  /// CAD View build options used by TPFacet agents (pivot filled per task).
+  CadViewOptions cad;
+  /// How many candidate values an agent verifies exactly with facet trials.
+  size_t verify_budget = 4;
+  /// How many attributes a Solr user examines before settling (classifier
+  /// task); TPFacet users read ranked Compare Attributes instead.
+  size_t solr_attr_budget = 8;
+};
+
+// --- §6.2.1 Simple Classifier ------------------------------------------------
+
+Result<TaskOutcome> SolrClassifier(const FacetEngine& engine,
+                                   const ClassifierTask& task,
+                                   const UserProfile& user,
+                                   const AgentConfig& config);
+
+Result<TaskOutcome> TpFacetClassifier(const FacetEngine& engine,
+                                      const ClassifierTask& task,
+                                      const UserProfile& user,
+                                      const AgentConfig& config);
+
+// --- §6.2.2 Most Similar Attribute-Value Pair --------------------------------
+
+Result<TaskOutcome> SolrSimilarPair(const FacetEngine& engine,
+                                    const SimilarPairTask& task,
+                                    const UserProfile& user,
+                                    const AgentConfig& config);
+
+Result<TaskOutcome> TpFacetSimilarPair(const FacetEngine& engine,
+                                       const SimilarPairTask& task,
+                                       const UserProfile& user,
+                                       const AgentConfig& config);
+
+// --- §6.2.3 Alternative Search Condition -------------------------------------
+
+Result<TaskOutcome> SolrAlternative(const FacetEngine& engine,
+                                    const AlternativeTask& task,
+                                    const UserProfile& user,
+                                    const AgentConfig& config);
+
+Result<TaskOutcome> TpFacetAlternative(const FacetEngine& engine,
+                                       const AlternativeTask& task,
+                                       const UserProfile& user,
+                                       const AgentConfig& config);
+
+}  // namespace dbx

@@ -1,0 +1,52 @@
+#include "src/sim/cost_model.h"
+
+#include <cmath>
+
+namespace dbx {
+
+double BaselineSeconds(UserOp op) {
+  switch (op) {
+    case UserOp::kFacetSelect: return 5.0;
+    case UserOp::kFacetDeselect: return 3.0;
+    case UserOp::kResetSelections: return 3.0;
+    case UserOp::kReadResultCount: return 2.0;
+    case UserOp::kScanDigestAttr: return 4.0;
+    case UserOp::kCompareDigestAttr: return 9.0;
+    case UserOp::kCosineByHand: return 65.0;  // per value pair, calculator
+    case UserOp::kToggleView: return 2.0;
+    case UserOp::kSetPivot: return 4.0;
+    case UserOp::kAwaitCadBuild: return 2.0;
+    case UserOp::kReadIUnit: return 6.0;
+    case UserOp::kClickIUnit: return 3.0;
+    case UserOp::kClickPivotValue: return 3.0;
+    case UserOp::kNoteDown: return 8.0;
+  }
+  return 1.0;
+}
+
+UserProfile UserProfile::Make(size_t id, uint64_t study_seed) {
+  Rng rng(study_seed * 7919 + id * 104729 + 17);
+  UserProfile p;
+  p.id = id;
+  p.speed = 0.8 + 0.5 * rng.NextDouble();
+  p.care = 0.75 + 0.5 * rng.NextDouble();
+  p.seed = rng.NextU64();
+  return p;
+}
+
+double CostMeter::Charge(UserOp op, size_t count) {
+  double added = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    double jitter = std::exp(rng_->NextGaussian(0.0, 0.25));
+    added += BaselineSeconds(op) * user_.speed * jitter;
+  }
+  total_seconds_ += added;
+  operation_count_ += count;
+  return added;
+}
+
+double CostMeter::Perceive(double value, double noise_scale) {
+  return value + rng_->NextGaussian(0.0, noise_scale / user_.care);
+}
+
+}  // namespace dbx

@@ -1,0 +1,76 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Interaction-cost model for the simulated user study (DESIGN.md §3
+// substitution 3). Each interface operation a human would perform is charged
+// a baseline duration; per-user speed factors and log-normal noise produce
+// the between-user variation visible in the paper's Figures 2-7. Baselines
+// are calibrated so the Solr arm lands in the paper's observed 8-16 minute
+// range and TPFacet in the 1-4 minute range.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace dbx {
+
+/// Everything a simulated user can do, with a cost.
+enum class UserOp {
+  kFacetSelect,        // find and click a value in the query panel
+  kFacetDeselect,
+  kResetSelections,
+  kReadResultCount,    // read the hit count
+  kScanDigestAttr,     // read one attribute's value counts in the digest
+  kCompareDigestAttr,  // numerically compare one attribute between digests
+  kCosineByHand,       // evaluate the given cosine metric for one value pair
+  kToggleView,         // switch panels (TPFacet phases)
+  kSetPivot,           // radio-button pivot selection
+  kAwaitCadBuild,      // wait for the CAD View to compute
+  kReadIUnit,          // read one IUnit's labels
+  kClickIUnit,         // highlight-similar click
+  kClickPivotValue,    // reorder-rows click
+  kNoteDown,           // write down an intermediate result
+};
+
+/// Baseline seconds for one execution of `op` by an average user.
+double BaselineSeconds(UserOp op);
+
+/// A simulated participant: a speed factor (how fast they operate) and a
+/// care factor (how precisely they read numbers off the screen).
+struct UserProfile {
+  size_t id = 0;
+  double speed = 1.0;  // multiplies every operation's duration
+  double care = 1.0;   // divides perception noise
+  uint64_t seed = 0;
+
+  /// Deterministic profile for user `id`: speed in ~[0.8, 1.3], care in
+  /// ~[0.75, 1.25].
+  static UserProfile Make(size_t id, uint64_t study_seed);
+};
+
+/// Accumulates a task's wall-clock time from charged operations.
+class CostMeter {
+ public:
+  CostMeter(const UserProfile& user, Rng* rng) : user_(user), rng_(rng) {}
+
+  /// Charges `count` executions of `op`, with per-execution log-normal
+  /// jitter (sigma 0.25). Returns the seconds added.
+  double Charge(UserOp op, size_t count = 1);
+
+  double total_seconds() const { return total_seconds_; }
+  double total_minutes() const { return total_seconds_ / 60.0; }
+  size_t operation_count() const { return operation_count_; }
+
+  /// Adds Gaussian perception noise to a value the user reads or estimates;
+  /// higher-care users read more precisely.
+  double Perceive(double value, double noise_scale);
+
+ private:
+  UserProfile user_;
+  Rng* rng_;
+  double total_seconds_ = 0.0;
+  size_t operation_count_ = 0;
+};
+
+}  // namespace dbx

@@ -1,0 +1,272 @@
+// Simulated users working the Apache Solr faceted baseline (§6). They see
+// only the query panel, result counts, and summary digests; every piece of
+// evidence they use is charged through the CostMeter.
+
+#include <algorithm>
+
+#include "src/sim/agent_util.h"
+#include "src/sim/agents.h"
+
+namespace dbx {
+namespace {
+
+uint64_t TaskSeed(const UserProfile& user, const std::string& task_id) {
+  uint64_t h = user.seed;
+  for (char c : task_id) h = h * 1099511628211ULL + static_cast<uint8_t>(c);
+  return h;
+}
+
+}  // namespace
+
+Result<TaskOutcome> SolrClassifier(const FacetEngine& engine,
+                                   const ClassifierTask& task,
+                                   const UserProfile& user,
+                                   const AgentConfig& config) {
+  Rng rng(TaskSeed(user, task.id));
+  CostMeter meter(user, &rng);
+  const DiscretizedTable& dt = engine.discretized();
+
+  DBX_ASSIGN_OR_RETURN(
+      RowSet positives,
+      RowsMatching(engine, {{task.target_attr, task.target_value}}));
+
+  // Select the target class and study the class-conditioned digest.
+  meter.Charge(UserOp::kFacetSelect);
+  meter.Charge(UserOp::kReadResultCount);
+
+  // The user does not know which attributes discriminate; they walk the
+  // panel from a somewhat arbitrary starting point and examine as many
+  // attributes as their patience allows.
+  std::vector<size_t> attr_order;
+  auto target_idx = dt.IndexOf(task.target_attr);
+  for (size_t a = 0; a < dt.num_attrs(); ++a) {
+    if (target_idx && a == *target_idx) continue;
+    if (dt.attr(a).cardinality() < 2) continue;
+    bool excluded = false;
+    for (const std::string& name : task.excluded_attrs) {
+      excluded |= dt.attr(a).name == name;
+    }
+    if (excluded) continue;
+    attr_order.push_back(a);
+  }
+  size_t start = static_cast<size_t>(rng.NextBounded(attr_order.size()));
+  std::rotate(attr_order.begin(), attr_order.begin() + start, attr_order.end());
+  size_t budget = std::min(attr_order.size(),
+                           config.solr_attr_budget +
+                               static_cast<size_t>(rng.NextBounded(4)));
+
+  std::vector<Candidate> singles;
+  for (size_t i = 0; i < budget; ++i) {
+    size_t a = attr_order[i];
+    meter.Charge(UserOp::kScanDigestAttr);
+    meter.Charge(UserOp::kNoteDown);
+    auto top = TopValuesWithin(engine, a, positives);
+    size_t consider = std::min<size_t>(2, top.size());
+    for (size_t v = 0; v < consider; ++v) {
+      // Estimating precision needs the value's overall count too — another
+      // panel read per value.
+      meter.Charge(UserOp::kCompareDigestAttr);
+      Candidate c;
+      c.conditions = {{dt.attr(a).name, top[v].first}};
+      DBX_ASSIGN_OR_RETURN(RowSet rows, RowsMatching(engine, c.conditions));
+      c.estimate = meter.Perceive(F1OfRows(rows, positives), 0.08);
+      singles.push_back(std::move(c));
+    }
+  }
+  if (singles.empty()) {
+    return Status::FailedPrecondition("classifier task found no candidates");
+  }
+  std::stable_sort(singles.begin(), singles.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.estimate > b.estimate;
+                   });
+  meter.Charge(UserOp::kNoteDown);
+
+  // Verify the most promising singles exactly with facet trials.
+  std::vector<Candidate> verified;
+  size_t verify = std::min(config.verify_budget, singles.size());
+  for (size_t i = 0; i < verify; ++i) {
+    meter.Charge(UserOp::kFacetSelect);
+    meter.Charge(UserOp::kReadResultCount);
+    meter.Charge(UserOp::kCompareDigestAttr);
+    meter.Charge(UserOp::kFacetDeselect);
+    Candidate c = singles[i];
+    DBX_ASSIGN_OR_RETURN(RowSet rows, RowsMatching(engine, c.conditions));
+    // Manual precision/recall arithmetic across two digests is error-prone.
+    c.estimate = meter.Perceive(F1OfRows(rows, positives), 0.03);
+    verified.push_back(std::move(c));
+  }
+
+  // Try pairing the best verified singles (hit-and-trial combinations).
+  size_t top_n = std::min<size_t>(3, verified.size());
+  for (size_t i = 0; i < top_n; ++i) {
+    for (size_t j = i + 1; j < top_n; ++j) {
+      Candidate c;
+      c.conditions = {verified[i].conditions[0], verified[j].conditions[0]};
+      if (c.conditions[0] == c.conditions[1]) continue;
+      meter.Charge(UserOp::kFacetSelect, 2);
+      meter.Charge(UserOp::kReadResultCount);
+      meter.Charge(UserOp::kCompareDigestAttr);
+      meter.Charge(UserOp::kResetSelections);
+      DBX_ASSIGN_OR_RETURN(RowSet rows, RowsMatching(engine, c.conditions));
+      c.estimate = meter.Perceive(F1OfRows(rows, positives), 0.03);
+      verified.push_back(std::move(c));
+    }
+  }
+  meter.Charge(UserOp::kNoteDown);
+
+  const Candidate* best = &verified[0];
+  for (const Candidate& c : verified) {
+    if (c.estimate > best->estimate) best = &c;
+  }
+  TaskOutcome out;
+  DBX_ASSIGN_OR_RETURN(out.quality,
+                       ClassifierF1(engine, task, best->conditions));
+  out.minutes = meter.total_minutes();
+  out.operations = meter.operation_count();
+  out.answer = best->ToString();
+  return out;
+}
+
+Result<TaskOutcome> SolrSimilarPair(const FacetEngine& engine,
+                                    const SimilarPairTask& task,
+                                    const UserProfile& user,
+                                    const AgentConfig& config) {
+  (void)config;
+  Rng rng(TaskSeed(user, task.id));
+  CostMeter meter(user, &rng);
+  size_t num_attrs = engine.discretized().num_attrs();
+
+  // Select each value in turn and write down its summary digest.
+  for (size_t v = 0; v < task.values.size(); ++v) {
+    meter.Charge(UserOp::kFacetSelect);
+    meter.Charge(UserOp::kScanDigestAttr, num_attrs);
+    meter.Charge(UserOp::kNoteDown);
+    meter.Charge(UserOp::kFacetDeselect);
+  }
+
+  // Evaluate the given cosine metric for every pair, by hand.
+  std::pair<std::string, std::string> best_pair;
+  double best_sim = -1.0;
+  for (size_t i = 0; i < task.values.size(); ++i) {
+    for (size_t j = i + 1; j < task.values.size(); ++j) {
+      meter.Charge(UserOp::kCosineByHand);
+      DBX_ASSIGN_OR_RETURN(
+          double sim, ValuePairSimilarity(engine, task.attr, task.values[i],
+                                          task.values[j]));
+      double perceived = meter.Perceive(sim, 0.015);
+      if (perceived > best_sim) {
+        best_sim = perceived;
+        best_pair = {task.values[i], task.values[j]};
+      }
+    }
+  }
+
+  TaskOutcome out;
+  DBX_ASSIGN_OR_RETURN(int rank, SimilarPairRank(engine, task, best_pair));
+  out.quality = static_cast<double>(rank);
+  out.minutes = meter.total_minutes();
+  out.operations = meter.operation_count();
+  out.answer = best_pair.first + " ~ " + best_pair.second;
+  return out;
+}
+
+Result<TaskOutcome> SolrAlternative(const FacetEngine& engine,
+                                    const AlternativeTask& task,
+                                    const UserProfile& user,
+                                    const AgentConfig& config) {
+  Rng rng(TaskSeed(user, task.id));
+  CostMeter meter(user, &rng);
+  const DiscretizedTable& dt = engine.discretized();
+
+  DBX_ASSIGN_OR_RETURN(RowSet target, RowsMatching(engine, task.given));
+  if (target.empty()) {
+    return Status::FailedPrecondition("alternative task target is empty");
+  }
+
+  // Apply the given conditions and memorize the resulting digest.
+  meter.Charge(UserOp::kFacetSelect, task.given.size());
+  meter.Charge(UserOp::kReadResultCount);
+  meter.Charge(UserOp::kScanDigestAttr, dt.num_attrs());
+  meter.Charge(UserOp::kNoteDown, 2);
+
+  // Candidate singles: values dominating the target digest, perceived with
+  // noise (the user eyeballs counts across the whole panel).
+  std::vector<Candidate> pool;
+  for (size_t a = 0; a < dt.num_attrs(); ++a) {
+    auto top = TopValuesWithin(engine, a, target);
+    if (top.empty()) continue;
+    const auto& [label, count] = top[0];
+    if (IsGivenCondition(task.given, dt.attr(a).name, label)) continue;
+    Candidate c;
+    c.conditions = {{dt.attr(a).name, label}};
+    double coverage =
+        static_cast<double>(count) / static_cast<double>(target.size());
+    c.estimate = meter.Perceive(coverage, 0.08);
+    pool.push_back(std::move(c));
+  }
+  if (pool.empty()) {
+    return Status::FailedPrecondition("alternative task found no candidates");
+  }
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.estimate > b.estimate;
+                   });
+
+  // Hit-and-trial: try promising singles, then combinations of the best two.
+  struct Tried {
+    Candidate cand;
+    double observed_err = 0.0;
+    double true_err = 0.0;
+  };
+  std::vector<Tried> tried;
+  auto try_candidate = [&](const Candidate& c) -> Status {
+    meter.Charge(UserOp::kResetSelections);
+    meter.Charge(UserOp::kFacetSelect, c.conditions.size());
+    meter.Charge(UserOp::kReadResultCount);
+    meter.Charge(UserOp::kCompareDigestAttr, 3);
+    auto err = AlternativeRetrievalError(engine, task, c.conditions);
+    if (!err.ok()) return err.status();
+    Tried t;
+    t.cand = c;
+    t.true_err = *err;
+    t.observed_err = std::max(0.0, meter.Perceive(*err, 0.08));
+    tried.push_back(std::move(t));
+    return Status::OK();
+  };
+
+  size_t single_trials = std::min(pool.size(), config.verify_budget + 2);
+  for (size_t i = 0; i < single_trials; ++i) {
+    DBX_RETURN_IF_ERROR(try_candidate(pool[i]));
+  }
+  // Combine the two best-observed singles (and the next pairing) when they
+  // use different attributes.
+  std::stable_sort(tried.begin(), tried.end(),
+                   [](const Tried& a, const Tried& b) {
+                     return a.observed_err < b.observed_err;
+                   });
+  size_t base_count = tried.size();
+  for (size_t i = 0; i + 1 < std::min<size_t>(3, base_count); ++i) {
+    for (size_t j = i + 1; j < std::min<size_t>(3, base_count); ++j) {
+      const auto& ci = tried[i].cand.conditions[0];
+      const auto& cj = tried[j].cand.conditions[0];
+      if (ci.attr == cj.attr) continue;
+      Candidate c;
+      c.conditions = {ci, cj};
+      DBX_RETURN_IF_ERROR(try_candidate(c));
+    }
+  }
+
+  const Tried* best = &tried[0];
+  for (const Tried& t : tried) {
+    if (t.observed_err < best->observed_err) best = &t;
+  }
+  TaskOutcome out;
+  out.quality = best->true_err;
+  out.minutes = meter.total_minutes();
+  out.operations = meter.operation_count();
+  out.answer = best->cand.ToString();
+  return out;
+}
+
+}  // namespace dbx

@@ -1,0 +1,135 @@
+#include "src/sim/study.h"
+
+#include <algorithm>
+
+#include "src/analysis/descriptive.h"
+
+namespace dbx {
+
+StudyConfig StudyConfig::Default() {
+  StudyConfig c;
+  c.agent.cad.max_compare_attrs = 8;
+  c.agent.cad.iunits_per_value = 3;
+  c.agent.cad.feature_selection.significance = 0.05;
+  c.agent.cad.discretizer.max_numeric_bins = 8;
+  c.agent.cad.seed = 97;
+  return c;
+}
+
+std::vector<StudyRecord> StudyResults::Of(char task_type, bool tpfacet) const {
+  std::vector<StudyRecord> out;
+  for (const StudyRecord& r : records) {
+    if (r.task_type == task_type && r.tpfacet == tpfacet) out.push_back(r);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StudyRecord& a, const StudyRecord& b) {
+                     return a.user < b.user;
+                   });
+  return out;
+}
+
+Result<StudyResults> RunUserStudy(const Table* mushroom,
+                                  const StudyConfig& config) {
+  if (mushroom == nullptr) return Status::InvalidArgument("null table");
+  if (config.num_users < 2 || config.num_users % 2 != 0) {
+    return Status::InvalidArgument("num_users must be even and >= 2");
+  }
+  DiscretizerOptions disc;
+  disc.max_numeric_bins = config.agent.cad.discretizer.max_numeric_bins;
+  auto engine = FacetEngine::Create(mushroom, disc);
+  if (!engine.ok()) return engine.status();
+
+  TaskSet tasks = DefaultTaskSet();
+  StudyResults results;
+
+  for (size_t u = 0; u < config.num_users; ++u) {
+    UserProfile user = UserProfile::Make(u, config.seed);
+    bool group1 = u < config.num_users / 2;
+
+    // Each user performs one variant of each task pair per interface:
+    // group 1: variant A on TPFacet, variant B on Solr; group 2 reversed.
+    struct Planned {
+      char type;
+      bool tpfacet;
+      const ClassifierTask* c = nullptr;
+      const SimilarPairTask* s = nullptr;
+      const AlternativeTask* a = nullptr;
+    };
+    // Variant A goes to TPFacet for group 1 and to Solr for group 2;
+    // variant B the other way around ("we reversed the task assignment for
+    // the other group").
+    std::vector<Planned> plan = {
+        {'C', group1, &tasks.classifier_a, nullptr, nullptr},
+        {'C', !group1, &tasks.classifier_b, nullptr, nullptr},
+        {'S', group1, nullptr, &tasks.similar_a, nullptr},
+        {'S', !group1, nullptr, &tasks.similar_b, nullptr},
+        {'A', group1, nullptr, nullptr, &tasks.alternative_a},
+        {'A', !group1, nullptr, nullptr, &tasks.alternative_b},
+    };
+
+    for (const Planned& p : plan) {
+      Result<TaskOutcome> outcome = Status::Internal("unreached");
+      std::string task_id;
+      switch (p.type) {
+        case 'C':
+          task_id = p.c->id;
+          outcome = p.tpfacet
+                        ? TpFacetClassifier(*engine, *p.c, user, config.agent)
+                        : SolrClassifier(*engine, *p.c, user, config.agent);
+          break;
+        case 'S':
+          task_id = p.s->id;
+          outcome = p.tpfacet
+                        ? TpFacetSimilarPair(*engine, *p.s, user, config.agent)
+                        : SolrSimilarPair(*engine, *p.s, user, config.agent);
+          break;
+        case 'A':
+          task_id = p.a->id;
+          outcome = p.tpfacet
+                        ? TpFacetAlternative(*engine, *p.a, user, config.agent)
+                        : SolrAlternative(*engine, *p.a, user, config.agent);
+          break;
+      }
+      if (!outcome.ok()) return outcome.status();
+      StudyRecord rec;
+      rec.user = u;
+      rec.tpfacet = p.tpfacet;
+      rec.task_id = task_id;
+      rec.task_type = p.type;
+      rec.quality = outcome->quality;
+      rec.minutes = outcome->minutes;
+      rec.operations = outcome->operations;
+      rec.answer = outcome->answer;
+      results.records.push_back(std::move(rec));
+    }
+  }
+  return results;
+}
+
+Result<TaskAnalysis> AnalyzeTask(const StudyResults& results, char task_type,
+                                 size_t num_users) {
+  std::vector<StudyObservation> quality_obs, time_obs;
+  std::vector<double> q_solr, q_tp, t_solr, t_tp;
+  for (const StudyRecord& r : results.records) {
+    if (r.task_type != task_type) continue;
+    quality_obs.push_back({r.user, r.tpfacet, r.quality});
+    time_obs.push_back({r.user, r.tpfacet, r.minutes});
+    (r.tpfacet ? q_tp : q_solr).push_back(r.quality);
+    (r.tpfacet ? t_tp : t_solr).push_back(r.minutes);
+  }
+  if (quality_obs.empty()) {
+    return Status::NotFound(std::string("no records for task type '") +
+                            task_type + "'");
+  }
+  TaskAnalysis a;
+  a.task_type = task_type;
+  DBX_ASSIGN_OR_RETURN(a.quality, DisplayTypeLrt(quality_obs, num_users));
+  DBX_ASSIGN_OR_RETURN(a.time, DisplayTypeLrt(time_obs, num_users));
+  a.mean_quality_solr = Mean(q_solr);
+  a.mean_quality_tpfacet = Mean(q_tp);
+  a.mean_minutes_solr = Mean(t_solr);
+  a.mean_minutes_tpfacet = Mean(t_tp);
+  return a;
+}
+
+}  // namespace dbx

@@ -1,0 +1,65 @@
+// Copyright (c) DBExplorer reproduction authors.
+// The user study itself (§6.2): 8 participants in two crossover groups, three
+// matched task pairs, both interfaces, with the paper's mixed-model LRT
+// analysis on top. Regenerates Figures 2-7.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/lrt.h"
+#include "src/sim/agents.h"
+
+namespace dbx {
+
+/// One (user, interface, task) execution.
+struct StudyRecord {
+  size_t user = 0;          // 0-based (paper's U1..U8 = user+1)
+  bool tpfacet = false;     // interface arm
+  std::string task_id;      // e.g. "C-A"
+  char task_type = 'C';     // 'C' classifier, 'S' similar pair, 'A' alternative
+  double quality = 0.0;     // F1 / rank / retrieval error
+  double minutes = 0.0;
+  size_t operations = 0;
+  std::string answer;
+};
+
+struct StudyConfig {
+  size_t num_users = 8;
+  uint64_t seed = 2016;
+  AgentConfig agent;
+
+  /// Default agent configuration tuned for the mushroom dataset.
+  static StudyConfig Default();
+};
+
+struct StudyResults {
+  std::vector<StudyRecord> records;
+
+  /// Records of one task type and interface, ordered by user.
+  std::vector<StudyRecord> Of(char task_type, bool tpfacet) const;
+};
+
+/// Runs the full crossover study over the given mushroom table.
+/// Users 0..n/2-1 form group 1 (task A on TPFacet, task B on Solr); the rest
+/// form group 2 with the assignment reversed — the paper's design.
+Result<StudyResults> RunUserStudy(const Table* mushroom,
+                                  const StudyConfig& config);
+
+/// The paper's per-task statistics: LRT of the display-type factor on the
+/// quality measure and on task time.
+struct TaskAnalysis {
+  char task_type = 'C';
+  LrtResult quality;
+  LrtResult time;
+  double mean_quality_solr = 0.0;
+  double mean_quality_tpfacet = 0.0;
+  double mean_minutes_solr = 0.0;
+  double mean_minutes_tpfacet = 0.0;
+};
+
+Result<TaskAnalysis> AnalyzeTask(const StudyResults& results, char task_type,
+                                 size_t num_users);
+
+}  // namespace dbx

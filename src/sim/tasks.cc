@@ -1,0 +1,151 @@
+#include "src/sim/tasks.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dbx {
+
+TaskSet DefaultTaskSet() {
+  TaskSet t;
+  t.classifier_a = {"C-A", "Bruises", "true", {"Class"}};
+  t.classifier_b = {"C-B", "StalkShape", "enlarged", {"Class"}};  // matched difficulty
+  t.similar_a = {"S-A", "GillColor", {"buff", "white", "brown", "green"}};
+  t.similar_b = {"S-B", "SporePrintColor",
+                 {"black", "brown", "chocolate", "white"}};
+  // Alternative-condition targets use species-structured attributes so that
+  // genuinely equivalent selection paths exist in the data (as in the real
+  // UCI mushroom table, where the paper's users found near-exact
+  // alternatives).
+  t.alternative_a = {"A-A", {{"StalkShape", "enlarged"},
+                             {"RingType", "large"}}};
+  t.alternative_b = {"A-B", {{"Bruises", "false"}, {"Odor", "foul"}}};
+  return t;
+}
+
+Result<RowSet> RowsMatching(const FacetEngine& engine,
+                            const std::vector<ValueCondition>& conditions) {
+  const DiscretizedTable& dt = engine.discretized();
+  // attr index -> allowed codes (OR within attribute).
+  std::map<size_t, std::set<int32_t>> allowed;
+  for (const ValueCondition& c : conditions) {
+    auto idx = dt.IndexOf(c.attr);
+    if (!idx) return Status::NotFound("no attribute named '" + c.attr + "'");
+    const DiscreteAttr& a = dt.attr(*idx);
+    int32_t code = -1;
+    for (size_t v = 0; v < a.labels.size(); ++v) {
+      if (a.labels[v] == c.value) {
+        code = static_cast<int32_t>(v);
+        break;
+      }
+    }
+    if (code < 0) {
+      return Status::NotFound("attribute '" + c.attr + "' has no value '" +
+                              c.value + "'");
+    }
+    allowed[*idx].insert(code);
+  }
+  RowSet rows;
+  for (size_t i = 0; i < dt.num_rows(); ++i) {
+    bool keep = true;
+    for (const auto& [attr_idx, codes] : allowed) {
+      int32_t code = dt.attr(attr_idx).codes[i];
+      if (code < 0 || codes.find(code) == codes.end()) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) rows.push_back(static_cast<uint32_t>(i));
+  }
+  return rows;
+}
+
+Result<double> ClassifierF1(const FacetEngine& engine,
+                            const ClassifierTask& task,
+                            const std::vector<ValueCondition>& selection) {
+  if (selection.empty()) return 0.0;
+  DBX_ASSIGN_OR_RETURN(RowSet selected, RowsMatching(engine, selection));
+  DBX_ASSIGN_OR_RETURN(
+      RowSet positives,
+      RowsMatching(engine, {{task.target_attr, task.target_value}}));
+  if (positives.empty()) {
+    return Status::FailedPrecondition("task target class is empty");
+  }
+  // |selected ∩ positives| via merge walk (both ascending).
+  size_t i = 0, j = 0, tp = 0;
+  while (i < selected.size() && j < positives.size()) {
+    if (selected[i] == positives[j]) {
+      ++tp;
+      ++i;
+      ++j;
+    } else if (selected[i] < positives[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  if (selected.empty() || tp == 0) return 0.0;
+  double precision = static_cast<double>(tp) / static_cast<double>(selected.size());
+  double recall = static_cast<double>(tp) / static_cast<double>(positives.size());
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+Result<double> ValuePairSimilarity(const FacetEngine& engine,
+                                   const std::string& attr,
+                                   const std::string& v1,
+                                   const std::string& v2) {
+  DBX_ASSIGN_OR_RETURN(SummaryDigest d1, engine.DigestForValue(attr, v1));
+  DBX_ASSIGN_OR_RETURN(SummaryDigest d2, engine.DigestForValue(attr, v2));
+  return DigestCosineSimilarity(d1, d2);
+}
+
+Result<int> SimilarPairRank(const FacetEngine& engine,
+                            const SimilarPairTask& task,
+                            const std::pair<std::string, std::string>& chosen) {
+  if (task.values.size() != 4) {
+    return Status::InvalidArgument("similar-pair task needs exactly 4 values");
+  }
+  struct Pair {
+    std::string a, b;
+    double sim;
+  };
+  std::vector<Pair> pairs;
+  for (size_t i = 0; i < task.values.size(); ++i) {
+    for (size_t j = i + 1; j < task.values.size(); ++j) {
+      DBX_ASSIGN_OR_RETURN(
+          double sim,
+          ValuePairSimilarity(engine, task.attr, task.values[i],
+                              task.values[j]));
+      pairs.push_back({task.values[i], task.values[j], sim});
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const Pair& x, const Pair& y) { return x.sim > y.sim; });
+  for (size_t r = 0; r < pairs.size(); ++r) {
+    const Pair& p = pairs[r];
+    if ((p.a == chosen.first && p.b == chosen.second) ||
+        (p.a == chosen.second && p.b == chosen.first)) {
+      return static_cast<int>(r) + 1;
+    }
+  }
+  return Status::InvalidArgument("chosen pair is not among the task's values");
+}
+
+Result<double> AlternativeRetrievalError(
+    const FacetEngine& engine, const AlternativeTask& task,
+    const std::vector<ValueCondition>& alternative) {
+  // The alternative must not reuse any given condition (the task's rule).
+  for (const ValueCondition& c : alternative) {
+    for (const ValueCondition& g : task.given) {
+      if (c == g) {
+        return Status::InvalidArgument(
+            "alternative reuses a given condition: " + c.attr + "=" + c.value);
+      }
+    }
+  }
+  DBX_ASSIGN_OR_RETURN(RowSet target, RowsMatching(engine, task.given));
+  DBX_ASSIGN_OR_RETURN(RowSet obtained, RowsMatching(engine, alternative));
+  return RetrievalError(target, obtained);
+}
+
+}  // namespace dbx

@@ -1,0 +1,93 @@
+// Copyright (c) DBExplorer reproduction authors.
+// The paper's three exploratory-task types (§6.2) with matched A/B pairs for
+// the crossover design, plus their exact scoring functions.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/facet/facet_engine.h"
+#include "src/relation/table.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// attr = value selection atom used in task answers.
+struct ValueCondition {
+  std::string attr;
+  std::string value;
+
+  bool operator==(const ValueCondition& o) const {
+    return attr == o.attr && value == o.value;
+  }
+};
+
+/// §6.2.1: build a <=2-value classifier for a binary target class.
+struct ClassifierTask {
+  std::string id;
+  std::string target_attr;   // e.g. "Bruises"
+  std::string target_value;  // e.g. "true"
+  /// Attributes users may not select from (the dataset's own label is
+  /// excluded — predicting one label with another trivializes the task).
+  std::vector<std::string> excluded_attrs;
+};
+
+/// §6.2.2: among 4 values of one attribute, find the most similar pair.
+struct SimilarPairTask {
+  std::string id;
+  std::string attr;
+  std::vector<std::string> values;  // exactly 4
+};
+
+/// §6.2.3: find <=2 different values reproducing the result of `given`.
+struct AlternativeTask {
+  std::string id;
+  std::vector<ValueCondition> given;
+};
+
+/// The matched task pairs used by the study (mushroom dataset).
+struct TaskSet {
+  ClassifierTask classifier_a, classifier_b;
+  SimilarPairTask similar_a, similar_b;
+  AlternativeTask alternative_a, alternative_b;
+};
+
+/// The study's fixed task set.
+TaskSet DefaultTaskSet();
+
+// --- Scoring (ground truth, independent of any interface) -------------------
+
+/// Rows matching a conjunction of value conditions (values on the same
+/// attribute are OR-ed, facet semantics). Conditions referencing discretized
+/// labels are resolved through `engine`'s domain.
+Result<RowSet> RowsMatching(const FacetEngine& engine,
+                            const std::vector<ValueCondition>& conditions);
+
+/// F1 of `selection` as a classifier for target_attr = target_value over the
+/// whole table (§6.2.1's quality measure).
+Result<double> ClassifierF1(const FacetEngine& engine,
+                            const ClassifierTask& task,
+                            const std::vector<ValueCondition>& selection);
+
+/// The §6.2.2 ground-truth similarity of two values of `attr`: cosine
+/// similarity of their conditioned summary digests.
+Result<double> ValuePairSimilarity(const FacetEngine& engine,
+                                   const std::string& attr,
+                                   const std::string& v1,
+                                   const std::string& v2);
+
+/// Rank (1..6, 1 = most similar) of `chosen` among the 6 pairs of the task's
+/// 4 values under ValuePairSimilarity.
+Result<int> SimilarPairRank(const FacetEngine& engine,
+                            const SimilarPairTask& task,
+                            const std::pair<std::string, std::string>& chosen);
+
+/// Retrieval error (§6.2.3) of an alternative selection against the task's
+/// target rows.
+Result<double> AlternativeRetrievalError(
+    const FacetEngine& engine, const AlternativeTask& task,
+    const std::vector<ValueCondition>& alternative);
+
+}  // namespace dbx

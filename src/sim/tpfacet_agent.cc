@@ -1,0 +1,354 @@
+// Simulated users working TPFacet (§5): the same query panel plus the CAD
+// View. The decisive difference from the Solr agents is *where candidates
+// come from* — ranked Compare Attributes and labeled IUnits instead of a
+// manual scan of raw digests — and how few verification trials that takes.
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/cad_view_builder.h"
+#include "src/core/ranked_list_distance.h"
+#include "src/sim/agent_util.h"
+#include "src/sim/agents.h"
+
+namespace dbx {
+namespace {
+
+uint64_t TaskSeed(const UserProfile& user, const std::string& task_id) {
+  uint64_t h = user.seed ^ 0x5DEECE66DULL;
+  for (char c : task_id) h = h * 1099511628211ULL + static_cast<uint8_t>(c);
+  return h;
+}
+
+size_t TotalIUnits(const CadView& view) {
+  size_t n = 0;
+  for (const CadViewRow& r : view.rows) n += r.iunits.size();
+  return n;
+}
+
+/// Candidate values read off a CAD View: labels appearing in `target_row`'s
+/// IUnit cells, ordered by (compare-attribute rank, in-cluster count),
+/// excluding labels that also appear in any other row's cells for the same
+/// attribute (non-discriminative) when `discriminative_only` is set.
+std::vector<Candidate> CandidatesFromView(const CadView& view,
+                                          size_t target_row,
+                                          bool discriminative_only) {
+  std::vector<Candidate> out;
+  std::set<std::pair<std::string, std::string>> seen;
+  for (size_t ci = 0; ci < view.compare_attrs.size(); ++ci) {
+    const std::string& attr = view.compare_attrs[ci].name;
+    // Labels shown for other rows at this attribute.
+    std::set<std::string> other_labels;
+    for (size_t r = 0; r < view.rows.size(); ++r) {
+      if (r == target_row) continue;
+      for (const IUnit& u : view.rows[r].iunits) {
+        for (const std::string& l : u.cells[ci].labels) other_labels.insert(l);
+      }
+    }
+    // Collect target labels with their best in-cluster count.
+    std::vector<std::pair<std::string, uint64_t>> labels;
+    for (const IUnit& u : view.rows[target_row].iunits) {
+      const IUnitCell& cell = u.cells[ci];
+      for (size_t i = 0; i < cell.labels.size(); ++i) {
+        if (discriminative_only && other_labels.count(cell.labels[i])) continue;
+        labels.emplace_back(cell.labels[i], cell.counts[i]);
+      }
+    }
+    std::stable_sort(labels.begin(), labels.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    for (const auto& [label, count] : labels) {
+      if (!seen.insert({attr, label}).second) continue;
+      Candidate c;
+      c.conditions = {{attr, label}};
+      c.estimate = static_cast<double>(count);
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TaskOutcome> TpFacetClassifier(const FacetEngine& engine,
+                                      const ClassifierTask& task,
+                                      const UserProfile& user,
+                                      const AgentConfig& config) {
+  Rng rng(TaskSeed(user, task.id));
+  CostMeter meter(user, &rng);
+
+  DBX_ASSIGN_OR_RETURN(
+      RowSet positives,
+      RowsMatching(engine, {{task.target_attr, task.target_value}}));
+
+  // Pivot on the class attribute; the system ranks Compare Attributes.
+  meter.Charge(UserOp::kToggleView);
+  meter.Charge(UserOp::kSetPivot);
+  CadViewOptions options = config.cad;
+  options.pivot_attr = task.target_attr;
+  options.pivot_values.clear();
+  TableSlice slice = TableSlice::All(engine.table());
+  DBX_ASSIGN_OR_RETURN(CadView view, BuildCadView(slice, options));
+  meter.Charge(UserOp::kAwaitCadBuild);
+  meter.Charge(UserOp::kReadIUnit, TotalIUnits(view));
+
+  DBX_ASSIGN_OR_RETURN(size_t target_row, view.RowIndexOf(task.target_value));
+
+  // The view shows, per Compare Attribute, each class's value distribution
+  // (the IUnit frequency vectors of Algorithm 1 are exactly what the labels
+  // summarize). Summing them per row reconstructs precision/recall estimates
+  // for every candidate value of the top-ranked discriminative attributes.
+  std::vector<Candidate> candidates;
+  for (size_t ci = 0; ci < view.compare_attrs.size(); ++ci) {
+    bool excluded = false;
+    for (const std::string& name : task.excluded_attrs) {
+      excluded |= view.compare_attrs[ci].name == name;
+    }
+    if (excluded) continue;
+    std::vector<double> target_freq, other_freq;
+    for (size_t r = 0; r < view.rows.size(); ++r) {
+      for (const IUnit& u : view.rows[r].iunits) {
+        const std::vector<double>& f = u.attr_freqs[ci];
+        std::vector<double>& acc = r == target_row ? target_freq : other_freq;
+        if (acc.size() < f.size()) acc.resize(f.size(), 0.0);
+        for (size_t v = 0; v < f.size(); ++v) acc[v] += f[v];
+      }
+    }
+    double target_total = 0.0;
+    for (double f : target_freq) target_total += f;
+    if (target_total <= 0.0) continue;
+    // Label lookup: any cell of any IUnit carries the attribute's labels via
+    // the discretized domain; reuse the engine's domain directly.
+    auto attr_idx = engine.discretized().IndexOf(view.compare_attrs[ci].name);
+    if (!attr_idx) continue;
+    const DiscreteAttr& attr = engine.discretized().attr(*attr_idx);
+    for (size_t v = 0; v < target_freq.size() && v < attr.labels.size(); ++v) {
+      double tf = target_freq[v];
+      if (tf <= 0.0) continue;
+      double of = v < other_freq.size() ? other_freq[v] : 0.0;
+      double recall = tf / target_total;
+      double precision = tf / (tf + of);
+      double est_f1 = 2.0 * precision * recall / (precision + recall);
+      Candidate c;
+      c.conditions = {{attr.name, attr.labels[v]}};
+      c.estimate = meter.Perceive(est_f1, 0.02);
+      candidates.push_back(std::move(c));
+    }
+  }
+  if (candidates.empty()) {
+    return Status::FailedPrecondition("CAD View yielded no candidates");
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.estimate > b.estimate;
+                   });
+
+  // Verify the top candidates exactly with facet trials. Verification is
+  // cheap here (the ranked candidate list is short and structured), so the
+  // TPFacet workflow checks a couple more than the Solr hit-and-trial users
+  // manage.
+  std::vector<Candidate> verified;
+  size_t verify = std::min(config.verify_budget + 2, candidates.size());
+  for (size_t i = 0; i < verify; ++i) {
+    meter.Charge(UserOp::kFacetSelect);
+    meter.Charge(UserOp::kReadResultCount);
+    meter.Charge(UserOp::kCompareDigestAttr);
+    meter.Charge(UserOp::kFacetDeselect);
+    Candidate c = candidates[i];
+    DBX_ASSIGN_OR_RETURN(RowSet rows, RowsMatching(engine, c.conditions));
+    c.estimate = meter.Perceive(F1OfRows(rows, positives), 0.005);
+    verified.push_back(std::move(c));
+  }
+  // Combine the best few (cross-attribute AND, same-attribute OR).
+  size_t top_n = std::min<size_t>(3, verified.size());
+  for (size_t i = 0; i < top_n; ++i) {
+    for (size_t j = i + 1; j < top_n; ++j) {
+      Candidate c;
+      c.conditions = {verified[i].conditions[0], verified[j].conditions[0]};
+      if (c.conditions[0] == c.conditions[1]) continue;
+      meter.Charge(UserOp::kFacetSelect, 2);
+      meter.Charge(UserOp::kReadResultCount);
+      meter.Charge(UserOp::kResetSelections);
+      DBX_ASSIGN_OR_RETURN(RowSet rows, RowsMatching(engine, c.conditions));
+      c.estimate = meter.Perceive(F1OfRows(rows, positives), 0.005);
+      verified.push_back(std::move(c));
+    }
+  }
+
+  const Candidate* best = &verified[0];
+  for (const Candidate& c : verified) {
+    if (c.estimate > best->estimate) best = &c;
+  }
+  TaskOutcome out;
+  DBX_ASSIGN_OR_RETURN(out.quality,
+                       ClassifierF1(engine, task, best->conditions));
+  out.minutes = meter.total_minutes();
+  out.operations = meter.operation_count();
+  out.answer = best->ToString();
+  return out;
+}
+
+Result<TaskOutcome> TpFacetSimilarPair(const FacetEngine& engine,
+                                       const SimilarPairTask& task,
+                                       const UserProfile& user,
+                                       const AgentConfig& config) {
+  Rng rng(TaskSeed(user, task.id));
+  CostMeter meter(user, &rng);
+
+  meter.Charge(UserOp::kToggleView);
+  meter.Charge(UserOp::kSetPivot);
+  CadViewOptions options = config.cad;
+  options.pivot_attr = task.attr;
+  options.pivot_values = task.values;
+  TableSlice slice = TableSlice::All(engine.table());
+  DBX_ASSIGN_OR_RETURN(CadView view, BuildCadView(slice, options));
+  meter.Charge(UserOp::kAwaitCadBuild);
+  meter.Charge(UserOp::kReadIUnit, TotalIUnits(view));
+
+  // Click each value; the interface reorders rows by Algorithm-2 similarity.
+  // The user reads off the nearest neighbor of each value.
+  double best_d = -1.0;
+  std::pair<std::string, std::string> best_pair;
+  for (size_t i = 0; i < view.rows.size(); ++i) {
+    meter.Charge(UserOp::kClickPivotValue);
+    meter.Charge(UserOp::kReadIUnit);
+    meter.Charge(UserOp::kNoteDown);
+    for (size_t j = i + 1; j < view.rows.size(); ++j) {
+      double d = RankedListDistance(view.rows[i].iunits, view.rows[j].iunits,
+                                    view.tau);
+      if (best_d < 0.0 || d < best_d) {
+        best_d = d;
+        best_pair = {view.rows[i].pivot_value, view.rows[j].pivot_value};
+      }
+    }
+  }
+  meter.Charge(UserOp::kNoteDown);
+
+  TaskOutcome out;
+  DBX_ASSIGN_OR_RETURN(int rank, SimilarPairRank(engine, task, best_pair));
+  out.quality = static_cast<double>(rank);
+  out.minutes = meter.total_minutes();
+  out.operations = meter.operation_count();
+  out.answer = best_pair.first + " ~ " + best_pair.second;
+  return out;
+}
+
+Result<TaskOutcome> TpFacetAlternative(const FacetEngine& engine,
+                                       const AlternativeTask& task,
+                                       const UserProfile& user,
+                                       const AgentConfig& config) {
+  Rng rng(TaskSeed(user, task.id));
+  CostMeter meter(user, &rng);
+
+  DBX_ASSIGN_OR_RETURN(RowSet target, RowsMatching(engine, task.given));
+  if (target.empty()) {
+    return Status::FailedPrecondition("alternative task target is empty");
+  }
+
+  // Methodical TPFacet workflow: pivot on the first given attribute with the
+  // remaining conditions applied, so the target value's row summarizes the
+  // wanted fragment and the other rows show what must be excluded.
+  const ValueCondition& pivot_cond = task.given.front();
+  std::vector<ValueCondition> rest(task.given.begin() + 1, task.given.end());
+  meter.Charge(UserOp::kFacetSelect, rest.size());
+  meter.Charge(UserOp::kToggleView);
+  meter.Charge(UserOp::kSetPivot);
+
+  DBX_ASSIGN_OR_RETURN(RowSet slice_rows, RowsMatching(engine, rest));
+  CadViewOptions options = config.cad;
+  options.pivot_attr = pivot_cond.attr;
+  options.pivot_values.clear();
+  TableSlice slice{&engine.table(), slice_rows};
+  DBX_ASSIGN_OR_RETURN(CadView view, BuildCadView(slice, options));
+  meter.Charge(UserOp::kAwaitCadBuild);
+  meter.Charge(UserOp::kReadIUnit, TotalIUnits(view));
+
+  DBX_ASSIGN_OR_RETURN(size_t target_row, view.RowIndexOf(pivot_cond.value));
+
+  // Candidate singles from the target row's cells; candidate pairs from the
+  // joint structure of single IUnits (two top-ranked attributes together).
+  std::vector<Candidate> candidates =
+      CandidatesFromView(view, target_row, /*discriminative_only=*/true);
+  {
+    auto broad = CandidatesFromView(view, target_row, false);
+    candidates.insert(candidates.end(), broad.begin(), broad.end());
+  }
+  // Drop given values and duplicates.
+  {
+    std::vector<Candidate> filtered;
+    std::set<std::string> seen;
+    for (Candidate& c : candidates) {
+      const ValueCondition& vc = c.conditions[0];
+      if (IsGivenCondition(task.given, vc.attr, vc.value)) continue;
+      if (!seen.insert(vc.attr + "=" + vc.value).second) continue;
+      filtered.push_back(std::move(c));
+    }
+    candidates = std::move(filtered);
+  }
+  // Joint candidates from the top IUnits.
+  std::vector<Candidate> pairs;
+  for (const IUnit& u : view.rows[target_row].iunits) {
+    std::vector<ValueCondition> conds;
+    for (size_t ci = 0; ci < view.compare_attrs.size() && conds.size() < 2;
+         ++ci) {
+      const IUnitCell& cell = u.cells[ci];
+      if (cell.labels.empty()) continue;
+      const std::string& attr = view.compare_attrs[ci].name;
+      if (IsGivenCondition(task.given, attr, cell.labels[0])) continue;
+      conds.push_back({attr, cell.labels[0]});
+    }
+    if (conds.size() == 2) {
+      Candidate c;
+      c.conditions = std::move(conds);
+      c.estimate = u.score;
+      pairs.push_back(std::move(c));
+    }
+  }
+  if (candidates.empty() && pairs.empty()) {
+    return Status::FailedPrecondition("CAD View yielded no candidates");
+  }
+
+  struct Tried {
+    Candidate cand;
+    double observed_err = 0.0;
+    double true_err = 0.0;
+  };
+  std::vector<Tried> tried;
+  auto try_candidate = [&](const Candidate& c) -> Status {
+    meter.Charge(UserOp::kResetSelections);
+    meter.Charge(UserOp::kFacetSelect, c.conditions.size());
+    meter.Charge(UserOp::kReadResultCount);
+    meter.Charge(UserOp::kCompareDigestAttr, 2);
+    auto err = AlternativeRetrievalError(engine, task, c.conditions);
+    if (!err.ok()) return err.status();
+    Tried t;
+    t.cand = c;
+    t.true_err = *err;
+    t.observed_err = std::max(0.0, meter.Perceive(*err, 0.02));
+    tried.push_back(std::move(t));
+    return Status::OK();
+  };
+
+  size_t single_trials = std::min(candidates.size(), config.verify_budget + 1);
+  for (size_t i = 0; i < single_trials; ++i) {
+    DBX_RETURN_IF_ERROR(try_candidate(candidates[i]));
+  }
+  size_t pair_trials = std::min<size_t>(pairs.size(), 3);
+  for (size_t i = 0; i < pair_trials; ++i) {
+    DBX_RETURN_IF_ERROR(try_candidate(pairs[i]));
+  }
+
+  const Tried* best = &tried[0];
+  for (const Tried& t : tried) {
+    if (t.observed_err < best->observed_err) best = &t;
+  }
+  TaskOutcome out;
+  out.quality = best->true_err;
+  out.minutes = meter.total_minutes();
+  out.operations = meter.operation_count();
+  out.answer = best->cand.ToString();
+  return out;
+}
+
+}  // namespace dbx

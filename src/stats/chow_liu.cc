@@ -1,0 +1,102 @@
+#include "src/stats/chow_liu.h"
+
+#include <algorithm>
+
+#include "src/stats/contingency.h"
+#include "src/util/string_util.h"
+
+namespace dbx {
+namespace {
+
+/// Union-find for Kruskal.
+class DisjointSet {
+ public:
+  explicit DisjointSet(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::string DependencyTree::ToString() const {
+  std::string out;
+  for (const DependencyEdge& e : edges) {
+    out += StringPrintf("%s -- %s  (%.3f bits)\n", e.attr_a.c_str(),
+                        e.attr_b.c_str(), e.mutual_information);
+  }
+  return out;
+}
+
+Result<DependencyTree> BuildChowLiuTree(const DiscretizedTable& dt,
+                                        std::vector<size_t> attr_indices) {
+  if (attr_indices.empty()) {
+    for (size_t a = 0; a < dt.num_attrs(); ++a) {
+      if (dt.attr(a).cardinality() > 0) attr_indices.push_back(a);
+    }
+  }
+  for (size_t a : attr_indices) {
+    if (a >= dt.num_attrs()) {
+      return Status::OutOfRange("attribute index out of range");
+    }
+  }
+  if (attr_indices.size() < 2) {
+    return Status::InvalidArgument("need at least two attributes for a tree");
+  }
+
+  // All pairwise mutual informations.
+  std::vector<DependencyEdge> candidates;
+  candidates.reserve(attr_indices.size() * (attr_indices.size() - 1) / 2);
+  for (size_t i = 0; i < attr_indices.size(); ++i) {
+    const DiscreteAttr& ai = dt.attr(attr_indices[i]);
+    for (size_t j = i + 1; j < attr_indices.size(); ++j) {
+      const DiscreteAttr& aj = dt.attr(attr_indices[j]);
+      ContingencyTable ct = ContingencyTable::FromCodes(
+          ai.codes, ai.cardinality(), aj.codes, aj.cardinality());
+      DependencyEdge e;
+      e.a = attr_indices[i];
+      e.b = attr_indices[j];
+      e.attr_a = ai.name;
+      e.attr_b = aj.name;
+      e.mutual_information = MutualInformationBits(ct);
+      candidates.push_back(std::move(e));
+    }
+  }
+  // Kruskal: strongest edges first, skip cycles.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const DependencyEdge& x, const DependencyEdge& y) {
+                     return x.mutual_information > y.mutual_information;
+                   });
+  // Map attribute index -> dense id for union-find.
+  std::vector<size_t> dense(dt.num_attrs(), 0);
+  for (size_t i = 0; i < attr_indices.size(); ++i) {
+    dense[attr_indices[i]] = i;
+  }
+  DisjointSet ds(attr_indices.size());
+  DependencyTree tree;
+  for (DependencyEdge& e : candidates) {
+    if (tree.edges.size() + 1 == attr_indices.size()) break;
+    if (e.mutual_information <= 0.0) break;  // forest: drop independent parts
+    if (ds.Union(dense[e.a], dense[e.b])) {
+      tree.edges.push_back(std::move(e));
+    }
+  }
+  return tree;
+}
+
+}  // namespace dbx

@@ -1,0 +1,27 @@
+#include "src/stats/cosine.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace dbx {
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+  }
+  for (double x : a) na += x * x;
+  for (double x : b) nb += x * x;
+  if (na == 0.0 && nb == 0.0) return 1.0;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double CosineDistance(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  return 1.0 - CosineSimilarity(a, b);
+}
+
+}  // namespace dbx

@@ -1,0 +1,23 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Cosine similarity over count vectors. Used three ways in the paper:
+// per-attribute IUnit similarity (Algorithm 1), the summary-digest metric the
+// Solr-baseline users were given (§6.2.2), and retrieval-error measurement
+// between result digests (§6.2.3).
+
+#pragma once
+
+#include <vector>
+
+namespace dbx {
+
+/// Cosine similarity of two equal-length vectors, in [0, 1] for non-negative
+/// inputs. Either vector all-zero -> 0 (by convention), both all-zero -> 1
+/// (identical empty distributions).
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// 1 - CosineSimilarity.
+double CosineDistance(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+}  // namespace dbx

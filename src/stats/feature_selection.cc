@@ -1,0 +1,68 @@
+#include "src/stats/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/contingency.h"
+
+namespace dbx {
+
+const char* FeatureRankerName(FeatureRanker r) {
+  switch (r) {
+    case FeatureRanker::kChiSquare: return "chi-square";
+    case FeatureRanker::kMutualInformation: return "mutual-information";
+    case FeatureRanker::kCramersV: return "cramers-v";
+  }
+  return "?";
+}
+
+Result<std::vector<FeatureScore>> RankFeatures(
+    const DiscretizedTable& dt, const std::vector<int32_t>& pivot_codes,
+    size_t pivot_cardinality, const std::vector<size_t>& candidates,
+    const FeatureSelectionOptions& options) {
+  if (pivot_codes.size() != dt.num_rows()) {
+    return Status::InvalidArgument("pivot coding length != table rows");
+  }
+  if (pivot_cardinality < 1) {
+    return Status::InvalidArgument("pivot cardinality must be >= 1");
+  }
+  std::vector<FeatureScore> scores;
+  scores.reserve(candidates.size());
+  for (size_t idx : candidates) {
+    if (idx >= dt.num_attrs()) {
+      return Status::OutOfRange("candidate attribute index out of range");
+    }
+    const DiscreteAttr& a = dt.attr(idx);
+    ContingencyTable ct = ContingencyTable::FromCodes(
+        pivot_codes, pivot_cardinality, a.codes, a.cardinality());
+    ChiSquareResult chi = ChiSquareTest(ct);
+
+    FeatureScore fs;
+    fs.attr_index = idx;
+    fs.name = a.name;
+    fs.chi2 = chi.statistic;
+    fs.df = chi.df;
+    fs.p_value = chi.p_value;
+    fs.significant = chi.p_value <= options.significance && chi.df > 0;
+    switch (options.ranker) {
+      case FeatureRanker::kChiSquare:
+        fs.score = chi.statistic;
+        break;
+      case FeatureRanker::kMutualInformation:
+        fs.score = MutualInformationBits(ct);
+        break;
+      case FeatureRanker::kCramersV:
+        fs.score = CramersV(ct);
+        break;
+    }
+    scores.push_back(std::move(fs));
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const FeatureScore& a, const FeatureScore& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.attr_index < b.attr_index;
+                   });
+  return scores;
+}
+
+}  // namespace dbx

@@ -1,0 +1,93 @@
+#include "src/stats/gamma.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dbx {
+namespace {
+
+constexpr int kMaxIter = 500;
+constexpr double kEps = 3.0e-12;
+constexpr double kFpMin = 1.0e-300;
+
+// Series representation of P(a, x); converges fast for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double gln = std::lgamma(a);
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < kMaxIter; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - gln);
+}
+
+// Continued-fraction representation of Q(a, x); converges fast for x >= a+1.
+double GammaQContinuedFraction(double a, double x) {
+  double gln = std::lgamma(a);
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    double an = -static_cast<double>(i) * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - gln) * h;
+}
+
+}  // namespace
+
+double GammaP(double a, double x) {
+  if (a <= 0.0 || x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double GammaQ(double a, double x) {
+  if (a <= 0.0 || x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareCdf(double x, double df) {
+  if (x <= 0.0) return 0.0;
+  return GammaP(df / 2.0, x / 2.0);
+}
+
+double ChiSquareSf(double x, double df) {
+  if (x <= 0.0) return 1.0;
+  return GammaQ(df / 2.0, x / 2.0);
+}
+
+double ChiSquareQuantile(double p, double df) {
+  if (p >= 1.0) return 0.0;
+  double lo = 0.0;
+  double hi = df + 10.0;
+  while (ChiSquareSf(hi, df) > p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (ChiSquareSf(mid, df) > p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-10 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace dbx

@@ -1,0 +1,28 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Special functions backing the chi-square distribution: the regularized
+// incomplete gamma functions, implemented from scratch (series + continued
+// fraction, as in Numerical Recipes) so feature selection has exact p-values
+// without an external math dependency.
+
+#pragma once
+
+namespace dbx {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+/// Returns values in [0, 1]; P is increasing in x.
+double GammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double GammaQ(double a, double x);
+
+/// Chi-square CDF with `df` degrees of freedom evaluated at `x >= 0`.
+double ChiSquareCdf(double x, double df);
+
+/// Chi-square survival function (p-value of observing a statistic >= x).
+double ChiSquareSf(double x, double df);
+
+/// Upper quantile: smallest x with ChiSquareSf(x, df) <= p. Solved by
+/// bisection; used for significance thresholds (p = 0.01 / 0.05 / 0.10).
+double ChiSquareQuantile(double p, double df);
+
+}  // namespace dbx

@@ -1,0 +1,44 @@
+#include "src/stats/rank_correlation.h"
+
+#include <cmath>
+
+namespace dbx {
+
+Result<double> KendallTauB(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("vectors must have equal length");
+  }
+  const size_t n = a.size();
+  if (n < 2) return Status::InvalidArgument("need at least 2 pairs");
+
+  // O(n^2) pair walk — rankings here are attribute lists (tens of entries),
+  // so the merge-sort O(n log n) variant would be over-engineering.
+  int64_t concordant = 0, discordant = 0;
+  int64_t ties_a = 0, ties_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double da = a[i] - a[j];
+      double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) {
+        // Tied in both: contributes to neither margin.
+      } else if (da == 0.0) {
+        ++ties_a;
+      } else if (db == 0.0) {
+        ++ties_b;
+      } else if ((da > 0) == (db > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  double n0 = static_cast<double>(concordant + discordant);
+  double denom = std::sqrt((n0 + ties_a) * (n0 + ties_b));
+  if (denom == 0.0) {
+    return Status::FailedPrecondition("a vector is entirely tied");
+  }
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+}  // namespace dbx

@@ -1,0 +1,21 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Rank correlation: Kendall's tau-b. Used to quantify Optimization 1's claim
+// that a sample "returns almost the same set" of Compare Attributes — the
+// correlation between the sampled and full-data attribute rankings is a
+// sharper statement than set overlap.
+
+#pragma once
+
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// Kendall's tau-b between two paired score vectors (ties handled by the
+/// tau-b denominator). Returns a value in [-1, 1]; requires length >= 2 and
+/// equal lengths; fails when either vector is entirely tied.
+Result<double> KendallTauB(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace dbx

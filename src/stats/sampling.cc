@@ -1,0 +1,30 @@
+#include "src/stats/sampling.h"
+
+#include <algorithm>
+
+namespace dbx {
+
+RowSet SampleRows(const RowSet& rows, size_t k, Rng* rng) {
+  if (k >= rows.size()) return rows;
+  // Reservoir sampling keeps memory at O(k) regardless of |rows|.
+  RowSet out(rows.begin(), rows.begin() + static_cast<long>(k));
+  for (size_t i = k; i < rows.size(); ++i) {
+    size_t j = static_cast<size_t>(rng->NextBounded(i + 1));
+    if (j < k) out[j] = rows[i];
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RowSet BernoulliSample(const RowSet& rows, double p, Rng* rng) {
+  RowSet out;
+  if (p <= 0.0) return out;
+  if (p >= 1.0) return rows;
+  out.reserve(static_cast<size_t>(p * static_cast<double>(rows.size())) + 16);
+  for (uint32_t r : rows) {
+    if (rng->NextDouble() < p) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace dbx

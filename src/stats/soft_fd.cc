@@ -1,0 +1,82 @@
+#include "src/stats/soft_fd.h"
+
+#include <algorithm>
+
+#include "src/stats/contingency.h"
+
+namespace dbx {
+
+Result<SoftFd> MeasureSoftFd(const DiscretizedTable& dt, size_t determinant,
+                             size_t dependent) {
+  if (determinant >= dt.num_attrs() || dependent >= dt.num_attrs()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (determinant == dependent) {
+    return Status::InvalidArgument("determinant == dependent");
+  }
+  const DiscreteAttr& da = dt.attr(determinant);
+  const DiscreteAttr& db = dt.attr(dependent);
+  if (da.cardinality() == 0 || db.cardinality() == 0) {
+    return Status::FailedPrecondition("attribute with empty domain");
+  }
+
+  ContingencyTable ct = ContingencyTable::FromCodes(
+      da.codes, da.cardinality(), db.codes, db.cardinality());
+  SoftFd fd;
+  fd.determinant = determinant;
+  fd.dependent = dependent;
+  fd.determinant_name = da.name;
+  fd.dependent_name = db.name;
+  if (ct.grand_total() == 0) return fd;
+
+  // strength = sum over determinant groups of the group's majority count.
+  uint64_t majority_sum = 0;
+  for (size_t r = 0; r < ct.rows(); ++r) {
+    uint64_t best = 0;
+    for (size_t c = 0; c < ct.cols(); ++c) best = std::max(best, ct.at(r, c));
+    majority_sum += best;
+  }
+  fd.strength = static_cast<double>(majority_sum) /
+                static_cast<double>(ct.grand_total());
+
+  uint64_t global_majority = 0;
+  for (size_t c = 0; c < ct.cols(); ++c) {
+    global_majority = std::max(global_majority, ct.col_total(c));
+  }
+  fd.baseline = static_cast<double>(global_majority) /
+                static_cast<double>(ct.grand_total());
+  return fd;
+}
+
+Result<std::vector<SoftFd>> DiscoverSoftFds(const DiscretizedTable& dt,
+                                            const SoftFdOptions& options) {
+  std::vector<SoftFd> found;
+  size_t n = dt.num_rows();
+  for (size_t a = 0; a < dt.num_attrs(); ++a) {
+    const DiscreteAttr& da = dt.attr(a);
+    if (da.cardinality() == 0) continue;
+    // Near-key determinants trivially determine everything.
+    if (n > 0 && static_cast<double>(da.cardinality()) >
+                     options.max_determinant_ratio * static_cast<double>(n)) {
+      continue;
+    }
+    for (size_t b = 0; b < dt.num_attrs(); ++b) {
+      if (a == b || dt.attr(b).cardinality() == 0) continue;
+      auto fd = MeasureSoftFd(dt, a, b);
+      if (!fd.ok()) return fd.status();
+      if (fd->strength >= options.min_strength &&
+          fd->Lift() >= options.min_lift) {
+        found.push_back(std::move(*fd));
+      }
+    }
+  }
+  std::stable_sort(found.begin(), found.end(),
+                   [](const SoftFd& x, const SoftFd& y) {
+                     double lx = x.Lift(), ly = y.Lift();
+                     if (lx != ly) return lx > ly;
+                     return x.strength > y.strength;
+                   });
+  return found;
+}
+
+}  // namespace dbx

@@ -1,0 +1,58 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Soft functional-dependency discovery (CORDS-style, paper related work
+// [16]): A -> B holds with strength s when knowing A's value pins down B's
+// value for an s-fraction of tuples. DBExplorer surfaces strong soft FDs of
+// the current fragment as exploration hints — e.g. Model -> Make in the
+// used-car data, or the surrogate relationships behind Limitation 2 (a
+// queriable attribute that nearly determines a hidden one).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/stats/discretizer.h"
+#include "src/util/result.h"
+
+namespace dbx {
+
+/// One discovered dependency A -> B.
+struct SoftFd {
+  size_t determinant = 0;  // attribute indices into the DiscretizedTable
+  size_t dependent = 0;
+  std::string determinant_name;
+  std::string dependent_name;
+  /// Fraction of tuples whose B value equals the majority B value of their
+  /// A group; 1.0 = exact functional dependency.
+  double strength = 0.0;
+  /// Baseline: the strength a constant predictor achieves (share of B's
+  /// global majority value). Dependencies barely above it are uninteresting.
+  double baseline = 0.0;
+
+  /// strength corrected for the baseline, in [0, 1]:
+  /// (strength - baseline) / (1 - baseline).
+  double Lift() const {
+    return baseline >= 1.0 ? 0.0 : (strength - baseline) / (1.0 - baseline);
+  }
+};
+
+struct SoftFdOptions {
+  /// Keep only dependencies with at least this strength.
+  double min_strength = 0.9;
+  /// ...and at least this baseline-corrected lift.
+  double min_lift = 0.3;
+  /// Skip determinant attributes with more distinct values than this times
+  /// the row count (near-key attributes trivially determine everything).
+  double max_determinant_ratio = 0.5;
+};
+
+/// Strength of `determinant -> dependent` over the fragment (no filtering).
+Result<SoftFd> MeasureSoftFd(const DiscretizedTable& dt, size_t determinant,
+                             size_t dependent);
+
+/// Scans every ordered attribute pair of `dt` and returns dependencies
+/// passing the thresholds, strongest (by lift, then strength) first.
+Result<std::vector<SoftFd>> DiscoverSoftFds(const DiscretizedTable& dt,
+                                            const SoftFdOptions& options);
+
+}  // namespace dbx

@@ -1,0 +1,110 @@
+#include "src/util/ascii_table.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace dbx {
+namespace {
+
+// Splits a cell into display lines: first on '\n', then word-wrapping each
+// line at `width` (0 = no wrap).
+std::vector<std::string> CellLines(const std::string& cell, size_t width) {
+  std::vector<std::string> lines;
+  for (const std::string& raw : Split(cell, '\n')) {
+    if (width == 0 || raw.size() <= width) {
+      lines.push_back(raw);
+      continue;
+    }
+    std::string cur;
+    for (const std::string& word : Split(raw, ' ')) {
+      if (cur.empty()) {
+        cur = word;
+      } else if (cur.size() + 1 + word.size() <= width) {
+        cur += ' ';
+        cur += word;
+      } else {
+        lines.push_back(cur);
+        cur = word;
+      }
+      // Hard-break words longer than the width.
+      while (cur.size() > width) {
+        lines.push_back(cur.substr(0, width));
+        cur = cur.substr(width);
+      }
+    }
+    lines.push_back(cur);
+  }
+  if (lines.empty()) lines.emplace_back();
+  return lines;
+}
+
+}  // namespace
+
+void AsciiTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.empty() ? row.size() : header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::Render() const {
+  if (header_.empty()) return "";
+  const size_t ncols = header_.size();
+
+  // Pre-split every cell into lines and compute column widths.
+  std::vector<std::vector<std::vector<std::string>>> grid;  // row][col][line
+  auto split_row = [&](const std::vector<std::string>& row) {
+    std::vector<std::vector<std::string>> cells(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      cells[c] = CellLines(c < row.size() ? row[c] : "", max_col_width_);
+    }
+    return cells;
+  };
+  grid.push_back(split_row(header_));
+  for (const auto& row : rows_) grid.push_back(split_row(row));
+
+  std::vector<size_t> widths(ncols, 1);
+  for (const auto& row : grid) {
+    for (size_t c = 0; c < ncols; ++c) {
+      for (const auto& line : row[c]) {
+        widths[c] = std::max(widths[c], line.size());
+      }
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (size_t c = 0; c < ncols; ++c) {
+      s.append(widths[c] + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = rule();
+  for (size_t r = 0; r < grid.size(); ++r) {
+    size_t height = 0;
+    for (const auto& cell : grid[r]) height = std::max(height, cell.size());
+    for (size_t ln = 0; ln < height; ++ln) {
+      out += '|';
+      for (size_t c = 0; c < ncols; ++c) {
+        const auto& cell = grid[r][c];
+        const std::string& text = ln < cell.size() ? cell[ln] : std::string();
+        out += ' ';
+        out += text;
+        out.append(widths[c] - text.size() + 1, ' ');
+        out += '|';
+      }
+      out += '\n';
+    }
+    if (r == 0) out += rule();
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace dbx

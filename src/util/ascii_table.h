@@ -1,0 +1,37 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Plain-text table rendering. The CAD View renderer and the benchmark
+// harnesses use this to print paper-style tables (e.g. Table 1).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dbx {
+
+/// Accumulates rows of string cells and renders them as an aligned,
+/// box-drawn ASCII table. Cells may contain '\n' for multi-line content.
+class AsciiTable {
+ public:
+  /// Sets the header row. Column count is fixed by the header.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Optional hard cap on any column's width; longer cells word-wrap.
+  /// 0 (default) means unlimited.
+  void SetMaxColumnWidth(size_t width) { max_col_width_ = width; }
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table. Returns "" if no header was set.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  size_t max_col_width_ = 0;
+};
+
+}  // namespace dbx

@@ -1,0 +1,73 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Result<T>: a value-or-Status union, the companion to status.h for functions
+// that produce a value on success.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace dbx {
+
+/// Holds either a successfully produced `T` or a non-OK `Status`.
+///
+/// Usage:
+///   Result<Table> r = Table::FromCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Success. Implicit so `return value;` works in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure. Implicit so `return Status::NotFound(...);` works.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in an error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Unwraps a Result into `lhs`, propagating errors. Use inside functions
+/// returning Status (or Result<U>).
+#define DBX_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto DBX_CONCAT_(_dbx_res, __LINE__) = (expr);   \
+  if (!DBX_CONCAT_(_dbx_res, __LINE__).ok())       \
+    return DBX_CONCAT_(_dbx_res, __LINE__).status(); \
+  lhs = std::move(DBX_CONCAT_(_dbx_res, __LINE__)).value()
+
+#define DBX_CONCAT_(a, b) DBX_CONCAT_IMPL_(a, b)
+#define DBX_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dbx

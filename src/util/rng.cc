@@ -1,0 +1,95 @@
+#include "src/util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dbx {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling: draw until the value falls in the largest multiple of
+  // `bound` representable in 64 bits.
+  uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = NextUniform(-1.0, 1.0);
+    v = NextUniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  have_cached_gaussian_ = true;
+  return u * factor;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0 || weights.empty()) return 0;
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace dbx

@@ -1,0 +1,107 @@
+// Copyright (c) DBExplorer reproduction authors.
+// RocksDB-style Status: the error-handling currency of every public API in
+// this library. No exceptions cross module boundaries.
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace dbx {
+
+/// Outcome of an operation that can fail for a recoverable reason.
+///
+/// Conventions (mirroring RocksDB):
+///  * Functions that can fail return `Status` (or `Result<T>`, see result.h).
+///  * `Status::OK()` is cheap (no allocation); error states carry a message.
+///  * Callers must check `ok()` before using any output parameters.
+class Status {
+ public:
+  /// Machine-readable error category.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kCorruption,
+    kNotSupported,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<category>: <message>" string, "OK" for success.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kNotFound: return "NotFound";
+      case Code::kOutOfRange: return "OutOfRange";
+      case Code::kCorruption: return "Corruption";
+      case Code::kNotSupported: return "NotSupported";
+      case Code::kFailedPrecondition: return "FailedPrecondition";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Use inside functions returning
+/// Status.
+#define DBX_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::dbx::Status _dbx_st = (expr);          \
+    if (!_dbx_st.ok()) return _dbx_st;       \
+  } while (0)
+
+}  // namespace dbx

@@ -1,0 +1,265 @@
+// Tests for the statistics substrate: linear algebra, OLS, the LRT used by
+// the user-study analysis, and descriptive helpers.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/descriptive.h"
+#include "src/analysis/linear_model.h"
+#include "src/analysis/lrt.h"
+#include "src/analysis/wilcoxon.h"
+#include "src/util/rng.h"
+
+namespace dbx {
+namespace {
+
+// --- Linear algebra --------------------------------------------------------------
+
+TEST(SolveTest, Known2x2) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+  auto x = SolveLinearSystem({2, 1, 1, 3}, 2, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+}
+
+TEST(SolveTest, PivotingHandlesZeroDiagonal) {
+  // [0 1; 1 0] x = [2; 3] -> x = [3; 2].
+  auto x = SolveLinearSystem({0, 1, 1, 0}, 2, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-10);
+}
+
+TEST(SolveTest, SingularRejected) {
+  EXPECT_TRUE(SolveLinearSystem({1, 2, 2, 4}, 2, {1, 2}).status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(SolveLinearSystem({1, 2}, 2, {1, 2}).status()
+                  .IsInvalidArgument());
+}
+
+TEST(InvertTest, InverseTimesOriginalIsIdentity) {
+  std::vector<double> a = {4, 7, 2, 6};
+  auto inv = InvertMatrix(a, 2);
+  ASSERT_TRUE(inv.ok());
+  // a * inv = I.
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      double cell = 0;
+      for (size_t k = 0; k < 2; ++k) cell += a[r * 2 + k] * (*inv)[k * 2 + c];
+      EXPECT_NEAR(cell, r == c ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+// --- OLS ---------------------------------------------------------------------------
+
+TEST(OlsTest, RecoversCoefficientsExactly) {
+  // y = 2 + 3x, no noise.
+  DesignMatrix X;
+  X.n = 5;
+  X.p = 2;
+  X.x = {1, 0, 1, 1, 1, 2, 1, 3, 1, 4};
+  std::vector<double> y = {2, 5, 8, 11, 14};
+  auto fit = FitOls(X, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->beta[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit->beta[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit->rss, 0.0, 1e-9);
+}
+
+TEST(OlsTest, RecoversCoefficientsUnderNoise) {
+  Rng rng(3);
+  DesignMatrix X;
+  X.n = 400;
+  X.p = 2;
+  X.x.resize(X.n * 2);
+  std::vector<double> y(X.n);
+  for (size_t i = 0; i < X.n; ++i) {
+    double xi = rng.NextUniform(-3, 3);
+    X.x[i * 2] = 1.0;
+    X.x[i * 2 + 1] = xi;
+    y[i] = 1.5 - 2.0 * xi + rng.NextGaussian(0, 0.3);
+  }
+  auto fit = FitOls(X, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->beta[0], 1.5, 0.1);
+  EXPECT_NEAR(fit->beta[1], -2.0, 0.1);
+  EXPECT_GT(fit->beta_se[1], 0.0);
+  EXPECT_LT(fit->beta_se[1], 0.05);
+}
+
+TEST(OlsTest, LogLikelihoodHigherForBetterModel) {
+  Rng rng(4);
+  DesignMatrix X;
+  X.n = 100;
+  X.p = 2;
+  X.x.resize(X.n * 2);
+  std::vector<double> y(X.n);
+  for (size_t i = 0; i < X.n; ++i) {
+    double xi = rng.NextUniform(0, 1);
+    X.x[i * 2] = 1.0;
+    X.x[i * 2 + 1] = xi;
+    y[i] = 3.0 * xi + rng.NextGaussian(0, 0.1);
+  }
+  DesignMatrix intercept_only;
+  intercept_only.n = X.n;
+  intercept_only.p = 1;
+  intercept_only.x.assign(X.n, 1.0);
+  auto full = FitOls(X, y);
+  auto null_fit = FitOls(intercept_only, y);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(null_fit.ok());
+  EXPECT_GT(full->log_likelihood, null_fit->log_likelihood);
+}
+
+TEST(OlsTest, Errors) {
+  DesignMatrix X;
+  X.n = 2;
+  X.p = 3;  // p > n
+  X.x.assign(6, 1.0);
+  EXPECT_TRUE(FitOls(X, {1, 2}).status().IsFailedPrecondition());
+
+  DesignMatrix collinear;
+  collinear.n = 4;
+  collinear.p = 2;
+  collinear.x = {1, 2, 1, 2, 1, 2, 1, 2};  // second col = 2 * first
+  EXPECT_TRUE(FitOls(collinear, {1, 2, 3, 4}).status().IsFailedPrecondition());
+
+  DesignMatrix ok;
+  ok.n = 2;
+  ok.p = 1;
+  ok.x = {1, 1};
+  EXPECT_TRUE(FitOls(ok, {1.0}).status().IsInvalidArgument());  // y mismatch
+}
+
+// --- LRT ---------------------------------------------------------------------------
+
+std::vector<StudyObservation> CrossoverData(double effect, double noise_sd,
+                                            uint64_t seed, size_t users = 8) {
+  Rng rng(seed);
+  std::vector<StudyObservation> obs;
+  for (size_t u = 0; u < users; ++u) {
+    double base = 10.0 + rng.NextGaussian(0, 2.0);  // per-user level
+    obs.push_back({u, false, base + rng.NextGaussian(0, noise_sd)});
+    obs.push_back({u, true, base + effect + rng.NextGaussian(0, noise_sd)});
+  }
+  return obs;
+}
+
+TEST(LrtTest, DetectsStrongEffect) {
+  auto obs = CrossoverData(-6.0, 0.5, 11);
+  auto r = DisplayTypeLrt(obs, 8);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LT(r->p_value, 0.01);
+  EXPECT_NEAR(r->effect, -6.0, 1.0);
+  EXPECT_GT(r->chi2, 6.6);
+}
+
+TEST(LrtTest, NoEffectNotSignificant) {
+  auto r = DisplayTypeLrt(CrossoverData(0.0, 1.0, 13), 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->p_value, 0.05);
+  EXPECT_NEAR(r->effect, 0.0, 1.5);
+}
+
+TEST(LrtTest, BlockingRemovesUserVariance) {
+  // Huge user-to-user spread, small effect: blocking must still find it.
+  Rng rng(17);
+  std::vector<StudyObservation> obs;
+  for (size_t u = 0; u < 8; ++u) {
+    double base = rng.NextUniform(5, 50);
+    obs.push_back({u, false, base + rng.NextGaussian(0, 0.2)});
+    obs.push_back({u, true, base - 2.0 + rng.NextGaussian(0, 0.2)});
+  }
+  auto r = DisplayTypeLrt(obs, 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->p_value, 0.01);
+  EXPECT_NEAR(r->effect, -2.0, 0.5);
+}
+
+TEST(LrtTest, Preconditions) {
+  EXPECT_TRUE(DisplayTypeLrt({}, 1).status().IsInvalidArgument());
+  std::vector<StudyObservation> one_arm = {{0, true, 1.0}, {1, true, 2.0}};
+  EXPECT_TRUE(DisplayTypeLrt(one_arm, 2).status().IsFailedPrecondition());
+  std::vector<StudyObservation> bad_user = {{9, true, 1.0}, {0, false, 2.0}};
+  EXPECT_TRUE(DisplayTypeLrt(bad_user, 2).status().IsOutOfRange());
+}
+
+// --- Wilcoxon signed-rank --------------------------------------------------------
+
+TEST(WilcoxonTest, ObviousShiftDetected) {
+  std::vector<double> a = {10, 12, 11, 13, 12, 14, 11, 12};
+  std::vector<double> b = {2, 3, 2, 4, 3, 2, 3, 4};
+  auto r = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // All 8 differences positive: W+ = 36 (max), exact two-sided p = 2/2^8.
+  EXPECT_DOUBLE_EQ(r->w_plus, 36.0);
+  EXPECT_NEAR(r->p_value, 2.0 / 256.0, 1e-12);
+  EXPECT_GT(r->median_difference, 8.0);
+}
+
+TEST(WilcoxonTest, NoShiftNotSignificant) {
+  std::vector<double> a = {1, 5, 3, 8, 2, 9, 4, 7};
+  std::vector<double> b = {5, 1, 8, 3, 9, 2, 7, 4};
+  auto r = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->p_value, 0.5);
+}
+
+TEST(WilcoxonTest, ZeroDifferencesDropped) {
+  std::vector<double> a = {1, 2, 3, 4, 10};
+  std::vector<double> b = {1, 2, 3, 4, 2};
+  // Only one non-zero difference remains.
+  EXPECT_TRUE(WilcoxonSignedRank(a, b).status().IsFailedPrecondition());
+}
+
+TEST(WilcoxonTest, TiesGetMidranks) {
+  // |diffs| = {1,1,2,2}: midranks 1.5,1.5,3.5,3.5; signs + + - -.
+  std::vector<double> a = {1, 1, 0, 0};
+  std::vector<double> b = {0, 0, 2, 2};
+  auto r = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->w_plus, 3.0);  // 1.5 + 1.5
+  EXPECT_GT(r->p_value, 0.2);
+}
+
+TEST(WilcoxonTest, LargeSampleNormalApproximation) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 60; ++i) {
+    double base = rng.NextUniform(0, 10);
+    a.push_back(base + 1.0 + rng.NextGaussian(0, 0.5));
+    b.push_back(base);
+  }
+  auto r = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->n, 60u);
+  EXPECT_LT(r->p_value, 0.001);
+  EXPECT_NEAR(r->median_difference, 1.0, 0.4);
+}
+
+TEST(WilcoxonTest, LengthMismatchRejected) {
+  EXPECT_TRUE(WilcoxonSignedRank({1, 2}, {1}).status().IsInvalidArgument());
+}
+
+// --- Descriptive --------------------------------------------------------------------
+
+TEST(DescriptiveTest, Basics) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(SampleStdDev(v), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(MinOf(v), 1.0);
+  EXPECT_DOUBLE_EQ(MaxOf(v), 4.0);
+  EXPECT_DOUBLE_EQ(MeanPairedDifference({3, 5}, {1, 2}), 2.5);
+}
+
+TEST(DescriptiveTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+}  // namespace
+}  // namespace dbx

@@ -1,0 +1,125 @@
+// Tests for the DBXT binary snapshot format.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/data/used_cars.h"
+#include "src/relation/binary_io.h"
+#include "src/util/rng.h"
+
+namespace dbx {
+namespace {
+
+Table SampleTable() {
+  Schema s = std::move(Schema::Make({
+                           {"Cat", AttrType::kCategorical, true},
+                           {"Hidden", AttrType::kCategorical, false},
+                           {"Num", AttrType::kNumeric, true},
+                       }))
+                 .value();
+  Table t(s);
+  EXPECT_TRUE(t.AppendRow({Value("a"), Value("x"), Value(1.5)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("b"), Value::Null(), Value::Null()}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("a"), Value("y"), Value(-3.25)}).ok());
+  return t;
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_cols(), b.num_cols());
+  for (size_t c = 0; c < a.num_cols(); ++c) {
+    EXPECT_EQ(a.schema().attr(c).name, b.schema().attr(c).name);
+    EXPECT_EQ(a.schema().attr(c).type, b.schema().attr(c).type);
+    EXPECT_EQ(a.schema().attr(c).queriable, b.schema().attr(c).queriable);
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_cols(); ++c) {
+      EXPECT_EQ(a.At(r, c) == b.At(r, c), true) << "cell " << r << "," << c;
+    }
+  }
+}
+
+TEST(BinaryIoTest, RoundTripSmall) {
+  Table t = SampleTable();
+  auto back = FromBinary(ToBinary(t));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectTablesEqual(t, *back);
+}
+
+TEST(BinaryIoTest, RoundTripPreservesQueriability) {
+  // CSV cannot carry this metadata; the binary format must.
+  Table t = SampleTable();
+  auto back = FromBinary(ToBinary(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->schema().attr(1).queriable);
+}
+
+TEST(BinaryIoTest, RoundTripRealDataset) {
+  Table cars = GenerateUsedCars(1500, 7);
+  auto back = FromBinary(ToBinary(cars));
+  ASSERT_TRUE(back.ok());
+  ExpectTablesEqual(cars, *back);
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  Table t = SampleTable();
+  std::string path = ::testing::TempDir() + "/dbxt_test.bin";
+  ASSERT_TRUE(WriteBinary(t, path).ok());
+  auto back = ReadBinary(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectTablesEqual(t, *back);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, CorruptionDetected) {
+  Table t = SampleTable();
+  std::string bytes = ToBinary(t);
+
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] = 'X';
+  EXPECT_TRUE(FromBinary(bad).status().IsCorruption());
+
+  // Truncation at every eighth byte boundary.
+  for (size_t cut = 4; cut < bytes.size(); cut += 8) {
+    EXPECT_TRUE(FromBinary(bytes.substr(0, cut)).status().IsCorruption())
+        << "cut " << cut;
+  }
+
+  // Trailing garbage.
+  EXPECT_TRUE(FromBinary(bytes + "junk").status().IsCorruption());
+
+  // Bad version.
+  std::string bad_version = bytes;
+  bad_version[4] = 99;
+  EXPECT_TRUE(FromBinary(bad_version).status().IsCorruption());
+
+  // Empty input.
+  EXPECT_TRUE(FromBinary("").status().IsCorruption());
+}
+
+TEST(BinaryIoTest, RandomMutationsNeverCrash) {
+  Table t = SampleTable();
+  std::string bytes = ToBinary(t);
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = bytes;
+    size_t flips = 1 + rng.NextBounded(4);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t pos = static_cast<size_t>(rng.NextBounded(mutated.size()));
+      mutated[pos] = static_cast<char>(rng.NextBounded(256));
+    }
+    auto r = FromBinary(mutated);  // must return OK or error, never crash
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty());
+    }
+  }
+}
+
+TEST(BinaryIoTest, MissingFile) {
+  EXPECT_TRUE(ReadBinary("/no/such/file.dbxt").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace dbx

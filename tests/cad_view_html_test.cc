@@ -1,0 +1,90 @@
+// Tests for the HTML renderer.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cad_view_builder.h"
+#include "src/core/cad_view_html.h"
+#include "src/data/used_cars.h"
+
+namespace dbx {
+namespace {
+
+class CadViewHtmlTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new Table(GenerateUsedCars(2000, 3));
+    CadViewOptions o;
+    o.pivot_attr = "Make";
+    o.pivot_values = {"Ford", "Jeep", "Toyota"};
+    o.max_compare_attrs = 4;
+    o.iunits_per_value = 2;
+    o.seed = 5;
+    view_ = new CadView(
+        std::move(BuildCadView(TableSlice::All(*table_), o)).value());
+  }
+  static void TearDownTestSuite() {
+    delete view_;
+    delete table_;
+    view_ = nullptr;
+    table_ = nullptr;
+  }
+  static Table* table_;
+  static CadView* view_;
+};
+
+Table* CadViewHtmlTest::table_ = nullptr;
+CadView* CadViewHtmlTest::view_ = nullptr;
+
+TEST(HtmlEscapeTest, EscapesMarkup) {
+  EXPECT_EQ(HtmlEscape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&#39;");
+  EXPECT_EQ(HtmlEscape("plain"), "plain");
+}
+
+TEST_F(CadViewHtmlTest, CompleteDocumentStructure) {
+  HtmlRenderOptions opt;
+  opt.title = "Compare <Makes>";
+  std::string html = RenderCadViewHtml(*view_, opt);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  // Title is escaped.
+  EXPECT_NE(html.find("Compare &lt;Makes&gt;"), std::string::npos);
+  EXPECT_EQ(html.find("<Makes>"), std::string::npos);
+  // Every pivot value and compare attribute appears.
+  for (const CadViewRow& row : view_->rows) {
+    EXPECT_NE(html.find("<b>" + row.pivot_value + "</b>"), std::string::npos);
+  }
+  for (const CompareAttribute& ca : view_->compare_attrs) {
+    EXPECT_NE(html.find(ca.name), std::string::npos);
+  }
+}
+
+TEST_F(CadViewHtmlTest, IUnitCellsCarryClickWiring) {
+  std::string html = RenderCadViewHtml(*view_, HtmlRenderOptions{});
+  EXPECT_NE(html.find("dbxHighlightSimilar(0,0)"), std::string::npos);
+  EXPECT_NE(html.find("data-row=\"0\""), std::string::npos);
+  EXPECT_NE(html.find("const dbxView = {"), std::string::npos);
+  EXPECT_NE(html.find("const dbxSimilar = ["), std::string::npos);
+}
+
+TEST_F(CadViewHtmlTest, HighlightsPreMarked) {
+  HtmlRenderOptions opt;
+  opt.highlights = {{0, 0, 0.0}};
+  std::string html = RenderCadViewHtml(*view_, opt);
+  EXPECT_NE(html.find("class=\"iunit highlight\""), std::string::npos);
+}
+
+TEST_F(CadViewHtmlTest, JsonEmbeddingOptional) {
+  HtmlRenderOptions opt;
+  opt.embed_json = false;
+  std::string html = RenderCadViewHtml(*view_, opt);
+  EXPECT_EQ(html.find("const dbxView"), std::string::npos);
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+}
+
+TEST_F(CadViewHtmlTest, Deterministic) {
+  EXPECT_EQ(RenderCadViewHtml(*view_, HtmlRenderOptions{}),
+            RenderCadViewHtml(*view_, HtmlRenderOptions{}));
+}
+
+}  // namespace
+}  // namespace dbx

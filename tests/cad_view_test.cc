@@ -1,0 +1,383 @@
+// Tests for the CAD View builder and the in-view search operations
+// (Problems 1-4), including the §6.3 optimizations.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/cad_view_builder.h"
+#include "src/core/cad_view_renderer.h"
+#include "src/core/iunit_similarity.h"
+#include "src/data/used_cars.h"
+
+namespace dbx {
+namespace {
+
+// Small deterministic used-car table shared by the suite.
+class CadViewTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new Table(GenerateUsedCars(4000, 3));
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+
+  static CadViewOptions BaseOptions() {
+    CadViewOptions o;
+    o.pivot_attr = "Make";
+    o.pivot_values = {"Ford", "Chevrolet", "Jeep"};
+    o.max_compare_attrs = 4;
+    o.iunits_per_value = 3;
+    o.seed = 5;
+    return o;
+  }
+
+  static Table* table_;
+};
+
+Table* CadViewTest::table_ = nullptr;
+
+TEST_F(CadViewTest, RowsMatchRequestedPivotValues) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_EQ(view->rows.size(), 3u);
+  EXPECT_EQ(view->rows[0].pivot_value, "Ford");
+  EXPECT_EQ(view->rows[1].pivot_value, "Chevrolet");
+  EXPECT_EQ(view->rows[2].pivot_value, "Jeep");
+  for (const CadViewRow& r : view->rows) {
+    EXPECT_GT(r.partition_size, 0u);
+    EXPECT_LE(r.iunits.size(), 3u);
+    EXPECT_GE(r.iunits.size(), 1u);
+  }
+}
+
+TEST_F(CadViewTest, CompareAttrsExcludePivotAndRespectLimit) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  EXPECT_LE(view->compare_attrs.size(), 4u);
+  EXPECT_GE(view->compare_attrs.size(), 1u);
+  for (const CompareAttribute& ca : view->compare_attrs) {
+    EXPECT_NE(ca.name, "Make");
+  }
+  // Auto-selected attrs are ranked by decreasing relevance.
+  for (size_t i = 1; i < view->compare_attrs.size(); ++i) {
+    if (!view->compare_attrs[i - 1].user_selected &&
+        !view->compare_attrs[i].user_selected) {
+      EXPECT_GE(view->compare_attrs[i - 1].relevance,
+                view->compare_attrs[i].relevance);
+    }
+  }
+}
+
+TEST_F(CadViewTest, UserCompareAttrsComeFirst) {
+  CadViewOptions o = BaseOptions();
+  o.user_compare_attrs = {"Price"};
+  auto view = BuildCadView(TableSlice::All(*table_), o);
+  ASSERT_TRUE(view.ok());
+  ASSERT_FALSE(view->compare_attrs.empty());
+  EXPECT_EQ(view->compare_attrs[0].name, "Price");
+  EXPECT_TRUE(view->compare_attrs[0].user_selected);
+}
+
+TEST_F(CadViewTest, ModelIsTopAutoCompareAttributeForMakes) {
+  // Make determines Model in the generator, so chi-square must rank Model
+  // first (the paper's "Model is better than Mileage" observation).
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->compare_attrs[0].name, "Model");
+}
+
+TEST_F(CadViewTest, IUnitsHaveUniformLabelSchema) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  for (const CadViewRow& r : view->rows) {
+    for (const IUnit& u : r.iunits) {
+      EXPECT_EQ(u.cells.size(), view->compare_attrs.size());
+      EXPECT_EQ(u.attr_freqs.size(), view->compare_attrs.size());
+      EXPECT_EQ(u.pivot_value, r.pivot_value);
+      EXPECT_GT(u.size(), 0u);
+    }
+  }
+}
+
+TEST_F(CadViewTest, IUnitsWithinRowRankedByScoreAndDiverse) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  for (const CadViewRow& r : view->rows) {
+    for (size_t i = 1; i < r.iunits.size(); ++i) {
+      EXPECT_GE(r.iunits[i - 1].score, r.iunits[i].score);
+    }
+    for (size_t i = 0; i < r.iunits.size(); ++i) {
+      for (size_t j = i + 1; j < r.iunits.size(); ++j) {
+        EXPECT_LT(IUnitSimilarity(r.iunits[i], r.iunits[j]), view->tau)
+            << r.pivot_value << " iunits " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST_F(CadViewTest, PartitionMembersCarryPivotValue) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  auto dt = DiscretizedTable::Build(TableSlice::All(*table_),
+                                    DiscretizerOptions{});
+  ASSERT_TRUE(dt.ok());
+  auto make_idx = dt->IndexOf("Make");
+  ASSERT_TRUE(make_idx.has_value());
+  const DiscreteAttr& make = dt->attr(*make_idx);
+  for (const CadViewRow& r : view->rows) {
+    for (const IUnit& u : r.iunits) {
+      for (size_t pos : u.member_positions) {
+        EXPECT_EQ(make.labels[make.codes[pos]], r.pivot_value);
+      }
+    }
+  }
+}
+
+TEST_F(CadViewTest, EmptyPivotValueListUsesAllValues) {
+  CadViewOptions o = BaseOptions();
+  o.pivot_values.clear();
+  o.pivot_attr = "BodyType";
+  auto view = BuildCadView(TableSlice::All(*table_), o);
+  ASSERT_TRUE(view.ok());
+  EXPECT_GE(view->rows.size(), 3u);  // SUV, Sedan, Truck, ...
+  // Default order: most frequent first.
+  for (size_t i = 1; i < view->rows.size(); ++i) {
+    EXPECT_GE(view->rows[i - 1].partition_size,
+              view->rows[i].partition_size);
+  }
+}
+
+TEST_F(CadViewTest, UnknownPivotValueYieldsEmptyRow) {
+  CadViewOptions o = BaseOptions();
+  o.pivot_values = {"Ford", "NoSuchMake"};
+  auto view = BuildCadView(TableSlice::All(*table_), o);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->rows.size(), 2u);
+  EXPECT_EQ(view->rows[1].partition_size, 0u);
+  EXPECT_TRUE(view->rows[1].iunits.empty());
+}
+
+TEST_F(CadViewTest, ErrorCases) {
+  CadViewOptions o = BaseOptions();
+  o.pivot_attr = "NoSuchAttr";
+  EXPECT_TRUE(
+      BuildCadView(TableSlice::All(*table_), o).status().IsNotFound());
+
+  o = BaseOptions();
+  o.iunits_per_value = 0;
+  EXPECT_TRUE(
+      BuildCadView(TableSlice::All(*table_), o).status().IsInvalidArgument());
+
+  o = BaseOptions();
+  o.user_compare_attrs = {"Make"};
+  EXPECT_TRUE(
+      BuildCadView(TableSlice::All(*table_), o).status().IsInvalidArgument());
+
+  o = BaseOptions();
+  o.user_compare_attrs = {"Price", "Price"};
+  EXPECT_TRUE(
+      BuildCadView(TableSlice::All(*table_), o).status().IsInvalidArgument());
+
+  o = BaseOptions();
+  o.max_compare_attrs = 1;
+  o.user_compare_attrs = {"Price", "Year"};
+  EXPECT_TRUE(
+      BuildCadView(TableSlice::All(*table_), o).status().IsInvalidArgument());
+}
+
+TEST_F(CadViewTest, TimingsPopulated) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  EXPECT_GT(view->timings.total_ms, 0.0);
+  EXPECT_GE(view->timings.compare_attrs_ms, 0.0);
+  EXPECT_GE(view->timings.iunit_gen_ms, 0.0);
+  EXPECT_GE(view->timings.others_ms(), 0.0);
+  EXPECT_FALSE(RenderTimings(view->timings).empty());
+}
+
+// --- Problem 3 / 4 -------------------------------------------------------------
+
+TEST_F(CadViewTest, FindSimilarIUnitsExcludesSelfAndSortsDescending) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  auto matches = view->FindSimilarIUnits("Ford", 0, 0.0);
+  ASSERT_TRUE(matches.ok());
+  size_t total_iunits = 0;
+  for (const CadViewRow& r : view->rows) total_iunits += r.iunits.size();
+  EXPECT_EQ(matches->size(), total_iunits - 1);  // everything but itself
+  for (size_t i = 1; i < matches->size(); ++i) {
+    EXPECT_GE((*matches)[i - 1].similarity, (*matches)[i].similarity);
+  }
+  for (const IUnitRef& m : *matches) {
+    EXPECT_FALSE(m.row == 0 && m.iunit == 0);
+  }
+}
+
+TEST_F(CadViewTest, FindSimilarIUnitsThresholdFilters) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  auto all = view->FindSimilarIUnits("Ford", 0, 0.0);
+  auto none = view->FindSimilarIUnits(
+      "Ford", 0, static_cast<double>(view->compare_attrs.size()) + 1.0);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  EXPECT_GT(all->size(), none->size());
+}
+
+TEST_F(CadViewTest, FindSimilarIUnitsErrors) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->FindSimilarIUnits("Nope", 0, 0.0).status().IsNotFound());
+  EXPECT_TRUE(view->FindSimilarIUnits("Ford", 99, 0.0).status().IsOutOfRange());
+}
+
+TEST_F(CadViewTest, RankRowsBySimilarityAnchorFirst) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  auto ranked = view->RankRowsBySimilarity("Chevrolet");
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 3u);
+  EXPECT_EQ((*ranked)[0].first, "Chevrolet");
+  EXPECT_DOUBLE_EQ((*ranked)[0].second, 0.0);
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i].second, (*ranked)[i - 1].second);
+  }
+}
+
+TEST_F(CadViewTest, ReorderRowsAppliesRanking) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  auto ranked = view->RankRowsBySimilarity("Jeep");
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_TRUE(view->ReorderRowsBySimilarity("Jeep").ok());
+  for (size_t i = 0; i < view->rows.size(); ++i) {
+    EXPECT_EQ(view->rows[i].pivot_value, (*ranked)[i].first);
+  }
+  EXPECT_EQ(view->rows[0].pivot_value, "Jeep");
+}
+
+// --- Renderer -------------------------------------------------------------------
+
+TEST_F(CadViewTest, RenderContainsPivotValuesAndAttrs) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  std::string out = RenderCadView(*view);
+  EXPECT_NE(out.find("Ford"), std::string::npos);
+  EXPECT_NE(out.find("Chevrolet"), std::string::npos);
+  EXPECT_NE(out.find("IUnit 1"), std::string::npos);
+  for (const CompareAttribute& ca : view->compare_attrs) {
+    EXPECT_NE(out.find(ca.name), std::string::npos);
+  }
+}
+
+TEST_F(CadViewTest, RenderMarksHighlights) {
+  auto view = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(view.ok());
+  RenderOptions ro;
+  ro.highlights = {{0, 0, 0.0}};
+  std::string out = RenderCadView(*view, ro);
+  EXPECT_NE(out.find("* ["), std::string::npos);
+}
+
+// --- §6.3 optimizations ----------------------------------------------------------
+
+TEST_F(CadViewTest, SamplingKeepsTopCompareAttribute) {
+  CadViewOptions o = BaseOptions();
+  auto full = BuildCadView(TableSlice::All(*table_), o);
+  o.feature_selection_sample = 800;
+  auto sampled = BuildCadView(TableSlice::All(*table_), o);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(full->compare_attrs[0].name, sampled->compare_attrs[0].name);
+}
+
+TEST_F(CadViewTest, ClusteringSampleStillYieldsIUnits) {
+  CadViewOptions o = BaseOptions();
+  o.clustering_sample = 200;
+  auto view = BuildCadView(TableSlice::All(*table_), o);
+  ASSERT_TRUE(view.ok());
+  for (const CadViewRow& r : view->rows) {
+    EXPECT_GE(r.iunits.size(), 1u);
+    for (const IUnit& u : r.iunits) {
+      EXPECT_LE(u.size(), 200u);
+    }
+  }
+}
+
+TEST_F(CadViewTest, AdaptiveLReducesCandidates) {
+  CadViewOptions o = BaseOptions();
+  o.adaptive_l = true;
+  o.adaptive_l_threshold = 1;  // force the adaptive path
+  auto view = BuildCadView(TableSlice::All(*table_), o);
+  ASSERT_TRUE(view.ok());
+  // l collapses to k; at most k IUnits still delivered.
+  for (const CadViewRow& r : view->rows) {
+    EXPECT_LE(r.iunits.size(), o.iunits_per_value);
+  }
+}
+
+TEST_F(CadViewTest, ParallelBuildMatchesSerial) {
+  CadViewOptions serial = BaseOptions();
+  CadViewOptions parallel = BaseOptions();
+  parallel.num_threads = 4;
+  auto a = BuildCadView(TableSlice::All(*table_), serial);
+  auto b = BuildCadView(TableSlice::All(*table_), parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(RenderCadView(*a), RenderCadView(*b));
+}
+
+TEST_F(CadViewTest, AutoLSelectsQualityClustering) {
+  CadViewOptions o = BaseOptions();
+  o.auto_l = true;
+  o.auto_l_max_factor = 2.0;
+  auto view = BuildCadView(TableSlice::All(*table_), o);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  for (const CadViewRow& r : view->rows) {
+    EXPECT_GE(r.iunits.size(), 1u);
+    EXPECT_LE(r.iunits.size(), o.iunits_per_value);
+  }
+  // Deterministic like everything else.
+  auto again = BuildCadView(TableSlice::All(*table_), o);
+  ASSERT_TRUE(again.ok());
+  for (size_t r = 0; r < view->rows.size(); ++r) {
+    ASSERT_EQ(view->rows[r].iunits.size(), again->rows[r].iunits.size());
+    for (size_t u = 0; u < view->rows[r].iunits.size(); ++u) {
+      EXPECT_EQ(view->rows[r].iunits[u].size(),
+                again->rows[r].iunits[u].size());
+    }
+  }
+}
+
+TEST_F(CadViewTest, DeterministicForSeed) {
+  auto a = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  auto b = BuildCadView(TableSlice::All(*table_), BaseOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(RenderCadView(*a), RenderCadView(*b));
+}
+
+TEST_F(CadViewTest, CustomPreferenceFunctionChangesRanking) {
+  CadViewOptions o = BaseOptions();
+  o.user_compare_attrs = {"Price"};
+  // Taxi-fleet manager: prefer clusters whose Price representative is the
+  // cheapest bin (paper §2.2.2's preference-function discussion).
+  o.preference = [](const IUnit& u) {
+    if (u.cells.empty() || u.cells[0].codes.empty()) return 0.0;
+    return -static_cast<double>(u.cells[0].codes[0]);
+  };
+  auto view = BuildCadView(TableSlice::All(*table_), o);
+  ASSERT_TRUE(view.ok());
+  for (const CadViewRow& r : view->rows) {
+    for (size_t i = 1; i < r.iunits.size(); ++i) {
+      EXPECT_GE(r.iunits[i - 1].score, r.iunits[i].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbx

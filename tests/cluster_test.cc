@@ -1,0 +1,243 @@
+// Tests for one-hot encoding, k-means, and cluster metrics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/cluster_metrics.h"
+#include "src/cluster/encoder.h"
+#include "src/cluster/kmeans.h"
+
+namespace dbx {
+namespace {
+
+// Two clearly separated groups over two categorical attributes.
+Table TwoGroupTable(size_t per_group) {
+  Schema s = std::move(Schema::Make({
+                           {"A", AttrType::kCategorical, true},
+                           {"B", AttrType::kCategorical, true},
+                       }))
+                 .value();
+  Table t(s);
+  for (size_t i = 0; i < per_group; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value("a1"), Value("b1")}).ok());
+    EXPECT_TRUE(t.AppendRow({Value("a2"), Value("b2")}).ok());
+  }
+  return t;
+}
+
+DiscretizedTable Discretize(const Table& t) {
+  return std::move(
+             DiscretizedTable::Build(TableSlice::All(t), DiscretizerOptions{}))
+      .value();
+}
+
+std::vector<size_t> AllPositions(const DiscretizedTable& dt) {
+  std::vector<size_t> p(dt.num_rows());
+  for (size_t i = 0; i < p.size(); ++i) p[i] = i;
+  return p;
+}
+
+// --- Encoder -------------------------------------------------------------------
+
+TEST(EncoderTest, DimsAndOffsets) {
+  Table t = TwoGroupTable(3);
+  DiscretizedTable dt = Discretize(t);
+  auto enc = OneHotEncoder::Plan(dt, {0, 1});
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->dims(), 4u);  // 2 values per attribute
+  EXPECT_EQ(enc->BlockOffset(0), 0u);
+  EXPECT_EQ(enc->BlockOffset(1), 2u);
+}
+
+TEST(EncoderTest, OneHotRowsSumToAttrCount) {
+  Table t = TwoGroupTable(2);
+  DiscretizedTable dt = Discretize(t);
+  auto enc = OneHotEncoder::Plan(dt, {0, 1});
+  ASSERT_TRUE(enc.ok());
+  EncodedMatrix m = enc->Encode(dt, AllPositions(dt));
+  EXPECT_EQ(m.num_points, 4u);
+  for (size_t i = 0; i < m.num_points; ++i) {
+    double sum = 0;
+    for (size_t d = 0; d < m.dims; ++d) sum += m.point(i)[d];
+    EXPECT_DOUBLE_EQ(sum, 2.0);  // one hot per attribute
+  }
+}
+
+TEST(EncoderTest, NullsEncodeToZeroBlock) {
+  Schema s = std::move(Schema::Make({{"A", AttrType::kCategorical, true}}))
+                 .value();
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  DiscretizedTable dt = Discretize(t);
+  auto enc = OneHotEncoder::Plan(dt, {0});
+  ASSERT_TRUE(enc.ok());
+  EncodedMatrix m = enc->Encode(dt, {0, 1});
+  EXPECT_DOUBLE_EQ(m.point(1)[0], 0.0);
+}
+
+TEST(EncoderTest, SkipsAllNullAttrsAndFailsWhenNothingLeft) {
+  Schema s = std::move(Schema::Make({{"A", AttrType::kCategorical, true}}))
+                 .value();
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  DiscretizedTable dt = Discretize(t);
+  EXPECT_TRUE(OneHotEncoder::Plan(dt, {0}).status().IsInvalidArgument());
+}
+
+TEST(EncoderTest, OutOfRangeAttr) {
+  Table t = TwoGroupTable(1);
+  DiscretizedTable dt = Discretize(t);
+  EXPECT_TRUE(OneHotEncoder::Plan(dt, {7}).status().IsOutOfRange());
+}
+
+// --- KMeans --------------------------------------------------------------------
+
+EncodedMatrix TwoGroupMatrix(size_t per_group) {
+  Table t = TwoGroupTable(per_group);
+  DiscretizedTable dt = Discretize(t);
+  auto enc = OneHotEncoder::Plan(dt, {0, 1});
+  return enc->Encode(dt, AllPositions(dt));
+}
+
+TEST(KMeansTest, RecoversTwoGroups) {
+  EncodedMatrix m = TwoGroupMatrix(20);
+  KMeansOptions opt;
+  opt.k = 2;
+  auto res = RunKMeans(m, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->k_effective, 2u);
+  // Perfect separation: inertia 0 and alternating assignment pattern.
+  EXPECT_NEAR(res->inertia, 0.0, 1e-9);
+  for (size_t i = 2; i < m.num_points; ++i) {
+    EXPECT_EQ(res->assignments[i], res->assignments[i % 2]);
+  }
+  EXPECT_NE(res->assignments[0], res->assignments[1]);
+}
+
+TEST(KMeansTest, AssignmentsValidAndSizesSum) {
+  EncodedMatrix m = TwoGroupMatrix(10);
+  KMeansOptions opt;
+  opt.k = 3;
+  auto res = RunKMeans(m, opt);
+  ASSERT_TRUE(res.ok());
+  auto sizes = res->ClusterSizes();
+  size_t total = 0;
+  for (size_t s : sizes) total += s;
+  EXPECT_EQ(total, m.num_points);
+  for (int32_t a : res->assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, static_cast<int32_t>(res->k_effective));
+  }
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  EncodedMatrix m = TwoGroupMatrix(1);  // 2 points
+  KMeansOptions opt;
+  opt.k = 10;
+  auto res = RunKMeans(m, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->k_effective, 2u);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  EncodedMatrix m = TwoGroupMatrix(25);
+  KMeansOptions opt;
+  opt.k = 4;
+  opt.seed = 77;
+  auto a = RunKMeans(m, opt);
+  auto b = RunKMeans(m, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_EQ(a->centroids, b->centroids);
+}
+
+TEST(KMeansTest, Errors) {
+  EncodedMatrix empty;
+  empty.dims = 3;
+  EXPECT_TRUE(RunKMeans(empty, KMeansOptions{}).status().IsInvalidArgument());
+  EncodedMatrix m = TwoGroupMatrix(2);
+  KMeansOptions opt;
+  opt.k = 0;
+  EXPECT_TRUE(RunKMeans(m, opt).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, MoreClustersNeverIncreaseInertia) {
+  // Mixed data with some noise.
+  Schema s = std::move(Schema::Make({
+                           {"A", AttrType::kCategorical, true},
+                           {"B", AttrType::kCategorical, true},
+                       }))
+                 .value();
+  Table t(s);
+  Rng rng(4);
+  const char* as[] = {"a1", "a2", "a3", "a4"};
+  const char* bs[] = {"b1", "b2", "b3"};
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(as[rng.NextBounded(4)]),
+                             Value(bs[rng.NextBounded(3)])})
+                    .ok());
+  }
+  DiscretizedTable dt = Discretize(t);
+  auto enc = OneHotEncoder::Plan(dt, {0, 1});
+  EncodedMatrix m = enc->Encode(dt, AllPositions(dt));
+
+  double prev = 1e18;
+  for (size_t k : {1u, 2u, 4u, 8u}) {
+    KMeansOptions opt;
+    opt.k = k;
+    opt.max_iterations = 100;
+    auto res = RunKMeans(m, opt);
+    ASSERT_TRUE(res.ok());
+    EXPECT_LE(res->inertia, prev + 1e-6) << "k=" << k;
+    prev = res->inertia;
+  }
+}
+
+// --- Metrics -------------------------------------------------------------------
+
+TEST(ClusterMetricsTest, SilhouetteHighForSeparatedGroups) {
+  EncodedMatrix m = TwoGroupMatrix(20);
+  KMeansOptions opt;
+  opt.k = 2;
+  auto res = RunKMeans(m, opt);
+  ASSERT_TRUE(res.ok());
+  double sil = SimplifiedSilhouette(m, *res);
+  EXPECT_GT(sil, 0.9);
+  EXPECT_LE(sil, 1.0);
+}
+
+TEST(ClusterMetricsTest, SilhouetteZeroForSingleCluster) {
+  EncodedMatrix m = TwoGroupMatrix(5);
+  KMeansOptions opt;
+  opt.k = 1;
+  auto res = RunKMeans(m, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(SimplifiedSilhouette(m, *res), 0.0);
+}
+
+TEST(ClusterMetricsTest, PerClusterInertiaSumsToTotal) {
+  EncodedMatrix m = TwoGroupMatrix(15);
+  KMeansOptions opt;
+  opt.k = 3;
+  auto res = RunKMeans(m, opt);
+  ASSERT_TRUE(res.ok());
+  auto per = PerClusterInertia(m, *res);
+  double sum = 0;
+  for (double x : per) sum += x;
+  EXPECT_NEAR(sum, res->inertia, 1e-9);
+}
+
+TEST(ClusterMetricsTest, DispersionPositiveForDistinctCentroids) {
+  EncodedMatrix m = TwoGroupMatrix(10);
+  KMeansOptions opt;
+  opt.k = 2;
+  auto res = RunKMeans(m, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(CentroidDispersion(*res), 0.0);
+}
+
+}  // namespace
+}  // namespace dbx

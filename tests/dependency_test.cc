@@ -1,0 +1,233 @@
+// Tests for the attribute-interaction extensions: discretization projection,
+// Chow-Liu dependency trees, and soft functional-dependency discovery.
+
+#include <gtest/gtest.h>
+
+#include "src/data/used_cars.h"
+#include "src/stats/chow_liu.h"
+#include "src/stats/soft_fd.h"
+#include "src/util/rng.h"
+
+namespace dbx {
+namespace {
+
+// Chain-structured data: A -> B -> C with noise, D independent.
+Table ChainTable(size_t n, uint64_t seed) {
+  Schema s = std::move(Schema::Make({
+                           {"A", AttrType::kCategorical, true},
+                           {"B", AttrType::kCategorical, true},
+                           {"C", AttrType::kCategorical, true},
+                           {"D", AttrType::kCategorical, true},
+                       }))
+                 .value();
+  Table t(s);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    int a = static_cast<int>(rng.NextBounded(3));
+    int b = rng.NextBool(0.9) ? a : static_cast<int>(rng.NextBounded(3));
+    int c = rng.NextBool(0.9) ? b : static_cast<int>(rng.NextBounded(3));
+    int d = static_cast<int>(rng.NextBounded(3));
+    EXPECT_TRUE(t.AppendRow({Value("a" + std::to_string(a)),
+                             Value("b" + std::to_string(b)),
+                             Value("c" + std::to_string(c)),
+                             Value("d" + std::to_string(d))})
+                    .ok());
+  }
+  return t;
+}
+
+DiscretizedTable Discretize(const Table& t) {
+  return std::move(
+             DiscretizedTable::Build(TableSlice::All(t), DiscretizerOptions{}))
+      .value();
+}
+
+// --- DiscretizedTable::Project --------------------------------------------------
+
+TEST(ProjectTest, KeepsDomainsAndSubsetsCodes) {
+  Table t = ChainTable(100, 3);
+  DiscretizedTable dt = Discretize(t);
+  RowSet subset = {0, 5, 10, 99};
+  DiscretizedTable p = dt.Project(subset);
+  EXPECT_EQ(p.num_rows(), 4u);
+  for (size_t a = 0; a < dt.num_attrs(); ++a) {
+    EXPECT_EQ(p.attr(a).labels, dt.attr(a).labels);  // domain unchanged
+    for (size_t i = 0; i < subset.size(); ++i) {
+      EXPECT_EQ(p.attr(a).codes[i], dt.attr(a).codes[subset[i]]);
+    }
+  }
+}
+
+TEST(ProjectTest, NumericBinsPreserved) {
+  Table cars = GenerateUsedCars(2000, 3);
+  DiscretizedTable dt = Discretize(cars);
+  RowSet subset;
+  for (uint32_t i = 0; i < 200; ++i) subset.push_back(i * 10);
+  DiscretizedTable p = dt.Project(subset);
+  auto price = dt.IndexOf("Price");
+  ASSERT_TRUE(price.has_value());
+  EXPECT_EQ(p.attr(*price).bins.edges, dt.attr(*price).bins.edges);
+}
+
+TEST(ProjectTest, EmptyProjection) {
+  Table t = ChainTable(10, 3);
+  DiscretizedTable dt = Discretize(t);
+  DiscretizedTable p = dt.Project({});
+  EXPECT_EQ(p.num_rows(), 0u);
+  EXPECT_EQ(p.num_attrs(), dt.num_attrs());
+}
+
+// --- Chow-Liu -------------------------------------------------------------------
+
+TEST(ChowLiuTest, RecoversChainStructure) {
+  Table t = ChainTable(4000, 7);
+  DiscretizedTable dt = Discretize(t);
+  auto tree = BuildChowLiuTree(dt);
+  ASSERT_TRUE(tree.ok());
+  // Edges A-B and B-C must be in the tree; D joins weakly or not at all.
+  auto has_edge = [&](const std::string& x, const std::string& y) {
+    for (const DependencyEdge& e : tree->edges) {
+      if ((e.attr_a == x && e.attr_b == y) ||
+          (e.attr_a == y && e.attr_b == x)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_edge("A", "B"));
+  EXPECT_TRUE(has_edge("B", "C"));
+  EXPECT_FALSE(has_edge("A", "C"));  // indirect link pruned by the MST
+  // Edges sorted strongest-first and all positive.
+  for (size_t i = 1; i < tree->edges.size(); ++i) {
+    EXPECT_GE(tree->edges[i - 1].mutual_information,
+              tree->edges[i].mutual_information);
+  }
+  EXPECT_GT(tree->total_information(), 1.0);
+  EXPECT_FALSE(tree->ToString().empty());
+}
+
+TEST(ChowLiuTest, TreeHasAtMostNMinusOneEdges) {
+  Table t = ChainTable(500, 9);
+  DiscretizedTable dt = Discretize(t);
+  auto tree = BuildChowLiuTree(dt);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->edges.size(), dt.num_attrs() - 1);
+}
+
+TEST(ChowLiuTest, UsedCarsMakeModelEdge) {
+  Table cars = GenerateUsedCars(5000, 7);
+  DiscretizedTable dt = Discretize(cars);
+  auto tree = BuildChowLiuTree(dt);
+  ASSERT_TRUE(tree.ok());
+  // The strongest dependency in the data is Make -- Model.
+  ASSERT_FALSE(tree->edges.empty());
+  const DependencyEdge& top = tree->edges.front();
+  bool is_make_model = (top.attr_a == "Make" && top.attr_b == "Model") ||
+                       (top.attr_a == "Model" && top.attr_b == "Make");
+  EXPECT_TRUE(is_make_model)
+      << top.attr_a << " -- " << top.attr_b;
+}
+
+TEST(ChowLiuTest, Errors) {
+  Table t = ChainTable(50, 3);
+  DiscretizedTable dt = Discretize(t);
+  EXPECT_TRUE(BuildChowLiuTree(dt, {0}).status().IsInvalidArgument());
+  EXPECT_TRUE(BuildChowLiuTree(dt, {0, 99}).status().IsOutOfRange());
+}
+
+// --- Soft FDs --------------------------------------------------------------------
+
+TEST(SoftFdTest, ExactDependencyStrengthOne) {
+  Schema s = std::move(Schema::Make({
+                           {"Model", AttrType::kCategorical, true},
+                           {"Make", AttrType::kCategorical, true},
+                       }))
+                 .value();
+  Table t(s);
+  const char* pairs[][2] = {{"m1", "Ford"}, {"m2", "Ford"}, {"m3", "Jeep"}};
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const auto& p = pairs[rng.NextBounded(3)];
+    ASSERT_TRUE(t.AppendRow({Value(p[0]), Value(p[1])}).ok());
+  }
+  DiscretizedTable dt = Discretize(t);
+  auto fd = MeasureSoftFd(dt, 0, 1);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_DOUBLE_EQ(fd->strength, 1.0);
+  EXPECT_GT(fd->Lift(), 0.99);
+  // Reverse direction is not functional (Ford -> {m1, m2}).
+  auto rev = MeasureSoftFd(dt, 1, 0);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_LT(rev->strength, 1.0);
+}
+
+TEST(SoftFdTest, IndependentAttributesHaveLowLift) {
+  Table t = ChainTable(3000, 5);
+  DiscretizedTable dt = Discretize(t);
+  auto a_idx = dt.IndexOf("A");
+  auto d_idx = dt.IndexOf("D");
+  auto fd = MeasureSoftFd(dt, *a_idx, *d_idx);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_LT(fd->Lift(), 0.1);
+}
+
+TEST(SoftFdTest, DiscoverFindsModelMakeInUsedCars) {
+  Table cars = GenerateUsedCars(5000, 7);
+  DiscretizedTable dt = Discretize(cars);
+  SoftFdOptions opt;
+  opt.min_strength = 0.95;
+  opt.min_lift = 0.5;
+  auto fds = DiscoverSoftFds(dt, opt);
+  ASSERT_TRUE(fds.ok());
+  bool model_make = false;
+  for (const SoftFd& fd : *fds) {
+    if (fd.determinant_name == "Model" && fd.dependent_name == "Make") {
+      model_make = true;
+      EXPECT_DOUBLE_EQ(fd.strength, 1.0);  // exact by construction
+    }
+    // No discovered FD may dip under the thresholds.
+    EXPECT_GE(fd.strength, opt.min_strength);
+    EXPECT_GE(fd.Lift(), opt.min_lift);
+  }
+  EXPECT_TRUE(model_make);
+}
+
+TEST(SoftFdTest, Errors) {
+  Table t = ChainTable(20, 3);
+  DiscretizedTable dt = Discretize(t);
+  EXPECT_TRUE(MeasureSoftFd(dt, 0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(MeasureSoftFd(dt, 0, 42).status().IsOutOfRange());
+}
+
+// Parameterized: strength is monotone in the noise level of a planted FD.
+class SoftFdNoiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SoftFdNoiseTest, StrengthTracksFidelity) {
+  double fidelity = GetParam();
+  Schema s = std::move(Schema::Make({
+                           {"X", AttrType::kCategorical, true},
+                           {"Y", AttrType::kCategorical, true},
+                       }))
+                 .value();
+  Table t(s);
+  Rng rng(11);
+  for (int i = 0; i < 4000; ++i) {
+    int x = static_cast<int>(rng.NextBounded(4));
+    int y = rng.NextBool(fidelity) ? x : static_cast<int>(rng.NextBounded(4));
+    ASSERT_TRUE(t.AppendRow({Value("x" + std::to_string(x)),
+                             Value("y" + std::to_string(y))})
+                    .ok());
+  }
+  DiscretizedTable dt = Discretize(t);
+  auto fd = MeasureSoftFd(dt, 0, 1);
+  ASSERT_TRUE(fd.ok());
+  // Expected strength ~ fidelity + (1 - fidelity) / 4.
+  double expected = fidelity + (1.0 - fidelity) * 0.25;
+  EXPECT_NEAR(fd->strength, expected, 0.04) << "fidelity " << fidelity;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fidelity, SoftFdNoiseTest,
+                         ::testing::Values(0.5, 0.7, 0.9, 0.99));
+
+}  // namespace
+}  // namespace dbx

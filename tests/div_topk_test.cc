@@ -1,0 +1,155 @@
+// Tests for diversified top-k: exactness of div-astar against brute force,
+// the greedy-can-be-bad case the paper cites, and selection invariants.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/core/div_topk.h"
+#include "src/util/rng.h"
+
+namespace dbx {
+namespace {
+
+// Brute-force optimum by enumerating all subsets (n <= 20).
+double BruteForceBest(const std::vector<double>& scores,
+                      const SimilarityGraph& g, size_t k) {
+  size_t n = scores.size();
+  double best = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<size_t>(__builtin_popcount(mask)) > k) continue;
+    bool ok = true;
+    double total = 0.0;
+    for (size_t i = 0; i < n && ok; ++i) {
+      if (!((mask >> i) & 1)) continue;
+      total += scores[i];
+      for (size_t j = i + 1; j < n; ++j) {
+        if (((mask >> j) & 1) && g.Similar(i, j)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok && total > best) best = total;
+  }
+  return best;
+}
+
+TEST(DivTopKTest, SimpleChainGraph) {
+  // 0-1 similar, 1-2 similar; scores 5,4,3; k=2 -> {0,2} = 8.
+  SimilarityGraph g(3);
+  g.SetSimilar(0, 1);
+  g.SetSimilar(1, 2);
+  std::vector<double> scores = {5, 4, 3};
+  auto r = DiversifiedTopK(scores, g, 2, DivTopKAlgorithm::kDivAstar);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<size_t>{0, 2}));
+}
+
+TEST(DivTopKTest, GreedyCanBeSuboptimal) {
+  // Greedy takes the hub (10) and blocks both leaves (7+7=14 > 10).
+  SimilarityGraph g(3);
+  g.SetSimilar(0, 1);
+  g.SetSimilar(0, 2);
+  std::vector<double> scores = {10, 7, 7};
+  auto greedy = DiversifiedTopK(scores, g, 2, DivTopKAlgorithm::kGreedy);
+  auto exact = DiversifiedTopK(scores, g, 2, DivTopKAlgorithm::kDivAstar);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(SelectionScore(scores, *greedy), 10.0);
+  EXPECT_EQ(SelectionScore(scores, *exact), 14.0);
+}
+
+TEST(DivTopKTest, NoDiversityIgnoresGraph) {
+  SimilarityGraph g(3);
+  g.SetSimilar(0, 1);
+  std::vector<double> scores = {5, 4, 3};
+  auto r = DiversifiedTopK(scores, g, 2, DivTopKAlgorithm::kNoDiversity);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<size_t>{0, 1}));
+  EXPECT_FALSE(SelectionIsDiverse(g, *r));
+}
+
+TEST(DivTopKTest, KLargerThanNTakesAllCompatible) {
+  SimilarityGraph g(4);
+  std::vector<double> scores = {1, 2, 3, 4};
+  auto r = DiversifiedTopK(scores, g, 10, DivTopKAlgorithm::kDivAstar);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(DivTopKTest, ResultsSortedByScoreDescending) {
+  SimilarityGraph g(5);
+  std::vector<double> scores = {2, 9, 4, 7, 1};
+  auto r = DiversifiedTopK(scores, g, 3, DivTopKAlgorithm::kDivAstar);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->size(); ++i) {
+    EXPECT_GE(scores[(*r)[i - 1]], scores[(*r)[i]]);
+  }
+}
+
+TEST(DivTopKTest, Errors) {
+  SimilarityGraph g(2);
+  std::vector<double> wrong_size = {1.0};
+  EXPECT_TRUE(DiversifiedTopK(wrong_size, g, 1, DivTopKAlgorithm::kGreedy)
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<double> scores = {1.0, 2.0};
+  EXPECT_TRUE(DiversifiedTopK(scores, g, 0, DivTopKAlgorithm::kGreedy)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DivTopKTest, EmptyInput) {
+  SimilarityGraph g(0);
+  auto r = DiversifiedTopK({}, g, 3, DivTopKAlgorithm::kDivAstar);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(DivTopKTest, AlgorithmNames) {
+  EXPECT_STREQ(DivTopKAlgorithmName(DivTopKAlgorithm::kDivAstar), "div-astar");
+  EXPECT_STREQ(DivTopKAlgorithmName(DivTopKAlgorithm::kGreedy), "greedy");
+  EXPECT_STREQ(DivTopKAlgorithmName(DivTopKAlgorithm::kNoDiversity),
+               "no-diversity");
+}
+
+// Property sweep: div-astar matches brute force on random instances and
+// always returns a diverse selection; greedy never beats it.
+class DivTopKRandomTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, int>> {};
+
+TEST_P(DivTopKRandomTest, ExactAndDiverse) {
+  auto [n, k, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 1000 + n * 10 + k);
+  std::vector<double> scores(n);
+  for (double& s : scores) s = 1.0 + rng.NextDouble() * 9.0;
+  SimilarityGraph g(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng.NextBool(0.3)) g.SetSimilar(i, j);
+    }
+  }
+  auto exact = DiversifiedTopK(scores, g, k, DivTopKAlgorithm::kDivAstar);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(SelectionIsDiverse(g, *exact));
+  EXPECT_LE(exact->size(), k);
+  double brute = BruteForceBest(scores, g, k);
+  EXPECT_NEAR(SelectionScore(scores, *exact), brute, 1e-9)
+      << "n=" << n << " k=" << k;
+
+  auto greedy = DiversifiedTopK(scores, g, k, DivTopKAlgorithm::kGreedy);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_TRUE(SelectionIsDiverse(g, *greedy));
+  EXPECT_LE(SelectionScore(scores, *greedy),
+            SelectionScore(scores, *exact) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, DivTopKRandomTest,
+    ::testing::Combine(::testing::Values(4u, 8u, 12u, 16u),
+                       ::testing::Values(2u, 3u, 6u),
+                       ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace dbx

@@ -1,0 +1,187 @@
+// Tests for the TPFacet two-phase session (paper §5).
+
+#include <gtest/gtest.h>
+
+#include "src/data/used_cars.h"
+#include "src/explorer/tpfacet_session.h"
+
+namespace dbx {
+namespace {
+
+class TpFacetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { table_ = new Table(GenerateUsedCars(2000, 3)); }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+
+  TpFacetSession MakeSession() {
+    CadViewOptions cad;
+    cad.max_compare_attrs = 4;
+    cad.iunits_per_value = 2;
+    cad.seed = 5;
+    auto s = TpFacetSession::Create(table_, DiscretizerOptions{}, cad);
+    EXPECT_TRUE(s.ok());
+    return std::move(*s);
+  }
+
+  static Table* table_;
+};
+
+Table* TpFacetTest::table_ = nullptr;
+
+TEST_F(TpFacetTest, PhaseToggling) {
+  TpFacetSession s = MakeSession();
+  EXPECT_EQ(s.phase(), TpFacetPhase::kResults);
+  s.TogglePhase();
+  EXPECT_EQ(s.phase(), TpFacetPhase::kQueryRevision);
+  s.TogglePhase();
+  EXPECT_EQ(s.phase(), TpFacetPhase::kResults);
+}
+
+TEST_F(TpFacetTest, ViewRequiresPivot) {
+  TpFacetSession s = MakeSession();
+  EXPECT_TRUE(s.View().status().IsFailedPrecondition());
+  EXPECT_TRUE(s.SetPivot("Nope").IsNotFound());
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+  auto v = s.View();
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ((*v)->pivot_attr, "Make");
+}
+
+TEST_F(TpFacetTest, ViewReflectsSelections) {
+  TpFacetSession s = MakeSession();
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+  s.SetPivotValues({"Ford", "Jeep"});
+  ASSERT_TRUE(s.SelectValue("BodyType", "SUV").ok());
+  auto v = s.View();
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ((*v)->rows.size(), 2u);
+  size_t suv_fords = (*v)->rows[0].pivot_value == "Ford"
+                         ? (*v)->rows[0].partition_size
+                         : (*v)->rows[1].partition_size;
+  // Selecting SUV must shrink the Ford partition vs. the unfiltered table.
+  ASSERT_TRUE(s.ClearAttribute("BodyType").ok());
+  auto v2 = s.View();
+  ASSERT_TRUE(v2.ok());
+  size_t all_fords = (*v2)->rows[0].pivot_value == "Ford"
+                         ? (*v2)->rows[0].partition_size
+                         : (*v2)->rows[1].partition_size;
+  EXPECT_LT(suv_fords, all_fords);
+}
+
+TEST_F(TpFacetTest, ViewCachedUntilInvalidated) {
+  TpFacetSession s = MakeSession();
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+  auto v1 = s.View();
+  ASSERT_TRUE(v1.ok());
+  auto v2 = s.View();
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v1, *v2);  // same cached object
+  ASSERT_TRUE(s.SelectValue("BodyType", "SUV").ok());
+  auto v3 = s.View();
+  ASSERT_TRUE(v3.ok());  // rebuilt (pointer may or may not differ; check data)
+  EXPECT_LE((*v3)->rows[0].partition_size, (*v1)->rows[0].partition_size);
+}
+
+TEST_F(TpFacetTest, ClickIUnitReturnsSimilars) {
+  TpFacetSession s = MakeSession();
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+  s.SetPivotValues({"Ford", "Chevrolet", "Jeep"});
+  auto v = s.View();
+  ASSERT_TRUE(v.ok());
+  auto clicks = s.ClickIUnit("Ford", 0);
+  ASSERT_TRUE(clicks.ok()) << clicks.status().ToString();
+  for (const IUnitRef& ref : *clicks) {
+    EXPECT_GE(ref.similarity, (*v)->tau);
+  }
+  EXPECT_TRUE(s.ClickIUnit("Nope", 0).status().IsNotFound());
+}
+
+TEST_F(TpFacetTest, ClickPivotValueReordersView) {
+  TpFacetSession s = MakeSession();
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+  s.SetPivotValues({"Ford", "Chevrolet", "Jeep"});
+  auto ranked = s.ClickPivotValue("Jeep");
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ((*ranked)[0].first, "Jeep");
+  auto v = s.View();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)->rows[0].pivot_value, "Jeep");
+}
+
+TEST_F(TpFacetTest, OperationCountAggregates) {
+  TpFacetSession s = MakeSession();
+  size_t c0 = s.operation_count();
+  ASSERT_TRUE(s.SelectValue("BodyType", "SUV").ok());
+  s.TogglePhase();
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+  EXPECT_GE(s.operation_count(), c0 + 3);
+}
+
+TEST_F(TpFacetTest, UndoRestoresSelections) {
+  TpFacetSession s = MakeSession();
+  EXPECT_FALSE(s.CanUndo());
+  EXPECT_TRUE(s.Undo().IsFailedPrecondition());
+
+  size_t all = s.result_rows().size();
+  ASSERT_TRUE(s.SelectValue("BodyType", "SUV").ok());
+  size_t suvs = s.result_rows().size();
+  ASSERT_TRUE(s.SelectValue("Make", "Ford").ok());
+  ASSERT_LT(s.result_rows().size(), suvs);
+  EXPECT_EQ(s.history_depth(), 2u);
+
+  ASSERT_TRUE(s.Undo().ok());
+  EXPECT_EQ(s.result_rows().size(), suvs);
+  ASSERT_TRUE(s.Undo().ok());
+  EXPECT_EQ(s.result_rows().size(), all);
+  EXPECT_FALSE(s.CanUndo());
+}
+
+TEST_F(TpFacetTest, UndoRestoresPivot) {
+  TpFacetSession s = MakeSession();
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+  ASSERT_TRUE(s.SetPivot("BodyType").ok());
+  auto v1 = s.View();
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ((*v1)->pivot_attr, "BodyType");
+  ASSERT_TRUE(s.Undo().ok());
+  auto v2 = s.View();
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ((*v2)->pivot_attr, "Make");
+}
+
+TEST_F(TpFacetTest, FailedOperationsLeaveNoHistory) {
+  TpFacetSession s = MakeSession();
+  EXPECT_FALSE(s.SelectValue("Nope", "x").ok());
+  EXPECT_FALSE(s.CanUndo());
+}
+
+TEST_F(TpFacetTest, ResultPageRendersTuples) {
+  TpFacetSession s = MakeSession();
+  ASSERT_TRUE(s.SelectValue("BodyType", "SUV").ok());
+  auto page = s.RenderResultPage(0, 5, {"Make", "Price"});
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_NE(page->find("| Make"), std::string::npos);
+  EXPECT_NE(page->find("results 1-5 of"), std::string::npos);
+
+  // Past-the-end page is empty but valid.
+  auto beyond = s.RenderResultPage(1000000, 5);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_NE(beyond->find("of"), std::string::npos);
+
+  EXPECT_TRUE(s.RenderResultPage(0, 5, {"Nope"}).status().IsNotFound());
+}
+
+TEST_F(TpFacetTest, BuildTimingsExposed) {
+  TpFacetSession s = MakeSession();
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+  EXPECT_FALSE(s.last_build_timings().has_value());
+  ASSERT_TRUE(s.View().ok());
+  ASSERT_TRUE(s.last_build_timings().has_value());
+  EXPECT_GT(s.last_build_timings()->total_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace dbx

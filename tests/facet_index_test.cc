@@ -1,0 +1,214 @@
+// Tests for the bitmap facet index and multi-select faceting semantics.
+
+#include <gtest/gtest.h>
+
+#include "src/data/used_cars.h"
+#include "src/facet/facet_engine.h"
+#include "src/facet/facet_index.h"
+#include "src/facet/panel_renderer.h"
+#include "src/util/rng.h"
+
+namespace dbx {
+namespace {
+
+// --- RowBitmap -------------------------------------------------------------------
+
+TEST(RowBitmapTest, SetTestCount) {
+  RowBitmap b(130);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  EXPECT_EQ(b.ToRowSet(), (RowSet{0, 64, 129}));
+}
+
+TEST(RowBitmapTest, SetAllRespectsTail) {
+  RowBitmap b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  RowSet rows = b.ToRowSet();
+  EXPECT_EQ(rows.size(), 70u);
+  EXPECT_EQ(rows.back(), 69u);
+}
+
+TEST(RowBitmapTest, IntersectAndUnion) {
+  RowBitmap a(100), b(100);
+  for (size_t i = 0; i < 100; i += 2) a.Set(i);   // evens
+  for (size_t i = 0; i < 100; i += 3) b.Set(i);   // multiples of 3
+  EXPECT_EQ(a.IntersectCount(b), 17u);  // multiples of 6 in [0,100): 0..96
+
+  RowBitmap c = a;
+  c.IntersectWith(b);
+  EXPECT_EQ(c.Count(), 17u);
+
+  RowBitmap d = a;
+  d.UnionWith(b);
+  EXPECT_EQ(d.Count(), 50u + 34u - 17u);
+}
+
+// --- FacetIndex -------------------------------------------------------------------
+
+Table SmallTable() {
+  Schema s = std::move(Schema::Make({
+                           {"A", AttrType::kCategorical, true},
+                           {"B", AttrType::kCategorical, true},
+                       }))
+                 .value();
+  Table t(s);
+  // Rows: (a1,b1) (a1,b2) (a2,b1) (a2,b2) (a1,b1)
+  const char* data[][2] = {
+      {"a1", "b1"}, {"a1", "b2"}, {"a2", "b1"}, {"a2", "b2"}, {"a1", "b1"}};
+  for (const auto& row : data) {
+    EXPECT_TRUE(t.AppendRow({Value(row[0]), Value(row[1])}).ok());
+  }
+  return t;
+}
+
+TEST(FacetIndexTest, ValueBitmapsMatchData) {
+  Table t = SmallTable();
+  auto dt = DiscretizedTable::Build(TableSlice::All(t), DiscretizerOptions{});
+  ASSERT_TRUE(dt.ok());
+  FacetIndex idx = FacetIndex::Build(*dt);
+  EXPECT_EQ(idx.num_rows(), 5u);
+  EXPECT_EQ(idx.Cardinality(0), 2u);
+  // a1 rows: 0,1,4.
+  EXPECT_EQ(idx.ValueBitmap(0, 0).ToRowSet(), (RowSet{0, 1, 4}));
+}
+
+TEST(FacetIndexTest, EvaluateSelectionsOrWithinAndAcross) {
+  Table t = SmallTable();
+  auto dt = DiscretizedTable::Build(TableSlice::All(t), DiscretizerOptions{});
+  FacetIndex idx = FacetIndex::Build(*dt);
+
+  // No selections: all rows.
+  std::vector<std::vector<int32_t>> none(2);
+  EXPECT_EQ(idx.EvaluateSelections(none).Count(), 5u);
+
+  // A in {a1}: rows 0,1,4.
+  std::vector<std::vector<int32_t>> a1(2);
+  a1[0] = {0};
+  EXPECT_EQ(idx.EvaluateSelections(a1).ToRowSet(), (RowSet{0, 1, 4}));
+
+  // A in {a1, a2}: everything (OR within attribute).
+  std::vector<std::vector<int32_t>> both(2);
+  both[0] = {0, 1};
+  EXPECT_EQ(idx.EvaluateSelections(both).Count(), 5u);
+
+  // A=a1 AND B=b1: rows 0,4.
+  std::vector<std::vector<int32_t>> conj(2);
+  conj[0] = {0};
+  conj[1] = {0};
+  EXPECT_EQ(idx.EvaluateSelections(conj).ToRowSet(), (RowSet{0, 4}));
+}
+
+TEST(FacetIndexTest, MultiSelectCountsExcludeOwnAttr) {
+  Table t = SmallTable();
+  auto dt = DiscretizedTable::Build(TableSlice::All(t), DiscretizerOptions{});
+  FacetIndex idx = FacetIndex::Build(*dt);
+
+  // With A=a1 selected, A's own panel counts must ignore that selection
+  // (showing what selecting a2 *instead/additionally* would match)...
+  std::vector<std::vector<int32_t>> sel(2);
+  sel[0] = {0};
+  auto a_counts = idx.MultiSelectCounts(sel, 0);
+  EXPECT_EQ(a_counts, (std::vector<uint64_t>{3, 2}));
+  // ...while B's counts ARE conditioned on A=a1.
+  auto b_counts = idx.MultiSelectCounts(sel, 1);
+  EXPECT_EQ(b_counts, (std::vector<uint64_t>{2, 1}));
+}
+
+TEST(FacetIndexTest, AgreesWithRowScanOnRealData) {
+  Table cars = GenerateUsedCars(3000, 3);
+  auto dt = DiscretizedTable::Build(TableSlice::All(cars),
+                                    DiscretizerOptions{});
+  FacetIndex idx = FacetIndex::Build(*dt);
+  auto body = dt->IndexOf("BodyType");
+  auto make = dt->IndexOf("Make");
+  ASSERT_TRUE(body && make);
+
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<int32_t>> sel(dt->num_attrs());
+    sel[*body] = {static_cast<int32_t>(
+        rng.NextBounded(dt->attr(*body).cardinality()))};
+    sel[*make] = {
+        static_cast<int32_t>(rng.NextBounded(dt->attr(*make).cardinality())),
+        static_cast<int32_t>(rng.NextBounded(dt->attr(*make).cardinality()))};
+
+    RowSet via_index = idx.EvaluateSelections(sel).ToRowSet();
+    RowSet via_scan;
+    for (size_t i = 0; i < dt->num_rows(); ++i) {
+      int32_t b = dt->attr(*body).codes[i];
+      int32_t m = dt->attr(*make).codes[i];
+      bool keep = b == sel[*body][0] &&
+                  (m == sel[*make][0] || m == sel[*make][1]);
+      if (keep) via_scan.push_back(static_cast<uint32_t>(i));
+    }
+    EXPECT_EQ(via_index, via_scan) << "trial " << trial;
+  }
+}
+
+// --- FacetEngine::PanelCounts --------------------------------------------------
+
+TEST(FacetIndexTest, EnginePanelCounts) {
+  Table cars = GenerateUsedCars(2000, 3);
+  auto engine = FacetEngine::Create(&cars, DiscretizerOptions{});
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->SelectValue("Make", "Ford").ok());
+
+  // Make's panel still shows every make's count (own selections excluded).
+  auto make_counts = engine->PanelCounts("Make");
+  ASSERT_TRUE(make_counts.ok());
+  uint64_t total = 0;
+  for (uint64_t c : make_counts->counts) total += c;
+  EXPECT_EQ(total, cars.num_rows());
+
+  // BodyType's panel is conditioned on Make=Ford.
+  auto body_counts = engine->PanelCounts("BodyType");
+  ASSERT_TRUE(body_counts.ok());
+  total = 0;
+  for (uint64_t c : body_counts->counts) total += c;
+  EXPECT_EQ(total, engine->result_rows().size());
+
+  EXPECT_TRUE(engine->PanelCounts("Nope").status().IsNotFound());
+}
+
+TEST(PanelRendererTest, ShowsSelectionsAndCounts) {
+  Table cars = GenerateUsedCars(1500, 3);
+  auto engine = FacetEngine::Create(&cars, DiscretizerOptions{});
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->SelectValue("BodyType", "SUV").ok());
+
+  PanelRenderOptions opt;
+  opt.max_values_per_attr = 4;
+  std::string panel = RenderQueryPanel(*engine, opt);
+  EXPECT_NE(panel.find("[x] SUV"), std::string::npos);
+  EXPECT_NE(panel.find("BodyType"), std::string::npos);
+  // Hidden attribute absent by default...
+  EXPECT_EQ(panel.find("Engine"), std::string::npos);
+  // ...and labeled when requested.
+  opt.show_hidden_attrs = true;
+  std::string with_hidden = RenderQueryPanel(*engine, opt);
+  EXPECT_NE(with_hidden.find("Engine (hidden)"), std::string::npos);
+  // Long attribute tails are summarized.
+  EXPECT_NE(panel.find("more"), std::string::npos);
+}
+
+TEST(PanelRendererTest, HeaderCountsTrackSelection) {
+  Table cars = GenerateUsedCars(800, 3);
+  auto engine = FacetEngine::Create(&cars, DiscretizerOptions{});
+  ASSERT_TRUE(engine.ok());
+  std::string before = RenderQueryPanel(*engine, PanelRenderOptions{});
+  EXPECT_NE(before.find("800 of 800"), std::string::npos);
+  ASSERT_TRUE(engine->SelectValue("BodyType", "SUV").ok());
+  std::string after = RenderQueryPanel(*engine, PanelRenderOptions{});
+  EXPECT_EQ(after.find("800 of 800"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbx

@@ -1,0 +1,185 @@
+// Tests for the faceted-navigation baseline: selection semantics, digests,
+// digest similarity, and retrieval error.
+
+#include <gtest/gtest.h>
+
+#include "src/data/mushroom.h"
+#include "src/data/used_cars.h"
+#include "src/facet/facet_engine.h"
+
+namespace dbx {
+namespace {
+
+class FacetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { table_ = new Table(GenerateUsedCars(2000, 3)); }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+  FacetEngine MakeEngine() {
+    auto e = FacetEngine::Create(table_, DiscretizerOptions{});
+    EXPECT_TRUE(e.ok());
+    return std::move(*e);
+  }
+  static Table* table_;
+};
+
+Table* FacetTest::table_ = nullptr;
+
+TEST_F(FacetTest, StartsWithAllRows) {
+  FacetEngine e = MakeEngine();
+  EXPECT_EQ(e.result_rows().size(), table_->num_rows());
+  EXPECT_TRUE(e.selections().empty());
+}
+
+TEST_F(FacetTest, SingleSelectionFilters) {
+  FacetEngine e = MakeEngine();
+  ASSERT_TRUE(e.SelectValue("BodyType", "SUV").ok());
+  EXPECT_GT(e.result_rows().size(), 0u);
+  EXPECT_LT(e.result_rows().size(), table_->num_rows());
+  auto suv_col = table_->ColByName("BodyType");
+  for (uint32_t r : e.result_rows()) {
+    EXPECT_EQ((*suv_col)->ValueAt(r).AsString(), "SUV");
+  }
+}
+
+TEST_F(FacetTest, OrWithinAttributeAndAcrossAttributes) {
+  FacetEngine e = MakeEngine();
+  ASSERT_TRUE(e.SelectValue("Make", "Ford").ok());
+  size_t ford = e.result_rows().size();
+  ASSERT_TRUE(e.SelectValue("Make", "Jeep").ok());
+  size_t ford_or_jeep = e.result_rows().size();
+  EXPECT_GT(ford_or_jeep, ford);  // OR within attribute widens
+
+  ASSERT_TRUE(e.SelectValue("BodyType", "SUV").ok());
+  EXPECT_LT(e.result_rows().size(), ford_or_jeep);  // AND across narrows
+}
+
+TEST_F(FacetTest, DeselectAndClearRestore) {
+  FacetEngine e = MakeEngine();
+  ASSERT_TRUE(e.SelectValue("Make", "Ford").ok());
+  ASSERT_TRUE(e.SelectValue("BodyType", "SUV").ok());
+  ASSERT_TRUE(e.DeselectValue("BodyType", "SUV").ok());
+  EXPECT_EQ(e.selections().size(), 1u);
+  ASSERT_TRUE(e.ClearAttribute("Make").ok());
+  EXPECT_EQ(e.result_rows().size(), table_->num_rows());
+  ASSERT_TRUE(e.SelectValue("Make", "Ford").ok());
+  e.Reset();
+  EXPECT_TRUE(e.selections().empty());
+}
+
+TEST_F(FacetTest, NumericAttributesSelectableByBinLabel) {
+  FacetEngine e = MakeEngine();
+  const DiscretizedTable& dt = e.discretized();
+  auto idx = dt.IndexOf("Price");
+  ASSERT_TRUE(idx.has_value());
+  ASSERT_GT(dt.attr(*idx).cardinality(), 1u);
+  std::string first_bin = dt.attr(*idx).labels[0];
+  ASSERT_TRUE(e.SelectValue("Price", first_bin).ok());
+  EXPECT_GT(e.result_rows().size(), 0u);
+  EXPECT_LT(e.result_rows().size(), table_->num_rows());
+}
+
+TEST_F(FacetTest, NonQueriableAttributeRejected) {
+  FacetEngine e = MakeEngine();
+  // Engine is non-queriable in the used-car schema (Limitation 2).
+  Status s = e.SelectValue("Engine", "V6");
+  EXPECT_TRUE(s.IsFailedPrecondition());
+  // But its digest is still visible.
+  auto d = e.DigestForValue("Engine", "V6");
+  EXPECT_TRUE(d.ok());
+}
+
+TEST_F(FacetTest, UnknownAttributeOrValue) {
+  FacetEngine e = MakeEngine();
+  EXPECT_TRUE(e.SelectValue("Nope", "x").IsNotFound());
+  EXPECT_TRUE(e.SelectValue("Make", "NotAMake").IsNotFound());
+}
+
+TEST_F(FacetTest, DigestCountsSumToResultSize) {
+  FacetEngine e = MakeEngine();
+  ASSERT_TRUE(e.SelectValue("BodyType", "SUV").ok());
+  SummaryDigest d = e.Digest();
+  EXPECT_EQ(d.result_size, e.result_rows().size());
+  auto make_idx = d.IndexOf("Make");
+  ASSERT_TRUE(make_idx.has_value());
+  uint64_t total = 0;
+  for (uint64_t c : d.attrs[*make_idx].counts) total += c;
+  EXPECT_EQ(total, d.result_size);  // Make never null in this data
+}
+
+TEST_F(FacetTest, DigestForValueConditionsWithinResult) {
+  FacetEngine e = MakeEngine();
+  ASSERT_TRUE(e.SelectValue("BodyType", "SUV").ok());
+  auto d = e.DigestForValue("Make", "Jeep");
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d->result_size, 0u);
+  EXPECT_LT(d->result_size, e.result_rows().size());
+  // All mass on Make=Jeep.
+  auto make_idx = d->IndexOf("Make");
+  const AttributeDigest& make = d->attrs[*make_idx];
+  for (size_t i = 0; i < make.labels.size(); ++i) {
+    if (make.labels[i] != "Jeep") {
+      EXPECT_EQ(make.counts[i], 0u);
+    }
+  }
+}
+
+TEST_F(FacetTest, OperationCountTracksInteractions) {
+  FacetEngine e = MakeEngine();
+  size_t before = e.operation_count();
+  ASSERT_TRUE(e.SelectValue("Make", "Ford").ok());
+  ASSERT_TRUE(e.DeselectValue("Make", "Ford").ok());
+  EXPECT_EQ(e.operation_count(), before + 2);
+}
+
+// --- Digest similarity / retrieval error ------------------------------------------
+
+TEST_F(FacetTest, DigestSelfSimilarityIsOne) {
+  FacetEngine e = MakeEngine();
+  SummaryDigest d = e.Digest();
+  EXPECT_NEAR(DigestCosineSimilarity(d, d), 1.0, 1e-12);
+}
+
+TEST_F(FacetTest, SimilarValuesScoreHigherThanDissimilar) {
+  // In the mushroom data GillColor brown ~ white is the designed similar
+  // pair; buff is poisonous-leaning and must be farther from brown.
+  Table mush = GenerateMushrooms(4000, 11);
+  auto e = FacetEngine::Create(&mush, DiscretizerOptions{});
+  ASSERT_TRUE(e.ok());
+  auto brown = e->DigestForValue("GillColor", "brown");
+  auto white = e->DigestForValue("GillColor", "white");
+  auto buff = e->DigestForValue("GillColor", "buff");
+  ASSERT_TRUE(brown.ok());
+  ASSERT_TRUE(white.ok());
+  ASSERT_TRUE(buff.ok());
+  EXPECT_GT(DigestCosineSimilarity(*brown, *white),
+            DigestCosineSimilarity(*brown, *buff));
+}
+
+TEST(RetrievalErrorTest, IdenticalIsZero) {
+  RowSet a = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(RetrievalError(a, a), 0.0);
+}
+
+TEST(RetrievalErrorTest, MissesAndSpuriousBothCount) {
+  RowSet target = {1, 2, 3, 4};
+  RowSet obtained = {3, 4, 5};
+  // Missing {1,2}, spurious {5}: 3/4.
+  EXPECT_DOUBLE_EQ(RetrievalError(target, obtained), 0.75);
+}
+
+TEST(RetrievalErrorTest, EmptyTargetConventions) {
+  EXPECT_DOUBLE_EQ(RetrievalError({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(RetrievalError({}, {1}), 1.0);
+}
+
+TEST(RetrievalErrorTest, DisjointExceedsOne) {
+  RowSet target = {1, 2};
+  RowSet obtained = {3, 4, 5};
+  EXPECT_DOUBLE_EQ(RetrievalError(target, obtained), 2.5);
+}
+
+}  // namespace
+}  // namespace dbx

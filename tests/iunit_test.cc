@@ -1,0 +1,236 @@
+// Tests for IUnit labeling (paper §3.1.2), Algorithm 1 (IUnit similarity),
+// and Algorithm 2 (ranked-list distance).
+
+#include <gtest/gtest.h>
+
+#include "src/core/iunit_labeler.h"
+#include "src/core/iunit_similarity.h"
+#include "src/core/ranked_list_distance.h"
+
+namespace dbx {
+namespace {
+
+// A table whose first attribute is dominated by one value and whose second
+// splits evenly between two values.
+Table LabelTable() {
+  Schema s = std::move(Schema::Make({
+                           {"Dominant", AttrType::kCategorical, true},
+                           {"Split", AttrType::kCategorical, true},
+                       }))
+                 .value();
+  Table t(s);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(i < 7 ? "big" : "small"),
+                             Value(i % 2 == 0 ? "x" : "y")})
+                    .ok());
+  }
+  return t;
+}
+
+DiscretizedTable Discretize(const Table& t) {
+  return std::move(
+             DiscretizedTable::Build(TableSlice::All(t), DiscretizerOptions{}))
+      .value();
+}
+
+std::vector<size_t> AllPositions(const DiscretizedTable& dt) {
+  std::vector<size_t> p(dt.num_rows());
+  for (size_t i = 0; i < p.size(); ++i) p[i] = i;
+  return p;
+}
+
+// --- Labeler -------------------------------------------------------------------
+
+TEST(LabelerTest, DominantValueShownAlone) {
+  Table t = LabelTable();
+  DiscretizedTable dt = Discretize(t);
+  LabelerOptions opt;
+  opt.max_display_count = 2;
+  opt.frequency_ratio = 0.5;
+  auto u = LabelCluster(dt, {0, 1}, AllPositions(dt), opt);
+  ASSERT_TRUE(u.ok());
+  // "big" has 7/8; "small" at 1/7 < 0.5 ratio is suppressed.
+  ASSERT_EQ(u->cells[0].labels.size(), 1u);
+  EXPECT_EQ(u->cells[0].labels[0], "big");
+  EXPECT_EQ(u->cells[0].counts[0], 7u);
+}
+
+TEST(LabelerTest, SimilarFrequenciesGrouped) {
+  Table t = LabelTable();
+  DiscretizedTable dt = Discretize(t);
+  LabelerOptions opt;
+  auto u = LabelCluster(dt, {0, 1}, AllPositions(dt), opt);
+  ASSERT_TRUE(u.ok());
+  // "x" and "y" split 4/4 -> both representatives: "[x, y]".
+  ASSERT_EQ(u->cells[1].labels.size(), 2u);
+  EXPECT_EQ(u->cells[1].ToDisplay(), "[x, y]");
+}
+
+TEST(LabelerTest, MaxDisplayCountRespected) {
+  Table t = LabelTable();
+  DiscretizedTable dt = Discretize(t);
+  LabelerOptions opt;
+  opt.max_display_count = 1;
+  auto u = LabelCluster(dt, {0, 1}, AllPositions(dt), opt);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->cells[1].labels.size(), 1u);
+}
+
+TEST(LabelerTest, ScoreDefaultsToClusterSize) {
+  Table t = LabelTable();
+  DiscretizedTable dt = Discretize(t);
+  auto u = LabelCluster(dt, {0}, {0, 1, 2}, LabelerOptions{});
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(u->score, 3.0);
+  EXPECT_EQ(u->size(), 3u);
+}
+
+TEST(LabelerTest, FrequencyVectorsCoverFullDomain) {
+  Table t = LabelTable();
+  DiscretizedTable dt = Discretize(t);
+  auto u = LabelCluster(dt, {0, 1}, AllPositions(dt), LabelerOptions{});
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ(u->attr_freqs.size(), 2u);
+  EXPECT_EQ(u->attr_freqs[0].size(), dt.attr(0).cardinality());
+  double total = 0;
+  for (double f : u->attr_freqs[0]) total += f;
+  EXPECT_DOUBLE_EQ(total, 8.0);
+}
+
+TEST(LabelerTest, Errors) {
+  Table t = LabelTable();
+  DiscretizedTable dt = Discretize(t);
+  LabelerOptions opt;
+  opt.max_display_count = 0;
+  EXPECT_TRUE(LabelCluster(dt, {0}, {0}, opt).status().IsInvalidArgument());
+  EXPECT_TRUE(LabelCluster(dt, {42}, {0}, LabelerOptions{})
+                  .status()
+                  .IsOutOfRange());
+}
+
+// --- Algorithm 1 ------------------------------------------------------------------
+
+IUnit MakeIUnit(std::vector<std::vector<double>> freqs, double score = 1.0) {
+  IUnit u;
+  u.attr_freqs = std::move(freqs);
+  u.score = score;
+  u.cells.resize(u.attr_freqs.size());
+  return u;
+}
+
+TEST(IUnitSimilarityTest, IdenticalReachesAttrCount) {
+  IUnit a = MakeIUnit({{3, 0, 1}, {2, 2}});
+  EXPECT_NEAR(IUnitSimilarity(a, a), 2.0, 1e-12);
+}
+
+TEST(IUnitSimilarityTest, DisjointIsZero) {
+  IUnit a = MakeIUnit({{1, 0}, {1, 0}});
+  IUnit b = MakeIUnit({{0, 1}, {0, 1}});
+  EXPECT_NEAR(IUnitSimilarity(a, b), 0.0, 1e-12);
+}
+
+TEST(IUnitSimilarityTest, SymmetricAndBounded) {
+  IUnit a = MakeIUnit({{3, 1}, {0, 2}});
+  IUnit b = MakeIUnit({{1, 2}, {2, 2}});
+  double ab = IUnitSimilarity(a, b);
+  EXPECT_DOUBLE_EQ(ab, IUnitSimilarity(b, a));
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 2.0);
+}
+
+TEST(IUnitSimilarityTest, ThresholdAndTau) {
+  IUnit a = MakeIUnit({{1, 0}});
+  IUnit b = MakeIUnit({{1, 1}});
+  double sim = IUnitSimilarity(a, b);  // cos 45deg ~ 0.707
+  EXPECT_TRUE(IUnitsSimilar(a, b, sim - 1e-9));
+  EXPECT_FALSE(IUnitsSimilar(a, b, sim + 1e-9));
+  EXPECT_DOUBLE_EQ(DefaultTau(5, 0.7), 3.5);
+}
+
+// --- Algorithm 2 ------------------------------------------------------------------
+
+TEST(RankedListDistanceTest, IdenticalListsZero) {
+  std::vector<IUnit> tx = {MakeIUnit({{1, 0}}), MakeIUnit({{0, 1}})};
+  EXPECT_DOUBLE_EQ(RankedListDistance(tx, tx, 0.9), 0.0);
+}
+
+TEST(RankedListDistanceTest, Symmetric) {
+  std::vector<IUnit> tx = {MakeIUnit({{1, 0, 0}}), MakeIUnit({{0, 1, 0}})};
+  std::vector<IUnit> ty = {MakeIUnit({{0, 1, 0}}), MakeIUnit({{0, 0, 1}})};
+  EXPECT_DOUBLE_EQ(RankedListDistance(tx, ty, 0.9),
+                   RankedListDistance(ty, tx, 0.9));
+}
+
+TEST(RankedListDistanceTest, SwappedRanksCostTwoEach) {
+  // Same items, ranks swapped: each direction pays |1-2| + |2-1| = 2.
+  std::vector<IUnit> tx = {MakeIUnit({{1, 0}}), MakeIUnit({{0, 1}})};
+  std::vector<IUnit> ty = {MakeIUnit({{0, 1}}), MakeIUnit({{1, 0}})};
+  EXPECT_DOUBLE_EQ(RankedListDistance(tx, ty, 0.9), 4.0);
+}
+
+TEST(RankedListDistanceTest, NoMatchesHitUpperBound) {
+  std::vector<IUnit> tx = {MakeIUnit({{1, 0, 0, 0}}),
+                           MakeIUnit({{0, 1, 0, 0}})};
+  std::vector<IUnit> ty = {MakeIUnit({{0, 0, 1, 0}}),
+                           MakeIUnit({{0, 0, 0, 1}})};
+  double d = RankedListDistance(tx, ty, 0.9);
+  EXPECT_DOUBLE_EQ(d, RankedListDistanceUpperBound(2, 2));
+  // |T_y|+1 = 3: ranks 1,2 -> |1-3|+|2-3| = 3 per direction.
+  EXPECT_DOUBLE_EQ(d, 6.0);
+}
+
+TEST(RankedListDistanceTest, ClosestRankPreferredWhenMultipleMatch) {
+  // tx[1] matches both ty[0] and ty[2]; the rank-closest (index 0 vs 2 for
+  // 1-based rank 2) is ty[2]... ranks: |2-1|=1 vs |2-3|=1 — tie keeps first.
+  // Use an asymmetric case instead: tx has one item of rank 1 matching ty
+  // ranks 2 and 3 -> pays |1-2| = 1, not |1-3|.
+  IUnit common = MakeIUnit({{1, 0}});
+  IUnit other = MakeIUnit({{0, 1}});
+  std::vector<IUnit> tx = {common};
+  std::vector<IUnit> ty = {other, common, common};
+  double d = RankedListDistance(tx, ty, 0.9);
+  // Forward: |1-2| = 1. Backward: other pays |1-2|=1 (no match -> |Tx|+1=2),
+  // common at rank 2 pays |2-1| = 1, common at rank 3 pays |3-1| = 2.
+  EXPECT_DOUBLE_EQ(d, 1.0 + 1.0 + 1.0 + 2.0);
+}
+
+TEST(RankedListDistanceTest, EmptyLists) {
+  std::vector<IUnit> tx = {MakeIUnit({{1.0}})};
+  std::vector<IUnit> empty;
+  EXPECT_DOUBLE_EQ(RankedListDistance(empty, empty, 0.5), 0.0);
+  // One unmatched item: |1 - (0+1)| = 0 ... rank vs |T_y|+1 = 1 -> 0.
+  EXPECT_DOUBLE_EQ(RankedListDistance(tx, empty, 0.5), 0.0);
+}
+
+TEST(RankedListDistanceTest, UpperBoundFormula) {
+  EXPECT_DOUBLE_EQ(RankedListDistanceUpperBound(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RankedListDistanceUpperBound(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(RankedListDistanceUpperBound(3, 3),
+                   (3 + 2 + 1) * 2.0);
+}
+
+// Parameterized: distance to self is 0 for all list lengths; distance is
+// always within the upper bound.
+class RankedListPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RankedListPropertyTest, SelfZeroAndBounded) {
+  size_t n = GetParam();
+  std::vector<IUnit> tx, ty;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> fa(n + 1, 0.0), fb(n + 1, 0.0);
+    fa[i] = 1.0;
+    fb[n - i] = 1.0;
+    tx.push_back(MakeIUnit({fa}));
+    ty.push_back(MakeIUnit({fb}));
+  }
+  EXPECT_DOUBLE_EQ(RankedListDistance(tx, tx, 0.9), 0.0);
+  double d = RankedListDistance(tx, ty, 0.9);
+  EXPECT_LE(d, RankedListDistanceUpperBound(n, n) + 1e-9);
+  EXPECT_GE(d, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RankedListPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace dbx

@@ -1,0 +1,106 @@
+// Golden-output tests: the exact ASCII rendering of a small hand-built CAD
+// View. Guards against accidental layout drift (the rendering *is* the
+// product for a terminal front end).
+
+#include <gtest/gtest.h>
+
+#include "src/core/cad_view_renderer.h"
+
+namespace dbx {
+namespace {
+
+CadView TinyView() {
+  CadView v;
+  v.pivot_attr = "Make";
+  v.tau = 1.4;
+  CompareAttribute a1;
+  a1.name = "Price";
+  a1.user_selected = true;
+  CompareAttribute a2;
+  a2.name = "Engine";
+  v.compare_attrs = {a1, a2};
+
+  auto iunit = [](std::vector<std::string> price_labels,
+                  std::vector<std::string> engine_labels, double score) {
+    IUnit u;
+    IUnitCell c1;
+    c1.labels = std::move(price_labels);
+    c1.counts.assign(c1.labels.size(), 1);
+    c1.codes.assign(c1.labels.size(), 0);
+    IUnitCell c2;
+    c2.labels = std::move(engine_labels);
+    c2.counts.assign(c2.labels.size(), 1);
+    c2.codes.assign(c2.labels.size(), 0);
+    u.cells = {c1, c2};
+    u.attr_freqs = {{1, 0}, {0, 1}};
+    u.score = score;
+    u.member_positions = {0};
+    return u;
+  };
+
+  CadViewRow ford;
+  ford.pivot_value = "Ford";
+  ford.partition_size = 10;
+  ford.iunits = {iunit({"10K-20K", "20K-30K"}, {"V6"}, 6),
+                 iunit({"30K-40K"}, {"V8"}, 4)};
+  CadViewRow jeep;
+  jeep.pivot_value = "Jeep";
+  jeep.partition_size = 5;
+  jeep.iunits = {iunit({"15K-25K"}, {"V4", "V6"}, 5)};
+  v.rows = {ford, jeep};
+  return v;
+}
+
+TEST(RendererGoldenTest, ExactTableLayout) {
+  CadView v = TinyView();
+  const char* expected =
+      "+------+----------------+--------------------+-----------+\n"
+      "| Make | Compare Attrs. | IUnit 1            | IUnit 2   |\n"
+      "+------+----------------+--------------------+-----------+\n"
+      "| Ford | Price          | [10K-20K, 20K-30K] | [30K-40K] |\n"
+      "|      | Engine         | [V6]               | [V8]      |\n"
+      "| Jeep | Price          | [15K-25K]          |           |\n"
+      "|      | Engine         | [V4, V6]           |           |\n"
+      "+------+----------------+--------------------+-----------+\n";
+  EXPECT_EQ(RenderCadView(v), expected);
+}
+
+TEST(RendererGoldenTest, PartitionSizesShown) {
+  CadView v = TinyView();
+  RenderOptions opt;
+  opt.show_partition_sizes = true;
+  std::string out = RenderCadView(v, opt);
+  EXPECT_NE(out.find("Ford (10)"), std::string::npos);
+  EXPECT_NE(out.find("Jeep (5)"), std::string::npos);
+}
+
+TEST(RendererGoldenTest, HighlightMarker) {
+  CadView v = TinyView();
+  RenderOptions opt;
+  opt.highlights = {{1, 0, 0.0}};
+  std::string out = RenderCadView(v, opt);
+  EXPECT_NE(out.find("* [15K-25K]"), std::string::npos);
+  EXPECT_EQ(out.find("* [10K-20K"), std::string::npos);
+}
+
+TEST(RendererGoldenTest, EmptyCellPlaceholder) {
+  CadView v = TinyView();
+  v.rows[0].iunits[0].cells[1].labels.clear();
+  std::string out = RenderCadView(v);
+  EXPECT_NE(out.find("[-]"), std::string::npos);
+}
+
+TEST(RendererGoldenTest, TimingsLine) {
+  CadViewTimings t;
+  t.discretize_ms = 1.0;
+  t.compare_attrs_ms = 2.0;
+  t.iunit_gen_ms = 3.0;
+  t.topk_ms = 0.5;
+  t.total_ms = 8.0;
+  EXPECT_EQ(RenderTimings(t),
+            "discretize: 1.00 ms | compare-attrs: 2.00 ms | iunit-gen: 3.00 "
+            "ms | top-k: 0.50 ms | others: 3.00 ms | total: 8.00 ms");
+}
+
+}  // namespace
+}  // namespace dbx

@@ -1,0 +1,291 @@
+// Tests for the simulated user study: cost model, task scoring, agents, and
+// the crossover runner. The key "shape" assertions (TPFacet faster, at least
+// as accurate) live here with a small dataset; the full-scale run is the
+// fig2-7 bench.
+
+#include <gtest/gtest.h>
+
+#include "src/data/mushroom.h"
+#include "src/sim/agent_util.h"
+#include "src/sim/study.h"
+
+namespace dbx {
+namespace {
+
+class SimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new Table(GenerateMushrooms(3000, 11));
+    auto e = FacetEngine::Create(table_, DiscretizerOptions{});
+    ASSERT_TRUE(e.ok());
+    engine_ = new FacetEngine(std::move(*e));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete table_;
+    engine_ = nullptr;
+    table_ = nullptr;
+  }
+
+  static AgentConfig Config() {
+    StudyConfig sc = StudyConfig::Default();
+    return sc.agent;
+  }
+
+  static Table* table_;
+  static FacetEngine* engine_;
+};
+
+Table* SimTest::table_ = nullptr;
+FacetEngine* SimTest::engine_ = nullptr;
+
+// --- Cost model ---------------------------------------------------------------
+
+TEST(CostModelTest, ChargesAccumulate) {
+  UserProfile u = UserProfile::Make(0, 1);
+  Rng rng(5);
+  CostMeter meter(u, &rng);
+  double added = meter.Charge(UserOp::kFacetSelect, 3);
+  EXPECT_GT(added, 0.0);
+  EXPECT_DOUBLE_EQ(meter.total_seconds(), added);
+  EXPECT_EQ(meter.operation_count(), 3u);
+  EXPECT_NEAR(meter.total_minutes(), added / 60.0, 1e-12);
+}
+
+TEST(CostModelTest, SpeedScalesCost) {
+  UserProfile fast;
+  fast.speed = 0.5;
+  UserProfile slow;
+  slow.speed = 2.0;
+  Rng r1(5), r2(5);
+  CostMeter m_fast(fast, &r1), m_slow(slow, &r2);
+  m_fast.Charge(UserOp::kCosineByHand, 10);
+  m_slow.Charge(UserOp::kCosineByHand, 10);
+  EXPECT_LT(m_fast.total_seconds(), m_slow.total_seconds());
+}
+
+TEST(CostModelTest, ProfilesDeterministicAndVaried) {
+  UserProfile a = UserProfile::Make(2, 7);
+  UserProfile b = UserProfile::Make(2, 7);
+  EXPECT_DOUBLE_EQ(a.speed, b.speed);
+  EXPECT_EQ(a.seed, b.seed);
+  UserProfile c = UserProfile::Make(3, 7);
+  EXPECT_NE(a.seed, c.seed);
+}
+
+TEST(CostModelTest, PerceiveNoiseShrinksWithCare) {
+  UserProfile careless;
+  careless.care = 0.2;
+  UserProfile careful;
+  careful.care = 5.0;
+  double spread_careless = 0, spread_careful = 0;
+  Rng r1(9), r2(9);
+  CostMeter m1(careless, &r1), m2(careful, &r2);
+  for (int i = 0; i < 300; ++i) {
+    spread_careless += std::fabs(m1.Perceive(1.0, 0.1) - 1.0);
+    spread_careful += std::fabs(m2.Perceive(1.0, 0.1) - 1.0);
+  }
+  EXPECT_GT(spread_careless, spread_careful);
+}
+
+// --- Task scoring ---------------------------------------------------------------
+
+TEST_F(SimTest, RowsMatchingSemantics) {
+  auto all_edible = RowsMatching(*engine_, {{"Class", "edible"}});
+  ASSERT_TRUE(all_edible.ok());
+  EXPECT_GT(all_edible->size(), 0u);
+  // OR within attribute.
+  auto both = RowsMatching(
+      *engine_, {{"Class", "edible"}, {"Class", "poisonous"}});
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->size(), table_->num_rows());
+  // AND across attributes narrows.
+  auto narrowed = RowsMatching(
+      *engine_, {{"Class", "edible"}, {"Odor", "none"}});
+  ASSERT_TRUE(narrowed.ok());
+  EXPECT_LT(narrowed->size(), all_edible->size());
+  EXPECT_TRUE(RowsMatching(*engine_, {{"Nope", "x"}}).status().IsNotFound());
+}
+
+TEST_F(SimTest, ClassifierF1PerfectForTargetItself) {
+  ClassifierTask task{"t", "Class", "edible", {}};
+  auto f1 = ClassifierF1(*engine_, task, {{"Class", "edible"}});
+  ASSERT_TRUE(f1.ok());
+  EXPECT_DOUBLE_EQ(*f1, 1.0);
+  auto empty = ClassifierF1(*engine_, task, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_DOUBLE_EQ(*empty, 0.0);
+}
+
+TEST_F(SimTest, SimilarPairRankConsistent) {
+  SimilarPairTask task{"t", "GillColor", {"buff", "white", "brown", "green"}};
+  auto rank_best = SimilarPairRank(*engine_, task, {"brown", "white"});
+  ASSERT_TRUE(rank_best.ok()) << rank_best.status().ToString();
+  EXPECT_EQ(*rank_best, 1);  // the designed most-similar pair
+  auto sym = SimilarPairRank(*engine_, task, {"white", "brown"});
+  ASSERT_TRUE(sym.ok());
+  EXPECT_EQ(*sym, *rank_best);
+  EXPECT_TRUE(SimilarPairRank(*engine_, task, {"white", "nothere"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SimTest, AlternativeErrorZeroForEquivalentCondition) {
+  AlternativeTask task{"t", {{"Class", "edible"}}};
+  // Using the identical condition is banned.
+  EXPECT_TRUE(AlternativeRetrievalError(*engine_, task, {{"Class", "edible"}})
+                  .status()
+                  .IsInvalidArgument());
+  // A different condition gets a finite error >= 0.
+  auto err = AlternativeRetrievalError(*engine_, task, {{"Odor", "none"}});
+  ASSERT_TRUE(err.ok());
+  EXPECT_GE(*err, 0.0);
+}
+
+// --- Agents ---------------------------------------------------------------------
+
+TEST_F(SimTest, ClassifierAgentsProduceReasonableAnswers) {
+  ClassifierTask task{"C-A", "Bruises", "true", {}};
+  UserProfile user = UserProfile::Make(0, 3);
+  auto solr = SolrClassifier(*engine_, task, user, Config());
+  auto tp = TpFacetClassifier(*engine_, task, user, Config());
+  ASSERT_TRUE(solr.ok()) << solr.status().ToString();
+  ASSERT_TRUE(tp.ok()) << tp.status().ToString();
+  EXPECT_GT(solr->quality, 0.3);
+  EXPECT_GT(tp->quality, 0.3);
+  EXPECT_LE(solr->quality, 1.0);
+  EXPECT_LE(tp->quality, 1.0);
+  EXPECT_LT(tp->minutes, solr->minutes);  // the headline claim
+  EXPECT_FALSE(tp->answer.empty());
+}
+
+TEST_F(SimTest, SimilarPairAgentsFindGoodPairs) {
+  SimilarPairTask task{"S-A", "GillColor", {"buff", "white", "brown", "green"}};
+  UserProfile user = UserProfile::Make(1, 3);
+  auto solr = SolrSimilarPair(*engine_, task, user, Config());
+  auto tp = TpFacetSimilarPair(*engine_, task, user, Config());
+  ASSERT_TRUE(solr.ok()) << solr.status().ToString();
+  ASSERT_TRUE(tp.ok()) << tp.status().ToString();
+  EXPECT_LE(solr->quality, 3.0);  // rank
+  EXPECT_LE(tp->quality, 3.0);
+  EXPECT_LT(tp->minutes, solr->minutes);
+}
+
+TEST_F(SimTest, AlternativeAgentsFindLowErrorConditions) {
+  AlternativeTask task{"A-A",
+                       {{"StalkShape", "enlarged"},
+                        {"SporePrintColor", "chocolate"}}};
+  UserProfile user = UserProfile::Make(2, 3);
+  auto solr = SolrAlternative(*engine_, task, user, Config());
+  auto tp = TpFacetAlternative(*engine_, task, user, Config());
+  ASSERT_TRUE(solr.ok()) << solr.status().ToString();
+  ASSERT_TRUE(tp.ok()) << tp.status().ToString();
+  EXPECT_LT(tp->quality, 2.0);
+  EXPECT_LT(tp->minutes, solr->minutes);
+  EXPECT_FALSE(tp->answer.empty());
+}
+
+TEST_F(SimTest, TpFacetNeedsFewerOperations) {
+  // The mechanism behind the speedup: the CAD View answers with far fewer
+  // interface operations than the Solr digest-scanning workflow.
+  UserProfile user = UserProfile::Make(3, 3);
+  ClassifierTask c{"C-A", "Bruises", "true", {"Class"}};
+  auto solr_c = SolrClassifier(*engine_, c, user, Config());
+  auto tp_c = TpFacetClassifier(*engine_, c, user, Config());
+  ASSERT_TRUE(solr_c.ok());
+  ASSERT_TRUE(tp_c.ok());
+  EXPECT_LT(tp_c->operations, solr_c->operations);
+
+  SimilarPairTask sp{"S-A", "GillColor", {"buff", "white", "brown", "green"}};
+  auto solr_s = SolrSimilarPair(*engine_, sp, user, Config());
+  auto tp_s = TpFacetSimilarPair(*engine_, sp, user, Config());
+  ASSERT_TRUE(solr_s.ok());
+  ASSERT_TRUE(tp_s.ok());
+  EXPECT_LT(tp_s->operations, solr_s->operations);
+}
+
+TEST_F(SimTest, AgentsDeterministicPerUserAndTask) {
+  ClassifierTask task{"C-A", "Bruises", "true", {}};
+  UserProfile user = UserProfile::Make(4, 3);
+  auto a = SolrClassifier(*engine_, task, user, Config());
+  auto b = SolrClassifier(*engine_, task, user, Config());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->minutes, b->minutes);
+  EXPECT_DOUBLE_EQ(a->quality, b->quality);
+  EXPECT_EQ(a->answer, b->answer);
+}
+
+// --- Study runner ------------------------------------------------------------------
+
+TEST_F(SimTest, StudyRunsFullCrossover) {
+  StudyConfig config = StudyConfig::Default();
+  config.num_users = 4;
+  auto results = RunUserStudy(table_, config);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  // 4 users x 3 task types x 2 interfaces.
+  EXPECT_EQ(results->records.size(), 24u);
+  for (char type : {'C', 'S', 'A'}) {
+    EXPECT_EQ(results->Of(type, true).size(), 4u);
+    EXPECT_EQ(results->Of(type, false).size(), 4u);
+  }
+  // Crossover: group 1 (users 0,1) did variant A on TPFacet.
+  for (const StudyRecord& r : results->records) {
+    bool group1 = r.user < 2;
+    bool variant_a = r.task_id.back() == 'A';
+    EXPECT_EQ(r.tpfacet, group1 == variant_a) << r.task_id << " u" << r.user;
+  }
+}
+
+TEST_F(SimTest, AnalysisFindsTimeEffect) {
+  StudyConfig config = StudyConfig::Default();
+  config.num_users = 8;
+  auto results = RunUserStudy(table_, config);
+  ASSERT_TRUE(results.ok());
+  auto analysis = AnalyzeTask(*results, 'C', 8);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  // TPFacet lowers task time significantly (paper: chi2(1)=8.54, p=0.003).
+  EXPECT_LT(analysis->time.effect, 0.0);
+  EXPECT_LT(analysis->time.p_value, 0.05);
+  EXPECT_LT(analysis->mean_minutes_tpfacet, analysis->mean_minutes_solr);
+  EXPECT_TRUE(AnalyzeTask(*results, 'X', 8).status().IsNotFound());
+}
+
+TEST_F(SimTest, StudyRejectsBadConfig) {
+  StudyConfig config = StudyConfig::Default();
+  config.num_users = 3;  // odd
+  EXPECT_TRUE(RunUserStudy(table_, config).status().IsInvalidArgument());
+  EXPECT_TRUE(RunUserStudy(nullptr, StudyConfig::Default())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- agent_util ---------------------------------------------------------------------
+
+TEST(AgentUtilTest, IntersectionAndF1) {
+  RowSet a = {1, 2, 3, 4};
+  RowSet b = {3, 4, 5};
+  EXPECT_EQ(IntersectionSize(a, b), 2u);
+  // precision 2/3, recall 2/4 -> F1 = 2*(2/3)*(1/2)/((2/3)+(1/2)).
+  double p = 2.0 / 3.0, r = 0.5;
+  EXPECT_NEAR(F1OfRows(b, a), 2 * p * r / (p + r), 1e-12);
+  EXPECT_DOUBLE_EQ(F1OfRows({}, a), 0.0);
+}
+
+TEST(AgentUtilTest, CandidateToString) {
+  Candidate c;
+  c.conditions = {{"A", "x"}, {"B", "y"}};
+  EXPECT_EQ(c.ToString(), "A=x AND B=y");
+}
+
+TEST_F(SimTest, TopValuesWithinSortsByCount) {
+  RowSet all = table_->AllRows();
+  auto idx = engine_->discretized().IndexOf("Class");
+  ASSERT_TRUE(idx.has_value());
+  auto top = TopValuesWithin(*engine_, *idx, all);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_GE(top[0].second, top[1].second);
+}
+
+}  // namespace
+}  // namespace dbx

@@ -1,0 +1,78 @@
+// Tests for the incomplete-gamma / chi-square distribution implementation,
+// including parameterized inverse/identity property sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/gamma.h"
+
+namespace dbx {
+namespace {
+
+TEST(GammaTest, ComplementarityPPlusQIsOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0}) {
+    for (double x : {0.1, 1.0, 3.0, 20.0}) {
+      EXPECT_NEAR(GammaP(a, x) + GammaQ(a, x), 1.0, 1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(GammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(GammaQ(2.0, 0.0), 1.0);
+  EXPECT_TRUE(std::isnan(GammaP(-1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(GammaQ(2.0, -1.0)));
+}
+
+TEST(GammaTest, KnownExponentialCase) {
+  // For a=1, P(1,x) = 1 - exp(-x).
+  for (double x : {0.2, 1.0, 2.5, 7.0}) {
+    EXPECT_NEAR(GammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+}
+
+TEST(ChiSquareDistTest, TextbookCriticalValues) {
+  // Classic upper-tail critical values: P[X >= x] = alpha.
+  EXPECT_NEAR(ChiSquareSf(3.841, 1), 0.05, 2e-4);
+  EXPECT_NEAR(ChiSquareSf(6.635, 1), 0.01, 2e-4);
+  EXPECT_NEAR(ChiSquareSf(5.991, 2), 0.05, 2e-4);
+  EXPECT_NEAR(ChiSquareSf(9.488, 4), 0.05, 2e-4);
+  EXPECT_NEAR(ChiSquareSf(18.307, 10), 0.05, 2e-4);
+}
+
+TEST(ChiSquareDistTest, CdfMonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 30.0; x += 0.5) {
+    double c = ChiSquareCdf(x, 3);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(ChiSquareCdf(1e6, 3), 1.0, 1e-9);
+}
+
+TEST(ChiSquareDistTest, SfDecreasingInX) {
+  EXPECT_GT(ChiSquareSf(1.0, 5), ChiSquareSf(2.0, 5));
+  EXPECT_DOUBLE_EQ(ChiSquareSf(0.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquareSf(-1.0, 5), 1.0);
+}
+
+// Property sweep: quantile is the inverse of the survival function.
+class ChiSquareQuantileTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ChiSquareQuantileTest, QuantileInvertsSf) {
+  auto [p, df] = GetParam();
+  double x = ChiSquareQuantile(p, df);
+  EXPECT_NEAR(ChiSquareSf(x, df), p, 1e-6)
+      << "p=" << p << " df=" << df << " x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChiSquareQuantileTest,
+    ::testing::Combine(::testing::Values(0.001, 0.01, 0.05, 0.10, 0.5, 0.9),
+                       ::testing::Values(1.0, 2.0, 4.0, 10.0, 30.0)));
+
+}  // namespace
+}  // namespace dbx

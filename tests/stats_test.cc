@@ -1,0 +1,306 @@
+// Tests for discretizer, contingency/chi-square, frequency tables, cosine
+// similarity, and sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/contingency.h"
+#include "src/stats/cosine.h"
+#include "src/stats/discretizer.h"
+#include "src/stats/frequency.h"
+#include "src/stats/rank_correlation.h"
+#include "src/stats/sampling.h"
+
+namespace dbx {
+namespace {
+
+Table MixedTable() {
+  Schema s = std::move(Schema::Make({
+                           {"Cat", AttrType::kCategorical, true},
+                           {"Num", AttrType::kNumeric, true},
+                       }))
+                 .value();
+  Table t(s);
+  const char* cats[] = {"a", "b", "a", "c", "b", "a"};
+  double nums[] = {1, 2, 3, 10, 20, 30};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(
+        t.AppendRow({Value(cats[i]), Value(nums[i])}).ok());
+  }
+  return t;
+}
+
+// --- DiscretizedTable ----------------------------------------------------------
+
+TEST(DiscretizerTest, CategoricalPassThroughCompacted) {
+  Table t = MixedTable();
+  DiscretizerOptions opt;
+  auto dt = DiscretizedTable::Build(TableSlice::All(t), opt);
+  ASSERT_TRUE(dt.ok());
+  const DiscreteAttr& cat = dt->attr(0);
+  EXPECT_EQ(cat.cardinality(), 3u);
+  EXPECT_EQ(cat.labels[cat.codes[0]], "a");
+  EXPECT_EQ(cat.labels[cat.codes[3]], "c");
+}
+
+TEST(DiscretizerTest, NumericBinnedWithLabels) {
+  Table t = MixedTable();
+  DiscretizerOptions opt;
+  opt.max_numeric_bins = 3;
+  auto dt = DiscretizedTable::Build(TableSlice::All(t), opt);
+  ASSERT_TRUE(dt.ok());
+  const DiscreteAttr& num = dt->attr(1);
+  EXPECT_GE(num.cardinality(), 1u);
+  EXPECT_LE(num.cardinality(), 3u);
+  for (int32_t c : num.codes) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, static_cast<int32_t>(num.cardinality()));
+  }
+  for (const std::string& l : num.labels) EXPECT_FALSE(l.empty());
+}
+
+TEST(DiscretizerTest, SliceOnlyCoversRequestedRows) {
+  Table t = MixedTable();
+  TableSlice slice{&t, {0, 2, 4}};
+  auto dt = DiscretizedTable::Build(slice, DiscretizerOptions{});
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->num_rows(), 3u);
+  // Value "c" (row 3) is outside the slice, so the compacted domain drops it.
+  EXPECT_EQ(dt->attr(0).cardinality(), 2u);
+}
+
+TEST(DiscretizerTest, NullsKeepCodeMinusOne) {
+  Schema s = std::move(Schema::Make({{"N", AttrType::kNumeric, true}})).value();
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value(1.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  auto dt = DiscretizedTable::Build(TableSlice::All(t), DiscretizerOptions{});
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->attr(0).codes[1], -1);
+}
+
+TEST(DiscretizerTest, AllNullAttributeHasZeroCardinality) {
+  Schema s = std::move(Schema::Make({{"N", AttrType::kNumeric, true}})).value();
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  auto dt = DiscretizedTable::Build(TableSlice::All(t), DiscretizerOptions{});
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->attr(0).cardinality(), 0u);
+  EXPECT_EQ(dt->attr(0).codes[0], -1);
+}
+
+TEST(DiscretizerTest, IndexOfFindsAttrs) {
+  Table t = MixedTable();
+  auto dt = DiscretizedTable::Build(TableSlice::All(t), DiscretizerOptions{});
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(*dt->IndexOf("Num"), 1u);
+  EXPECT_FALSE(dt->IndexOf("Nope").has_value());
+}
+
+// --- ContingencyTable / chi-square ---------------------------------------------
+
+TEST(ContingencyTest, FromCodesSkipsNulls) {
+  std::vector<int32_t> a = {0, 0, 1, -1, 1};
+  std::vector<int32_t> b = {0, 1, 1, 0, -1};
+  ContingencyTable t = ContingencyTable::FromCodes(a, 2, b, 2);
+  EXPECT_EQ(t.grand_total(), 3u);
+  EXPECT_EQ(t.at(0, 0), 1u);
+  EXPECT_EQ(t.at(0, 1), 1u);
+  EXPECT_EQ(t.at(1, 1), 1u);
+  EXPECT_EQ(t.row_total(0), 2u);
+  EXPECT_EQ(t.col_total(1), 2u);
+}
+
+TEST(ChiSquareTest, PerfectAssociationKnownValue) {
+  // 2x2 table [[50,0],[0,50]]: chi2 = n = 100.
+  ContingencyTable t(2, 2);
+  t.Add(0, 0, 50);
+  t.Add(1, 1, 50);
+  ChiSquareResult r = ChiSquareTest(t);
+  EXPECT_NEAR(r.statistic, 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.df, 1.0);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_NEAR(CramersV(t), 1.0, 1e-9);
+}
+
+TEST(ChiSquareTest, IndependenceGivesZero) {
+  // Exactly proportional rows: chi2 = 0.
+  ContingencyTable t(2, 2);
+  t.Add(0, 0, 20);
+  t.Add(0, 1, 30);
+  t.Add(1, 0, 40);
+  t.Add(1, 1, 60);
+  ChiSquareResult r = ChiSquareTest(t);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+  EXPECT_NEAR(CramersV(t), 0.0, 1e-9);
+}
+
+TEST(ChiSquareTest, DegenerateTablesSafe) {
+  ContingencyTable empty(3, 3);
+  ChiSquareResult r = ChiSquareTest(empty);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+
+  // Single effective row -> df 0 -> no signal.
+  ContingencyTable one_row(2, 3);
+  one_row.Add(0, 0, 5);
+  one_row.Add(0, 1, 5);
+  r = ChiSquareTest(one_row);
+  EXPECT_EQ(r.statistic, 0.0);
+}
+
+TEST(ChiSquareTest, EmptyRowsColumnsIgnoredInDf) {
+  // 3x3 but only a 2x2 core is populated: df must be 1, not 4.
+  ContingencyTable t(3, 3);
+  t.Add(0, 0, 10);
+  t.Add(0, 2, 5);
+  t.Add(2, 0, 5);
+  t.Add(2, 2, 10);
+  ChiSquareResult r = ChiSquareTest(t);
+  EXPECT_DOUBLE_EQ(r.df, 1.0);
+}
+
+TEST(ChiSquareTest, TextbookExample) {
+  // Classic 2x2: [[10,20],[30,40]] -> chi2 = 100*(10*40-20*30)^2/(30*70*40*60).
+  ContingencyTable t(2, 2);
+  t.Add(0, 0, 10);
+  t.Add(0, 1, 20);
+  t.Add(1, 0, 30);
+  t.Add(1, 1, 40);
+  double expected = 100.0 * std::pow(10.0 * 40 - 20.0 * 30, 2) /
+                    (30.0 * 70.0 * 40.0 * 60.0);
+  EXPECT_NEAR(ChiSquareTest(t).statistic, expected, 1e-9);
+}
+
+// --- FrequencyTable -------------------------------------------------------------
+
+TEST(FrequencyTest, CountsAndSortedOrder) {
+  std::vector<int32_t> codes = {0, 1, 1, 2, 1, -1, 0};
+  FrequencyTable f =
+      FrequencyTable::FromCodes(codes, 3, {"x", "y", "z"});
+  EXPECT_EQ(f.total(), 6u);
+  EXPECT_EQ(f.null_count(), 1u);
+  EXPECT_EQ(f.counts()[1], 3u);
+  ASSERT_EQ(f.sorted().size(), 3u);
+  EXPECT_EQ(f.sorted()[0].label, "y");
+  EXPECT_EQ(f.sorted()[0].count, 3u);
+  EXPECT_EQ(f.sorted()[1].label, "x");
+  auto v = f.AsVector();
+  EXPECT_EQ(v, (std::vector<double>{2, 3, 1}));
+}
+
+TEST(FrequencyTest, ZeroCountCodesIncluded) {
+  FrequencyTable f = FrequencyTable::FromCodes({0}, 3, {"a", "b", "c"});
+  EXPECT_EQ(f.sorted().size(), 3u);
+  EXPECT_EQ(f.counts()[2], 0u);
+}
+
+// --- Cosine ----------------------------------------------------------------------
+
+TEST(CosineTest, IdenticalDirectionIsOne) {
+  EXPECT_NEAR(CosineSimilarity({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalIsZero) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 5}), 0.0, 1e-12);
+}
+
+TEST(CosineTest, ZeroVectorConventions) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(CosineTest, SymmetricAndBounded) {
+  std::vector<double> a = {3, 1, 0, 2}, b = {1, 0, 4, 2};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), CosineSimilarity(b, a));
+  EXPECT_GE(CosineSimilarity(a, b), 0.0);
+  EXPECT_LE(CosineSimilarity(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(CosineDistance(a, b), 1.0 - CosineSimilarity(a, b));
+}
+
+// --- Sampling ----------------------------------------------------------------------
+
+TEST(SamplingTest, SampleSizeAndSubset) {
+  RowSet rows;
+  for (uint32_t i = 0; i < 1000; ++i) rows.push_back(i * 2);
+  Rng rng(3);
+  RowSet s = SampleRows(rows, 100, &rng);
+  EXPECT_EQ(s.size(), 100u);
+  for (size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+  for (uint32_t r : s) EXPECT_EQ(r % 2, 0u);  // subset of input
+}
+
+TEST(SamplingTest, SampleAllWhenKTooLarge) {
+  RowSet rows = {1, 2, 3};
+  Rng rng(3);
+  EXPECT_EQ(SampleRows(rows, 10, &rng), rows);
+}
+
+TEST(SamplingTest, DeterministicForSeed) {
+  RowSet rows;
+  for (uint32_t i = 0; i < 500; ++i) rows.push_back(i);
+  Rng a(9), b(9);
+  EXPECT_EQ(SampleRows(rows, 50, &a), SampleRows(rows, 50, &b));
+}
+
+TEST(SamplingTest, BernoulliEdgeCases) {
+  RowSet rows = {1, 2, 3, 4};
+  Rng rng(3);
+  EXPECT_TRUE(BernoulliSample(rows, 0.0, &rng).empty());
+  EXPECT_EQ(BernoulliSample(rows, 1.0, &rng), rows);
+}
+
+TEST(SamplingTest, BernoulliApproximatesP) {
+  RowSet rows;
+  for (uint32_t i = 0; i < 20000; ++i) rows.push_back(i);
+  Rng rng(3);
+  RowSet s = BernoulliSample(rows, 0.3, &rng);
+  EXPECT_NEAR(static_cast<double>(s.size()) / rows.size(), 0.3, 0.02);
+}
+
+// --- Kendall tau -------------------------------------------------------------------
+
+TEST(KendallTauTest, PerfectAgreementAndReversal) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {10, 20, 30, 40, 50};
+  auto same = KendallTauB(a, b);
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ(*same, 1.0);
+
+  std::vector<double> rev = {50, 40, 30, 20, 10};
+  auto opposite = KendallTauB(a, rev);
+  ASSERT_TRUE(opposite.ok());
+  EXPECT_DOUBLE_EQ(*opposite, -1.0);
+}
+
+TEST(KendallTauTest, IndependentNearZero) {
+  Rng rng(7);
+  std::vector<double> a(500), b(500);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  auto tau = KendallTauB(a, b);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_NEAR(*tau, 0.0, 0.08);
+}
+
+TEST(KendallTauTest, TiesHandledByTauB) {
+  std::vector<double> a = {1, 1, 2, 3};
+  std::vector<double> b = {2, 2, 3, 4};
+  auto tau = KendallTauB(a, b);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_DOUBLE_EQ(*tau, 1.0);  // fully concordant modulo shared ties
+}
+
+TEST(KendallTauTest, Errors) {
+  EXPECT_TRUE(KendallTauB({1, 2}, {1}).status().IsInvalidArgument());
+  EXPECT_TRUE(KendallTauB({1}, {1}).status().IsInvalidArgument());
+  EXPECT_TRUE(KendallTauB({5, 5, 5}, {1, 2, 3}).status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace dbx

@@ -1,0 +1,154 @@
+// Tests for the Limitation-2 surrogate finder.
+
+#include <gtest/gtest.h>
+
+#include "src/core/surrogate.h"
+#include "src/data/used_cars.h"
+#include "src/util/rng.h"
+
+namespace dbx {
+namespace {
+
+DiscretizedTable Discretize(const Table& t) {
+  return std::move(
+             DiscretizedTable::Build(TableSlice::All(t), DiscretizerOptions{}))
+      .value();
+}
+
+// Hidden attribute H perfectly determined by queriable Q.
+Table PerfectSurrogateTable(size_t n) {
+  Schema s = std::move(Schema::Make({
+                           {"Hidden", AttrType::kCategorical, false},
+                           {"Q", AttrType::kCategorical, true},
+                           {"Noise", AttrType::kCategorical, true},
+                       }))
+                 .value();
+  Table t(s);
+  Rng rng(3);
+  for (size_t i = 0; i < n; ++i) {
+    int v = static_cast<int>(rng.NextBounded(3));
+    EXPECT_TRUE(t.AppendRow({Value("h" + std::to_string(v)),
+                             Value("q" + std::to_string(v)),
+                             Value(rng.NextBool() ? "x" : "y")})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(SurrogateTest, FindsPerfectSurrogate) {
+  Table t = PerfectSurrogateTable(500);
+  DiscretizedTable dt = Discretize(t);
+  auto result = FindSurrogates(dt, "Hidden", "h1", SurrogateOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->empty());
+  const Surrogate& best = result->front();
+  EXPECT_DOUBLE_EQ(best.f1, 1.0);
+  EXPECT_DOUBLE_EQ(best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(best.recall, 1.0);
+  ASSERT_EQ(best.conditions.size(), 1u);
+  EXPECT_EQ(best.conditions[0].first, "Q");
+  EXPECT_EQ(best.conditions[0].second, "q1");
+}
+
+TEST(SurrogateTest, NeverUsesHiddenAttributesWhenQueriableOnly) {
+  Table cars = GenerateUsedCars(4000, 7);
+  DiscretizedTable dt = Discretize(cars);
+  // Engine is the non-queriable attribute; find surrogates for V4.
+  auto result = FindSurrogates(dt, "Engine", "V4", SurrogateOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->empty());
+  for (const Surrogate& s : *result) {
+    for (const auto& [attr, value] : s.conditions) {
+      EXPECT_NE(attr, "Engine");
+      auto idx = dt.IndexOf(attr);
+      ASSERT_TRUE(idx.has_value());
+      EXPECT_TRUE(dt.attr(*idx).queriable) << attr;
+    }
+  }
+  // The paper's intuition: fuel economy (or model) works as a V4 surrogate.
+  EXPECT_GT(result->front().f1, 0.6) << result->front().conditions[0].first;
+}
+
+TEST(SurrogateTest, PairsOnlyImproveOrMatchSingles) {
+  Table cars = GenerateUsedCars(3000, 7);
+  DiscretizedTable dt = Discretize(cars);
+  SurrogateOptions singles_only;
+  singles_only.max_conditions = 1;
+  SurrogateOptions with_pairs;
+  with_pairs.max_conditions = 2;
+  auto s1 = FindSurrogates(dt, "Engine", "V8", singles_only);
+  auto s2 = FindSurrogates(dt, "Engine", "V8", with_pairs);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_FALSE(s1->empty());
+  ASSERT_FALSE(s2->empty());
+  EXPECT_GE(s2->front().f1, s1->front().f1 - 1e-12);
+}
+
+TEST(SurrogateTest, OrPairsUnionSameAttribute) {
+  // Hidden H=h1 is exactly Q in {q1, q2}; only an OR pair can be perfect.
+  Schema s = std::move(Schema::Make({
+                           {"Hidden", AttrType::kCategorical, false},
+                           {"Q", AttrType::kCategorical, true},
+                       }))
+                 .value();
+  Table t(s);
+  Rng rng(5);
+  for (int i = 0; i < 600; ++i) {
+    int q = static_cast<int>(rng.NextBounded(4));
+    ASSERT_TRUE(t.AppendRow({Value(q <= 1 ? "h1" : "h0"),
+                             Value("q" + std::to_string(q))})
+                    .ok());
+  }
+  DiscretizedTable dt = Discretize(t);
+  SurrogateOptions opt;
+  auto with_or = FindSurrogates(dt, "Hidden", "h1", opt);
+  ASSERT_TRUE(with_or.ok());
+  ASSERT_FALSE(with_or->empty());
+  EXPECT_DOUBLE_EQ(with_or->front().f1, 1.0);
+  ASSERT_EQ(with_or->front().conditions.size(), 2u);
+  EXPECT_EQ(with_or->front().conditions[0].first, "Q");
+  EXPECT_EQ(with_or->front().conditions[1].first, "Q");
+
+  opt.allow_or_pairs = false;
+  auto without = FindSurrogates(dt, "Hidden", "h1", opt);
+  ASSERT_TRUE(without.ok());
+  EXPECT_LT(without->front().f1, 1.0);
+}
+
+TEST(SurrogateTest, RespectsTopKAndThreshold) {
+  Table cars = GenerateUsedCars(2000, 7);
+  DiscretizedTable dt = Discretize(cars);
+  SurrogateOptions opt;
+  opt.top_k = 3;
+  auto r = FindSurrogates(dt, "Engine", "V6", opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->size(), 3u);
+  for (size_t i = 1; i < r->size(); ++i) {
+    EXPECT_GE((*r)[i - 1].f1, (*r)[i].f1);
+  }
+
+  opt.min_f1 = 1.01;  // impossible
+  auto none = FindSurrogates(dt, "Engine", "V6", opt);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(SurrogateTest, Errors) {
+  Table t = PerfectSurrogateTable(50);
+  DiscretizedTable dt = Discretize(t);
+  EXPECT_TRUE(FindSurrogates(dt, "Nope", "x", SurrogateOptions{})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(FindSurrogates(dt, "Hidden", "nope", SurrogateOptions{})
+                  .status()
+                  .IsNotFound());
+  SurrogateOptions bad;
+  bad.max_conditions = 0;
+  EXPECT_TRUE(FindSurrogates(dt, "Hidden", "h1", bad)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dbx
