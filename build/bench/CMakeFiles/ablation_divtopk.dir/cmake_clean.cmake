@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_divtopk.dir/ablation_divtopk.cpp.o"
+  "CMakeFiles/ablation_divtopk.dir/ablation_divtopk.cpp.o.d"
+  "ablation_divtopk"
+  "ablation_divtopk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_divtopk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

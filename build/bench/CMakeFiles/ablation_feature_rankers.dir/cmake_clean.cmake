@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feature_rankers.dir/ablation_feature_rankers.cpp.o"
+  "CMakeFiles/ablation_feature_rankers.dir/ablation_feature_rankers.cpp.o.d"
+  "ablation_feature_rankers"
+  "ablation_feature_rankers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feature_rankers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_l_policy.cpp" "bench/CMakeFiles/ablation_l_policy.dir/ablation_l_policy.cpp.o" "gcc" "bench/CMakeFiles/ablation_l_policy.dir/ablation_l_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dbx_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dbx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dbx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/dbx_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

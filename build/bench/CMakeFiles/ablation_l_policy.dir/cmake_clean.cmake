@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l_policy.dir/ablation_l_policy.cpp.o"
+  "CMakeFiles/ablation_l_policy.dir/ablation_l_policy.cpp.o.d"
+  "ablation_l_policy"
+  "ablation_l_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

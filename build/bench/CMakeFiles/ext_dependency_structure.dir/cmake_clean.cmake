@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dependency_structure.dir/ext_dependency_structure.cpp.o"
+  "CMakeFiles/ext_dependency_structure.dir/ext_dependency_structure.cpp.o.d"
+  "ext_dependency_structure"
+  "ext_dependency_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dependency_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

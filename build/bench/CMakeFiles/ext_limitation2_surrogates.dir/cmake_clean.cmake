@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_limitation2_surrogates.dir/ext_limitation2_surrogates.cpp.o"
+  "CMakeFiles/ext_limitation2_surrogates.dir/ext_limitation2_surrogates.cpp.o.d"
+  "ext_limitation2_surrogates"
+  "ext_limitation2_surrogates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_limitation2_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_study_sensitivity.dir/ext_study_sensitivity.cpp.o"
+  "CMakeFiles/ext_study_sensitivity.dir/ext_study_sensitivity.cpp.o.d"
+  "ext_study_sensitivity"
+  "ext_study_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_study_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_wide_tables.dir/ext_wide_tables.cpp.o"
+  "CMakeFiles/ext_wide_tables.dir/ext_wide_tables.cpp.o.d"
+  "ext_wide_tables"
+  "ext_wide_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_wide_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

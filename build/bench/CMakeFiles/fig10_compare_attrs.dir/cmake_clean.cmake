@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_compare_attrs.dir/fig10_compare_attrs.cpp.o"
+  "CMakeFiles/fig10_compare_attrs.dir/fig10_compare_attrs.cpp.o.d"
+  "fig10_compare_attrs"
+  "fig10_compare_attrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_compare_attrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

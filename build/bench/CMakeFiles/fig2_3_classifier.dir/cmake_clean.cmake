@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_3_classifier.dir/fig2_3_classifier.cpp.o"
+  "CMakeFiles/fig2_3_classifier.dir/fig2_3_classifier.cpp.o.d"
+  "fig2_3_classifier"
+  "fig2_3_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_3_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

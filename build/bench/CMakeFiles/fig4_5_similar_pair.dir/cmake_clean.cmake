@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_5_similar_pair.dir/fig4_5_similar_pair.cpp.o"
+  "CMakeFiles/fig4_5_similar_pair.dir/fig4_5_similar_pair.cpp.o.d"
+  "fig4_5_similar_pair"
+  "fig4_5_similar_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_5_similar_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_7_alternative.dir/fig6_7_alternative.cpp.o"
+  "CMakeFiles/fig6_7_alternative.dir/fig6_7_alternative.cpp.o.d"
+  "fig6_7_alternative"
+  "fig6_7_alternative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_7_alternative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

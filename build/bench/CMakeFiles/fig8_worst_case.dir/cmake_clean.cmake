@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_worst_case.dir/fig8_worst_case.cpp.o"
+  "CMakeFiles/fig8_worst_case.dir/fig8_worst_case.cpp.o.d"
+  "fig8_worst_case"
+  "fig8_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_generated_iunits.dir/fig9_generated_iunits.cpp.o"
+  "CMakeFiles/fig9_generated_iunits.dir/fig9_generated_iunits.cpp.o.d"
+  "fig9_generated_iunits"
+  "fig9_generated_iunits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_generated_iunits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt1_sampling.dir/opt1_sampling.cpp.o"
+  "CMakeFiles/opt1_sampling.dir/opt1_sampling.cpp.o.d"
+  "opt1_sampling"
+  "opt1_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt1_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_combined.dir/opt_combined.cpp.o"
+  "CMakeFiles/opt_combined.dir/opt_combined.cpp.o.d"
+  "opt_combined"
+  "opt_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

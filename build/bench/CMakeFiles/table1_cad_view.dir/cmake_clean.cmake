@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cad_view.dir/table1_cad_view.cpp.o"
+  "CMakeFiles/table1_cad_view.dir/table1_cad_view.cpp.o.d"
+  "table1_cad_view"
+  "table1_cad_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cad_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

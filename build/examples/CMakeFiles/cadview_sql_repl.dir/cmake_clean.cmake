@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadview_sql_repl.dir/cadview_sql_repl.cpp.o"
+  "CMakeFiles/cadview_sql_repl.dir/cadview_sql_repl.cpp.o.d"
+  "cadview_sql_repl"
+  "cadview_sql_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadview_sql_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

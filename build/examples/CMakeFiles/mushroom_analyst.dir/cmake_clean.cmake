@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mushroom_analyst.dir/mushroom_analyst.cpp.o"
+  "CMakeFiles/mushroom_analyst.dir/mushroom_analyst.cpp.o.d"
+  "mushroom_analyst"
+  "mushroom_analyst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mushroom_analyst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/used_car_shopping.dir/used_car_shopping.cpp.o"
+  "CMakeFiles/used_car_shopping.dir/used_car_shopping.cpp.o.d"
+  "used_car_shopping"
+  "used_car_shopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/used_car_shopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

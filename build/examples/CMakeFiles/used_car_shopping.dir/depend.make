@@ -1,0 +1,2 @@
+# Empty dependencies file for used_car_shopping.
+# This may be replaced when dependencies are built.

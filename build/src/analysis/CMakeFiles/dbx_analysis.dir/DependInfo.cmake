@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/descriptive.cc" "src/analysis/CMakeFiles/dbx_analysis.dir/descriptive.cc.o" "gcc" "src/analysis/CMakeFiles/dbx_analysis.dir/descriptive.cc.o.d"
+  "/root/repo/src/analysis/linear_model.cc" "src/analysis/CMakeFiles/dbx_analysis.dir/linear_model.cc.o" "gcc" "src/analysis/CMakeFiles/dbx_analysis.dir/linear_model.cc.o.d"
+  "/root/repo/src/analysis/lrt.cc" "src/analysis/CMakeFiles/dbx_analysis.dir/lrt.cc.o" "gcc" "src/analysis/CMakeFiles/dbx_analysis.dir/lrt.cc.o.d"
+  "/root/repo/src/analysis/wilcoxon.cc" "src/analysis/CMakeFiles/dbx_analysis.dir/wilcoxon.cc.o" "gcc" "src/analysis/CMakeFiles/dbx_analysis.dir/wilcoxon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dbx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/dbx_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_analysis.dir/descriptive.cc.o"
+  "CMakeFiles/dbx_analysis.dir/descriptive.cc.o.d"
+  "CMakeFiles/dbx_analysis.dir/linear_model.cc.o"
+  "CMakeFiles/dbx_analysis.dir/linear_model.cc.o.d"
+  "CMakeFiles/dbx_analysis.dir/lrt.cc.o"
+  "CMakeFiles/dbx_analysis.dir/lrt.cc.o.d"
+  "CMakeFiles/dbx_analysis.dir/wilcoxon.cc.o"
+  "CMakeFiles/dbx_analysis.dir/wilcoxon.cc.o.d"
+  "libdbx_analysis.a"
+  "libdbx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_cluster.dir/cluster_metrics.cc.o"
+  "CMakeFiles/dbx_cluster.dir/cluster_metrics.cc.o.d"
+  "CMakeFiles/dbx_cluster.dir/encoder.cc.o"
+  "CMakeFiles/dbx_cluster.dir/encoder.cc.o.d"
+  "CMakeFiles/dbx_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/dbx_cluster.dir/kmeans.cc.o.d"
+  "libdbx_cluster.a"
+  "libdbx_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

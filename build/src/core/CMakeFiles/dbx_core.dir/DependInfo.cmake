@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cad_view.cc" "src/core/CMakeFiles/dbx_core.dir/cad_view.cc.o" "gcc" "src/core/CMakeFiles/dbx_core.dir/cad_view.cc.o.d"
+  "/root/repo/src/core/cad_view_builder.cc" "src/core/CMakeFiles/dbx_core.dir/cad_view_builder.cc.o" "gcc" "src/core/CMakeFiles/dbx_core.dir/cad_view_builder.cc.o.d"
+  "/root/repo/src/core/cad_view_html.cc" "src/core/CMakeFiles/dbx_core.dir/cad_view_html.cc.o" "gcc" "src/core/CMakeFiles/dbx_core.dir/cad_view_html.cc.o.d"
+  "/root/repo/src/core/cad_view_io.cc" "src/core/CMakeFiles/dbx_core.dir/cad_view_io.cc.o" "gcc" "src/core/CMakeFiles/dbx_core.dir/cad_view_io.cc.o.d"
+  "/root/repo/src/core/cad_view_renderer.cc" "src/core/CMakeFiles/dbx_core.dir/cad_view_renderer.cc.o" "gcc" "src/core/CMakeFiles/dbx_core.dir/cad_view_renderer.cc.o.d"
+  "/root/repo/src/core/div_topk.cc" "src/core/CMakeFiles/dbx_core.dir/div_topk.cc.o" "gcc" "src/core/CMakeFiles/dbx_core.dir/div_topk.cc.o.d"
+  "/root/repo/src/core/iunit_labeler.cc" "src/core/CMakeFiles/dbx_core.dir/iunit_labeler.cc.o" "gcc" "src/core/CMakeFiles/dbx_core.dir/iunit_labeler.cc.o.d"
+  "/root/repo/src/core/iunit_similarity.cc" "src/core/CMakeFiles/dbx_core.dir/iunit_similarity.cc.o" "gcc" "src/core/CMakeFiles/dbx_core.dir/iunit_similarity.cc.o.d"
+  "/root/repo/src/core/ranked_list_distance.cc" "src/core/CMakeFiles/dbx_core.dir/ranked_list_distance.cc.o" "gcc" "src/core/CMakeFiles/dbx_core.dir/ranked_list_distance.cc.o.d"
+  "/root/repo/src/core/surrogate.cc" "src/core/CMakeFiles/dbx_core.dir/surrogate.cc.o" "gcc" "src/core/CMakeFiles/dbx_core.dir/surrogate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/dbx_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dbx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/dbx_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_core.dir/cad_view.cc.o"
+  "CMakeFiles/dbx_core.dir/cad_view.cc.o.d"
+  "CMakeFiles/dbx_core.dir/cad_view_builder.cc.o"
+  "CMakeFiles/dbx_core.dir/cad_view_builder.cc.o.d"
+  "CMakeFiles/dbx_core.dir/cad_view_html.cc.o"
+  "CMakeFiles/dbx_core.dir/cad_view_html.cc.o.d"
+  "CMakeFiles/dbx_core.dir/cad_view_io.cc.o"
+  "CMakeFiles/dbx_core.dir/cad_view_io.cc.o.d"
+  "CMakeFiles/dbx_core.dir/cad_view_renderer.cc.o"
+  "CMakeFiles/dbx_core.dir/cad_view_renderer.cc.o.d"
+  "CMakeFiles/dbx_core.dir/div_topk.cc.o"
+  "CMakeFiles/dbx_core.dir/div_topk.cc.o.d"
+  "CMakeFiles/dbx_core.dir/iunit_labeler.cc.o"
+  "CMakeFiles/dbx_core.dir/iunit_labeler.cc.o.d"
+  "CMakeFiles/dbx_core.dir/iunit_similarity.cc.o"
+  "CMakeFiles/dbx_core.dir/iunit_similarity.cc.o.d"
+  "CMakeFiles/dbx_core.dir/ranked_list_distance.cc.o"
+  "CMakeFiles/dbx_core.dir/ranked_list_distance.cc.o.d"
+  "CMakeFiles/dbx_core.dir/surrogate.cc.o"
+  "CMakeFiles/dbx_core.dir/surrogate.cc.o.d"
+  "libdbx_core.a"
+  "libdbx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

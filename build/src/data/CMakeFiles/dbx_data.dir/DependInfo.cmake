@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/dbx_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/dbx_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/hotels.cc" "src/data/CMakeFiles/dbx_data.dir/hotels.cc.o" "gcc" "src/data/CMakeFiles/dbx_data.dir/hotels.cc.o.d"
+  "/root/repo/src/data/mushroom.cc" "src/data/CMakeFiles/dbx_data.dir/mushroom.cc.o" "gcc" "src/data/CMakeFiles/dbx_data.dir/mushroom.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/dbx_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/dbx_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/used_cars.cc" "src/data/CMakeFiles/dbx_data.dir/used_cars.cc.o" "gcc" "src/data/CMakeFiles/dbx_data.dir/used_cars.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/dbx_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_data.dir/dataset.cc.o"
+  "CMakeFiles/dbx_data.dir/dataset.cc.o.d"
+  "CMakeFiles/dbx_data.dir/hotels.cc.o"
+  "CMakeFiles/dbx_data.dir/hotels.cc.o.d"
+  "CMakeFiles/dbx_data.dir/mushroom.cc.o"
+  "CMakeFiles/dbx_data.dir/mushroom.cc.o.d"
+  "CMakeFiles/dbx_data.dir/synthetic.cc.o"
+  "CMakeFiles/dbx_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/dbx_data.dir/used_cars.cc.o"
+  "CMakeFiles/dbx_data.dir/used_cars.cc.o.d"
+  "libdbx_data.a"
+  "libdbx_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

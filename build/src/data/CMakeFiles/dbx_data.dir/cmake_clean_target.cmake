@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbx_data.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_explorer.dir/tpfacet_session.cc.o"
+  "CMakeFiles/dbx_explorer.dir/tpfacet_session.cc.o.d"
+  "libdbx_explorer.a"
+  "libdbx_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

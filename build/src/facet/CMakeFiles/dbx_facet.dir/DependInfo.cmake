@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/facet/facet_engine.cc" "src/facet/CMakeFiles/dbx_facet.dir/facet_engine.cc.o" "gcc" "src/facet/CMakeFiles/dbx_facet.dir/facet_engine.cc.o.d"
+  "/root/repo/src/facet/facet_index.cc" "src/facet/CMakeFiles/dbx_facet.dir/facet_index.cc.o" "gcc" "src/facet/CMakeFiles/dbx_facet.dir/facet_index.cc.o.d"
+  "/root/repo/src/facet/panel_renderer.cc" "src/facet/CMakeFiles/dbx_facet.dir/panel_renderer.cc.o" "gcc" "src/facet/CMakeFiles/dbx_facet.dir/panel_renderer.cc.o.d"
+  "/root/repo/src/facet/summary_digest.cc" "src/facet/CMakeFiles/dbx_facet.dir/summary_digest.cc.o" "gcc" "src/facet/CMakeFiles/dbx_facet.dir/summary_digest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dbx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/dbx_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

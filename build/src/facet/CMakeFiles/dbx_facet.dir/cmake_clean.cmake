@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_facet.dir/facet_engine.cc.o"
+  "CMakeFiles/dbx_facet.dir/facet_engine.cc.o.d"
+  "CMakeFiles/dbx_facet.dir/facet_index.cc.o"
+  "CMakeFiles/dbx_facet.dir/facet_index.cc.o.d"
+  "CMakeFiles/dbx_facet.dir/panel_renderer.cc.o"
+  "CMakeFiles/dbx_facet.dir/panel_renderer.cc.o.d"
+  "CMakeFiles/dbx_facet.dir/summary_digest.cc.o"
+  "CMakeFiles/dbx_facet.dir/summary_digest.cc.o.d"
+  "libdbx_facet.a"
+  "libdbx_facet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_facet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_query.dir/engine.cc.o"
+  "CMakeFiles/dbx_query.dir/engine.cc.o.d"
+  "CMakeFiles/dbx_query.dir/lexer.cc.o"
+  "CMakeFiles/dbx_query.dir/lexer.cc.o.d"
+  "CMakeFiles/dbx_query.dir/parser.cc.o"
+  "CMakeFiles/dbx_query.dir/parser.cc.o.d"
+  "libdbx_query.a"
+  "libdbx_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

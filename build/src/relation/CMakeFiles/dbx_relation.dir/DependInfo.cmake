@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/binary_io.cc" "src/relation/CMakeFiles/dbx_relation.dir/binary_io.cc.o" "gcc" "src/relation/CMakeFiles/dbx_relation.dir/binary_io.cc.o.d"
+  "/root/repo/src/relation/csv.cc" "src/relation/CMakeFiles/dbx_relation.dir/csv.cc.o" "gcc" "src/relation/CMakeFiles/dbx_relation.dir/csv.cc.o.d"
+  "/root/repo/src/relation/materialize.cc" "src/relation/CMakeFiles/dbx_relation.dir/materialize.cc.o" "gcc" "src/relation/CMakeFiles/dbx_relation.dir/materialize.cc.o.d"
+  "/root/repo/src/relation/predicate.cc" "src/relation/CMakeFiles/dbx_relation.dir/predicate.cc.o" "gcc" "src/relation/CMakeFiles/dbx_relation.dir/predicate.cc.o.d"
+  "/root/repo/src/relation/table.cc" "src/relation/CMakeFiles/dbx_relation.dir/table.cc.o" "gcc" "src/relation/CMakeFiles/dbx_relation.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dbx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_relation.dir/binary_io.cc.o"
+  "CMakeFiles/dbx_relation.dir/binary_io.cc.o.d"
+  "CMakeFiles/dbx_relation.dir/csv.cc.o"
+  "CMakeFiles/dbx_relation.dir/csv.cc.o.d"
+  "CMakeFiles/dbx_relation.dir/materialize.cc.o"
+  "CMakeFiles/dbx_relation.dir/materialize.cc.o.d"
+  "CMakeFiles/dbx_relation.dir/predicate.cc.o"
+  "CMakeFiles/dbx_relation.dir/predicate.cc.o.d"
+  "CMakeFiles/dbx_relation.dir/table.cc.o"
+  "CMakeFiles/dbx_relation.dir/table.cc.o.d"
+  "libdbx_relation.a"
+  "libdbx_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

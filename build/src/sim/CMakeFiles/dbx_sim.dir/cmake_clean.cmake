@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_sim.dir/agent_util.cc.o"
+  "CMakeFiles/dbx_sim.dir/agent_util.cc.o.d"
+  "CMakeFiles/dbx_sim.dir/cost_model.cc.o"
+  "CMakeFiles/dbx_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/dbx_sim.dir/solr_agent.cc.o"
+  "CMakeFiles/dbx_sim.dir/solr_agent.cc.o.d"
+  "CMakeFiles/dbx_sim.dir/study.cc.o"
+  "CMakeFiles/dbx_sim.dir/study.cc.o.d"
+  "CMakeFiles/dbx_sim.dir/tasks.cc.o"
+  "CMakeFiles/dbx_sim.dir/tasks.cc.o.d"
+  "CMakeFiles/dbx_sim.dir/tpfacet_agent.cc.o"
+  "CMakeFiles/dbx_sim.dir/tpfacet_agent.cc.o.d"
+  "libdbx_sim.a"
+  "libdbx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chow_liu.cc" "src/stats/CMakeFiles/dbx_stats.dir/chow_liu.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/chow_liu.cc.o.d"
+  "/root/repo/src/stats/contingency.cc" "src/stats/CMakeFiles/dbx_stats.dir/contingency.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/contingency.cc.o.d"
+  "/root/repo/src/stats/cosine.cc" "src/stats/CMakeFiles/dbx_stats.dir/cosine.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/cosine.cc.o.d"
+  "/root/repo/src/stats/discretizer.cc" "src/stats/CMakeFiles/dbx_stats.dir/discretizer.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/discretizer.cc.o.d"
+  "/root/repo/src/stats/feature_selection.cc" "src/stats/CMakeFiles/dbx_stats.dir/feature_selection.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/feature_selection.cc.o.d"
+  "/root/repo/src/stats/frequency.cc" "src/stats/CMakeFiles/dbx_stats.dir/frequency.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/frequency.cc.o.d"
+  "/root/repo/src/stats/gamma.cc" "src/stats/CMakeFiles/dbx_stats.dir/gamma.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/gamma.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/dbx_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/rank_correlation.cc" "src/stats/CMakeFiles/dbx_stats.dir/rank_correlation.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/rank_correlation.cc.o.d"
+  "/root/repo/src/stats/sampling.cc" "src/stats/CMakeFiles/dbx_stats.dir/sampling.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/sampling.cc.o.d"
+  "/root/repo/src/stats/soft_fd.cc" "src/stats/CMakeFiles/dbx_stats.dir/soft_fd.cc.o" "gcc" "src/stats/CMakeFiles/dbx_stats.dir/soft_fd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/dbx_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

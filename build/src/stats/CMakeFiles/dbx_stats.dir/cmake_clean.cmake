@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_stats.dir/chow_liu.cc.o"
+  "CMakeFiles/dbx_stats.dir/chow_liu.cc.o.d"
+  "CMakeFiles/dbx_stats.dir/contingency.cc.o"
+  "CMakeFiles/dbx_stats.dir/contingency.cc.o.d"
+  "CMakeFiles/dbx_stats.dir/cosine.cc.o"
+  "CMakeFiles/dbx_stats.dir/cosine.cc.o.d"
+  "CMakeFiles/dbx_stats.dir/discretizer.cc.o"
+  "CMakeFiles/dbx_stats.dir/discretizer.cc.o.d"
+  "CMakeFiles/dbx_stats.dir/feature_selection.cc.o"
+  "CMakeFiles/dbx_stats.dir/feature_selection.cc.o.d"
+  "CMakeFiles/dbx_stats.dir/frequency.cc.o"
+  "CMakeFiles/dbx_stats.dir/frequency.cc.o.d"
+  "CMakeFiles/dbx_stats.dir/gamma.cc.o"
+  "CMakeFiles/dbx_stats.dir/gamma.cc.o.d"
+  "CMakeFiles/dbx_stats.dir/histogram.cc.o"
+  "CMakeFiles/dbx_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/dbx_stats.dir/rank_correlation.cc.o"
+  "CMakeFiles/dbx_stats.dir/rank_correlation.cc.o.d"
+  "CMakeFiles/dbx_stats.dir/sampling.cc.o"
+  "CMakeFiles/dbx_stats.dir/sampling.cc.o.d"
+  "CMakeFiles/dbx_stats.dir/soft_fd.cc.o"
+  "CMakeFiles/dbx_stats.dir/soft_fd.cc.o.d"
+  "libdbx_stats.a"
+  "libdbx_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbx_util.dir/ascii_table.cc.o"
+  "CMakeFiles/dbx_util.dir/ascii_table.cc.o.d"
+  "CMakeFiles/dbx_util.dir/rng.cc.o"
+  "CMakeFiles/dbx_util.dir/rng.cc.o.d"
+  "CMakeFiles/dbx_util.dir/string_util.cc.o"
+  "CMakeFiles/dbx_util.dir/string_util.cc.o.d"
+  "libdbx_util.a"
+  "libdbx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

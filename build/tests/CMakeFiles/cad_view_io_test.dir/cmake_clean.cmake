@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_view_io_test.dir/cad_view_io_test.cc.o"
+  "CMakeFiles/cad_view_io_test.dir/cad_view_io_test.cc.o.d"
+  "cad_view_io_test"
+  "cad_view_io_test.pdb"
+  "cad_view_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_view_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_topk_test.dir/div_topk_test.cc.o"
+  "CMakeFiles/div_topk_test.dir/div_topk_test.cc.o.d"
+  "div_topk_test"
+  "div_topk_test.pdb"
+  "div_topk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facet_index_test.dir/facet_index_test.cc.o"
+  "CMakeFiles/facet_index_test.dir/facet_index_test.cc.o.d"
+  "facet_index_test"
+  "facet_index_test.pdb"
+  "facet_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facet_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

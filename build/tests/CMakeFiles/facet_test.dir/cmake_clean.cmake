@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facet_test.dir/facet_test.cc.o"
+  "CMakeFiles/facet_test.dir/facet_test.cc.o.d"
+  "facet_test"
+  "facet_test.pdb"
+  "facet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

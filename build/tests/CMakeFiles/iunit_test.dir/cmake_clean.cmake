@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iunit_test.dir/iunit_test.cc.o"
+  "CMakeFiles/iunit_test.dir/iunit_test.cc.o.d"
+  "iunit_test"
+  "iunit_test.pdb"
+  "iunit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iunit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

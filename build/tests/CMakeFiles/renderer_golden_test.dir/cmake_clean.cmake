@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renderer_golden_test.dir/renderer_golden_test.cc.o"
+  "CMakeFiles/renderer_golden_test.dir/renderer_golden_test.cc.o.d"
+  "renderer_golden_test"
+  "renderer_golden_test.pdb"
+  "renderer_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renderer_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_gamma_test.dir/stats_gamma_test.cc.o"
+  "CMakeFiles/stats_gamma_test.dir/stats_gamma_test.cc.o.d"
+  "stats_gamma_test"
+  "stats_gamma_test.pdb"
+  "stats_gamma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_gamma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

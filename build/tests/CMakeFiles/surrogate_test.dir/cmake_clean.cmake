@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surrogate_test.dir/surrogate_test.cc.o"
+  "CMakeFiles/surrogate_test.dir/surrogate_test.cc.o.d"
+  "surrogate_test"
+  "surrogate_test.pdb"
+  "surrogate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surrogate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_gamma_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/feature_selection_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/div_topk_test[1]_include.cmake")
+include("/root/repo/build/tests/iunit_test[1]_include.cmake")
+include("/root/repo/build/tests/cad_view_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/facet_test[1]_include.cmake")
+include("/root/repo/build/tests/explorer_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/dependency_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/surrogate_test[1]_include.cmake")
+include("/root/repo/build/tests/facet_index_test[1]_include.cmake")
+include("/root/repo/build/tests/cad_view_io_test[1]_include.cmake")
+include("/root/repo/build/tests/cad_view_html_test[1]_include.cmake")
+include("/root/repo/build/tests/binary_io_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/renderer_golden_test[1]_include.cmake")
