@@ -1,6 +1,7 @@
 #include "src/core/cad_view_builder.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <future>
 
@@ -400,10 +401,24 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
     std::vector<std::future<Status>> inflight;
     Status first_error;
     for (size_t v = 0; v < partitions.size(); ++v) {
-      if (inflight.size() >= options.num_threads) {
-        Status st = inflight.front().get();
-        if (first_error.ok() && !st.ok()) first_error = st;
-        inflight.erase(inflight.begin());
+      while (inflight.size() >= options.num_threads) {
+        // Reap whichever task finished first, not necessarily the oldest:
+        // partitions are skewed, and waiting on inflight.front() stalls the
+        // fan-out behind the largest partition.
+        bool reaped = false;
+        for (size_t f = 0; f < inflight.size(); ++f) {
+          if (inflight[f].wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+            Status st = inflight[f].get();
+            if (first_error.ok() && !st.ok()) first_error = st;
+            inflight.erase(inflight.begin() + f);
+            reaped = true;
+            break;
+          }
+        }
+        if (!reaped) {
+          inflight.front().wait_for(std::chrono::milliseconds(1));
+        }
       }
       inflight.push_back(
           std::async(std::launch::async, build_partition, v));
