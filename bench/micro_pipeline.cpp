@@ -116,6 +116,28 @@ void BM_KMeans(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeans)->Arg(2000)->Arg(8000)->Arg(20000);
 
+void BM_KMeans_Threads(benchmark::State& state) {
+  // Assignment-step parallelism sweep at a fixed point count; output is
+  // byte-identical across thread counts by construction.
+  const DiscretizedTable& dt = CarsDiscrete();
+  std::vector<size_t> attrs = {*dt.IndexOf("Model"), *dt.IndexOf("Price"),
+                               *dt.IndexOf("Engine"), *dt.IndexOf("Year")};
+  auto enc = OneHotEncoder::Plan(dt, attrs);
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < 8000; ++i) positions.push_back(i);
+  EncodedMatrix m = enc->Encode(dt, positions);
+  KMeansOptions opt;
+  opt.k = 10;
+  opt.max_iterations = 20;
+  opt.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto res = RunKMeans(m, opt);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * 8000);
+}
+BENCHMARK(BM_KMeans_Threads)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_LabelCluster(benchmark::State& state) {
   const DiscretizedTable& dt = CarsDiscrete();
   std::vector<size_t> attrs = {*dt.IndexOf("Model"), *dt.IndexOf("Price"),
@@ -222,6 +244,18 @@ void BM_FacetIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_FacetIndexBuild);
 
+void BM_FacetIndexBuild_Threads(benchmark::State& state) {
+  const DiscretizedTable& dt = CarsDiscrete();
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    FacetIndex idx = FacetIndex::Build(dt, threads);
+    benchmark::DoNotOptimize(idx);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dt.num_rows()));
+}
+BENCHMARK(BM_FacetIndexBuild_Threads)->Arg(2)->Arg(4);
+
 void BM_FacetSelectionEvaluate(benchmark::State& state) {
   const DiscretizedTable& dt = CarsDiscrete();
   static const FacetIndex* idx = new FacetIndex(FacetIndex::Build(dt));
@@ -308,6 +342,28 @@ void BM_BuildCadView_Optimized(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildCadView_Optimized);
+
+void BM_BuildCadView_Threads(benchmark::State& state) {
+  // End-to-end build with the shared-pool stages (partition fan-out,
+  // feature ranking, k-means assignment, similarity graph) at the given
+  // thread count.
+  const Table& cars = Cars();
+  TableSlice slice = TableSlice::All(cars);
+  CadViewOptions opt;
+  opt.pivot_attr = "Make";
+  opt.pivot_values = {"Toyota", "Honda", "Ford", "Chevrolet", "Jeep"};
+  opt.max_compare_attrs = 5;
+  opt.iunits_per_value = 3;
+  opt.seed = 5;
+  opt.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto view = BuildCadView(slice, opt);
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cars.num_rows()));
+}
+BENCHMARK(BM_BuildCadView_Threads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace dbx

@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/core/cad_view_builder.h"
+#include "src/core/cad_view_io.h"
 #include "src/data/used_cars.h"
 #include "src/util/string_util.h"
 
@@ -58,6 +60,45 @@ int main() {
   threads.num_threads = 4;
   run("+ parallel partitions (4 threads)", threads);
 
+  // Thread sweep on the worst case: the pool must buy IUnit-generation time
+  // without changing a single output byte. Serialized views are compared
+  // with timings zeroed (the only run-varying field).
+  std::printf("  thread sweep (worst case):\n");
+  auto serialize = [](CadView view) {
+    view.timings = CadViewTimings{};
+    return CadViewToJson(view);
+  };
+  std::string expected_bytes;
+  double gen_1t = -1.0, gen_4t = -1.0;
+  bool identical = true;
+  for (size_t n : {1u, 2u, 4u}) {
+    CadViewOptions o = worst;
+    o.num_threads = n;
+    auto view = BuildCadView(slice, o);
+    if (!view.ok()) {
+      std::fprintf(stderr, "error (threads=%zu): %s\n", n,
+                   view.status().ToString().c_str());
+      identical = false;
+      break;
+    }
+    std::string bytes = serialize(*view);
+    if (n == 1) {
+      expected_bytes = bytes;
+      gen_1t = view->timings.iunit_gen_ms;
+    } else {
+      if (bytes != expected_bytes) identical = false;
+      if (n == 4) gen_4t = view->timings.iunit_gen_ms;
+    }
+    std::printf("    threads=%zu  total %8.2f ms  gen %8.2f ms  output %s\n",
+                n, view->timings.total_ms, view->timings.iunit_gen_ms,
+                n == 1 ? "(baseline)"
+                       : (bytes == expected_bytes ? "identical" : "DIVERGED"));
+  }
+  if (gen_1t > 0.0 && gen_4t > 0.0) {
+    std::printf("    iunit-gen speedup 4 vs 1 threads: %.2fx\n",
+                gen_1t / std::max(gen_4t, 1e-9));
+  }
+
   CadViewOptions combined = worst;
   combined.feature_selection_sample = 5000;
   combined.clustering_sample = 4000;
@@ -71,8 +112,9 @@ int main() {
       "each optimization cuts a different stage; combined, the 40K CAD View "
       "builds in well under 500 ms (interactive)");
   bench::Measured(StringPrintf(
-      "worst %.1f ms -> combined %.1f ms (%.1fx); under-500ms: %s", t_worst,
-      t_combined, t_worst / std::max(t_combined, 1e-9),
-      t_combined < 500.0 ? "yes" : "NO"));
-  return t_combined >= 0.0 && t_combined < 500.0 ? 0 : 1;
+      "worst %.1f ms -> combined %.1f ms (%.1fx); under-500ms: %s; "
+      "thread-count output identical: %s",
+      t_worst, t_combined, t_worst / std::max(t_combined, 1e-9),
+      t_combined < 500.0 ? "yes" : "NO", identical ? "yes" : "NO"));
+  return t_combined >= 0.0 && t_combined < 500.0 && identical ? 0 : 1;
 }

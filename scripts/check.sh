@@ -6,6 +6,9 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+# Re-run with the threaded paths forced on: the parallel tests read
+# DBX_TEST_THREADS and add that thread count to their sweep.
+DBX_TEST_THREADS=4 ctest --test-dir build --output-on-failure
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the concurrency-touching tests under ThreadSanitizer and runs them
+# with the threaded paths forced on (DBX_TEST_THREADS). A data race anywhere
+# in the thread-pool execution layer fails the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+THREADS=${DBX_TEST_THREADS:-4}
+
+cmake -B "$BUILD_DIR" -S . -DDBX_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target \
+  thread_pool_test cad_view_test cluster_test feature_selection_test \
+  facet_index_test facet_test
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+export DBX_TEST_THREADS="$THREADS"
+for t in thread_pool_test cad_view_test cluster_test feature_selection_test \
+         facet_index_test facet_test; do
+  echo "== TSAN $t (DBX_TEST_THREADS=$THREADS)"
+  "$BUILD_DIR/tests/$t"
+done
+echo "TSAN CHECKS PASSED"

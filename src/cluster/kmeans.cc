@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/util/thread_pool.h"
+
 namespace dbx {
 
 double SquaredDistance(const double* a, const double* b, size_t dims) {
@@ -85,40 +87,67 @@ Result<KMeansResult> RunKMeans(const EncodedMatrix& points,
     std::copy(src, src + dims, res.centroids.data() + c * dims);
   }
 
+  // The assignment step accumulates into per-chunk slots and reduces them in
+  // chunk order. The chunk size is a constant — NOT derived from num_threads
+  // — so the floating-point summation order, and therefore every centroid
+  // and assignment, is byte-identical for any thread count.
+  constexpr size_t kAssignGrain = 1024;
+  const size_t num_chunks = (n + kAssignGrain - 1) / kAssignGrain;
+  std::vector<double> chunk_inertia(num_chunks);
+  std::vector<double> chunk_sums(num_chunks * k * dims);
+  std::vector<size_t> chunk_counts(num_chunks * k);
+
   std::vector<double> sums(k * dims);
   std::vector<size_t> counts(k);
   double prev_inertia = std::numeric_limits<double>::infinity();
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     res.iterations = iter + 1;
-    // Assignment step.
-    double inertia = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double* p = points.point(i);
-      double best = std::numeric_limits<double>::infinity();
-      int32_t best_c = 0;
-      for (size_t c = 0; c < k; ++c) {
-        double d = SquaredDistance(p, res.centroid(c), dims);
-        if (d < best) {
-          best = d;
-          best_c = static_cast<int32_t>(c);
-        }
-      }
-      res.assignments[i] = best_c;
-      inertia += best;
-    }
-    res.inertia = inertia;
+    // Assignment step: one task per row chunk, writing only its own slots.
+    std::fill(chunk_inertia.begin(), chunk_inertia.end(), 0.0);
+    std::fill(chunk_sums.begin(), chunk_sums.end(), 0.0);
+    std::fill(chunk_counts.begin(), chunk_counts.end(), 0u);
+    Status st = ParallelFor(
+        options.num_threads, 0, num_chunks, 1, [&](size_t chunk) -> Status {
+          size_t lo = chunk * kAssignGrain;
+          size_t hi = std::min(n, lo + kAssignGrain);
+          double* my_sums = chunk_sums.data() + chunk * k * dims;
+          size_t* my_counts = chunk_counts.data() + chunk * k;
+          double local_inertia = 0.0;
+          for (size_t i = lo; i < hi; ++i) {
+            const double* p = points.point(i);
+            double best = std::numeric_limits<double>::infinity();
+            int32_t best_c = 0;
+            for (size_t c = 0; c < k; ++c) {
+              double d = SquaredDistance(p, res.centroid(c), dims);
+              if (d < best) {
+                best = d;
+                best_c = static_cast<int32_t>(c);
+              }
+            }
+            res.assignments[i] = best_c;
+            local_inertia += best;
+            double* s = my_sums + static_cast<size_t>(best_c) * dims;
+            for (size_t d = 0; d < dims; ++d) s[d] += p[d];
+            ++my_counts[static_cast<size_t>(best_c)];
+          }
+          chunk_inertia[chunk] = local_inertia;
+          return Status::OK();
+        });
+    if (!st.ok()) return st;
 
-    // Update step.
+    // Fixed-order reduction of the per-chunk partials.
+    double inertia = 0.0;
     std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0u);
-    for (size_t i = 0; i < n; ++i) {
-      size_t c = static_cast<size_t>(res.assignments[i]);
-      const double* p = points.point(i);
-      double* s = sums.data() + c * dims;
-      for (size_t d = 0; d < dims; ++d) s[d] += p[d];
-      ++counts[c];
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      inertia += chunk_inertia[chunk];
+      const double* cs = chunk_sums.data() + chunk * k * dims;
+      const size_t* cc = chunk_counts.data() + chunk * k;
+      for (size_t j = 0; j < k * dims; ++j) sums[j] += cs[j];
+      for (size_t c = 0; c < k; ++c) counts[c] += cc[c];
     }
+    res.inertia = inertia;
     for (size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         // Re-seed an empty cluster at the point farthest from its centroid.

@@ -20,6 +20,10 @@ struct KMeansOptions {
   /// Relative inertia improvement below which iteration stops early.
   double tolerance = 1e-4;
   uint64_t seed = 42;
+  /// Parallelism of the assignment step (1 = serial). Assignments, partial
+  /// sums, and inertia accumulate per fixed-size row chunk and reduce in
+  /// chunk order, so the result is byte-identical for any thread count.
+  size_t num_threads = 1;
 };
 
 struct KMeansResult {

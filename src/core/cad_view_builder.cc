@@ -1,9 +1,7 @@
 #include "src/core/cad_view_builder.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
-#include <future>
 
 #include "src/cluster/cluster_metrics.h"
 #include "src/cluster/kmeans.h"
@@ -11,6 +9,7 @@
 #include "src/core/iunit_similarity.h"
 #include "src/stats/sampling.h"
 #include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
 
 namespace dbx {
 namespace {
@@ -140,6 +139,9 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
   Stopwatch sw;
   Rng rng(options.seed);
 
+  FeatureSelectionOptions fs_options = options.feature_selection;
+  fs_options.num_threads = options.num_threads;
+
   // User-selected attributes come first, in the order given.
   std::vector<size_t> chosen_attrs;
   for (const std::string& name : options.user_compare_attrs) {
@@ -195,29 +197,35 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
       for (size_t i = 0; i < pos_sample.size(); ++i) {
         sub_cls[i] = cls[pos_sample[i]];
       }
-      // Build contingency-ready codes per candidate on the fly.
-      std::vector<FeatureScore> scores;
-      scores.reserve(candidates.size());
-      for (size_t a : candidates) {
-        const DiscreteAttr& attr = dt.attr(a);
-        std::vector<int32_t> sub_codes(pos_sample.size());
-        for (size_t i = 0; i < pos_sample.size(); ++i) {
-          sub_codes[i] = attr.codes[pos_sample[i]];
-        }
-        ContingencyTable ct = ContingencyTable::FromCodes(
-            sub_cls, plan.value_codes.size(), sub_codes, attr.cardinality());
-        ChiSquareResult chi = ChiSquareTest(ct);
-        FeatureScore fs;
-        fs.attr_index = a;
-        fs.name = attr.name;
-        fs.chi2 = chi.statistic;
-        fs.score = chi.statistic;
-        fs.df = chi.df;
-        fs.p_value = chi.p_value;
-        fs.significant =
-            chi.p_value <= options.feature_selection.significance && chi.df > 0;
-        scores.push_back(std::move(fs));
-      }
+      // Build contingency-ready codes per candidate on the fly. Candidates
+      // are independent: each task fills its own indexed slot.
+      std::vector<FeatureScore> scores(candidates.size());
+      DBX_RETURN_IF_ERROR(ParallelFor(
+          options.num_threads, 0, candidates.size(), 1,
+          [&](size_t ci) -> Status {
+            size_t a = candidates[ci];
+            const DiscreteAttr& attr = dt.attr(a);
+            std::vector<int32_t> sub_codes(pos_sample.size());
+            for (size_t i = 0; i < pos_sample.size(); ++i) {
+              sub_codes[i] = attr.codes[pos_sample[i]];
+            }
+            ContingencyTable ct = ContingencyTable::FromCodes(
+                sub_cls, plan.value_codes.size(), sub_codes,
+                attr.cardinality());
+            ChiSquareResult chi = ChiSquareTest(ct);
+            FeatureScore fs;
+            fs.attr_index = a;
+            fs.name = attr.name;
+            fs.chi2 = chi.statistic;
+            fs.score = chi.statistic;
+            fs.df = chi.df;
+            fs.p_value = chi.p_value;
+            fs.significant =
+                chi.p_value <= options.feature_selection.significance &&
+                chi.df > 0;
+            scores[ci] = std::move(fs);
+            return Status::OK();
+          }));
       std::stable_sort(scores.begin(), scores.end(),
                        [](const FeatureScore& x, const FeatureScore& y) {
                          if (x.score != y.score) return x.score > y.score;
@@ -236,7 +244,7 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
       }
     } else {
       auto ranked = RankFeatures(dt, cls, plan.value_codes.size(),
-                                 candidates, options.feature_selection);
+                                 candidates, fs_options);
       if (!ranked.ok()) return ranked.status();
       for (const FeatureScore& fs : *ranked) {
         if (view.compare_attrs.size() >= options.max_compare_attrs) break;
@@ -262,7 +270,7 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
       }
     }
     auto ranked = RankFeatures(dt, cls, plan.value_codes.size(), candidates,
-                               options.feature_selection);
+                               fs_options);
     if (!ranked.ok()) return ranked.status();
     for (const FeatureScore& fs : *ranked) {
       if (view.compare_attrs.size() >= options.max_compare_attrs) break;
@@ -350,6 +358,7 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
     ko.k = std::min(l, cluster_members.size());
     ko.max_iterations = options.kmeans_max_iterations;
     ko.seed = options.seed + v;  // distinct but deterministic per partition
+    ko.num_threads = options.num_threads;
     Result<KMeansResult> km = Status::Internal("unreached");
     if (options.auto_l) {  // NOLINT
       // §2.2.2: sweep plausible l values and keep the best-quality
@@ -396,43 +405,10 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
     return Status::OK();
   };
 
-  if (options.num_threads > 1 && partitions.size() > 1) {
-    // Partitions are independent; fan out, bounded by num_threads.
-    std::vector<std::future<Status>> inflight;
-    Status first_error;
-    for (size_t v = 0; v < partitions.size(); ++v) {
-      while (inflight.size() >= options.num_threads) {
-        // Reap whichever task finished first, not necessarily the oldest:
-        // partitions are skewed, and waiting on inflight.front() stalls the
-        // fan-out behind the largest partition.
-        bool reaped = false;
-        for (size_t f = 0; f < inflight.size(); ++f) {
-          if (inflight[f].wait_for(std::chrono::seconds(0)) ==
-              std::future_status::ready) {
-            Status st = inflight[f].get();
-            if (first_error.ok() && !st.ok()) first_error = st;
-            inflight.erase(inflight.begin() + f);
-            reaped = true;
-            break;
-          }
-        }
-        if (!reaped) {
-          inflight.front().wait_for(std::chrono::milliseconds(1));
-        }
-      }
-      inflight.push_back(
-          std::async(std::launch::async, build_partition, v));
-    }
-    for (auto& f : inflight) {
-      Status st = f.get();
-      if (first_error.ok() && !st.ok()) first_error = st;
-    }
-    if (!first_error.ok()) return first_error;
-  } else {
-    for (size_t v = 0; v < partitions.size(); ++v) {
-      DBX_RETURN_IF_ERROR(build_partition(v));
-    }
-  }
+  // Partitions are independent; each task writes only all_candidates[v], so
+  // the result is byte-identical for any thread count.
+  DBX_RETURN_IF_ERROR(ParallelFor(options.num_threads, 0, partitions.size(),
+                                  1, build_partition));
   view.timings.iunit_gen_ms = sw.ElapsedMillis();
 
   // --- Diversified top-k (Problem 2) ---------------------------------------
@@ -445,12 +421,19 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
 
     std::vector<IUnit>& cand = all_candidates[v].iunits;
     if (!cand.empty()) {
+      // O(l^2) similarity graph, parallel over the anchor index i. Cell
+      // (r, c) is written only by the task with index min(r, c), so the
+      // byte-backed adjacency matrix needs no locking.
       SimilarityGraph graph(cand.size());
-      for (size_t i = 0; i < cand.size(); ++i) {
-        for (size_t j = i + 1; j < cand.size(); ++j) {
-          if (IUnitsSimilar(cand[i], cand[j], view.tau)) graph.SetSimilar(i, j);
-        }
-      }
+      DBX_RETURN_IF_ERROR(ParallelFor(
+          options.num_threads, 0, cand.size(), 2, [&](size_t i) -> Status {
+            for (size_t j = i + 1; j < cand.size(); ++j) {
+              if (IUnitsSimilar(cand[i], cand[j], view.tau)) {
+                graph.SetSimilar(i, j);
+              }
+            }
+            return Status::OK();
+          }));
       std::vector<double> scores;
       scores.reserve(cand.size());
       for (const IUnit& u : cand) scores.push_back(u.score);

@@ -75,9 +75,11 @@ struct CadViewOptions {
   size_t kmeans_max_iterations = 20;
   uint64_t seed = 42;
 
-  /// Cluster pivot partitions concurrently with this many worker threads
-  /// (1 = serial). Results are identical to the serial build: every
-  /// partition draws from its own deterministic seed.
+  /// Degree of parallelism on the shared thread pool (1 = serial) for every
+  /// parallel stage: partition clustering, chi-square ranking, k-means
+  /// assignment, and similarity-graph construction. The resulting CadView is
+  /// byte-identical for any value — work is assigned by index into fixed
+  /// result slots and reduced in a fixed order.
   size_t num_threads = 1;
 
   // ----- §6.3 optimizations -------------------------------------------------

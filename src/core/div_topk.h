@@ -9,29 +9,32 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/util/result.h"
 
 namespace dbx {
 
-/// Symmetric boolean similarity relation over n items.
+/// Symmetric boolean similarity relation over n items. Byte-backed (not
+/// std::vector<bool>) so parallel builders may set disjoint cells from
+/// different threads without locking.
 class SimilarityGraph {
  public:
-  explicit SimilarityGraph(size_t n) : n_(n), adj_(n * n, false) {}
+  explicit SimilarityGraph(size_t n) : n_(n), adj_(n * n, 0) {}
 
   size_t size() const { return n_; }
 
   void SetSimilar(size_t i, size_t j) {
-    adj_[i * n_ + j] = true;
-    adj_[j * n_ + i] = true;
+    adj_[i * n_ + j] = 1;
+    adj_[j * n_ + i] = 1;
   }
 
-  bool Similar(size_t i, size_t j) const { return adj_[i * n_ + j]; }
+  bool Similar(size_t i, size_t j) const { return adj_[i * n_ + j] != 0; }
 
  private:
   size_t n_;
-  std::vector<bool> adj_;  // row-major n x n
+  std::vector<uint8_t> adj_;  // row-major n x n
 };
 
 enum class DivTopKAlgorithm {

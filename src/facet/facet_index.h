@@ -55,8 +55,11 @@ class RowBitmap {
 /// The per-value bitmap index.
 class FacetIndex {
  public:
-  /// Builds bitmaps for every (attribute, value) of `dt`.
-  static FacetIndex Build(const DiscretizedTable& dt);
+  /// Builds bitmaps for every (attribute, value) of `dt`. Attributes build
+  /// concurrently on the shared thread pool when num_threads > 1; each task
+  /// fills only its own attribute's bitmaps, so the index is identical for
+  /// any thread count.
+  static FacetIndex Build(const DiscretizedTable& dt, size_t num_threads = 1);
 
   size_t num_rows() const { return num_rows_; }
   size_t num_attrs() const { return per_attr_.size(); }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/stats/contingency.h"
+#include "src/util/thread_pool.h"
 
 namespace dbx {
 
@@ -26,37 +27,41 @@ Result<std::vector<FeatureScore>> RankFeatures(
   if (pivot_cardinality < 1) {
     return Status::InvalidArgument("pivot cardinality must be >= 1");
   }
-  std::vector<FeatureScore> scores;
-  scores.reserve(candidates.size());
-  for (size_t idx : candidates) {
-    if (idx >= dt.num_attrs()) {
-      return Status::OutOfRange("candidate attribute index out of range");
-    }
-    const DiscreteAttr& a = dt.attr(idx);
-    ContingencyTable ct = ContingencyTable::FromCodes(
-        pivot_codes, pivot_cardinality, a.codes, a.cardinality());
-    ChiSquareResult chi = ChiSquareTest(ct);
+  // One contingency table per candidate, each filling its own score slot;
+  // the sort afterwards makes the ranking independent of execution order.
+  std::vector<FeatureScore> scores(candidates.size());
+  DBX_RETURN_IF_ERROR(ParallelFor(
+      options.num_threads, 0, candidates.size(), 1, [&](size_t c) -> Status {
+        size_t idx = candidates[c];
+        if (idx >= dt.num_attrs()) {
+          return Status::OutOfRange("candidate attribute index out of range");
+        }
+        const DiscreteAttr& a = dt.attr(idx);
+        ContingencyTable ct = ContingencyTable::FromCodes(
+            pivot_codes, pivot_cardinality, a.codes, a.cardinality());
+        ChiSquareResult chi = ChiSquareTest(ct);
 
-    FeatureScore fs;
-    fs.attr_index = idx;
-    fs.name = a.name;
-    fs.chi2 = chi.statistic;
-    fs.df = chi.df;
-    fs.p_value = chi.p_value;
-    fs.significant = chi.p_value <= options.significance && chi.df > 0;
-    switch (options.ranker) {
-      case FeatureRanker::kChiSquare:
-        fs.score = chi.statistic;
-        break;
-      case FeatureRanker::kMutualInformation:
-        fs.score = MutualInformationBits(ct);
-        break;
-      case FeatureRanker::kCramersV:
-        fs.score = CramersV(ct);
-        break;
-    }
-    scores.push_back(std::move(fs));
-  }
+        FeatureScore fs;
+        fs.attr_index = idx;
+        fs.name = a.name;
+        fs.chi2 = chi.statistic;
+        fs.df = chi.df;
+        fs.p_value = chi.p_value;
+        fs.significant = chi.p_value <= options.significance && chi.df > 0;
+        switch (options.ranker) {
+          case FeatureRanker::kChiSquare:
+            fs.score = chi.statistic;
+            break;
+          case FeatureRanker::kMutualInformation:
+            fs.score = MutualInformationBits(ct);
+            break;
+          case FeatureRanker::kCramersV:
+            fs.score = CramersV(ct);
+            break;
+        }
+        scores[c] = std::move(fs);
+        return Status::OK();
+      }));
   std::stable_sort(scores.begin(), scores.end(),
                    [](const FeatureScore& a, const FeatureScore& b) {
                      if (a.score != b.score) return a.score > b.score;

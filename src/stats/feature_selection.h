@@ -40,6 +40,10 @@ struct FeatureSelectionOptions {
   /// Significance level for the relevance threshold (paper suggests 0.01,
   /// 0.05, or 0.10).
   double significance = 0.05;
+  /// Rank candidate attributes concurrently on the shared thread pool
+  /// (1 = serial). The ranking is identical for any value: scores land in
+  /// per-candidate slots and are sorted afterwards.
+  size_t num_threads = 1;
 };
 
 /// Ranks `candidates` (attribute indices into `dt`) by decreasing relevance

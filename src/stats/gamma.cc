@@ -10,9 +10,21 @@ constexpr int kMaxIter = 500;
 constexpr double kEps = 3.0e-12;
 constexpr double kFpMin = 1.0e-300;
 
+// std::lgamma writes the process-global `signgam`, which is a data race when
+// chi-square p-values are computed on the thread pool. All arguments here are
+// positive, so the sign output is irrelevant; use the reentrant variant.
+double LogGamma(double a) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(a, &sign);
+#else
+  return std::lgamma(a);
+#endif
+}
+
 // Series representation of P(a, x); converges fast for x < a + 1.
 double GammaPSeries(double a, double x) {
-  double gln = std::lgamma(a);
+  double gln = LogGamma(a);
   double ap = a;
   double sum = 1.0 / a;
   double del = sum;
@@ -27,7 +39,7 @@ double GammaPSeries(double a, double x) {
 
 // Continued-fraction representation of Q(a, x); converges fast for x >= a+1.
 double GammaQContinuedFraction(double a, double x) {
-  double gln = std::lgamma(a);
+  double gln = LogGamma(a);
   double b = x + 1.0 - a;
   double c = 1.0 / kFpMin;
   double d = 1.0 / b;

@@ -1,0 +1,158 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace dbx {
+namespace {
+
+// State shared between a ParallelFor caller and its helper tasks. Helpers
+// hold it via shared_ptr: a helper that was queued but only starts after the
+// caller returned finds no chunk to claim and exits without touching `fn`.
+struct ParallelForState {
+  std::atomic<size_t> next_chunk{0};
+  size_t num_chunks = 0;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t chunks_done = 0;
+  std::vector<Status> chunk_status;  // one slot per chunk
+};
+
+// Runs one chunk of [lo, hi), stopping at the chunk's first error.
+Status RunChunk(size_t lo, size_t hi, const std::function<Status(size_t)>& fn) {
+  Status st;
+  try {
+    for (size_t i = lo; i < hi && st.ok(); ++i) st = fn(i);
+  } catch (const std::exception& e) {
+    st = Status::Internal(std::string("parallel task threw: ") + e.what());
+  } catch (...) {
+    st = Status::Internal("parallel task threw a non-standard exception");
+  }
+  return st;
+}
+
+// Claims chunks until none remain. Both the caller and every helper run this.
+void DrainChunks(const std::shared_ptr<ParallelForState>& state, size_t begin,
+                 size_t end, size_t grain,
+                 const std::function<Status(size_t)>* fn) {
+  for (;;) {
+    size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state->num_chunks) return;
+    size_t lo = begin + c * grain;
+    size_t hi = std::min(end, lo + grain);
+    Status st = RunChunk(lo, hi, *fn);
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->chunk_status[c] = std::move(st);
+    if (++state->chunks_done == state->num_chunks) state->cv.notify_all();
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                               const std::function<Status(size_t)>& fn,
+                               size_t max_parallelism) {
+  if (begin >= end) return Status::OK();
+  if (grain == 0) grain = 1;
+  auto state = std::make_shared<ParallelForState>();
+  state->num_chunks = (end - begin + grain - 1) / grain;
+  state->chunk_status.assign(state->num_chunks, Status::OK());
+
+  size_t helpers = std::min(num_threads(), state->num_chunks - 1);
+  if (max_parallelism > 0) {
+    helpers = std::min(helpers, max_parallelism - 1);
+  }
+  const std::function<Status(size_t)>* fn_ptr = &fn;
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, begin, end, grain, fn_ptr] {
+      DrainChunks(state, begin, end, grain, fn_ptr);
+    });
+  }
+  DrainChunks(state, begin, end, grain, fn_ptr);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock,
+                   [&] { return state->chunks_done == state->num_chunks; });
+  }
+  for (Status& st : state->chunk_status) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(2, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+Status ParallelFor(size_t num_threads, size_t begin, size_t end, size_t grain,
+                   const std::function<Status(size_t)>& fn) {
+  if (begin >= end) return Status::OK();
+  if (num_threads <= 1) {
+    // Serial fast path: same chunking and error selection, no pool traffic.
+    if (grain == 0) grain = 1;
+    Status first;
+    for (size_t lo = begin; lo < end; lo += grain) {
+      Status st = RunChunk(lo, std::min(end, lo + grain), fn);
+      if (first.ok() && !st.ok()) first = std::move(st);
+    }
+    return first;
+  }
+  return ThreadPool::Shared().ParallelFor(begin, end, grain, fn, num_threads);
+}
+
+size_t TestThreads(size_t fallback) {
+  const char* s = std::getenv("DBX_TEST_THREADS");
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || v == 0) return fallback;
+  return static_cast<size_t>(v);
+}
+
+}  // namespace dbx

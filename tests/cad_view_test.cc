@@ -5,10 +5,17 @@
 
 #include <set>
 
+#include "src/cluster/encoder.h"
+#include "src/cluster/kmeans.h"
 #include "src/core/cad_view_builder.h"
+#include "src/core/cad_view_io.h"
 #include "src/core/cad_view_renderer.h"
 #include "src/core/iunit_similarity.h"
+#include "src/data/mushroom.h"
+#include "src/data/synthetic.h"
 #include "src/data/used_cars.h"
+#include "src/stats/feature_selection.h"
+#include "src/util/thread_pool.h"
 
 namespace dbx {
 namespace {
@@ -359,6 +366,147 @@ TEST_F(CadViewTest, DeterministicForSeed) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(RenderCadView(*a), RenderCadView(*b));
+}
+
+// --- Thread-count determinism -----------------------------------------------
+//
+// The thread-pool contract: for ANY num_threads the built CAD View is
+// byte-identical to the single-threaded build. Serialize via cad_view_io with
+// timings zeroed (wall-clock timings are the one legitimately run-varying
+// field in the JSON).
+
+std::string SerializeStable(CadView view) {
+  view.timings = CadViewTimings{};
+  return CadViewToJson(view) + "\n---\n" + CadViewToCsv(view);
+}
+
+void ExpectByteIdenticalAcrossThreadCounts(const Table& table,
+                                           CadViewOptions options) {
+  options.num_threads = 1;
+  auto baseline = BuildCadView(TableSlice::All(table), options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string expected = SerializeStable(*baseline);
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}, TestThreads(4)}) {
+    options.num_threads = threads;
+    auto view = BuildCadView(TableSlice::All(table), options);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(SerializeStable(*view), expected)
+        << "num_threads=" << threads << " diverged from serial build";
+  }
+}
+
+TEST(CadViewDeterminismTest, MushroomByteIdenticalAcrossThreadCounts) {
+  Table table = GenerateMushrooms(2000);
+  CadViewOptions o;
+  o.pivot_attr = "Class";
+  o.max_compare_attrs = 4;
+  o.iunits_per_value = 3;
+  o.seed = 7;
+  ExpectByteIdenticalAcrossThreadCounts(table, o);
+}
+
+TEST(CadViewDeterminismTest, SyntheticByteIdenticalAcrossThreadCounts) {
+  SyntheticSpec spec;
+  spec.rows = 3000;
+  spec.categorical_attrs = 8;
+  spec.numeric_attrs = 2;
+  spec.cardinality = 6;
+  spec.clusters = 5;
+  spec.seed = 19;
+  auto table = GenerateSynthetic(spec);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  CadViewOptions o;
+  o.pivot_attr = "C0";
+  o.max_compare_attrs = 5;
+  o.iunits_per_value = 3;
+  o.seed = 7;
+  ExpectByteIdenticalAcrossThreadCounts(*table, o);
+}
+
+TEST(CadViewDeterminismTest, SampledFeatureSelectionPathByteIdentical) {
+  // feature_selection_sample routes through the builder's sampled scoring
+  // loop, which is itself parallelized — cover it explicitly.
+  Table table = GenerateMushrooms(2000);
+  CadViewOptions o;
+  o.pivot_attr = "Class";
+  o.max_compare_attrs = 4;
+  o.iunits_per_value = 3;
+  o.seed = 7;
+  o.feature_selection_sample = 600;
+  ExpectByteIdenticalAcrossThreadCounts(table, o);
+}
+
+TEST(CadViewDeterminismTest, KMeansIdenticalAcrossThreadCounts) {
+  // > kAssignGrain (1024) points so the chunked reduction actually splits.
+  Table table = GenerateMushrooms(3000);
+  auto dt = DiscretizedTable::Build(TableSlice::All(table),
+                                    DiscretizerOptions{});
+  ASSERT_TRUE(dt.ok()) << dt.status().ToString();
+  std::vector<size_t> attrs = {1, 2, 3, 4};
+  auto encoder = OneHotEncoder::Plan(*dt, attrs);
+  ASSERT_TRUE(encoder.ok()) << encoder.status().ToString();
+  std::vector<size_t> rows(dt->num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  EncodedMatrix points = encoder->Encode(*dt, rows);
+
+  KMeansOptions ko;
+  ko.k = 6;
+  ko.seed = 13;
+  ko.num_threads = 1;
+  auto baseline = RunKMeans(points, ko);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    ko.num_threads = threads;
+    auto res = RunKMeans(points, ko);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(res->assignments, baseline->assignments)
+        << "num_threads=" << threads;
+    EXPECT_EQ(res->iterations, baseline->iterations);
+    ASSERT_EQ(res->centroids.size(), baseline->centroids.size());
+    for (size_t i = 0; i < res->centroids.size(); ++i) {
+      // Exact equality, not near: the chunk-ordered reduction must reproduce
+      // the serial floating-point sums bit for bit.
+      EXPECT_EQ(res->centroids[i], baseline->centroids[i])
+          << "centroid component " << i << " num_threads=" << threads;
+    }
+    EXPECT_EQ(res->inertia, baseline->inertia);
+  }
+}
+
+TEST(CadViewDeterminismTest, FeatureRankingIdenticalAcrossThreadCounts) {
+  Table table = GenerateMushrooms(2000);
+  auto dt = DiscretizedTable::Build(TableSlice::All(table),
+                                    DiscretizerOptions{});
+  ASSERT_TRUE(dt.ok()) << dt.status().ToString();
+  auto class_idx = dt->IndexOf("Class");
+  ASSERT_TRUE(class_idx.has_value());
+  const DiscreteAttr& pivot = dt->attr(*class_idx);
+  std::vector<size_t> candidates;
+  for (size_t a = 0; a < dt->num_attrs(); ++a) {
+    if (a != *class_idx) candidates.push_back(a);
+  }
+
+  FeatureSelectionOptions fo;
+  fo.num_threads = 1;
+  auto baseline =
+      RankFeatures(*dt, pivot.codes, pivot.cardinality(), candidates, fo);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    fo.num_threads = threads;
+    auto ranked =
+        RankFeatures(*dt, pivot.codes, pivot.cardinality(), candidates, fo);
+    ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+    ASSERT_EQ(ranked->size(), baseline->size());
+    for (size_t i = 0; i < ranked->size(); ++i) {
+      EXPECT_EQ((*ranked)[i].attr_index, (*baseline)[i].attr_index)
+          << "rank " << i << " num_threads=" << threads;
+      EXPECT_EQ((*ranked)[i].name, (*baseline)[i].name);
+      EXPECT_EQ((*ranked)[i].score, (*baseline)[i].score);
+      EXPECT_EQ((*ranked)[i].chi2, (*baseline)[i].chi2);
+      EXPECT_EQ((*ranked)[i].p_value, (*baseline)[i].p_value);
+      EXPECT_EQ((*ranked)[i].significant, (*baseline)[i].significant);
+    }
+  }
 }
 
 TEST_F(CadViewTest, CustomPreferenceFunctionChangesRanking) {

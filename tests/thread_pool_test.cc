@@ -1,0 +1,228 @@
+// Unit tests for the shared thread-pool execution layer: lifecycle,
+// ParallelFor index coverage, Status/exception propagation, nested
+// submission, and a many-small-tasks stress case. Run under
+// -DDBX_SANITIZE=thread via scripts/check_tsan.sh to prove race-freedom.
+
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dbx {
+namespace {
+
+TEST(ThreadPoolTest, ConstructionAndShutdownAcrossSizes) {
+  for (size_t n : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitFromInsideAWorkerRuns) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&] {
+      count.fetch_add(1);
+      pool.Submit([&count] { count.fetch_add(1); });
+    });
+  }
+  // The destructor drains tasks submitted during the drain as well.
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t grain : {1u, 3u, 16u, 1000u}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    Status st = pool.ParallelFor(0, hits.size(), grain, [&](size_t i) {
+      hits[i].fetch_add(1);
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsBeginOffsetAndEmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  std::atomic<size_t> min_seen{1000};
+  Status st = pool.ParallelFor(10, 20, 4, [&](size_t i) {
+    calls.fetch_add(1);
+    size_t cur = min_seen.load();
+    while (i < cur && !min_seen.compare_exchange_weak(cur, i)) {
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(calls.load(), 10);
+  EXPECT_EQ(min_seen.load(), 10u);
+
+  calls.store(0);
+  EXPECT_TRUE(pool.ParallelFor(5, 5, 1, [&](size_t) {
+                    calls.fetch_add(1);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, StatusPropagationLowestIndexWins) {
+  ThreadPool pool(4);
+  Status st = pool.ParallelFor(0, 100, 1, [](size_t i) -> Status {
+    if (i % 10 == 7) {
+      return Status::InvalidArgument("bad " + std::to_string(i));
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_EQ(st.message(), "bad 7");
+}
+
+TEST(ThreadPoolTest, ExceptionBecomesInternalStatus) {
+  ThreadPool pool(2);
+  Status st = pool.ParallelFor(0, 8, 1, [](size_t i) -> Status {
+    if (i == 3) throw std::runtime_error("kaboom");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+  EXPECT_NE(st.message().find("kaboom"), std::string::npos) << st.ToString();
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // More outer tasks than workers, each issuing its own inner ParallelFor on
+  // the SAME pool: the caller-participates design must keep making progress
+  // even when every worker is itself blocked inside an outer task.
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0);
+  Status st = pool.ParallelFor(0, kOuter, 1, [&](size_t outer) {
+    return pool.ParallelFor(0, kInner, 8, [&, outer](size_t inner) {
+      hits[outer * kInner + inner].fetch_add(1);
+      return Status::OK();
+    });
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, MaxParallelismCapRespected) {
+  ThreadPool pool(8);
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  Status st = pool.ParallelFor(
+      0, 64, 1,
+      [&](size_t) {
+        int now = active.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        active.fetch_sub(1);
+        return Status::OK();
+      },
+      /*max_parallelism=*/2);
+  ASSERT_TRUE(st.ok());
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, ManySmallTasksStress) {
+  ThreadPool pool(TestThreads(4));
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 4; ++round) {
+    Status st = pool.ParallelFor(0, 50000, 1, [&](size_t) {
+      sum.fetch_add(1);
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok());
+  }
+  EXPECT_EQ(sum.load(), 200000);
+}
+
+TEST(ParallelForTest, SerialPathMatchesParallelSemantics) {
+  // num_threads <= 1 must not touch the pool but keep the same contract:
+  // every index runs, lowest-index error returned, exceptions converted.
+  std::vector<int> hits(100, 0);
+  Status st = ParallelFor(1, 0, hits.size(), 7, [&](size_t i) -> Status {
+    ++hits[i];
+    if (i == 90) return Status::NotFound("ninety");
+    if (i == 12) return Status::NotFound("twelve");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "twelve");
+  int total = 0;
+  for (int h : hits) total += h;
+  // Chunks containing an error stop at it; all other chunks run fully.
+  EXPECT_GT(total, 90);
+
+  st = ParallelFor(1, 0, 4, 1, [](size_t i) -> Status {
+    if (i == 2) throw std::runtime_error("serial throw");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.IsInternal());
+}
+
+TEST(ParallelForTest, SharedPoolPathCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  Status st = ParallelFor(TestThreads(4), 0, hits.size(), 16, [&](size_t i) {
+    hits[i].fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TestThreadsTest, EnvOverrideParsedAndValidated) {
+  const char* saved = std::getenv("DBX_TEST_THREADS");
+  std::string saved_value = saved ? saved : "";
+
+  unsetenv("DBX_TEST_THREADS");
+  EXPECT_EQ(TestThreads(3), 3u);
+  setenv("DBX_TEST_THREADS", "6", 1);
+  EXPECT_EQ(TestThreads(3), 6u);
+  setenv("DBX_TEST_THREADS", "not-a-number", 1);
+  EXPECT_EQ(TestThreads(3), 3u);
+  setenv("DBX_TEST_THREADS", "0", 1);
+  EXPECT_EQ(TestThreads(3), 3u);
+
+  if (saved_value.empty()) {
+    unsetenv("DBX_TEST_THREADS");
+  } else {
+    setenv("DBX_TEST_THREADS", saved_value.c_str(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace dbx
