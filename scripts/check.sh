@@ -1,26 +1,47 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, test, run every bench and example.
+# Full verification: configure, build, run the labeled test tiers, then every
+# bench and example. Every stage must fail the whole script — none is
+# advisory — so each command is checked explicitly rather than trusting
+# `set -e` semantics inside loops, pipelines, and compound commands.
+#
+# Test tiers (ctest labels, assigned in tests/CMakeLists.txt):
+#   unit        — fast, hermetic suites (also the TSAN pass, scripts/check_tsan.sh)
+#   integration — cross-module / end-to-end suites
+#   bench-smoke — benchmark binaries in --smoke mode (verification live,
+#                 timing thresholds not enforced)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-# Re-run with the threaded paths forced on: the parallel tests read
-# DBX_TEST_THREADS and add that thread count to their sweep.
-DBX_TEST_THREADS=4 ctest --test-dir build --output-on-failure
+fail() { echo "CHECK FAILED: $*" >&2; exit 1; }
+
+cmake -B build -G Ninja || fail "configure"
+cmake --build build || fail "build"
+
+ctest --test-dir build -L unit --output-on-failure || fail "unit tests"
+ctest --test-dir build -L integration --output-on-failure \
+  || fail "integration tests"
+ctest --test-dir build -L bench-smoke --output-on-failure \
+  || fail "bench smoke runs"
+
+# Re-run the test tiers with the threaded paths forced on: the parallel tests
+# read DBX_TEST_THREADS and add that thread count to their sweep.
+DBX_TEST_THREADS=4 ctest --test-dir build -L 'unit|integration' \
+  --output-on-failure || fail "threaded test re-run"
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "== $b"
-  "$b"
+  "$b" || fail "bench $b"
 done
 
 for e in build/examples/*; do
   [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "== $e"
   case "$e" in
-    */cadview_sql_repl) printf '\\quit\n' | "$e" ;;  # interactive: smoke only
-    *) "$e" ;;
+    */cadview_sql_repl)  # interactive: smoke only
+      printf '\\quit\n' | "$e" || fail "example $e" ;;
+    *)
+      "$e" || fail "example $e" ;;
   esac
 done
 echo "ALL CHECKS PASSED"

@@ -1,23 +1,26 @@
 #!/usr/bin/env bash
-# Builds the concurrency-touching tests under ThreadSanitizer and runs them
-# with the threaded paths forced on (DBX_TEST_THREADS). A data race anywhere
-# in the thread-pool execution layer fails the run.
+# Builds the concurrency-touching tests under ThreadSanitizer and runs the
+# `unit` ctest tier with the threaded paths forced on (DBX_TEST_THREADS). A
+# data race anywhere in the thread-pool execution layer — including the shared
+# view cache — fails the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tsan}
 THREADS=${DBX_TEST_THREADS:-4}
 
-cmake -B "$BUILD_DIR" -S . -DDBX_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fail() { echo "TSAN CHECK FAILED: $*" >&2; exit 1; }
+
+cmake -B "$BUILD_DIR" -S . -DDBX_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo || fail "configure"
 cmake --build "$BUILD_DIR" -j --target \
   thread_pool_test cad_view_test cluster_test feature_selection_test \
-  facet_index_test facet_test
+  facet_index_test facet_test view_cache_test || fail "build"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 export DBX_TEST_THREADS="$THREADS"
-for t in thread_pool_test cad_view_test cluster_test feature_selection_test \
-         facet_index_test facet_test; do
-  echo "== TSAN $t (DBX_TEST_THREADS=$THREADS)"
-  "$BUILD_DIR/tests/$t"
-done
+# Unbuilt targets' _NOT_BUILT placeholders carry no label, so `-L unit` runs
+# exactly the suites built above.
+ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure \
+  || fail "unit tier under TSAN"
 echo "TSAN CHECKS PASSED"

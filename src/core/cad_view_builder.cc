@@ -72,26 +72,59 @@ Result<PivotPlan> PlanPivot(const DiscretizedTable& dt,
   return plan;
 }
 
-// Class coding for feature selection: row -> index into plan.value_codes,
-// -1 for rows whose pivot value is not selected.
-std::vector<int32_t> ClassCodes(const DiscreteAttr& pivot,
-                                const PivotPlan& plan) {
-  std::vector<int32_t> cls(pivot.codes.size(), -1);
-  std::vector<int32_t> code_to_class;
-  int32_t max_code = -1;
-  for (int32_t c : plan.value_codes) max_code = std::max(max_code, c);
-  code_to_class.assign(static_cast<size_t>(max_code) + 1, -1);
-  for (size_t v = 0; v < plan.value_codes.size(); ++v) {
-    int32_t c = plan.value_codes[v];
-    if (c >= 0) code_to_class[static_cast<size_t>(c)] = static_cast<int32_t>(v);
+// As PlanPivot, but reads value codes and frequencies from a PartitionSeed
+// instead of scanning the pivot column. A valid seed lists exactly the rows a
+// scan would find per code, so the resulting plan (codes, labels, order) is
+// identical to PlanPivot's.
+Result<PivotPlan> PlanPivotFromSeed(const DiscretizedTable& dt,
+                                    const CadViewOptions& options,
+                                    const PartitionSeed& seed) {
+  auto idx = dt.IndexOf(options.pivot_attr);
+  if (!idx) {
+    return Status::NotFound("pivot attribute '" + options.pivot_attr +
+                            "' not in table");
   }
-  for (size_t i = 0; i < pivot.codes.size(); ++i) {
-    int32_t c = pivot.codes[i];
-    if (c >= 0 && static_cast<size_t>(c) < code_to_class.size()) {
-      cls[i] = code_to_class[static_cast<size_t>(c)];
+  const DiscreteAttr& pivot = dt.attr(*idx);
+  PivotPlan plan;
+  plan.attr_index = *idx;
+  if (options.pivot_values.empty()) {
+    // Same default order as the scan: most frequent first, then code.
+    std::vector<std::pair<int32_t, size_t>> counts;
+    for (const auto& [code, members] : seed.members_by_code) {
+      if (code >= 0 && !members.empty() &&
+          static_cast<size_t>(code) < pivot.cardinality()) {
+        counts.emplace_back(code, members.size());
+      }
+    }
+    std::stable_sort(counts.begin(), counts.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.second != b.second) return a.second > b.second;
+                       return a.first < b.first;
+                     });
+    for (const auto& [code, n] : counts) {
+      plan.value_codes.push_back(code);
+      plan.value_labels.push_back(pivot.labels[code]);
+    }
+  } else {
+    // Explicit values resolve against the full domain labels exactly as in
+    // PlanPivot; only the member lookup (below) comes from the seed.
+    for (const std::string& v : options.pivot_values) {
+      int32_t code = -1;
+      for (size_t c = 0; c < pivot.labels.size(); ++c) {
+        if (pivot.labels[c] == v) {
+          code = static_cast<int32_t>(c);
+          break;
+        }
+      }
+      plan.value_codes.push_back(code >= 0 ? code : -2);
+      plan.value_labels.push_back(v);
     }
   }
-  return cls;
+  if (plan.value_codes.empty()) {
+    return Status::InvalidArgument("pivot attribute '" + options.pivot_attr +
+                                   "' has no values in the fragment");
+  }
+  return plan;
 }
 
 }  // namespace
@@ -112,7 +145,9 @@ Result<CadView> BuildCadView(const TableSlice& slice,
 }
 
 Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
-                                            const CadViewOptions& options) {
+                                            const CadViewOptions& options,
+                                            const PartitionSeed* seed,
+                                            CadViewBuildExtras* extras) {
   Stopwatch total;
   if (options.iunits_per_value == 0) {
     return Status::InvalidArgument("iunits_per_value must be >= 1");
@@ -121,7 +156,9 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
     return Status::InvalidArgument("max_compare_attrs must be >= 1");
   }
 
-  DBX_ASSIGN_OR_RETURN(PivotPlan plan, PlanPivot(dt, options));
+  DBX_ASSIGN_OR_RETURN(
+      PivotPlan plan,
+      seed ? PlanPivotFromSeed(dt, options, *seed) : PlanPivot(dt, options));
   const DiscreteAttr& pivot = dt.attr(plan.attr_index);
   if (pivot.original_type != AttrType::kCategorical &&
       pivot.cardinality() > 64) {
@@ -130,7 +167,52 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
         "' has too many values; discretize it or choose another pivot");
   }
 
-  std::vector<int32_t> cls = ClassCodes(pivot, plan);
+  // Partition rows by selected pivot value — from the seed's member lists
+  // when one is given, otherwise by scanning the pivot column. Both paths
+  // list each partition's members in ascending row-position order.
+  std::vector<std::vector<size_t>> partitions(plan.value_codes.size());
+  if (seed) {
+    // As in the scan below, a code repeated in plan.value_codes feeds only
+    // its last occurrence; earlier duplicates stay empty.
+    std::vector<size_t> last_view_of_code;
+    for (size_t v = 0; v < plan.value_codes.size(); ++v) {
+      int32_t code = plan.value_codes[v];
+      if (code < 0) continue;
+      if (static_cast<size_t>(code) >= last_view_of_code.size()) {
+        last_view_of_code.resize(static_cast<size_t>(code) + 1,
+                                 plan.value_codes.size());
+      }
+      last_view_of_code[static_cast<size_t>(code)] = v;
+    }
+    for (const auto& [code, members] : seed->members_by_code) {
+      if (code < 0 ||
+          static_cast<size_t>(code) >= last_view_of_code.size()) {
+        continue;
+      }
+      size_t v = last_view_of_code[static_cast<size_t>(code)];
+      if (v < partitions.size()) partitions[v] = members;
+    }
+  } else {
+    std::vector<int32_t> code_to_view(pivot.cardinality(), -1);
+    for (size_t v = 0; v < plan.value_codes.size(); ++v) {
+      int32_t c = plan.value_codes[v];
+      if (c >= 0) code_to_view[static_cast<size_t>(c)] = static_cast<int32_t>(v);
+    }
+    for (size_t i = 0; i < pivot.codes.size(); ++i) {
+      int32_t c = pivot.codes[i];
+      if (c >= 0 && code_to_view[static_cast<size_t>(c)] >= 0) {
+        partitions[static_cast<size_t>(code_to_view[c])].push_back(i);
+      }
+    }
+  }
+
+  // Class coding for feature selection: row -> index into plan.value_codes,
+  // -1 for rows whose pivot value is not selected. Partitions list exactly
+  // the rows of each selected value, so this equals a pivot-column scan.
+  std::vector<int32_t> cls(pivot.codes.size(), -1);
+  for (size_t v = 0; v < partitions.size(); ++v) {
+    for (size_t i : partitions[v]) cls[i] = static_cast<int32_t>(v);
+  }
 
   CadView view;
   view.pivot_attr = options.pivot_attr;
@@ -301,22 +383,6 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
   auto encoder = OneHotEncoder::Plan(dt, compare_indices);
   if (!encoder.ok()) return encoder.status();
 
-  // Partition rows by selected pivot value.
-  std::vector<std::vector<size_t>> partitions(plan.value_codes.size());
-  {
-    std::vector<int32_t> code_to_view(pivot.cardinality(), -1);
-    for (size_t v = 0; v < plan.value_codes.size(); ++v) {
-      int32_t c = plan.value_codes[v];
-      if (c >= 0) code_to_view[static_cast<size_t>(c)] = static_cast<int32_t>(v);
-    }
-    for (size_t i = 0; i < pivot.codes.size(); ++i) {
-      int32_t c = pivot.codes[i];
-      if (c >= 0 && code_to_view[static_cast<size_t>(c)] >= 0) {
-        partitions[static_cast<size_t>(code_to_view[c])].push_back(i);
-      }
-    }
-  }
-
   size_t k = options.iunits_per_value;
   struct Candidates {
     std::vector<IUnit> iunits;
@@ -447,6 +513,19 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
   }
   view.timings.topk_ms = sw.ElapsedMillis();
   view.timings.total_ms = total.ElapsedMillis();
+
+  if (extras != nullptr) {
+    extras->partitions.members_by_code.clear();
+    for (size_t v = 0; v < partitions.size(); ++v) {
+      if (plan.value_codes[v] >= 0 && !partitions[v].empty()) {
+        extras->partitions.members_by_code.emplace_back(plan.value_codes[v],
+                                                        partitions[v]);
+      }
+    }
+    std::sort(extras->partitions.members_by_code.begin(),
+              extras->partitions.members_by_code.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
   return view;
 }
 

@@ -1,0 +1,188 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Session-scoped memoization of CAD View builds. The TPFacet workflow (paper
+// §6) is a sequence of drill-downs whose selection contexts overlap almost
+// entirely; this layer keys finished views by their canonicalized build
+// request so drill-down/roll-back steps and repeated CADVIEW statements
+// short-circuit, and seeds strictly-refined rebuilds with the cached
+// partition row-id lists (partial reuse).
+//
+// Determinism contract: for any cache state — cold, warm, or partially
+// evicted — the serialized CAD View handed back to a caller is byte-identical
+// to an uncached build. A hit returns the bytes of the original build
+// verbatim; a seeded (partial-reuse) build feeds the builder exactly the
+// partitions a full rescan would produce. Wall-clock timings remain the one
+// legitimately run-varying field, as everywhere else in the pipeline.
+//
+// Thread safety: every public method is safe to call concurrently; builds
+// already fan out on the shared thread pool, so lookups/inserts from parallel
+// sessions hold one internal mutex and entries are immutable after insert.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cad_view.h"
+#include "src/core/cad_view_builder.h"
+
+namespace dbx {
+
+/// Collapses whitespace runs to single spaces and trims, so textually
+/// different spellings of one predicate ("a  =  1" vs "a = 1") key equal.
+std::string CanonicalizePredicate(const std::string& predicate);
+
+/// Canonicalized identity of one CAD View build request: dataset, selection
+/// predicate set, pivot attribute, pivot values, and build parameters.
+struct ViewCacheKey {
+  std::string dataset;
+  /// Canonical predicate strings, sorted and deduplicated — the conjunctive
+  /// selection context (predicates are AND-ed, so a strict superset of
+  /// predicates selects a subset of rows).
+  std::vector<std::string> predicates;
+  std::string pivot_attr;
+  std::vector<std::string> pivot_values;
+  /// Fingerprint of every build parameter that shapes the output bytes
+  /// (see CadViewOptionsFingerprint).
+  std::string params;
+  /// Length-prefixed serialization of all of the above; the map key.
+  std::string canonical;
+
+  /// Builds a key, canonicalizing `predicates` (order/whitespace-insensitive).
+  static ViewCacheKey Make(std::string dataset,
+                           std::vector<std::string> predicates,
+                           std::string pivot_attr,
+                           std::vector<std::string> pivot_values,
+                           std::string params);
+};
+
+/// Deterministic fingerprint of every CadViewOptions field that affects the
+/// built view's bytes. `num_threads` is excluded (the thread-pool determinism
+/// contract makes it output-neutral); `pivot_attr`/`pivot_values` are carried
+/// by the key itself. Returns nullopt when `options.preference` is set — an
+/// opaque std::function cannot be fingerprinted, so such builds are
+/// uncacheable.
+std::optional<std::string> CadViewOptionsFingerprint(
+    const CadViewOptions& options);
+
+/// Cached pivot partitions in base-table row ids (ascending), the seed
+/// material for partial reuse. Codes index the full-table discretized domain.
+struct CachedPartitions {
+  std::vector<std::pair<int32_t, std::vector<uint32_t>>> rows_by_code;
+};
+
+/// One immutable cache entry: the finished view plus the partition row-id
+/// lists it was built from (empty for per-fragment-domain builds, which
+/// cannot seed refinements because their codes are slice-local).
+struct CachedCadView {
+  CadView view;
+  CachedPartitions partitions;
+  /// Wall-clock cost of the original build (total_ms) — what a hit saves.
+  double build_cost_ms = 0.0;
+  /// Approximate in-memory footprint charged against the byte budget.
+  size_t bytes = 0;
+};
+
+/// Aggregate counters. `bytes_in_use`/`entries` reflect the current store.
+struct ViewCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;   // entries removed by InvalidateDataset/Clear
+  uint64_t refinement_seeds = 0;  // FindRefinementBase successes
+  uint64_t oversize_rejects = 0;  // entries larger than the whole budget
+  size_t bytes_in_use = 0;
+  size_t entries = 0;
+  size_t byte_budget = 0;
+};
+
+/// Per-entry diagnostics, MRU first.
+struct ViewCacheEntryInfo {
+  std::string canonical;
+  size_t bytes = 0;
+  uint64_t hits = 0;
+  double build_cost_ms = 0.0;
+};
+
+/// An LRU store of finished CAD Views under a byte-size budget.
+class ViewCache {
+ public:
+  static constexpr size_t kDefaultByteBudget = 64u << 20;  // 64 MiB
+
+  explicit ViewCache(size_t byte_budget = kDefaultByteBudget);
+
+  ViewCache(const ViewCache&) = delete;
+  ViewCache& operator=(const ViewCache&) = delete;
+
+  /// Returns the entry for `key` (bumping its recency and hit count), or
+  /// nullptr on a miss. The returned entry stays valid after eviction.
+  std::shared_ptr<const CachedCadView> Lookup(const ViewCacheKey& key);
+
+  /// Stores a finished build. Evicts LRU entries until the new entry fits;
+  /// entries larger than the whole budget are rejected. Re-inserting an
+  /// existing key keeps the resident entry (both are byte-identical by the
+  /// determinism contract).
+  void Insert(const ViewCacheKey& key, CadView view,
+              CachedPartitions partitions, double build_cost_ms);
+
+  /// Finds a seed donor for partial reuse: an entry over the same dataset,
+  /// pivot attribute, and params whose predicate set is a strict subset of
+  /// `key.predicates` (so its fragment is a superset of the new one) and
+  /// whose pivot-value list is empty (all values) or identical. Prefers the
+  /// most refined donor (largest predicate set), breaking ties by canonical
+  /// key, so the choice is deterministic. Returns nullptr when none applies.
+  std::shared_ptr<const CachedCadView> FindRefinementBase(
+      const ViewCacheKey& key);
+
+  /// Invalidation hook for table reload/mutation: drops every entry of
+  /// `dataset`.
+  void InvalidateDataset(const std::string& dataset);
+
+  /// Drops everything (counted as invalidations).
+  void Clear();
+
+  ViewCacheStats stats() const;
+  std::vector<ViewCacheEntryInfo> EntryInfos() const;
+  size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    ViewCacheKey key;
+    std::shared_ptr<const CachedCadView> value;
+    std::list<std::string>::iterator lru_pos;  // into lru_, front = MRU
+    uint64_t hits = 0;
+  };
+
+  void EvictLruLocked();
+
+  const size_t byte_budget_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  // canonical keys, front = MRU
+  std::unordered_map<std::string, Entry> entries_;
+  ViewCacheStats stats_;
+};
+
+/// Approximate heap footprint of a view — the byte-budget charge unit.
+/// Exposed so tests and tools can size budgets.
+size_t ApproxCadViewBytes(const CadView& view);
+
+/// Converts a build's partition positions (into a projected DiscretizedTable
+/// whose row order is `fragment_rows`) to base-table row ids for caching.
+CachedPartitions PartitionsToBaseRows(const PartitionSeed& partitions,
+                                      const RowSet& fragment_rows);
+
+/// Intersects a donor's cached partitions (base-table row ids, ascending)
+/// with a strictly-refined fragment's ascending row ids, yielding members as
+/// positions into `fragment_rows` — exactly the partitions a full rescan of
+/// the refined fragment would produce. Codes whose intersection is empty are
+/// dropped (a rescan would count them at frequency zero).
+PartitionSeed IntersectPartitions(const CachedPartitions& base,
+                                  const RowSet& fragment_rows);
+
+}  // namespace dbx

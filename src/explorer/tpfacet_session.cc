@@ -98,6 +98,36 @@ Status TpFacetSession::Undo() {
   return Status::OK();
 }
 
+void TpFacetSession::SetViewCache(std::shared_ptr<ViewCache> cache,
+                                  std::string dataset_id) {
+  cache_ = std::move(cache);
+  dataset_id_ = std::move(dataset_id);
+}
+
+std::vector<std::string> TpFacetSession::SelectionPredicates() const {
+  const DiscretizedTable& dt = facets_.discretized();
+  std::vector<std::string> predicates;
+  predicates.reserve(facets_.selections().size());
+  for (const auto& [attr_idx, sel] : facets_.selections()) {
+    if (sel.codes.empty()) continue;
+    const DiscreteAttr& attr = dt.attr(attr_idx);
+    std::string pred = attr.name + " IN (";
+    bool first = true;
+    for (int32_t code : sel.codes) {  // std::set: ascending, deterministic
+      if (!first) pred += ", ";
+      first = false;
+      pred += "'";
+      if (code >= 0 && static_cast<size_t>(code) < attr.labels.size()) {
+        pred += attr.labels[static_cast<size_t>(code)];
+      }
+      pred += "'";
+    }
+    pred += ")";
+    predicates.push_back(std::move(pred));
+  }
+  return predicates;
+}
+
 Result<const CadView*> TpFacetSession::View() {
   if (view_.has_value()) return const_cast<const CadView*>(&*view_);
   if (pivot_attr_.empty()) {
@@ -107,20 +137,64 @@ Result<const CadView*> TpFacetSession::View() {
   options.pivot_attr = pivot_attr_;
   options.pivot_values = pivot_values_;
 
+  // Resolve the cache key for this build context, when a cache is attached
+  // and the options are fingerprintable (no opaque preference functor). The
+  // domain mode is part of the params: per-fragment bins produce different
+  // bytes than projected global-domain bins.
+  std::optional<ViewCacheKey> key;
+  if (cache_ != nullptr) {
+    if (auto fp = CadViewOptionsFingerprint(options)) {
+      key = ViewCacheKey::Make(
+          dataset_id_, SelectionPredicates(), pivot_attr_, pivot_values_,
+          *fp + "|global_domain=" + (reuse_global_domain_ ? "1" : "0"));
+      if (auto hit = cache_->Lookup(*key)) {
+        // Copy, not share: ClickPivotValue reorders the session's view in
+        // place and must not disturb the cached entry.
+        last_timings_ = hit->view.timings;
+        view_ = hit->view;
+        return const_cast<const CadView*>(&*view_);
+      }
+    }
+  }
+
   Result<CadView> view = Status::Internal("unreached");
+  CadViewBuildExtras extras;
+  bool cacheable_partitions = false;
   if (reuse_global_domain_) {
     // Fast path: project the engine's full-table discretization onto the
     // current result set (row ids coincide with discretized positions
     // because the engine discretizes the whole table).
     DiscretizedTable projected =
         facets_.discretized().Project(facets_.result_rows());
-    view = BuildCadViewFromDiscretized(projected, options);
+    // Partial reuse: a cached strictly-coarser selection context covers a
+    // superset of the current rows, so intersecting its partition row-id
+    // lists with the current result set reproduces exactly the partitions a
+    // pivot-column rescan would find. Valid only on this path — per-fragment
+    // rediscretization re-compacts codes, invalidating cached ones.
+    PartitionSeed seed;
+    const PartitionSeed* seed_ptr = nullptr;
+    if (key.has_value()) {
+      if (auto base = cache_->FindRefinementBase(*key)) {
+        seed = IntersectPartitions(base->partitions, facets_.result_rows());
+        if (!seed.members_by_code.empty()) seed_ptr = &seed;
+      }
+    }
+    view = BuildCadViewFromDiscretized(projected, options, seed_ptr,
+                                       key.has_value() ? &extras : nullptr);
+    cacheable_partitions = key.has_value();
   } else {
     TableSlice slice{&facets_.table(), facets_.result_rows()};
     view = BuildCadView(slice, options);
   }
   if (!view.ok()) return view.status();
   last_timings_ = view->timings;
+  if (key.has_value()) {
+    CachedPartitions parts;
+    if (cacheable_partitions) {
+      parts = PartitionsToBaseRows(extras.partitions, facets_.result_rows());
+    }
+    cache_->Insert(*key, *view, std::move(parts), view->timings.total_ms);
+  }
   view_ = std::move(*view);
   return const_cast<const CadView*>(&*view_);
 }

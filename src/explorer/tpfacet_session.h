@@ -8,12 +8,14 @@
 
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/cad_view.h"
 #include "src/core/cad_view_builder.h"
+#include "src/core/view_cache.h"
 #include "src/facet/facet_engine.h"
 #include "src/util/result.h"
 
@@ -137,6 +139,20 @@ class TpFacetSession {
   void set_reuse_global_domain(bool reuse) { reuse_global_domain_ = reuse; }
   bool reuse_global_domain() const { return reuse_global_domain_; }
 
+  /// Attaches a (possibly shared) view cache. Subsequent View() calls look up
+  /// the current (selections, pivot, options) context before building; misses
+  /// insert the finished view, and on the global-domain path a cached
+  /// strictly-coarser context seeds the rebuild with its partition row-id
+  /// lists. `dataset_id` names the table for keying/invalidation. Output is
+  /// byte-identical with or without a cache. nullptr detaches.
+  void SetViewCache(std::shared_ptr<ViewCache> cache, std::string dataset_id);
+  const std::shared_ptr<ViewCache>& view_cache() const { return cache_; }
+
+  /// Canonical predicate strings of the current query panel, one per selected
+  /// attribute ("attr IN ('a', 'b')", values by ascending code) — the
+  /// conjunctive selection context the cache keys on.
+  std::vector<std::string> SelectionPredicates() const;
+
  private:
   TpFacetSession() = default;
   void InvalidateView() { view_.reset(); }
@@ -162,6 +178,8 @@ class TpFacetSession {
   TpFacetPhase phase_ = TpFacetPhase::kResults;
   size_t operation_count_ = 0;
   bool reuse_global_domain_ = true;
+  std::shared_ptr<ViewCache> cache_;
+  std::string dataset_id_;
 };
 
 }  // namespace dbx

@@ -1,0 +1,22 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Canonical pretty-printing of parsed dialect statements: the inverse of
+// ParseStatement. Round-trip law, pinned by the property tests in
+// tests/query_test.cc: for any statement S the printer emits,
+// StatementToSql(ParseStatement(StatementToSql(S))) == StatementToSql(S).
+// The view cache keys selection contexts on canonical predicate text, so this
+// unparser (and Predicate::ToString, which it reuses for WHERE clauses) is
+// part of the cache-correctness surface.
+
+#pragma once
+
+#include <string>
+
+#include "src/query/ast.h"
+
+namespace dbx {
+
+/// Renders `statement` as parseable dialect SQL in canonical form: uppercase
+/// keywords, single spaces, quoted string literals, explicit ASC/DESC.
+std::string StatementToSql(const Statement& statement);
+
+}  // namespace dbx

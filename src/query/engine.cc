@@ -13,6 +13,9 @@
 namespace dbx {
 
 void Engine::RegisterTable(const std::string& name, const Table* table) {
+  // A (re-)registration means the data under `name` may have changed; cached
+  // views over it are stale.
+  if (cache_ != nullptr) cache_->InvalidateDataset(name);
   tables_[name] = table;
 }
 
@@ -319,19 +322,50 @@ Result<ExecOutcome> Engine::ExecuteCreateCadView(CreateCadViewStmt stmt) {
   }
   const Table& table = *it->second;
 
-  TableSlice slice = TableSlice::All(table);
-  if (stmt.where) {
-    auto rows = Predicate::Evaluate(stmt.where.get(), slice);
-    if (!rows.ok()) return rows.status();
-    slice.rows = std::move(*rows);
-  }
-
   CadViewOptions options = defaults_;
   options.pivot_attr = stmt.pivot_attr;
   options.user_compare_attrs = stmt.compare_attrs;
   if (stmt.limit_columns) options.max_compare_attrs = *stmt.limit_columns;
   if (stmt.iunits) options.iunits_per_value = *stmt.iunits;
   options.pivot_values.clear();  // derive from data below when restricted
+
+  // Cache key for this statement: the WHERE clause (canonical text) is the
+  // selection context; ORDER BY joins the params because the cached view is
+  // the post-ORDER-BY result. Engine builds rediscretize each fragment, so
+  // only full hits apply (no partition seeds).
+  std::optional<ViewCacheKey> key;
+  if (cache_ != nullptr) {
+    if (auto fp = CadViewOptionsFingerprint(options)) {
+      std::string params = *fp + "|ob=";
+      for (const auto& [attr_name, ascending] : stmt.order_by) {
+        params += attr_name + (ascending ? ":1," : ":0,");
+      }
+      std::vector<std::string> predicates;
+      if (stmt.where) predicates.push_back(stmt.where->ToString());
+      key = ViewCacheKey::Make(stmt.table, std::move(predicates),
+                               stmt.pivot_attr, {}, std::move(params));
+      if (auto hit = cache_->Lookup(*key)) {
+        // Store a copy: REORDER mutates stored views in place and must not
+        // disturb the cached entry.
+        auto stored = std::make_unique<CadView>(hit->view);
+        const CadView* ptr = stored.get();
+        views_[stmt.view_name] = std::move(stored);
+        ExecOutcome out;
+        out.kind = ExecOutcome::Kind::kCadView;
+        out.view_name = stmt.view_name;
+        out.view = ptr;
+        out.rendered = RenderCadView(*ptr);
+        return out;
+      }
+    }
+  }
+
+  TableSlice slice = TableSlice::All(table);
+  if (stmt.where) {
+    auto rows = Predicate::Evaluate(stmt.where.get(), slice);
+    if (!rows.ok()) return rows.status();
+    slice.rows = std::move(*rows);
+  }
 
   // When the WHERE clause pins the pivot attribute to an explicit OR/IN set,
   // the paper's example keeps exactly those values as the view's rows. We
@@ -366,6 +400,10 @@ Result<ExecOutcome> Engine::ExecuteCreateCadView(CreateCadViewStmt stmt) {
                          return ascending ? ka < kb : ka > kb;
                        });
     }
+  }
+
+  if (key.has_value()) {
+    cache_->Insert(*key, *view, CachedPartitions{}, view->timings.total_ms);
   }
 
   auto stored = std::make_unique<CadView>(std::move(*view));

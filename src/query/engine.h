@@ -12,6 +12,7 @@
 
 #include "src/core/cad_view.h"
 #include "src/core/cad_view_builder.h"
+#include "src/core/view_cache.h"
 #include "src/query/ast.h"
 #include "src/util/result.h"
 
@@ -56,6 +57,14 @@ class Engine {
     defaults_ = std::move(options);
   }
 
+  /// Attaches a (possibly shared) view cache: repeated CREATE CADVIEW
+  /// statements over an unchanged table short-circuit to the cached build.
+  /// Re-registering a table invalidates its entries. nullptr detaches.
+  void SetViewCache(std::shared_ptr<ViewCache> cache) {
+    cache_ = std::move(cache);
+  }
+  const std::shared_ptr<ViewCache>& view_cache() const { return cache_; }
+
   /// Parses and executes one statement.
   Result<ExecOutcome> ExecuteSql(const std::string& sql);
 
@@ -78,6 +87,7 @@ class Engine {
   std::map<std::string, const Table*> tables_;
   std::map<std::string, std::unique_ptr<CadView>> views_;
   CadViewOptions defaults_;
+  std::shared_ptr<ViewCache> cache_;
 };
 
 }  // namespace dbx

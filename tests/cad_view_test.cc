@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "src/cluster/encoder.h"
 #include "src/cluster/kmeans.h"
@@ -11,9 +15,11 @@
 #include "src/core/cad_view_io.h"
 #include "src/core/cad_view_renderer.h"
 #include "src/core/iunit_similarity.h"
+#include "src/core/view_cache.h"
 #include "src/data/mushroom.h"
 #include "src/data/synthetic.h"
 #include "src/data/used_cars.h"
+#include "src/explorer/tpfacet_session.h"
 #include "src/stats/feature_selection.h"
 #include "src/util/thread_pool.h"
 
@@ -525,6 +531,151 @@ TEST_F(CadViewTest, CustomPreferenceFunctionChangesRanking) {
       EXPECT_GE(r.iunits[i - 1].score, r.iunits[i].score);
     }
   }
+}
+
+// --- Session-scoped view cache: drill-down replay regression -----------------
+//
+// The cache contract: for ANY cache state (absent, cold, warm, partially
+// evicted) and ANY thread count, every view a session serves is byte-identical
+// to the uncached single-threaded build. A fixed 10-step TPFacet script —
+// selects, a widen, an undo, a deselect, pivot-value restriction — is replayed
+// under each configuration and compared step by step via SerializeStable.
+
+// `rank`-th most frequent label of `attr` in the facet domain (ties broken by
+// code), so the script adapts to the generated data instead of hard-coding
+// generator internals.
+std::string FrequentLabel(const DiscretizedTable& dt, const std::string& attr,
+                          size_t rank) {
+  auto idx = dt.IndexOf(attr);
+  EXPECT_TRUE(idx.has_value()) << attr;
+  const DiscreteAttr& a = dt.attr(*idx);
+  std::vector<size_t> counts(a.cardinality(), 0);
+  for (int32_t code : a.codes) {
+    if (code >= 0) ++counts[static_cast<size_t>(code)];
+  }
+  std::vector<int32_t> order(a.cardinality());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+  std::sort(order.begin(), order.end(), [&](int32_t x, int32_t y) {
+    if (counts[x] != counts[y]) return counts[x] > counts[y];
+    return x < y;
+  });
+  EXPECT_LT(rank, order.size()) << attr;
+  return a.labels[order[rank]];
+}
+
+// Replays the fixed drill-down script and returns the serialized view after
+// every step. `cache` == nullptr replays uncached.
+std::vector<std::string> ReplayDrillDown(const Table& table,
+                                         const std::shared_ptr<ViewCache>& cache,
+                                         size_t num_threads) {
+  CadViewOptions o;
+  o.max_compare_attrs = 4;
+  o.iunits_per_value = 2;
+  o.seed = 7;
+  o.num_threads = num_threads;
+  auto session = TpFacetSession::Create(&table, DiscretizerOptions{}, o);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  if (!session.ok()) return {};
+  if (cache != nullptr) session->SetViewCache(cache, "mushroom");
+
+  const DiscretizedTable& dt = session->facets().discretized();
+  const std::string odor0 = FrequentLabel(dt, "Odor", 0);
+  const std::string odor1 = FrequentLabel(dt, "Odor", 1);
+  const std::string bruises = FrequentLabel(dt, "Bruises", 0);
+  const std::string gill = FrequentLabel(dt, "GillColor", 0);
+  const std::string spore = FrequentLabel(dt, "SporePrintColor", 0);
+  const std::string pclass = FrequentLabel(dt, "Class", 0);
+
+  TpFacetSession& s = *session;
+  const std::vector<std::pair<const char*, std::function<Status()>>> script = {
+      {"pivot Class", [&] { return s.SetPivot("Class"); }},
+      {"select Odor#0", [&] { return s.SelectValue("Odor", odor0); }},
+      {"widen Odor#1", [&] { return s.SelectValue("Odor", odor1); }},
+      {"select Bruises#0", [&] { return s.SelectValue("Bruises", bruises); }},
+      {"select GillColor#0", [&] { return s.SelectValue("GillColor", gill); }},
+      {"undo", [&] { return s.Undo(); }},
+      {"select SporePrint#0",
+       [&] { return s.SelectValue("SporePrintColor", spore); }},
+      {"deselect Odor#1", [&] { return s.DeselectValue("Odor", odor1); }},
+      {"restrict pivot values",
+       [&] {
+         s.SetPivotValues({pclass});
+         return Status::OK();
+       }},
+      {"all pivot values",
+       [&] {
+         s.SetPivotValues({});
+         return Status::OK();
+       }},
+  };
+
+  std::vector<std::string> serialized;
+  for (const auto& [name, step] : script) {
+    Status st = step();
+    EXPECT_TRUE(st.ok()) << name << ": " << st.ToString();
+    if (!st.ok()) return serialized;
+    auto view = s.View();
+    EXPECT_TRUE(view.ok()) << name << ": " << view.status().ToString();
+    if (!view.ok()) return serialized;
+    serialized.push_back(SerializeStable(**view));
+  }
+  return serialized;
+}
+
+TEST(ViewCacheDrillDownTest, ColdAndWarmCacheByteIdenticalAcrossThreads) {
+  Table table = GenerateMushrooms(1200);
+  const std::vector<std::string> baseline = ReplayDrillDown(table, nullptr, 1);
+  ASSERT_EQ(baseline.size(), 10u);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    // Uncached replay at this thread count reproduces the serial baseline.
+    EXPECT_EQ(ReplayDrillDown(table, nullptr, threads), baseline);
+
+    // Cold cache: every step builds (or drill-back-hits) and inserts.
+    auto cache = std::make_shared<ViewCache>();
+    EXPECT_EQ(ReplayDrillDown(table, cache, threads), baseline);
+    const ViewCacheStats cold = cache->stats();
+    EXPECT_GT(cold.inserts, 0u);
+    // The undo step returns to an already-cached context.
+    EXPECT_GT(cold.hits, 0u);
+    // Step 2 strictly refines step 1's empty selection: the rebuild was
+    // seeded from cached partition row lists.
+    EXPECT_GT(cold.refinement_seeds, 0u);
+
+    // Warm: a fresh session sharing the populated cache serves hits only.
+    EXPECT_EQ(ReplayDrillDown(table, cache, threads), baseline);
+    const ViewCacheStats warm = cache->stats();
+    EXPECT_GT(warm.hits, cold.hits);
+    EXPECT_EQ(warm.misses, cold.misses);
+  }
+}
+
+TEST(ViewCacheDrillDownTest, PartiallyEvictedCacheStaysByteIdentical) {
+  Table table = GenerateMushrooms(1200);
+  const std::vector<std::string> baseline = ReplayDrillDown(table, nullptr, 1);
+  ASSERT_EQ(baseline.size(), 10u);
+
+  // A budget far below the script's working set forces eviction churn: some
+  // steps hit, some rebuild, and the interleaving must not leak into output.
+  auto cache = std::make_shared<ViewCache>(48u * 1024);
+  EXPECT_EQ(ReplayDrillDown(table, cache, 1), baseline);
+  EXPECT_EQ(ReplayDrillDown(table, cache, 2), baseline);
+  const ViewCacheStats stats = cache->stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_in_use, stats.byte_budget);
+}
+
+TEST(ViewCacheDrillDownTest, InvalidationForcesRebuildWithIdenticalOutput) {
+  Table table = GenerateMushrooms(1200);
+  const std::vector<std::string> baseline = ReplayDrillDown(table, nullptr, 1);
+  ASSERT_EQ(baseline.size(), 10u);
+
+  auto cache = std::make_shared<ViewCache>();
+  EXPECT_EQ(ReplayDrillDown(table, cache, 1), baseline);
+  cache->InvalidateDataset("mushroom");
+  EXPECT_EQ(cache->stats().entries, 0u);
+  EXPECT_EQ(ReplayDrillDown(table, cache, 1), baseline);
 }
 
 }  // namespace

@@ -1,11 +1,20 @@
-// Tests for the CADVIEW SQL dialect: lexer, parser, and engine execution.
+// Tests for the CADVIEW SQL dialect: lexer, parser, engine execution, and the
+// canonical unparser's print/parse round-trip properties.
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/view_cache.h"
 #include "src/data/used_cars.h"
+#include "src/query/canonical.h"
 #include "src/query/engine.h"
 #include "src/query/lexer.h"
 #include "src/query/parser.h"
+#include "src/util/rng.h"
 
 namespace dbx {
 namespace {
@@ -542,6 +551,226 @@ TEST_F(EngineTest, DefaultOptionsRespected) {
   EXPECT_LE(r->view->compare_attrs.size(), 2u);
   for (const CadViewRow& row : r->view->rows) {
     EXPECT_LE(row.iunits.size(), 1u);
+  }
+}
+
+// --- Property-based round trips ----------------------------------------------
+//
+// The canonical unparser's law (src/query/canonical.h): for any statement the
+// printer emits, print(parse(print(S))) == print(S). A deterministic random
+// AST generator drives a few hundred statements through the cycle. The
+// generator stays inside the printable grammar: And/Or get >= 2 children (a
+// single child would print as "(a)" and re-parse to the bare child), strings
+// avoid the quote character (Predicate::ToString does not escape), numbers are
+// non-negative (the lexer has no unary minus), and BETWEEN uses ordered
+// integer bounds (its bounds print with zero decimals).
+
+const char* const kAttrPool[] = {"Price",  "Mileage", "Year",      "Make",
+                                 "Model",  "Color",   "Odor",      "GillColor",
+                                 "Rating", "Capacity"};
+const char* const kTablePool[] = {"UsedCars", "Mushrooms", "Listings"};
+const char* const kViewPool[] = {"v1", "v2", "focus"};
+const char* const kWordPool[] = {"red",  "blue",   "Jeep",   "Ford",
+                                 "none", "foul",   "smooth", "broad",
+                                 "ring type", "almond"};
+
+template <size_t N>
+std::string Pick(Rng& rng, const char* const (&pool)[N]) {
+  return pool[rng.NextBounded(N)];
+}
+
+PredicatePtr RandomPredicate(Rng& rng, int depth) {
+  // Leaves only once the tree is deep enough.
+  const int kind = depth >= 2 ? static_cast<int>(rng.NextBounded(4))
+                              : static_cast<int>(rng.NextBounded(7));
+  switch (kind) {
+    case 0: {  // numeric comparison
+      static const CmpOp kOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                                   CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+      const CmpOp op = kOps[rng.NextBounded(6)];
+      const double v = rng.NextBool()
+                           ? static_cast<double>(rng.NextInt(0, 99999))
+                           : static_cast<double>(rng.NextInt(0, 99999)) / 1000.0;
+      return MakeCmp(Pick(rng, kAttrPool), op, Value(v));
+    }
+    case 1: {  // string comparison
+      const CmpOp op = rng.NextBool() ? CmpOp::kEq : CmpOp::kNe;
+      return MakeCmp(Pick(rng, kAttrPool), op, Value(Pick(rng, kWordPool)));
+    }
+    case 2: {  // BETWEEN with ordered integer bounds
+      const int64_t lo = rng.NextInt(0, 50000);
+      const int64_t hi = lo + rng.NextInt(0, 50000);
+      return MakeBetween(Pick(rng, kAttrPool), static_cast<double>(lo),
+                         static_cast<double>(hi));
+    }
+    case 3: {  // IN list
+      std::vector<std::string> values;
+      const size_t n = 1 + rng.NextBounded(3);
+      for (size_t i = 0; i < n; ++i) values.push_back(Pick(rng, kWordPool));
+      return MakeIn(Pick(rng, kAttrPool), std::move(values));
+    }
+    case 4:
+    case 5: {  // conjunction / disjunction, always >= 2 children
+      std::vector<PredicatePtr> children;
+      const size_t n = 2 + rng.NextBounded(2);
+      for (size_t i = 0; i < n; ++i) {
+        children.push_back(RandomPredicate(rng, depth + 1));
+      }
+      return kind == 4 ? MakeAnd(std::move(children))
+                       : MakeOr(std::move(children));
+    }
+    default:
+      return MakeNot(RandomPredicate(rng, depth + 1));
+  }
+}
+
+std::vector<std::pair<std::string, bool>> RandomOrderBy(Rng& rng) {
+  std::vector<std::pair<std::string, bool>> order_by;
+  const size_t n = rng.NextBounded(3);
+  for (size_t i = 0; i < n; ++i) {
+    order_by.emplace_back(Pick(rng, kAttrPool), rng.NextBool());
+  }
+  return order_by;
+}
+
+Statement RandomSelect(Rng& rng) {
+  SelectStmt stmt;
+  stmt.table = Pick(rng, kTablePool);
+  if (rng.NextBool(0.3)) {
+    // Aggregate form: items list the grouping columns plus 1-2 aggregates.
+    const size_t groups = rng.NextBounded(3);
+    for (size_t i = 0; i < groups; ++i) {
+      std::string col = Pick(rng, kAttrPool);
+      stmt.group_by.push_back(col);
+      stmt.items.push_back(SelectItem{std::nullopt, std::move(col)});
+    }
+    static const AggFn kFns[] = {AggFn::kCount, AggFn::kAvg, AggFn::kSum,
+                                 AggFn::kMin, AggFn::kMax};
+    const size_t aggs = 1 + rng.NextBounded(2);
+    for (size_t i = 0; i < aggs; ++i) {
+      const AggFn fn = kFns[rng.NextBounded(5)];
+      stmt.items.push_back(SelectItem{
+          fn, fn == AggFn::kCount ? std::string() : Pick(rng, kAttrPool)});
+    }
+    // Aggregate ORDER BY names refer to output columns.
+    if (!stmt.group_by.empty() && rng.NextBool()) {
+      stmt.order_by.emplace_back(stmt.group_by[0], rng.NextBool());
+    }
+  } else if (rng.NextBool(0.4)) {
+    stmt.star = true;
+    stmt.order_by = RandomOrderBy(rng);
+  } else {
+    const size_t cols = 1 + rng.NextBounded(3);
+    for (size_t i = 0; i < cols; ++i) {
+      stmt.columns.push_back(Pick(rng, kAttrPool));
+    }
+    stmt.order_by = RandomOrderBy(rng);
+  }
+  if (rng.NextBool(0.6)) stmt.where = RandomPredicate(rng, 0);
+  if (rng.NextBool()) stmt.limit = static_cast<size_t>(rng.NextInt(0, 500));
+  return stmt;
+}
+
+Statement RandomCreateCadView(Rng& rng) {
+  CreateCadViewStmt stmt;
+  stmt.view_name = Pick(rng, kViewPool);
+  stmt.pivot_attr = Pick(rng, kAttrPool);
+  const size_t attrs = rng.NextBounded(4);  // 0 prints as SELECT *
+  for (size_t i = 0; i < attrs; ++i) {
+    stmt.compare_attrs.push_back(Pick(rng, kAttrPool));
+  }
+  stmt.table = Pick(rng, kTablePool);
+  if (rng.NextBool()) stmt.where = RandomPredicate(rng, 0);
+  if (rng.NextBool()) {
+    stmt.limit_columns = static_cast<size_t>(rng.NextInt(1, 8));
+  }
+  if (rng.NextBool()) stmt.iunits = static_cast<size_t>(rng.NextInt(1, 5));
+  stmt.order_by = RandomOrderBy(rng);
+  return stmt;
+}
+
+Statement RandomStatement(Rng& rng) {
+  switch (rng.NextBounded(7)) {
+    case 0:
+      return RandomSelect(rng);
+    case 1:
+      return RandomCreateCadView(rng);
+    case 2: {
+      HighlightStmt stmt;
+      stmt.view_name = Pick(rng, kViewPool);
+      stmt.pivot_value = Pick(rng, kWordPool);
+      stmt.iunit_rank = static_cast<size_t>(rng.NextInt(1, 5));
+      stmt.threshold = rng.NextBool()
+                           ? static_cast<double>(rng.NextInt(0, 3))
+                           : static_cast<double>(rng.NextInt(0, 1000)) / 1000.0;
+      return stmt;
+    }
+    case 3: {
+      ReorderStmt stmt;
+      stmt.view_name = Pick(rng, kViewPool);
+      stmt.pivot_value = Pick(rng, kWordPool);
+      stmt.descending = rng.NextBool();
+      return stmt;
+    }
+    case 4:
+      return DescribeStmt{Pick(rng, kTablePool)};
+    case 5: {
+      ShowStmt stmt;
+      stmt.what =
+          rng.NextBool() ? ShowStmt::What::kTables : ShowStmt::What::kCadViews;
+      return stmt;
+    }
+    default:
+      return DropCadViewStmt{Pick(rng, kViewPool)};
+  }
+}
+
+TEST(RoundTripPropertyTest, PrintParsePrintIsIdentity) {
+  Rng rng(20260805);
+  for (int iter = 0; iter < 300; ++iter) {
+    const Statement stmt = RandomStatement(rng);
+    const std::string sql1 = StatementToSql(stmt);
+    auto parsed = ParseStatement(sql1);
+    ASSERT_TRUE(parsed.ok())
+        << "iter " << iter << ": " << sql1 << "\n  " << parsed.status().ToString();
+    EXPECT_EQ(parsed->index(), stmt.index()) << "iter " << iter << ": " << sql1;
+    EXPECT_EQ(StatementToSql(*parsed), sql1) << "iter " << iter;
+  }
+}
+
+TEST(RoundTripPropertyTest, PredicatePrintParsePrintIsIdentity) {
+  // Denser coverage of the WHERE grammar than whole statements give.
+  Rng rng(7);
+  for (int iter = 0; iter < 300; ++iter) {
+    const PredicatePtr pred = RandomPredicate(rng, 0);
+    const std::string sql1 = "SELECT * FROM UsedCars WHERE " + pred->ToString();
+    auto parsed = ParseStatement(sql1);
+    ASSERT_TRUE(parsed.ok())
+        << "iter " << iter << ": " << sql1 << "\n  " << parsed.status().ToString();
+    EXPECT_EQ(StatementToSql(*parsed), sql1) << "iter " << iter;
+  }
+}
+
+TEST(RoundTripPropertyTest, PredicateToStringIsCanonicalForTheViewCache) {
+  // The view cache keys selection contexts on CanonicalizePredicate of the
+  // WHERE text. Two invariants keep keys stable: the printer's output is a
+  // fixed point of canonicalization, and whitespace mangling never changes
+  // the canonical form (so textual variants of one query share a key).
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    const PredicatePtr pred = RandomPredicate(rng, 0);
+    const std::string text = pred->ToString();
+    EXPECT_EQ(CanonicalizePredicate(text), text) << "iter " << iter;
+
+    std::string mangled = "  ";
+    for (char c : text) {
+      mangled += c;
+      if (c == ' ' && rng.NextBool()) {
+        mangled += rng.NextBool() ? "\t " : "  ";
+      }
+    }
+    mangled += " \t";
+    EXPECT_EQ(CanonicalizePredicate(mangled), text) << "iter " << iter;
   }
 }
 

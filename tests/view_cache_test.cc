@@ -1,0 +1,392 @@
+// Tests for the CAD View cache layer: key canonicalization, LRU eviction at
+// the byte budget, invalidation, statistics, refinement-base matching, and
+// concurrent lookup/insert hammering on the thread pool.
+
+#include "src/core/view_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace dbx {
+namespace {
+
+// A minimal view whose ApproxCadViewBytes is >= `payload` bytes, so tests can
+// drive the byte budget with precise sizes.
+CadView MakeViewOfSize(size_t payload, const std::string& pivot = "p") {
+  CadView view;
+  view.pivot_attr = pivot;
+  CadViewRow row;
+  row.pivot_value.assign(payload, 'x');
+  view.rows.push_back(std::move(row));
+  return view;
+}
+
+ViewCacheKey MakeKey(const std::string& dataset,
+                     std::vector<std::string> predicates,
+                     const std::string& params = "fp") {
+  return ViewCacheKey::Make(dataset, std::move(predicates), "Class", {},
+                            params);
+}
+
+TEST(CanonicalizePredicateTest, CollapsesAndTrimsWhitespace) {
+  EXPECT_EQ(CanonicalizePredicate("  Odor  =   'none'  "), "Odor = 'none'");
+  EXPECT_EQ(CanonicalizePredicate("a\t=\n1"), "a = 1");
+  EXPECT_EQ(CanonicalizePredicate("already canonical"), "already canonical");
+  EXPECT_EQ(CanonicalizePredicate("   "), "");
+  EXPECT_EQ(CanonicalizePredicate(""), "");
+}
+
+TEST(ViewCacheKeyTest, PredicateOrderAndWhitespaceInsensitive) {
+  ViewCacheKey a = MakeKey("m", {"a = 1", "b = 2"});
+  ViewCacheKey b = MakeKey("m", {"b   =  2", "a =\t1"});
+  EXPECT_EQ(a.canonical, b.canonical);
+  EXPECT_EQ(a.predicates, b.predicates);
+}
+
+TEST(ViewCacheKeyTest, DuplicatePredicatesCollapse) {
+  ViewCacheKey a = MakeKey("m", {"a = 1", "a  =  1", "a = 1"});
+  ViewCacheKey b = MakeKey("m", {"a = 1"});
+  EXPECT_EQ(a.canonical, b.canonical);
+  EXPECT_EQ(a.predicates.size(), 1u);
+}
+
+TEST(ViewCacheKeyTest, EveryComponentDistinguishes) {
+  ViewCacheKey base = MakeKey("m", {"a = 1"});
+  EXPECT_NE(base.canonical, MakeKey("m2", {"a = 1"}).canonical);
+  EXPECT_NE(base.canonical, MakeKey("m", {"a = 2"}).canonical);
+  EXPECT_NE(base.canonical, MakeKey("m", {}).canonical);
+  EXPECT_NE(base.canonical, MakeKey("m", {"a = 1"}, "fp2").canonical);
+  EXPECT_NE(base.canonical,
+            ViewCacheKey::Make("m", {"a = 1"}, "Odor", {}, "fp").canonical);
+  EXPECT_NE(base.canonical,
+            ViewCacheKey::Make("m", {"a = 1"}, "Class", {"e"}, "fp").canonical);
+}
+
+TEST(ViewCacheKeyTest, LengthPrefixingPreventsComponentCollisions) {
+  // Without length prefixes, ("ab", "c") and ("a", "bc") could serialize to
+  // the same canonical string.
+  ViewCacheKey a = MakeKey("ab", {"c"});
+  ViewCacheKey b = MakeKey("a", {"bc"});
+  EXPECT_NE(a.canonical, b.canonical);
+}
+
+TEST(CadViewOptionsFingerprintTest, SensitiveToOutputAffectingFields) {
+  CadViewOptions base;
+  auto fp = CadViewOptionsFingerprint(base);
+  ASSERT_TRUE(fp.has_value());
+
+  CadViewOptions changed = base;
+  changed.seed = base.seed + 1;
+  EXPECT_NE(*CadViewOptionsFingerprint(changed), *fp);
+
+  changed = base;
+  changed.iunits_per_value = 7;
+  EXPECT_NE(*CadViewOptionsFingerprint(changed), *fp);
+
+  changed = base;
+  changed.similarity_alpha = 0.9;
+  EXPECT_NE(*CadViewOptionsFingerprint(changed), *fp);
+
+  changed = base;
+  changed.discretizer.max_numeric_bins = 4;
+  EXPECT_NE(*CadViewOptionsFingerprint(changed), *fp);
+
+  changed = base;
+  changed.user_compare_attrs = {"Price"};
+  EXPECT_NE(*CadViewOptionsFingerprint(changed), *fp);
+}
+
+TEST(CadViewOptionsFingerprintTest, ThreadCountIsOutputNeutral) {
+  CadViewOptions a;
+  CadViewOptions b;
+  b.num_threads = 8;
+  EXPECT_EQ(*CadViewOptionsFingerprint(a), *CadViewOptionsFingerprint(b));
+}
+
+TEST(CadViewOptionsFingerprintTest, OpaquePreferenceIsUncacheable) {
+  CadViewOptions o;
+  o.preference = [](const IUnit&) { return 1.0; };
+  EXPECT_FALSE(CadViewOptionsFingerprint(o).has_value());
+}
+
+TEST(ViewCacheTest, LookupMissThenHit) {
+  ViewCache cache(1u << 20);
+  ViewCacheKey key = MakeKey("m", {"a = 1"});
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Insert(key, MakeViewOfSize(100), CachedPartitions{}, 12.5);
+  auto hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->view.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(hit->build_cost_ms, 12.5);
+
+  ViewCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes_in_use, 100u);
+}
+
+TEST(ViewCacheTest, HitCountersPerEntry) {
+  ViewCache cache(1u << 20);
+  ViewCacheKey key = MakeKey("m", {"a = 1"});
+  cache.Insert(key, MakeViewOfSize(10), CachedPartitions{}, 1.0);
+  cache.Lookup(key);
+  cache.Lookup(key);
+  cache.Lookup(key);
+  auto infos = cache.EntryInfos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].hits, 3u);
+}
+
+TEST(ViewCacheTest, EvictsLeastRecentlyUsedAtByteBudget) {
+  // Budget fits roughly two payload-dominated entries of ~4 KiB each.
+  const size_t payload = 4096;
+  const size_t entry_bytes = ApproxCadViewBytes(MakeViewOfSize(payload));
+  ViewCache cache(2 * entry_bytes + entry_bytes / 2);
+
+  ViewCacheKey k1 = MakeKey("m", {"a = 1"});
+  ViewCacheKey k2 = MakeKey("m", {"a = 2"});
+  ViewCacheKey k3 = MakeKey("m", {"a = 3"});
+  cache.Insert(k1, MakeViewOfSize(payload), CachedPartitions{}, 1.0);
+  cache.Insert(k2, MakeViewOfSize(payload), CachedPartitions{}, 1.0);
+  // Touch k1 so k2 is the LRU victim.
+  ASSERT_NE(cache.Lookup(k1), nullptr);
+  cache.Insert(k3, MakeViewOfSize(payload), CachedPartitions{}, 1.0);
+
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  EXPECT_EQ(cache.Lookup(k2), nullptr) << "LRU entry should have been evicted";
+  EXPECT_NE(cache.Lookup(k3), nullptr);
+
+  ViewCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes_in_use, stats.byte_budget);
+}
+
+TEST(ViewCacheTest, EntryLargerThanBudgetIsRejected) {
+  ViewCache cache(512);
+  ViewCacheKey key = MakeKey("m", {"a = 1"});
+  cache.Insert(key, MakeViewOfSize(4096), CachedPartitions{}, 1.0);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().oversize_rejects, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ViewCacheTest, EvictedEntryRemainsValidForHolders) {
+  const size_t payload = 2048;
+  const size_t entry_bytes = ApproxCadViewBytes(MakeViewOfSize(payload));
+  ViewCache cache(entry_bytes + entry_bytes / 2);
+  ViewCacheKey k1 = MakeKey("m", {"a = 1"});
+  cache.Insert(k1, MakeViewOfSize(payload, "keepme"), CachedPartitions{}, 1.0);
+  auto held = cache.Lookup(k1);
+  ASSERT_NE(held, nullptr);
+  // Force k1 out.
+  cache.Insert(MakeKey("m", {"a = 2"}), MakeViewOfSize(payload),
+               CachedPartitions{}, 1.0);
+  EXPECT_EQ(cache.Lookup(k1), nullptr);
+  EXPECT_EQ(held->view.pivot_attr, "keepme");  // still usable
+}
+
+TEST(ViewCacheTest, InvalidateDatasetDropsOnlyThatDataset) {
+  ViewCache cache(1u << 20);
+  ViewCacheKey km = MakeKey("mushroom", {"a = 1"});
+  ViewCacheKey kc = MakeKey("cars", {"a = 1"});
+  cache.Insert(km, MakeViewOfSize(64), CachedPartitions{}, 1.0);
+  cache.Insert(kc, MakeViewOfSize(64), CachedPartitions{}, 1.0);
+
+  cache.InvalidateDataset("mushroom");
+  EXPECT_EQ(cache.Lookup(km), nullptr);
+  EXPECT_NE(cache.Lookup(kc), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ViewCacheTest, ClearDropsEverything) {
+  ViewCache cache(1u << 20);
+  cache.Insert(MakeKey("a", {}), MakeViewOfSize(64), CachedPartitions{}, 1.0);
+  cache.Insert(MakeKey("b", {}), MakeViewOfSize(64), CachedPartitions{}, 1.0);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes_in_use, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+CachedPartitions OnePartition(int32_t code, std::vector<uint32_t> rows) {
+  CachedPartitions parts;
+  parts.rows_by_code.emplace_back(code, std::move(rows));
+  return parts;
+}
+
+TEST(ViewCacheTest, FindRefinementBaseMatchesStrictSubset) {
+  ViewCache cache(1u << 20);
+  ViewCacheKey coarse = MakeKey("m", {"a = 1"});
+  cache.Insert(coarse, MakeViewOfSize(64), OnePartition(0, {1, 2, 3}), 1.0);
+
+  // {"a = 1"} is a strict subset of {"a = 1", "b = 2"}.
+  auto base = cache.FindRefinementBase(MakeKey("m", {"a = 1", "b = 2"}));
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->partitions.rows_by_code.size(), 1u);
+  EXPECT_EQ(cache.stats().refinement_seeds, 1u);
+
+  // The same predicate set is NOT a strict subset (that's a full hit, not a
+  // refinement), and a disjoint set does not match either.
+  EXPECT_EQ(cache.FindRefinementBase(MakeKey("m", {"a = 1"})), nullptr);
+  EXPECT_EQ(cache.FindRefinementBase(MakeKey("m", {"c = 3", "d = 4"})),
+            nullptr);
+}
+
+TEST(ViewCacheTest, FindRefinementBaseRequiresSameContext) {
+  ViewCache cache(1u << 20);
+  cache.Insert(MakeKey("m", {"a = 1"}), MakeViewOfSize(64),
+               OnePartition(0, {1}), 1.0);
+  // Different dataset / params / pivot attr: no match.
+  EXPECT_EQ(cache.FindRefinementBase(MakeKey("other", {"a = 1", "b = 2"})),
+            nullptr);
+  EXPECT_EQ(
+      cache.FindRefinementBase(MakeKey("m", {"a = 1", "b = 2"}, "fp-other")),
+      nullptr);
+  EXPECT_EQ(cache.FindRefinementBase(ViewCacheKey::Make(
+                "m", {"a = 1", "b = 2"}, "OtherPivot", {}, "fp")),
+            nullptr);
+}
+
+TEST(ViewCacheTest, FindRefinementBaseSkipsEntriesWithoutPartitions) {
+  ViewCache cache(1u << 20);
+  cache.Insert(MakeKey("m", {"a = 1"}), MakeViewOfSize(64), CachedPartitions{},
+               1.0);
+  EXPECT_EQ(cache.FindRefinementBase(MakeKey("m", {"a = 1", "b = 2"})),
+            nullptr);
+}
+
+TEST(ViewCacheTest, FindRefinementBasePrefersMostRefinedDonor) {
+  ViewCache cache(1u << 20);
+  cache.Insert(MakeKey("m", {}), MakeViewOfSize(64), OnePartition(0, {1}),
+               1.0);
+  cache.Insert(MakeKey("m", {"a = 1"}), MakeViewOfSize(64),
+               OnePartition(0, {2}), 1.0);
+  cache.Insert(MakeKey("m", {"a = 1", "b = 2"}), MakeViewOfSize(64),
+               OnePartition(0, {3}), 1.0);
+
+  auto base =
+      cache.FindRefinementBase(MakeKey("m", {"a = 1", "b = 2", "c = 3"}));
+  ASSERT_NE(base, nullptr);
+  // The two-predicate donor is the most refined subset: smallest superset
+  // fragment, cheapest intersection.
+  ASSERT_EQ(base->partitions.rows_by_code.size(), 1u);
+  EXPECT_EQ(base->partitions.rows_by_code[0].second,
+            std::vector<uint32_t>({3}));
+}
+
+TEST(ViewCacheTest, FindRefinementBasePivotValueRules) {
+  ViewCache cache(1u << 20);
+  ViewCacheKey all_values =
+      ViewCacheKey::Make("m", {"a = 1"}, "Class", {}, "fp");
+  cache.Insert(all_values, MakeViewOfSize(64), OnePartition(0, {1}), 1.0);
+
+  // Donor with all pivot values seeds any pivot-value restriction.
+  EXPECT_NE(cache.FindRefinementBase(ViewCacheKey::Make(
+                "m", {"a = 1", "b = 2"}, "Class", {"e"}, "fp")),
+            nullptr);
+
+  cache.Clear();
+  ViewCacheKey restricted =
+      ViewCacheKey::Make("m", {"a = 1"}, "Class", {"e"}, "fp");
+  cache.Insert(restricted, MakeViewOfSize(64), OnePartition(0, {1}), 1.0);
+  // A value-restricted donor only seeds identical value lists.
+  EXPECT_NE(cache.FindRefinementBase(ViewCacheKey::Make(
+                "m", {"a = 1", "b = 2"}, "Class", {"e"}, "fp")),
+            nullptr);
+  EXPECT_EQ(cache.FindRefinementBase(ViewCacheKey::Make(
+                "m", {"a = 1", "b = 2"}, "Class", {"p"}, "fp")),
+            nullptr);
+  EXPECT_EQ(cache.FindRefinementBase(ViewCacheKey::Make(
+                "m", {"a = 1", "b = 2"}, "Class", {}, "fp")),
+            nullptr);
+}
+
+TEST(PartitionConversionTest, RoundTripThroughBaseRows) {
+  // Fragment rows (base ids) and per-code members as positions into them.
+  RowSet fragment = {10, 20, 30, 40, 50};
+  PartitionSeed seed;
+  seed.members_by_code.emplace_back(0, std::vector<size_t>{0, 2});
+  seed.members_by_code.emplace_back(3, std::vector<size_t>{1, 3, 4});
+
+  CachedPartitions cached = PartitionsToBaseRows(seed, fragment);
+  ASSERT_EQ(cached.rows_by_code.size(), 2u);
+  EXPECT_EQ(cached.rows_by_code[0].second, std::vector<uint32_t>({10, 30}));
+  EXPECT_EQ(cached.rows_by_code[1].second,
+            std::vector<uint32_t>({20, 40, 50}));
+
+  // Intersecting with the same fragment reproduces the seed.
+  PartitionSeed back = IntersectPartitions(cached, fragment);
+  ASSERT_EQ(back.members_by_code.size(), 2u);
+  EXPECT_EQ(back.members_by_code[0].second, seed.members_by_code[0].second);
+  EXPECT_EQ(back.members_by_code[1].second, seed.members_by_code[1].second);
+}
+
+TEST(PartitionConversionTest, IntersectWithRefinedFragment) {
+  CachedPartitions cached;
+  cached.rows_by_code.emplace_back(0, std::vector<uint32_t>{10, 30, 50});
+  cached.rows_by_code.emplace_back(1, std::vector<uint32_t>{20, 40});
+
+  // The refined fragment kept rows 30, 40, 50 only.
+  RowSet refined = {30, 40, 50};
+  PartitionSeed seed = IntersectPartitions(cached, refined);
+  ASSERT_EQ(seed.members_by_code.size(), 2u);
+  EXPECT_EQ(seed.members_by_code[0].first, 0);
+  EXPECT_EQ(seed.members_by_code[0].second, std::vector<size_t>({0, 2}));
+  EXPECT_EQ(seed.members_by_code[1].first, 1);
+  EXPECT_EQ(seed.members_by_code[1].second, std::vector<size_t>({1}));
+}
+
+TEST(PartitionConversionTest, EmptyIntersectionsAreDropped) {
+  CachedPartitions cached;
+  cached.rows_by_code.emplace_back(0, std::vector<uint32_t>{10});
+  cached.rows_by_code.emplace_back(1, std::vector<uint32_t>{20});
+  RowSet refined = {20};
+  PartitionSeed seed = IntersectPartitions(cached, refined);
+  ASSERT_EQ(seed.members_by_code.size(), 1u);
+  EXPECT_EQ(seed.members_by_code[0].first, 1);
+}
+
+TEST(ViewCacheTest, ConcurrentLookupInsertHammering) {
+  // Many threads, overlapping key space, a budget small enough to force
+  // evictions mid-flight. TSAN (scripts/check_tsan.sh runs the `unit` label)
+  // verifies the locking; here we check nothing crashes and the stats add up.
+  const size_t payload = 512;
+  const size_t entry_bytes = ApproxCadViewBytes(MakeViewOfSize(payload));
+  ViewCache cache(8 * entry_bytes);
+
+  const size_t kOps = 400;
+  Status st = ParallelFor(
+      TestThreads(8), 0, kOps, 1, [&](size_t i) -> Status {
+        ViewCacheKey key =
+            MakeKey("m", {"a = " + std::to_string(i % 16)});
+        if (cache.Lookup(key) == nullptr) {
+          cache.Insert(key, MakeViewOfSize(payload), CachedPartitions{},
+                       1.0);
+        }
+        cache.FindRefinementBase(
+            MakeKey("m", {"a = " + std::to_string(i % 16), "b = 1"}));
+        if (i % 64 == 0) cache.InvalidateDataset("m");
+        ViewCacheStats stats = cache.stats();
+        if (stats.bytes_in_use > stats.byte_budget) {
+          return Status::Internal("budget exceeded under concurrency");
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+
+  ViewCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kOps);
+  EXPECT_LE(stats.bytes_in_use, stats.byte_budget);
+  EXPECT_LE(stats.entries, 8u);
+}
+
+}  // namespace
+}  // namespace dbx
