@@ -12,11 +12,15 @@
 #include "src/stats/sampling.h"
 #include "src/util/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dbx;
+  const bench::Args args = bench::ParseArgs(argc, argv);
   bench::Header(
       "Figure 10: IUnit-generation time vs #Compare Attributes "
       "(UsedCars, l=10, k=6, |V|=5)");
+
+  Tracer tracer;
+  Tracer* tracer_ptr = args.trace_out.empty() ? Tracer::Disabled() : &tracer;
 
   Table cars = GenerateUsedCars(40000, 7);
 
@@ -40,6 +44,10 @@ int main() {
       options.iunits_per_value = 6;
       options.generated_iunits = 10;
       options.seed = 5;
+      ScopedSpan build_span(tracer_ptr,
+                            StringPrintf("build:I%zu:%zu_rows", c, size));
+      options.tracer = tracer_ptr;
+      options.trace_parent = build_span.id();
       auto view = BuildCadView(slice, options);
       if (!view.ok()) {
         std::fprintf(stderr, "error: %s\n", view.status().ToString().c_str());
@@ -59,5 +67,6 @@ int main() {
   bench::Measured(StringPrintf(
       "40K rows: |I|=1 -> %.1f ms, |I|=10 -> %.1f ms (%.1fx)", t_one, t_all,
       t_all / std::max(t_one, 1e-9)));
+  if (!bench::MaybeDumpTrace(tracer, args.trace_out)) return 1;
   return 0;
 }

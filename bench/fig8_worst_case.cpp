@@ -13,11 +13,15 @@
 #include "src/stats/sampling.h"
 #include "src/util/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dbx;
+  const bench::Args args = bench::ParseArgs(argc, argv);
   bench::Header(
       "Figure 8: worst-case CAD View build time vs result size "
       "(UsedCars, |I|=10, l=15, k=6, |V|=5, no optimizations)");
+
+  Tracer tracer;
+  Tracer* tracer_ptr = args.trace_out.empty() ? Tracer::Disabled() : &tracer;
 
   Table cars = GenerateUsedCars(40000, 7);
   Rng rng(13);
@@ -41,6 +45,10 @@ int main() {
     const int reps = 3;
     CadViewTimings avg;
     for (int i = 0; i < reps; ++i) {
+      ScopedSpan build_span(tracer_ptr,
+                            StringPrintf("build:%zu_rows", size));
+      options.tracer = tracer_ptr;
+      options.trace_parent = build_span.id();
       auto view = BuildCadView(slice, options);
       if (!view.ok()) {
         std::fprintf(stderr, "error: %s\n", view.status().ToString().c_str());
@@ -62,5 +70,6 @@ int main() {
       "40K build is too slow for snappy interaction (paper: ~4.5 s on 2015 "
       "hardware), motivating the §6.3 optimizations");
   bench::Measured(StringPrintf("40K unoptimized total = %.1f ms", t40));
+  if (!bench::MaybeDumpTrace(tracer, args.trace_out)) return 1;
   return 0;
 }

@@ -11,10 +11,14 @@
 #include "src/stats/sampling.h"
 #include "src/util/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dbx;
+  const bench::Args args = bench::ParseArgs(argc, argv);
   bench::Header(
       "Figure 9: build time vs generated IUnits l (UsedCars, k=6, |V|=5)");
+
+  Tracer tracer;
+  Tracer* tracer_ptr = args.trace_out.empty() ? Tracer::Disabled() : &tracer;
 
   Table cars = GenerateUsedCars(40000, 7);
   Rng rng(13);
@@ -39,6 +43,10 @@ int main() {
       options.iunits_per_value = 6;
       options.generated_iunits = l;
       options.seed = 5;
+      ScopedSpan build_span(tracer_ptr,
+                            StringPrintf("build:l%zu:%zu_rows", l, size));
+      options.tracer = tracer_ptr;
+      options.trace_parent = build_span.id();
       auto view = BuildCadView(slice, options);
       if (!view.ok()) {
         std::fprintf(stderr, "error: %s\n", view.status().ToString().c_str());
@@ -61,5 +69,6 @@ int main() {
                                "(%.1fx)",
                                t_small_l, t_large_l,
                                t_large_l / std::max(t_small_l, 1e-9)));
+  if (!bench::MaybeDumpTrace(tracer, args.trace_out)) return 1;
   return 0;
 }

@@ -21,6 +21,8 @@
 #include "src/data/mushroom.h"
 #include "src/data/synthetic.h"
 #include "src/explorer/tpfacet_session.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/string_util.h"
 
 namespace dbx {
@@ -67,8 +69,12 @@ struct ReplayResult {
 };
 
 // Replays the fixed 10-step script; cache == nullptr replays uncached.
+// Spans land under a per-replay root in `tracer`; per-step View() latencies
+// go to `recorder` (both optional).
 ReplayResult Replay(const Table& table, const DrillDownSpec& spec,
-                    const std::shared_ptr<ViewCache>& cache) {
+                    const std::shared_ptr<ViewCache>& cache,
+                    Tracer* tracer, const std::string& mode,
+                    bench::LatencyRecorder* recorder) {
   ReplayResult result;
   CadViewOptions o;
   o.max_compare_attrs = 5;
@@ -82,6 +88,8 @@ ReplayResult Replay(const Table& table, const DrillDownSpec& spec,
     return result;
   }
   if (cache != nullptr) session->SetViewCache(cache, spec.dataset_id);
+  ScopedSpan replay_span(tracer, "replay:" + spec.dataset_id + ":" + mode);
+  session->SetTracer(tracer, replay_span.id());
 
   TpFacetSession& s = *session;
   const std::string w0 = FrequentLabel(s, spec.attrs[0], 0);
@@ -127,8 +135,10 @@ ReplayResult Replay(const Table& table, const DrillDownSpec& spec,
       result.ok = false;
       return result;
     }
-    result.view_ms +=
+    const double step_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    result.view_ms += step_ms;
+    if (recorder != nullptr) recorder->ObserveMs(step_ms);
     result.serialized.push_back(SerializeStable(**view));
   }
   return result;
@@ -138,20 +148,43 @@ struct DatasetOutcome {
   bool identical = true;
   double speedup = 0.0;
   bool ok = true;
+  bool metrics_ok = true;
 };
 
 DatasetOutcome RunDataset(const char* label, const Table& table,
-                          const DrillDownSpec& spec) {
+                          const DrillDownSpec& spec, Tracer* tracer) {
   bench::Section(StringPrintf("%s (%zu rows, 10-step drill-down)", label,
                               table.num_rows()));
   DatasetOutcome out;
 
-  ReplayResult uncached = Replay(table, spec, nullptr);
+  bench::LatencyRecorder uncached_lat(
+      StringPrintf("dbx_bench_%s_uncached_view_ms", label));
+  bench::LatencyRecorder cold_lat(
+      StringPrintf("dbx_bench_%s_cold_view_ms", label));
+  bench::LatencyRecorder warm_lat(
+      StringPrintf("dbx_bench_%s_warm_view_ms", label));
+
+  ReplayResult uncached =
+      Replay(table, spec, nullptr, tracer, "uncached", &uncached_lat);
+  // Regression guard: the process-wide cache-hit counter must advance by
+  // exactly what this cache instance's own stats report for the replay pair.
+  Counter* hit_counter =
+      MetricsRegistry::Global()->GetCounter("dbx_cache_hits_total");
+  const uint64_t hits_before = hit_counter->Value();
   auto cache = std::make_shared<ViewCache>();
-  ReplayResult cold = Replay(table, spec, cache);
+  ReplayResult cold = Replay(table, spec, cache, tracer, "cold", &cold_lat);
   ViewCacheStats cold_stats = cache->stats();
-  ReplayResult warm = Replay(table, spec, cache);
+  ReplayResult warm = Replay(table, spec, cache, tracer, "warm", &warm_lat);
   ViewCacheStats warm_stats = cache->stats();
+  const uint64_t hit_delta = hit_counter->Value() - hits_before;
+  if (hit_delta != warm_stats.hits) {
+    std::fprintf(stderr,
+                 "  METRICS MISMATCH: dbx_cache_hits_total advanced by %llu "
+                 "but the cache reports %llu hits\n",
+                 static_cast<unsigned long long>(hit_delta),
+                 static_cast<unsigned long long>(warm_stats.hits));
+    out.metrics_ok = false;
+  }
   out.ok = uncached.ok && cold.ok && warm.ok;
   if (!out.ok) return out;
 
@@ -166,6 +199,9 @@ DatasetOutcome RunDataset(const char* label, const Table& table,
   bench::Row("uncached", "view time", uncached.view_ms, "ms");
   bench::Row("cold cache", "view time", cold.view_ms, "ms");
   bench::Row("warm cache", "view time", warm.view_ms, "ms");
+  uncached_lat.PrintSummary("uncached");
+  cold_lat.PrintSummary("cold cache");
+  warm_lat.PrintSummary("warm cache");
   out.speedup = cold.view_ms / std::max(warm.view_ms, 1e-9);
   std::printf(
       "  cold: %llu misses, %llu hits, %llu refinement seeds; "
@@ -181,13 +217,20 @@ DatasetOutcome RunDataset(const char* label, const Table& table,
   return out;
 }
 
-int Run(bool smoke) {
+int Run(const bench::Args& args) {
+  const bool smoke = args.smoke;
   bench::Header("Session-scoped CAD View cache: warm drill-down replay");
+
+  // One collector for the whole run when --trace-out was given; otherwise
+  // the shared disabled tracer (zero cost, nothing recorded).
+  Tracer tracer;
+  Tracer* tracer_ptr = args.trace_out.empty() ? Tracer::Disabled() : &tracer;
 
   Table mushrooms = GenerateMushrooms(smoke ? 1500 : 8124);
   DrillDownSpec mushroom_spec{
       "mushroom", "Class", {"Odor", "SporePrintColor", "GillColor", "Bruises"}};
-  DatasetOutcome m = RunDataset("mushroom", mushrooms, mushroom_spec);
+  DatasetOutcome m = RunDataset("mushroom", mushrooms, mushroom_spec,
+                                tracer_ptr);
 
   SyntheticSpec spec;
   spec.rows = smoke ? 1500 : 6000;
@@ -203,7 +246,8 @@ int Run(bool smoke) {
     return 1;
   }
   DrillDownSpec synthetic_spec{"synthetic", "C0", {"C1", "C2", "C3", "C4"}};
-  DatasetOutcome s = RunDataset("synthetic", *synthetic, synthetic_spec);
+  DatasetOutcome s = RunDataset("synthetic", *synthetic, synthetic_spec,
+                                tracer_ptr);
 
   const bool identical = m.identical && s.identical && m.ok && s.ok;
   const double min_speedup = std::min(m.speedup, s.speedup);
@@ -216,7 +260,13 @@ int Run(bool smoke) {
       m.speedup, s.speedup, identical ? "yes" : "NO",
       smoke ? " (smoke: speedup not enforced)" : ""));
 
+  const bool trace_ok = bench::MaybeDumpTrace(tracer, args.trace_out);
+
   if (!identical) return 1;
+  // The metric guard is live in both modes: cache counters must agree with
+  // the instance's own stats.
+  if (!m.metrics_ok || !s.metrics_ok) return 1;
+  if (!trace_ok) return 1;
   // Timing thresholds only gate the full run; smoke keeps verification live.
   if (!smoke && min_speedup < 2.0) return 1;
   return 0;
@@ -226,9 +276,5 @@ int Run(bool smoke) {
 }  // namespace dbx
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
-  return dbx::Run(smoke);
+  return dbx::Run(dbx::bench::ParseArgs(argc, argv));
 }

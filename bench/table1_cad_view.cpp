@@ -10,13 +10,16 @@
 #include "src/data/used_cars.h"
 #include "src/query/engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dbx;
+  const bench::Args args = bench::ParseArgs(argc, argv);
   bench::Header("Table 1: sample CAD View (pivot = Make, 5 SUV makes)");
 
+  Tracer tracer;
   Table cars = GenerateUsedCars(40000, 7);
   Engine engine;
   engine.RegisterTable("UsedCars", &cars);
+  if (!args.trace_out.empty()) engine.SetTracer(&tracer);
 
   auto r = engine.ExecuteSql(
       "CREATE CADVIEW CompareMakes AS SET pivot = Make SELECT Price "
@@ -68,5 +71,6 @@ int main() {
       " model_selected=" + (has_model ? std::string("yes") : "no") +
       " engine_selected=" + (has_engine ? std::string("yes") : "no") +
       " distinct_chevrolet_engine_labels=" + std::to_string(chevy_engines));
+  if (!bench::MaybeDumpTrace(tracer, args.trace_out)) return 1;
   return five_rows && price_first && has_model ? 0 : 1;
 }

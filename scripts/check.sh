@@ -9,6 +9,8 @@
 #   integration — cross-module / end-to-end suites
 #   bench-smoke — benchmark binaries in --smoke mode (verification live,
 #                 timing thresholds not enforced)
+#   obs         — observability suites (metrics/tracing/EXPLAIN; subset of
+#                 unit, also run standalone so failures are easy to spot)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +24,7 @@ ctest --test-dir build -L integration --output-on-failure \
   || fail "integration tests"
 ctest --test-dir build -L bench-smoke --output-on-failure \
   || fail "bench smoke runs"
+ctest --test-dir build -L obs --output-on-failure || fail "obs tests"
 
 # Re-run the test tiers with the threaded paths forced on: the parallel tests
 # read DBX_TEST_THREADS and add that thread count to their sweep.

@@ -15,7 +15,7 @@ cmake -B "$BUILD_DIR" -S . -DDBX_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo || fail "configure"
 cmake --build "$BUILD_DIR" -j --target \
   thread_pool_test cad_view_test cluster_test feature_selection_test \
-  facet_index_test facet_test view_cache_test || fail "build"
+  facet_index_test facet_test view_cache_test obs_test || fail "build"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 export DBX_TEST_THREADS="$THREADS"

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/metrics.h"
+#include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace dbx {
@@ -73,6 +75,12 @@ Result<KMeansResult> RunKMeans(const EncodedMatrix& points,
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
   size_t k = std::min(options.k, n);
   size_t dims = points.dims;
+
+  ScopedSpan span(options.tracer, "kmeans", options.trace_parent);
+  span.AddArg("points", static_cast<uint64_t>(n));
+  span.AddArg("k", static_cast<uint64_t>(k));
+  span.AddArg("dims", static_cast<uint64_t>(dims));
+  Stopwatch timer;
 
   Rng rng(options.seed);
   KMeansResult res;
@@ -176,6 +184,12 @@ Result<KMeansResult> RunKMeans(const EncodedMatrix& points,
     }
     prev_inertia = inertia;
   }
+  span.AddArg("iterations", static_cast<uint64_t>(res.iterations));
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  reg->GetCounter("dbx_cluster_kmeans_runs_total")->Increment();
+  reg->GetCounter("dbx_cluster_kmeans_iterations_total")
+      ->Increment(res.iterations);
+  reg->GetHistogram("dbx_cluster_kmeans_ms")->ObserveNs(timer.ElapsedNanos());
   return res;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/cluster/encoder.h"
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 #include "src/util/rng.h"
 
@@ -24,6 +25,10 @@ struct KMeansOptions {
   /// sums, and inertia accumulate per fixed-size row chunk and reduce in
   /// chunk order, so the result is byte-identical for any thread count.
   size_t num_threads = 1;
+  /// Observability knobs — output-neutral like num_threads, excluded from
+  /// the cache fingerprint. Never null; defaults to the no-op tracer.
+  Tracer* tracer = Tracer::Disabled();
+  uint64_t trace_parent = 0;
 };
 
 struct KMeansResult {

@@ -5,6 +5,7 @@
 
 #include "src/cluster/cluster_metrics.h"
 #include "src/cluster/kmeans.h"
+#include "src/obs/metrics.h"
 #include "src/stats/contingency.h"
 #include "src/core/iunit_similarity.h"
 #include "src/stats/sampling.h"
@@ -133,8 +134,13 @@ Result<CadView> BuildCadView(const TableSlice& slice,
                              const CadViewOptions& options) {
   Stopwatch total;
   Stopwatch sw;
+  ScopedSpan discretize_span(options.tracer, "discretize",
+                             options.trace_parent);
   auto dt = DiscretizedTable::Build(slice, options.discretizer);
   if (!dt.ok()) return dt.status();
+  discretize_span.AddArg("rows", static_cast<uint64_t>(dt->num_rows()));
+  discretize_span.AddArg("attrs", static_cast<uint64_t>(dt->num_attrs()));
+  discretize_span.End();
   double discretize_ms = sw.ElapsedMillis();
 
   auto view = BuildCadViewFromDiscretized(*dt, options);
@@ -170,6 +176,7 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
   // Partition rows by selected pivot value — from the seed's member lists
   // when one is given, otherwise by scanning the pivot column. Both paths
   // list each partition's members in ascending row-position order.
+  ScopedSpan partition_span(options.tracer, "partition", options.trace_parent);
   std::vector<std::vector<size_t>> partitions(plan.value_codes.size());
   if (seed) {
     // As in the scan below, a code repeated in plan.value_codes feeds only
@@ -214,6 +221,11 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
     for (size_t i : partitions[v]) cls[i] = static_cast<int32_t>(v);
   }
 
+  partition_span.AddArg("partitions", static_cast<uint64_t>(partitions.size()));
+  partition_span.AddArg("rows", static_cast<uint64_t>(pivot.codes.size()));
+  partition_span.AddArg("seeded", seed != nullptr ? "yes" : "no");
+  partition_span.End();
+
   CadView view;
   view.pivot_attr = options.pivot_attr;
 
@@ -223,6 +235,8 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
 
   FeatureSelectionOptions fs_options = options.feature_selection;
   fs_options.num_threads = options.num_threads;
+  fs_options.tracer = options.tracer;
+  fs_options.trace_parent = options.trace_parent;
 
   // User-selected attributes come first, in the order given.
   std::vector<size_t> chosen_attrs;
@@ -268,6 +282,12 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
     // Optimization 1: rank over a row sample.
     if (options.feature_selection_sample > 0 &&
         options.feature_selection_sample < dt.num_rows()) {
+      // This inline path bypasses RankFeatures, so it emits the chi_square
+      // span itself.
+      ScopedSpan fs_span(options.tracer, "chi_square", options.trace_parent);
+      fs_span.AddArg("candidates", static_cast<uint64_t>(candidates.size()));
+      fs_span.AddArg("sample",
+                     static_cast<uint64_t>(options.feature_selection_sample));
       // Sample row *positions* uniformly; rebuild parallel code vectors.
       std::vector<uint32_t> positions(dt.num_rows());
       for (uint32_t i = 0; i < positions.size(); ++i) positions[i] = i;
@@ -374,6 +394,8 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
 
   // --- Candidate IUnit generation + labeling (Problems 1.2) ----------------
   sw.Reset();
+  ScopedSpan iunit_span(options.tracer, "iunit_gen", options.trace_parent);
+  iunit_span.AddArg("partitions", static_cast<uint64_t>(partitions.size()));
   std::vector<size_t> compare_indices;
   compare_indices.reserve(view.compare_attrs.size());
   for (const CompareAttribute& ca : view.compare_attrs) {
@@ -425,6 +447,10 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
     ko.max_iterations = options.kmeans_max_iterations;
     ko.seed = options.seed + v;  // distinct but deterministic per partition
     ko.num_threads = options.num_threads;
+    // Children of iunit_gen regardless of which pool worker runs this
+    // partition — parenthood is the explicit id, not thread-local state.
+    ko.tracer = options.tracer;
+    ko.trace_parent = iunit_span.id();
     Result<KMeansResult> km = Status::Internal("unreached");
     if (options.auto_l) {  // NOLINT
       // §2.2.2: sweep plausible l values and keep the best-quality
@@ -456,6 +482,9 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
       cluster_rows[static_cast<size_t>(km->assignments[i])].push_back(
           cluster_members[i]);
     }
+    ScopedSpan label_span(options.tracer, "labeling", iunit_span.id());
+    label_span.AddArg("clusters", static_cast<uint64_t>(km->k_effective));
+    label_span.AddArg("pivot_value", plan.value_labels[v]);
     for (size_t c = 0; c < cluster_rows.size(); ++c) {
       if (cluster_rows[c].empty()) continue;
       auto iu = LabelCluster(dt, compare_indices, std::move(cluster_rows[c]),
@@ -475,10 +504,13 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
   // the result is byte-identical for any thread count.
   DBX_RETURN_IF_ERROR(ParallelFor(options.num_threads, 0, partitions.size(),
                                   1, build_partition));
+  iunit_span.End();
   view.timings.iunit_gen_ms = sw.ElapsedMillis();
 
   // --- Diversified top-k (Problem 2) ---------------------------------------
   sw.Reset();
+  ScopedSpan topk_span(options.tracer, "div_topk", options.trace_parent);
+  topk_span.AddArg("algorithm", DivTopKAlgorithmName(options.topk_algorithm));
   for (size_t v = 0; v < partitions.size(); ++v) {
     CadViewRow row;
     row.pivot_value = plan.value_labels[v];
@@ -511,8 +543,15 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
     }
     view.rows.push_back(std::move(row));
   }
+  topk_span.End();
   view.timings.topk_ms = sw.ElapsedMillis();
   view.timings.total_ms = total.ElapsedMillis();
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  reg->GetCounter("dbx_core_builds_total")->Increment();
+  reg->GetCounter("dbx_core_build_rows_total")
+      ->Increment(dt.num_rows());
+  reg->GetHistogram("dbx_core_build_ms")
+      ->Observe(view.timings.total_ms);
 
   if (extras != nullptr) {
     extras->partitions.members_by_code.clear();

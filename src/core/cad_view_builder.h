@@ -15,6 +15,7 @@
 #include "src/core/cad_view.h"
 #include "src/core/div_topk.h"
 #include "src/core/iunit_labeler.h"
+#include "src/obs/trace.h"
 #include "src/relation/table.h"
 #include "src/stats/discretizer.h"
 #include "src/stats/feature_selection.h"
@@ -98,6 +99,16 @@ struct CadViewOptions {
   bool adaptive_l = false;
   size_t adaptive_l_threshold = 4000;
   size_t adaptive_l_min = 0;  // 0 = k
+
+  // ----- observability ------------------------------------------------------
+
+  /// Span collector for this build. Never null (defaults to the shared no-op
+  /// tracer); like num_threads it cannot change the built view's bytes, so
+  /// CadViewOptionsFingerprint excludes it. Stage spans (partition,
+  /// chi_square, iunit_gen with per-partition kmeans/labeling children,
+  /// div_topk) nest under `trace_parent`.
+  Tracer* tracer = Tracer::Disabled();
+  uint64_t trace_parent = 0;
 };
 
 /// Pre-computed pivot partitions: for each pivot code of the table's (full)

@@ -3,8 +3,42 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/obs/metrics.h"
+
 namespace dbx {
 namespace {
+
+// Process-wide cache metrics (DESIGN.md §10). Every ViewCache instance feeds
+// the same series; per-instance numbers stay available via stats()/Snapshot().
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* inserts;
+  Counter* evictions;
+  Counter* invalidations;
+  Counter* refinement_seeds;
+  Counter* oversize_rejects;
+  Gauge* bytes_in_use;
+  Gauge* entries;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics* m = [] {
+      MetricsRegistry* r = MetricsRegistry::Global();
+      auto* cm = new CacheMetrics();
+      cm->hits = r->GetCounter("dbx_cache_hits_total");
+      cm->misses = r->GetCounter("dbx_cache_misses_total");
+      cm->inserts = r->GetCounter("dbx_cache_inserts_total");
+      cm->evictions = r->GetCounter("dbx_cache_evictions_total");
+      cm->invalidations = r->GetCounter("dbx_cache_invalidations_total");
+      cm->refinement_seeds = r->GetCounter("dbx_cache_refinement_seeds_total");
+      cm->oversize_rejects = r->GetCounter("dbx_cache_oversize_rejects_total");
+      cm->bytes_in_use = r->GetGauge("dbx_cache_bytes_in_use");
+      cm->entries = r->GetGauge("dbx_cache_entries");
+      return cm;
+    }();
+    return *m;
+  }
+};
 
 // Length-prefixed component framing: "tag|len:payload;". Delimiters inside
 // payloads cannot collide with component boundaries because the length is
@@ -125,9 +159,12 @@ std::shared_ptr<const CachedCadView> ViewCache::Lookup(
   auto it = entries_.find(key.canonical);
   if (it == entries_.end()) {
     ++stats_.misses;
+    CacheMetrics::Get().misses->Increment();
     return nullptr;
   }
   ++stats_.hits;
+  stats_.hit_saved_ms += it->second.value->build_cost_ms;
+  CacheMetrics::Get().hits->Increment();
   ++it->second.hits;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   return it->second.value;
@@ -145,14 +182,19 @@ void ViewCache::Insert(const ViewCacheKey& key, CadView view,
   }
 
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.inserts;
+  ++stats_.insert_attempts;
   if (entry->bytes > byte_budget_) {
+    // Not counted as an insert: the entry never becomes resident, and
+    // `inserts` must track the store (inserts - evictions - invalidations ==
+    // entries) or it drifts under eviction pressure.
     ++stats_.oversize_rejects;
+    CacheMetrics::Get().oversize_rejects->Increment();
     return;
   }
   if (entries_.find(key.canonical) != entries_.end()) {
     // Already resident; by the determinism contract both copies hold the
-    // same bytes, so keep the one whose hit history we have.
+    // same bytes, so keep the one whose hit history we have. Not an insert
+    // either — see above.
     return;
   }
   while (!lru_.empty() && stats_.bytes_in_use + entry->bytes > byte_budget_) {
@@ -164,8 +206,12 @@ void ViewCache::Insert(const ViewCacheKey& key, CadView view,
   e.value = std::move(entry);
   e.lru_pos = lru_.begin();
   stats_.bytes_in_use += e.value->bytes;
+  CacheMetrics::Get().bytes_in_use->Add(static_cast<int64_t>(e.value->bytes));
   entries_.emplace(key.canonical, std::move(e));
   stats_.entries = entries_.size();
+  ++stats_.inserts;
+  CacheMetrics::Get().inserts->Increment();
+  CacheMetrics::Get().entries->Add(1);
 }
 
 std::shared_ptr<const CachedCadView> ViewCache::FindRefinementBase(
@@ -197,6 +243,7 @@ std::shared_ptr<const CachedCadView> ViewCache::FindRefinementBase(
   }
   if (best == nullptr) return nullptr;
   ++stats_.refinement_seeds;
+  CacheMetrics::Get().refinement_seeds->Increment();
   return best->value;
 }
 
@@ -206,6 +253,10 @@ void ViewCache::InvalidateDataset(const std::string& dataset) {
     if (it->second.key.dataset == dataset) {
       stats_.bytes_in_use -= it->second.value->bytes;
       ++stats_.invalidations;
+      CacheMetrics::Get().invalidations->Increment();
+      CacheMetrics::Get().bytes_in_use->Add(
+          -static_cast<int64_t>(it->second.value->bytes));
+      CacheMetrics::Get().entries->Add(-1);
       lru_.erase(it->second.lru_pos);
       it = entries_.erase(it);
     } else {
@@ -218,6 +269,10 @@ void ViewCache::InvalidateDataset(const std::string& dataset) {
 void ViewCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.invalidations += entries_.size();
+  CacheMetrics::Get().invalidations->Increment(entries_.size());
+  CacheMetrics::Get().bytes_in_use->Add(
+      -static_cast<int64_t>(stats_.bytes_in_use));
+  CacheMetrics::Get().entries->Add(-static_cast<int64_t>(entries_.size()));
   entries_.clear();
   lru_.clear();
   stats_.bytes_in_use = 0;
@@ -229,8 +284,7 @@ ViewCacheStats ViewCache::stats() const {
   return stats_;
 }
 
-std::vector<ViewCacheEntryInfo> ViewCache::EntryInfos() const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::vector<ViewCacheEntryInfo> ViewCache::EntryInfosLocked() const {
   std::vector<ViewCacheEntryInfo> infos;
   infos.reserve(entries_.size());
   for (const std::string& canonical : lru_) {
@@ -246,12 +300,29 @@ std::vector<ViewCacheEntryInfo> ViewCache::EntryInfos() const {
   return infos;
 }
 
+std::vector<ViewCacheEntryInfo> ViewCache::EntryInfos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EntryInfosLocked();
+}
+
+ViewCacheSnapshot ViewCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ViewCacheSnapshot snapshot;
+  snapshot.stats = stats_;
+  snapshot.entries = EntryInfosLocked();
+  return snapshot;
+}
+
 void ViewCache::EvictLruLocked() {
   const std::string& victim = lru_.back();
   auto it = entries_.find(victim);
   if (it != entries_.end()) {
     stats_.bytes_in_use -= it->second.value->bytes;
     ++stats_.evictions;
+    CacheMetrics::Get().evictions->Increment();
+    CacheMetrics::Get().bytes_in_use->Add(
+        -static_cast<int64_t>(it->second.value->bytes));
+    CacheMetrics::Get().entries->Add(-1);
     entries_.erase(it);
   }
   lru_.pop_back();

@@ -89,14 +89,20 @@ struct CachedCadView {
 };
 
 /// Aggregate counters. `bytes_in_use`/`entries` reflect the current store.
+/// Invariant (kept by counting only resident insertions as `inserts`):
+/// inserts - evictions - invalidations == entries.
 struct ViewCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
-  uint64_t inserts = 0;
+  uint64_t inserts = 0;           // entries that actually became resident
+  uint64_t insert_attempts = 0;   // Insert() calls, incl. rejects/duplicates
   uint64_t evictions = 0;
   uint64_t invalidations = 0;   // entries removed by InvalidateDataset/Clear
   uint64_t refinement_seeds = 0;  // FindRefinementBase successes
   uint64_t oversize_rejects = 0;  // entries larger than the whole budget
+  /// Sum of the original build costs of every hit — wall time the cache has
+  /// saved the session so far.
+  double hit_saved_ms = 0.0;
   size_t bytes_in_use = 0;
   size_t entries = 0;
   size_t byte_budget = 0;
@@ -108,6 +114,14 @@ struct ViewCacheEntryInfo {
   size_t bytes = 0;
   uint64_t hits = 0;
   double build_cost_ms = 0.0;
+};
+
+/// One coherent point-in-time picture of the cache: aggregate counters plus
+/// the per-entry diagnostics, taken under a single lock acquisition — what
+/// EXPLAIN ANALYZE and TpFacetSession report.
+struct ViewCacheSnapshot {
+  ViewCacheStats stats;
+  std::vector<ViewCacheEntryInfo> entries;  // MRU first
 };
 
 /// An LRU store of finished CAD Views under a byte-size budget.
@@ -149,6 +163,8 @@ class ViewCache {
 
   ViewCacheStats stats() const;
   std::vector<ViewCacheEntryInfo> EntryInfos() const;
+  /// stats() + EntryInfos() under one lock acquisition.
+  ViewCacheSnapshot Snapshot() const;
   size_t byte_budget() const { return byte_budget_; }
 
  private:
@@ -160,6 +176,7 @@ class ViewCache {
   };
 
   void EvictLruLocked();
+  std::vector<ViewCacheEntryInfo> EntryInfosLocked() const;
 
   const size_t byte_budget_;
   mutable std::mutex mu_;

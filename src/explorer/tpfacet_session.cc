@@ -1,5 +1,6 @@
 #include "src/explorer/tpfacet_session.h"
 
+#include "src/obs/explain.h"
 #include "src/util/ascii_table.h"
 #include "src/util/string_util.h"
 
@@ -104,6 +105,66 @@ void TpFacetSession::SetViewCache(std::shared_ptr<ViewCache> cache,
   dataset_id_ = std::move(dataset_id);
 }
 
+void TpFacetSession::SetTracer(Tracer* tracer, uint64_t trace_parent) {
+  tracer_ = tracer == nullptr ? Tracer::Disabled() : tracer;
+  trace_parent_ = trace_parent;
+  facets_.SetTracer(tracer_, trace_parent_);
+}
+
+Status TpFacetSession::DumpTrace(const std::string& path) const {
+  if (tracer_ == nullptr || !tracer_->enabled()) {
+    return Status::FailedPrecondition(
+        "no enabled tracer attached (call SetTracer first)");
+  }
+  return tracer_->WriteChromeJson(path);
+}
+
+Result<std::string> TpFacetSession::ExplainAnalyze() {
+  if (pivot_attr_.empty()) {
+    return Status::FailedPrecondition("no pivot attribute selected");
+  }
+  // A rebuild under a one-shot collector: the session keeps its current
+  // tracer/cached view afterwards, only the in-memory view_ is refreshed.
+  InvalidateView();
+  Tracer tracer;
+  Tracer* saved_tracer = tracer_;
+  const uint64_t saved_parent = trace_parent_;
+  Status view_status;
+  size_t view_rows = 0;
+  {
+    ScopedSpan root(&tracer, "tpfacet_view");
+    root.AddArg("pivot", pivot_attr_);
+    SetTracer(&tracer, root.id());
+    auto view = View();
+    if (!view.ok()) {
+      view_status = view.status();
+      root.AddArg("error", view_status.message());
+    } else {
+      view_rows = (*view)->rows.size();
+      root.AddArg("rows", static_cast<uint64_t>(view_rows));
+    }
+  }
+  SetTracer(saved_tracer, saved_parent);
+  DBX_RETURN_IF_ERROR(view_status);
+
+  std::string text =
+      "EXPLAIN ANALYZE tpfacet view (pivot=" + pivot_attr_ + ")\n\n";
+  text += RenderSpanTree(tracer.Events());
+  if (cache_ != nullptr) {
+    const ViewCacheStats s = cache_->stats();
+    text += StringPrintf(
+        "cache: hits=%llu misses=%llu inserts=%llu evictions=%llu "
+        "seeds=%llu entries=%zu bytes=%zu saved_ms=%s\n",
+        static_cast<unsigned long long>(s.hits),
+        static_cast<unsigned long long>(s.misses),
+        static_cast<unsigned long long>(s.inserts),
+        static_cast<unsigned long long>(s.evictions),
+        static_cast<unsigned long long>(s.refinement_seeds), s.entries,
+        s.bytes_in_use, FormatDouble(s.hit_saved_ms, 3).c_str());
+  }
+  return text;
+}
+
 std::vector<std::string> TpFacetSession::SelectionPredicates() const {
   const DiscretizedTable& dt = facets_.discretized();
   std::vector<std::string> predicates;
@@ -136,11 +197,14 @@ Result<const CadView*> TpFacetSession::View() {
   CadViewOptions options = cad_defaults_;
   options.pivot_attr = pivot_attr_;
   options.pivot_values = pivot_values_;
+  options.tracer = tracer_;
+  options.trace_parent = trace_parent_;
 
   // Resolve the cache key for this build context, when a cache is attached
   // and the options are fingerprintable (no opaque preference functor). The
   // domain mode is part of the params: per-fragment bins produce different
   // bytes than projected global-domain bins.
+  ScopedSpan probe_span(tracer_, "cache_probe", trace_parent_);
   std::optional<ViewCacheKey> key;
   if (cache_ != nullptr) {
     if (auto fp = CadViewOptionsFingerprint(options)) {
@@ -148,14 +212,24 @@ Result<const CadView*> TpFacetSession::View() {
           dataset_id_, SelectionPredicates(), pivot_attr_, pivot_values_,
           *fp + "|global_domain=" + (reuse_global_domain_ ? "1" : "0"));
       if (auto hit = cache_->Lookup(*key)) {
+        probe_span.AddArg("result", "hit");
+        probe_span.AddArg("saved_build_ms",
+                          FormatDouble(hit->build_cost_ms, 3));
+        probe_span.End();
         // Copy, not share: ClickPivotValue reorders the session's view in
         // place and must not disturb the cached entry.
         last_timings_ = hit->view.timings;
         view_ = hit->view;
         return const_cast<const CadView*>(&*view_);
       }
+      probe_span.AddArg("result", "miss");
+    } else {
+      probe_span.AddArg("result", "uncacheable");
     }
+  } else {
+    probe_span.AddArg("result", "no-cache");
   }
+  probe_span.End();
 
   Result<CadView> view = Status::Internal("unreached");
   CadViewBuildExtras extras;
@@ -201,6 +275,8 @@ Result<const CadView*> TpFacetSession::View() {
 
 Result<std::vector<IUnitRef>> TpFacetSession::ClickIUnit(
     const std::string& pivot_value, size_t iunit_rank) {
+  ScopedSpan span(tracer_, "click_iunit", trace_parent_);
+  span.AddArg("pivot_value", pivot_value);
   DBX_ASSIGN_OR_RETURN(const CadView* v, View());
   ++operation_count_;
   return v->FindSimilarIUnits(pivot_value, iunit_rank, v->tau);
@@ -208,6 +284,8 @@ Result<std::vector<IUnitRef>> TpFacetSession::ClickIUnit(
 
 Result<std::vector<std::pair<std::string, double>>>
 TpFacetSession::ClickPivotValue(const std::string& pivot_value) {
+  ScopedSpan span(tracer_, "click_pivot_value", trace_parent_);
+  span.AddArg("pivot_value", pivot_value);
   DBX_ASSIGN_OR_RETURN(const CadView* v, View());
   ++operation_count_;
   auto ranked = v->RankRowsBySimilarity(pivot_value);

@@ -17,6 +17,7 @@
 #include "src/core/cad_view_builder.h"
 #include "src/core/view_cache.h"
 #include "src/facet/facet_engine.h"
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 
 namespace dbx {
@@ -153,6 +154,31 @@ class TpFacetSession {
   /// conjunctive selection context the cache keys on.
   std::vector<std::string> SelectionPredicates() const;
 
+  // --- Observability --------------------------------------------------------
+
+  /// Attaches a span collector: View() and the click entry points emit spans
+  /// under `trace_parent`, and the facet engine's recomputes follow along.
+  /// Tracing never changes the bytes of any view. nullptr detaches.
+  void SetTracer(Tracer* tracer, uint64_t trace_parent = 0);
+  Tracer* tracer() const { return tracer_; }
+
+  /// Writes the attached tracer's spans as Chrome trace_event JSON (load via
+  /// chrome://tracing or https://ui.perfetto.dev). FailedPrecondition when no
+  /// enabled tracer is attached.
+  Status DumpTrace(const std::string& path) const;
+
+  /// Rebuilds the current view under a one-shot tracer and renders the
+  /// per-stage span tree plus the cache snapshot — the session-level
+  /// EXPLAIN ANALYZE. Call twice to see the cold build and then the
+  /// cache-hit path. Requires SetPivot; does not count as an operation.
+  Result<std::string> ExplainAnalyze();
+
+  /// Point-in-time aggregate + per-entry picture of the attached cache
+  /// (empty snapshot when none is attached).
+  ViewCacheSnapshot CacheSnapshot() const {
+    return cache_ != nullptr ? cache_->Snapshot() : ViewCacheSnapshot{};
+  }
+
  private:
   TpFacetSession() = default;
   void InvalidateView() { view_.reset(); }
@@ -180,6 +206,8 @@ class TpFacetSession {
   bool reuse_global_domain_ = true;
   std::shared_ptr<ViewCache> cache_;
   std::string dataset_id_;
+  Tracer* tracer_ = Tracer::Disabled();
+  uint64_t trace_parent_ = 0;
 };
 
 }  // namespace dbx

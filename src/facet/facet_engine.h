@@ -12,6 +12,7 @@
 
 #include "src/facet/facet_index.h"
 #include "src/facet/summary_digest.h"
+#include "src/obs/trace.h"
 #include "src/relation/table.h"
 #include "src/stats/discretizer.h"
 #include "src/util/result.h"
@@ -79,6 +80,14 @@ class FacetEngine {
   /// the user-study cost model reads this.
   size_t operation_count() const { return operation_count_; }
 
+  /// Span collector for selection recomputes. Pass Tracer::Disabled() or
+  /// nullptr-equivalent to turn tracing off; selections and results are
+  /// unaffected either way.
+  void SetTracer(Tracer* tracer, uint64_t trace_parent = 0) {
+    tracer_ = tracer == nullptr ? Tracer::Disabled() : tracer;
+    trace_parent_ = trace_parent;
+  }
+
   /// Default-constructed engines are empty shells; use Create().
   FacetEngine() = default;
 
@@ -97,6 +106,8 @@ class FacetEngine {
   std::map<size_t, FacetSelection> selections_;
   RowSet result_rows_;
   size_t operation_count_ = 0;
+  Tracer* tracer_ = Tracer::Disabled();
+  uint64_t trace_parent_ = 0;
 };
 
 }  // namespace dbx

@@ -1,0 +1,143 @@
+#include "src/obs/explain.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/ascii_table.h"
+#include "src/util/string_util.h"
+
+namespace dbx {
+namespace {
+
+struct Node {
+  const TraceEvent* event;
+  std::vector<size_t> children;  // indices into the node vector
+};
+
+std::string FormatMs(uint64_t ns) {
+  return FormatDouble(static_cast<double>(ns) / 1e6, 3);
+}
+
+void RenderNode(const std::vector<Node>& nodes, size_t idx, int depth,
+                uint64_t total_ns, size_t collapse_threshold,
+                AsciiTable* table) {
+  const TraceEvent& e = *nodes[idx].event;
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  const double share =
+      total_ns > 0 ? 100.0 * static_cast<double>(e.dur_ns) /
+                         static_cast<double>(total_ns)
+                   : 0.0;
+  table->AddRow({indent + e.name, FormatMs(e.dur_ns),
+                 FormatDouble(share, 1) + "%", std::to_string(e.tid),
+                 e.args});
+
+  // Group children by name to collapse wide fan-outs (one span per
+  // partition) into a single summary row.
+  std::map<std::string, std::vector<size_t>> by_name;
+  std::vector<std::string> name_order;
+  for (size_t c : nodes[idx].children) {
+    auto [it, inserted] = by_name.try_emplace(nodes[c].event->name);
+    if (inserted) name_order.push_back(nodes[c].event->name);
+    it->second.push_back(c);
+  }
+  for (const std::string& name : name_order) {
+    const std::vector<size_t>& group = by_name[name];
+    if (group.size() >= collapse_threshold) {
+      uint64_t sum_ns = 0;
+      uint64_t max_ns = 0;
+      for (size_t c : group) {
+        sum_ns += nodes[c].event->dur_ns;
+        max_ns = std::max(max_ns, nodes[c].event->dur_ns);
+      }
+      const std::string child_indent(static_cast<size_t>(depth + 1) * 2, ' ');
+      const double child_share =
+          total_ns > 0 ? 100.0 * static_cast<double>(sum_ns) /
+                             static_cast<double>(total_ns)
+                       : 0.0;
+      table->AddRow({child_indent + name + " x" + std::to_string(group.size()),
+                     FormatMs(sum_ns), FormatDouble(child_share, 1) + "%", "*",
+                     "max=" + FormatMs(max_ns) + "ms"});
+    } else {
+      for (size_t c : group) {
+        RenderNode(nodes, c, depth + 1, total_ns, collapse_threshold, table);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string RenderSpanTree(const std::vector<TraceEvent>& events,
+                           size_t collapse_threshold) {
+  if (events.empty()) return "(no spans recorded)\n";
+  if (collapse_threshold == 0) collapse_threshold = 1;
+
+  std::vector<Node> nodes;
+  nodes.reserve(events.size());
+  std::unordered_map<uint64_t, size_t> by_id;
+  for (const TraceEvent& e : events) {
+    by_id[e.id] = nodes.size();
+    nodes.push_back(Node{&e, {}});
+  }
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const uint64_t parent = nodes[i].event->parent;
+    auto it = parent == 0 ? by_id.end() : by_id.find(parent);
+    if (it == by_id.end()) {
+      roots.push_back(i);  // true root or orphaned by ring overflow
+    } else {
+      nodes[it->second].children.push_back(i);
+    }
+  }
+
+  // Events() is start-sorted, so children and roots are already in time
+  // order. Total time = sum of roots (usually exactly one).
+  uint64_t total_ns = 0;
+  for (size_t r : roots) total_ns += nodes[r].event->dur_ns;
+
+  AsciiTable table;
+  table.SetHeader({"stage", "time (ms)", "share", "thr", "detail"});
+  table.SetMaxColumnWidth(48);
+  for (size_t r : roots) {
+    RenderNode(nodes, r, 0, total_ns, collapse_threshold, &table);
+  }
+  return table.Render();
+}
+
+void ExportThreadPoolMetrics(const ThreadPool::Stats& stats,
+                             MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  // Lifetime totals land in gauges (Set, not Increment): the pool already
+  // accumulates, and re-exporting must stay idempotent.
+  registry->GetGauge("dbx_pool_tasks_submitted")
+      ->Set(static_cast<int64_t>(stats.tasks_submitted));
+  registry->GetGauge("dbx_pool_parallel_for_calls")
+      ->Set(static_cast<int64_t>(stats.parallel_for_calls));
+  registry->GetGauge("dbx_pool_queue_depth")
+      ->Set(static_cast<int64_t>(stats.queue_depth));
+  registry->GetGauge("dbx_pool_threads")
+      ->Set(static_cast<int64_t>(stats.num_threads));
+  uint64_t busy_ns = 0;
+  for (uint64_t w : stats.worker_busy_ns) busy_ns += w;
+  registry->GetGauge("dbx_pool_busy_ms")
+      ->Set(static_cast<int64_t>(busy_ns / 1000000));
+}
+
+std::string ThreadPoolStatsLine(const ThreadPool::Stats& stats) {
+  std::string busy = "[";
+  for (size_t i = 0; i < stats.worker_busy_ns.size(); ++i) {
+    if (i > 0) busy += " ";
+    busy += FormatDouble(static_cast<double>(stats.worker_busy_ns[i]) / 1e6, 1);
+  }
+  busy += "]";
+  return StringPrintf(
+      "pool: threads=%zu tasks=%llu parallel_for=%llu queue_depth=%zu "
+      "busy_ms=%s",
+      stats.num_threads, static_cast<unsigned long long>(stats.tasks_submitted),
+      static_cast<unsigned long long>(stats.parallel_for_calls),
+      stats.queue_depth, busy.c_str());
+}
+
+}  // namespace dbx

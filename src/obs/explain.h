@@ -1,0 +1,38 @@
+// Copyright (c) DBExplorer reproduction authors.
+// EXPLAIN ANALYZE rendering: turns the flat span list a Tracer collected into
+// the per-stage tree the query layer prints (parse → cache_probe → partition →
+// chi_square → kmeans → labeling → div_topk), plus bridges from the metrics
+// registry to subsystems that cannot link obs (the thread pool lives below it).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/thread_pool.h"
+
+namespace dbx {
+
+/// Renders the spans as an indented tree table: stage, wall time, share of
+/// the root span, thread index, and the span's deterministic detail args.
+/// Children sort under their parent by start time; orphaned spans (parent
+/// missing, e.g. dropped from the ring) attach to the root level. Sibling
+/// spans with the same name and parent collapse into one row (count, summed
+/// time) above `collapse_threshold` occurrences — per-partition k-means spans
+/// stay readable on wide tables.
+std::string RenderSpanTree(const std::vector<TraceEvent>& events,
+                           size_t collapse_threshold = 8);
+
+/// Copies a ThreadPool stats snapshot into dbx_pool_* gauges/counters of
+/// `registry`. The pool lives in dbx_util below obs, so it keeps plain
+/// atomics and this bridge publishes them.
+void ExportThreadPoolMetrics(const ThreadPool::Stats& stats,
+                             MetricsRegistry* registry);
+
+/// One-line "tasks=.. parallel_for=.. queue_depth=.. busy_ms=[..]" rendering
+/// of a pool snapshot for EXPLAIN ANALYZE footers.
+std::string ThreadPoolStatsLine(const ThreadPool::Stats& stats);
+
+}  // namespace dbx

@@ -96,8 +96,31 @@ struct ShowStmt {
   What what = What::kTables;
 };
 
+class StatementBox;  // completed below, after the Statement alias
+
+/// EXPLAIN [ANALYZE] <statement>: execute the inner statement with tracing
+/// on and render the per-stage span tree instead of the normal output. The
+/// bare EXPLAIN form is accepted as a synonym — this engine always executes
+/// (there is no plan-only mode worth printing for an in-memory pipeline).
+struct ExplainStmt {
+  bool analyze = true;
+  /// The wrapped statement, boxed because the variant cannot contain itself.
+  std::shared_ptr<StatementBox> inner;
+};
+
 using Statement =
     std::variant<SelectStmt, CreateCadViewStmt, HighlightStmt, ReorderStmt,
-                 DescribeStmt, ShowStmt, DropCadViewStmt>;
+                 DescribeStmt, ShowStmt, DropCadViewStmt, ExplainStmt>;
+
+/// Heap box for the recursive ExplainStmt -> Statement edge.
+class StatementBox {
+ public:
+  explicit StatementBox(Statement stmt) : stmt_(std::move(stmt)) {}
+  const Statement& get() const { return stmt_; }
+  Statement& get() { return stmt_; }
+
+ private:
+  Statement stmt_;
+};
 
 }  // namespace dbx

@@ -109,6 +109,12 @@ std::string ToSql(const DropCadViewStmt& stmt) {
   return "DROP CADVIEW " + stmt.view_name;
 }
 
+std::string ToSql(const ExplainStmt& stmt) {
+  std::string sql = stmt.analyze ? "EXPLAIN ANALYZE" : "EXPLAIN";
+  if (stmt.inner != nullptr) sql += " " + StatementToSql(stmt.inner->get());
+  return sql;
+}
+
 }  // namespace
 
 std::string StatementToSql(const Statement& statement) {

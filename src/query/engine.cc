@@ -6,11 +6,33 @@
 #include <map>
 
 #include "src/core/cad_view_renderer.h"
-#include "src/util/ascii_table.h"
+#include "src/obs/explain.h"
+#include "src/obs/metrics.h"
+#include "src/query/canonical.h"
 #include "src/query/parser.h"
+#include "src/util/ascii_table.h"
+#include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 namespace dbx {
+namespace {
+
+const char* StatementKindName(const Statement& statement) {
+  if (std::holds_alternative<SelectStmt>(statement)) return "select";
+  if (std::holds_alternative<CreateCadViewStmt>(statement)) {
+    return "create_cadview";
+  }
+  if (std::holds_alternative<HighlightStmt>(statement)) return "highlight";
+  if (std::holds_alternative<ReorderStmt>(statement)) return "reorder";
+  if (std::holds_alternative<DescribeStmt>(statement)) return "describe";
+  if (std::holds_alternative<ShowStmt>(statement)) return "show";
+  if (std::holds_alternative<DropCadViewStmt>(statement)) return "drop";
+  if (std::holds_alternative<ExplainStmt>(statement)) return "explain";
+  return "statement";
+}
+
+}  // namespace
 
 void Engine::RegisterTable(const std::string& name, const Table* table) {
   // A (re-)registration means the data under `name` may have changed; cached
@@ -20,12 +42,33 @@ void Engine::RegisterTable(const std::string& name, const Table* table) {
 }
 
 Result<ExecOutcome> Engine::ExecuteSql(const std::string& sql) {
+  Stopwatch parse_timer;
   auto stmt = ParseStatement(sql);
   if (!stmt.ok()) return stmt.status();
+  last_parse_ns_ = parse_timer.ElapsedNanos();
   return Execute(std::move(*stmt));
 }
 
 Result<ExecOutcome> Engine::Execute(Statement statement) {
+  const uint64_t parse_ns = last_parse_ns_;
+  last_parse_ns_ = 0;
+  Stopwatch timer;
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  reg->GetCounter(std::string("dbx_query_statements_total"))->Increment();
+  reg->GetCounter(std::string("dbx_query_") + StatementKindName(statement) +
+                  "_total")
+      ->Increment();
+  struct LatencyRecord {
+    Stopwatch* timer;
+    ~LatencyRecord() {
+      MetricsRegistry::Global()
+          ->GetHistogram("dbx_query_statement_ms")
+          ->ObserveNs(timer->ElapsedNanos());
+    }
+  } latency_record{&timer};
+  if (auto* s = std::get_if<ExplainStmt>(&statement)) {
+    return ExecuteExplain(std::move(*s), parse_ns);
+  }
   if (auto* s = std::get_if<SelectStmt>(&statement)) {
     return ExecuteSelect(std::move(*s));
   }
@@ -328,11 +371,14 @@ Result<ExecOutcome> Engine::ExecuteCreateCadView(CreateCadViewStmt stmt) {
   if (stmt.limit_columns) options.max_compare_attrs = *stmt.limit_columns;
   if (stmt.iunits) options.iunits_per_value = *stmt.iunits;
   options.pivot_values.clear();  // derive from data below when restricted
+  options.tracer = tracer_;
+  options.trace_parent = trace_parent_;
 
   // Cache key for this statement: the WHERE clause (canonical text) is the
   // selection context; ORDER BY joins the params because the cached view is
   // the post-ORDER-BY result. Engine builds rediscretize each fragment, so
   // only full hits apply (no partition seeds).
+  ScopedSpan probe_span(tracer_, "cache_probe", trace_parent_);
   std::optional<ViewCacheKey> key;
   if (cache_ != nullptr) {
     if (auto fp = CadViewOptionsFingerprint(options)) {
@@ -345,6 +391,10 @@ Result<ExecOutcome> Engine::ExecuteCreateCadView(CreateCadViewStmt stmt) {
       key = ViewCacheKey::Make(stmt.table, std::move(predicates),
                                stmt.pivot_attr, {}, std::move(params));
       if (auto hit = cache_->Lookup(*key)) {
+        probe_span.AddArg("result", "hit");
+        probe_span.AddArg("saved_build_ms",
+                          FormatDouble(hit->build_cost_ms, 3));
+        probe_span.End();
         // Store a copy: REORDER mutates stored views in place and must not
         // disturb the cached entry.
         auto stored = std::make_unique<CadView>(hit->view);
@@ -357,8 +407,14 @@ Result<ExecOutcome> Engine::ExecuteCreateCadView(CreateCadViewStmt stmt) {
         out.rendered = RenderCadView(*ptr);
         return out;
       }
+      probe_span.AddArg("result", "miss");
+    } else {
+      probe_span.AddArg("result", "uncacheable");
     }
+  } else {
+    probe_span.AddArg("result", "no-cache");
   }
+  probe_span.End();
 
   TableSlice slice = TableSlice::All(table);
   if (stmt.where) {
@@ -525,6 +581,62 @@ Result<ExecOutcome> Engine::ExecuteHighlight(const HighlightStmt& stmt) {
                             h.similarity);
   }
   out.rendered = RenderCadView(view, ro) + summary;
+  return out;
+}
+
+Result<ExecOutcome> Engine::ExecuteExplain(ExplainStmt stmt, uint64_t parse_ns) {
+  if (stmt.inner == nullptr) {
+    return Status::InvalidArgument("EXPLAIN requires a statement to explain");
+  }
+  // Predicates are move-only, so take the inner statement out of its box
+  // rather than copying.
+  Statement inner = std::move(stmt.inner->get());
+  const std::string inner_sql = StatementToSql(inner);
+  const std::string root_name =
+      std::string("execute:") + StatementKindName(inner);
+
+  // A fresh collector per EXPLAIN keeps the rendered tree scoped to this one
+  // statement even when a session-wide tracer is also attached.
+  Tracer tracer;
+  if (parse_ns > 0) tracer.Emit("parse", 0, 0, parse_ns);
+
+  Tracer* saved_tracer = tracer_;
+  const uint64_t saved_parent = trace_parent_;
+  std::optional<Result<ExecOutcome>> inner_result;
+  {
+    ScopedSpan root(&tracer, root_name);
+    root.AddArg("sql", inner_sql);
+    SetTracer(&tracer, root.id());
+    inner_result.emplace(Execute(std::move(inner)));
+    if (!inner_result->ok()) {
+      root.AddArg("error", inner_result->status().message());
+    }
+  }
+  tracer_ = saved_tracer;
+  trace_parent_ = saved_parent;
+  DBX_RETURN_IF_ERROR(inner_result->status());
+
+  std::string text = "EXPLAIN ANALYZE " + inner_sql + "\n\n";
+  text += RenderSpanTree(tracer.Events());
+  if (cache_ != nullptr) {
+    const ViewCacheStats s = cache_->stats();
+    text += StringPrintf(
+        "cache: hits=%llu misses=%llu inserts=%llu evictions=%llu "
+        "seeds=%llu entries=%zu bytes=%zu saved_ms=%s\n",
+        static_cast<unsigned long long>(s.hits),
+        static_cast<unsigned long long>(s.misses),
+        static_cast<unsigned long long>(s.inserts),
+        static_cast<unsigned long long>(s.evictions),
+        static_cast<unsigned long long>(s.refinement_seeds), s.entries,
+        s.bytes_in_use, FormatDouble(s.hit_saved_ms, 3).c_str());
+  }
+  const ThreadPool::Stats pool_stats = ThreadPool::Shared().GetStats();
+  ExportThreadPoolMetrics(pool_stats, MetricsRegistry::Global());
+  text += ThreadPoolStatsLine(pool_stats) + "\n";
+
+  ExecOutcome out = std::move(**inner_result);
+  out.kind = ExecOutcome::Kind::kExplain;
+  out.rendered = std::move(text);
   return out;
 }
 

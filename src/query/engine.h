@@ -13,6 +13,7 @@
 #include "src/core/cad_view.h"
 #include "src/core/cad_view_builder.h"
 #include "src/core/view_cache.h"
+#include "src/obs/trace.h"
 #include "src/query/ast.h"
 #include "src/util/result.h"
 
@@ -21,7 +22,7 @@ namespace dbx {
 /// What a statement produced.
 struct ExecOutcome {
   enum class Kind { kSelection, kCadView, kHighlight, kReorder, kDescribe,
-                    kShow, kDrop };
+                    kShow, kDrop, kExplain };
   Kind kind = Kind::kSelection;
 
   // kSelection
@@ -65,6 +66,14 @@ class Engine {
   }
   const std::shared_ptr<ViewCache>& view_cache() const { return cache_; }
 
+  /// Attaches a span collector: CREATE CADVIEW statements emit cache_probe
+  /// and pipeline-stage spans under `trace_parent`. EXPLAIN [ANALYZE]
+  /// temporarily installs its own tracer regardless of this setting.
+  void SetTracer(Tracer* tracer, uint64_t trace_parent = 0) {
+    tracer_ = tracer == nullptr ? Tracer::Disabled() : tracer;
+    trace_parent_ = trace_parent;
+  }
+
   /// Parses and executes one statement.
   Result<ExecOutcome> ExecuteSql(const std::string& sql);
 
@@ -83,11 +92,17 @@ class Engine {
   Result<ExecOutcome> ExecuteDescribe(const DescribeStmt& stmt);
   Result<ExecOutcome> ExecuteShow(const ShowStmt& stmt);
   Result<ExecOutcome> ExecuteDrop(const DropCadViewStmt& stmt);
+  Result<ExecOutcome> ExecuteExplain(ExplainStmt stmt, uint64_t parse_ns);
 
   std::map<std::string, const Table*> tables_;
   std::map<std::string, std::unique_ptr<CadView>> views_;
   CadViewOptions defaults_;
   std::shared_ptr<ViewCache> cache_;
+  Tracer* tracer_ = Tracer::Disabled();
+  uint64_t trace_parent_ = 0;
+  /// Parse time of the statement ExecuteSql just handed to Execute — the
+  /// "parse" span of an EXPLAIN ANALYZE (0 for pre-parsed statements).
+  uint64_t last_parse_ns_ = 0;
 };
 
 }  // namespace dbx

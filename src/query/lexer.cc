@@ -17,6 +17,7 @@ const std::unordered_set<std::string>& Keywords() {
       "ROWS",    "TRUE",    "FALSE",    "IS",      "NULL",    "DISTINCT",
       "GROUP",   "COUNT",   "AVG",      "SUM",     "MIN",     "MAX",
       "DESCRIBE","SHOW",    "TABLES",   "CADVIEWS", "DROP",
+      "EXPLAIN", "ANALYZE",
   };
   return kKeywords;
 }

@@ -15,6 +15,16 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
 
   Result<Statement> ParseStatement() {
+    if (AcceptKeyword("EXPLAIN")) {
+      ExplainStmt stmt;
+      stmt.analyze = AcceptKeyword("ANALYZE");
+      DBX_ASSIGN_OR_RETURN(Statement inner, ParseStatement());
+      if (std::holds_alternative<ExplainStmt>(inner)) {
+        return Err("EXPLAIN cannot wrap another EXPLAIN");
+      }
+      stmt.inner = std::make_shared<StatementBox>(std::move(inner));
+      return Statement(std::move(stmt));
+    }
     if (AcceptKeyword("CREATE")) return ParseCreateCadView();
     if (AcceptKeyword("HIGHLIGHT")) return ParseHighlight();
     if (AcceptKeyword("REORDER")) return ParseReorder();

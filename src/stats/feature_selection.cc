@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/stats/contingency.h"
+#include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace dbx {
@@ -27,6 +29,11 @@ Result<std::vector<FeatureScore>> RankFeatures(
   if (pivot_cardinality < 1) {
     return Status::InvalidArgument("pivot cardinality must be >= 1");
   }
+  ScopedSpan span(options.tracer, "chi_square", options.trace_parent);
+  span.AddArg("ranker", FeatureRankerName(options.ranker));
+  span.AddArg("candidates", static_cast<uint64_t>(candidates.size()));
+  span.AddArg("rows", static_cast<uint64_t>(dt.num_rows()));
+  Stopwatch timer;
   // One contingency table per candidate, each filling its own score slot;
   // the sort afterwards makes the ranking independent of execution order.
   std::vector<FeatureScore> scores(candidates.size());
@@ -67,6 +74,12 @@ Result<std::vector<FeatureScore>> RankFeatures(
                      if (a.score != b.score) return a.score > b.score;
                      return a.attr_index < b.attr_index;
                    });
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  reg->GetCounter("dbx_stats_rank_features_total")->Increment();
+  reg->GetCounter("dbx_stats_candidates_ranked_total")
+      ->Increment(candidates.size());
+  reg->GetHistogram("dbx_stats_rank_features_ms")
+      ->ObserveNs(timer.ElapsedNanos());
   return scores;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/stats/discretizer.h"
 #include "src/util/result.h"
 
@@ -44,6 +45,11 @@ struct FeatureSelectionOptions {
   /// (1 = serial). The ranking is identical for any value: scores land in
   /// per-candidate slots and are sorted afterwards.
   size_t num_threads = 1;
+  /// Observability knobs: like num_threads they never change the ranking, so
+  /// the cache fingerprint excludes them. Never null — default is the no-op
+  /// tracer.
+  Tracer* tracer = Tracer::Disabled();
+  uint64_t trace_parent = 0;
 };
 
 /// Ranks `candidates` (attribute indices into `dt`) by decreasing relevance

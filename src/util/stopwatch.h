@@ -4,6 +4,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace dbx {
 
@@ -25,6 +26,15 @@ class Stopwatch {
   double ElapsedMicros() const {
     return std::chrono::duration<double, std::micro>(Clock::now() - start_)
         .count();
+  }
+
+  /// Elapsed time since construction/Reset, in integral nanoseconds — the
+  /// unit the obs histograms consume (Histogram::ObserveNs).
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -56,9 +57,13 @@ void DrainChunks(const std::shared_ptr<ParallelForState>& state, size_t begin,
 
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = std::max<size_t>(1, num_threads);
+  worker_busy_ns_ = std::make_unique<std::atomic<uint64_t>[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    worker_busy_ns_[i].store(0, std::memory_order_relaxed);
+  }
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -72,6 +77,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
@@ -79,7 +85,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -89,14 +95,40 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto t0 = std::chrono::steady_clock::now();
     task();
+    const auto t1 = std::chrono::steady_clock::now();
+    worker_busy_ns_[worker_index].fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()),
+        std::memory_order_relaxed);
   }
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  stats.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  stats.parallel_for_calls =
+      parallel_for_calls_.load(std::memory_order_relaxed);
+  stats.num_threads = workers_.size();
+  stats.worker_busy_ns.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    stats.worker_busy_ns.push_back(
+        worker_busy_ns_[i].load(std::memory_order_relaxed));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queue_.size();
+  }
+  return stats;
 }
 
 Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
                                const std::function<Status(size_t)>& fn,
                                size_t max_parallelism) {
   if (begin >= end) return Status::OK();
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
   if (grain == 0) grain = 1;
   auto state = std::make_shared<ParallelForState>();
   state->num_chunks = (end - begin + grain - 1) / grain;

@@ -11,10 +11,13 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -35,6 +38,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t num_threads() const { return workers_.size(); }
+
+  /// Point-in-time usage snapshot. The pool sits below the observability
+  /// layer, so it keeps plain atomics; src/obs/explain.h bridges a snapshot
+  /// into the metrics registry as dbx_pool_* series.
+  struct Stats {
+    uint64_t tasks_submitted = 0;    // Submit() calls, lifetime
+    uint64_t parallel_for_calls = 0; // member ParallelFor() calls, lifetime
+    size_t queue_depth = 0;          // tasks waiting right now
+    size_t num_threads = 0;
+    std::vector<uint64_t> worker_busy_ns;  // per-worker task time, lifetime
+  };
+  Stats GetStats() const;
 
   /// Enqueues a task. Safe from any thread, including pool workers.
   void Submit(std::function<void()> task);
@@ -60,13 +75,16 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> parallel_for_calls_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> worker_busy_ns_;  // one per worker
 };
 
 /// Convenience entry point for pipeline stages carrying a `num_threads`

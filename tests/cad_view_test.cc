@@ -442,6 +442,48 @@ TEST(CadViewDeterminismTest, SampledFeatureSelectionPathByteIdentical) {
   ExpectByteIdenticalAcrossThreadCounts(table, o);
 }
 
+TEST(CadViewDeterminismTest, TracingDoesNotPerturbBytes) {
+  // The observability contract: an enabled tracer collecting every stage span
+  // changes no output byte at any thread count, and a traced build matches an
+  // untraced one exactly.
+  Table table = GenerateMushrooms(2000);
+  CadViewOptions o;
+  o.pivot_attr = "Class";
+  o.max_compare_attrs = 4;
+  o.iunits_per_value = 3;
+  o.seed = 7;
+
+  o.num_threads = 1;
+  auto untraced = BuildCadView(TableSlice::All(table), o);
+  ASSERT_TRUE(untraced.ok()) << untraced.status().ToString();
+  const std::string expected = SerializeStable(*untraced);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, TestThreads(4)}) {
+    Tracer tracer;
+    o.num_threads = threads;
+    o.tracer = &tracer;
+    auto view = BuildCadView(TableSlice::All(table), o);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(SerializeStable(*view), expected)
+        << "num_threads=" << threads << " with tracing diverged";
+    // The pipeline actually recorded spans (tracing was really on), and the
+    // per-partition stages nest under the iunit_gen umbrella span.
+    std::vector<TraceEvent> events = tracer.Events();
+    EXPECT_FALSE(events.empty());
+    uint64_t iunit_gen_id = 0;
+    for (const TraceEvent& e : events) {
+      if (e.name == "iunit_gen") iunit_gen_id = e.id;
+    }
+    ASSERT_NE(iunit_gen_id, 0u) << "missing iunit_gen span";
+    size_t nested_kmeans = 0;
+    for (const TraceEvent& e : events) {
+      if (e.name == "kmeans" && e.parent == iunit_gen_id) ++nested_kmeans;
+    }
+    EXPECT_GT(nested_kmeans, 0u);
+  }
+  o.tracer = Tracer::Disabled();
+}
+
 TEST(CadViewDeterminismTest, KMeansIdenticalAcrossThreadCounts) {
   // > kAssignGrain (1024) points so the chunked reduction actually splits.
   Table table = GenerateMushrooms(3000);

@@ -183,5 +183,79 @@ TEST_F(TpFacetTest, BuildTimingsExposed) {
   EXPECT_GT(s.last_build_timings()->total_ms, 0.0);
 }
 
+TEST_F(TpFacetTest, TracerCollectsViewAndClickSpans) {
+  TpFacetSession s = MakeSession();
+  Tracer tracer;
+  s.SetTracer(&tracer);
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+  ASSERT_TRUE(s.View().ok());
+  ASSERT_TRUE(s.ClickPivotValue("Ford").ok());
+  bool saw_probe = false, saw_kmeans = false, saw_click = false;
+  for (const TraceEvent& e : tracer.Events()) {
+    saw_probe |= e.name == "cache_probe";
+    saw_kmeans |= e.name == "kmeans";
+    saw_click |= e.name == "click_pivot_value";
+  }
+  EXPECT_TRUE(saw_probe);
+  EXPECT_TRUE(saw_kmeans);
+  EXPECT_TRUE(saw_click);
+  // Detaching returns View() to the zero-cost disabled path.
+  s.SetTracer(nullptr);
+  EXPECT_FALSE(s.tracer()->enabled());
+}
+
+TEST_F(TpFacetTest, DumpTraceWritesChromeJson) {
+  TpFacetSession s = MakeSession();
+  EXPECT_TRUE(s.DumpTrace("/ignored").IsFailedPrecondition());  // no tracer
+  Tracer tracer;
+  s.SetTracer(&tracer);
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+  ASSERT_TRUE(s.View().ok());
+  const std::string path = ::testing::TempDir() + "/tpfacet_trace.json";
+  ASSERT_TRUE(s.DumpTrace(path).ok());
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char head[16] = {0};
+  size_t n = fread(head, 1, sizeof head - 1, f);
+  fclose(f);
+  EXPECT_GT(n, 0u);
+  EXPECT_EQ(std::string(head).rfind("{\"traceEvents\"", 0), 0u);
+}
+
+TEST_F(TpFacetTest, ExplainAnalyzeShowsColdThenWarmPath) {
+  TpFacetSession s = MakeSession();
+  auto cache = std::make_shared<ViewCache>();
+  s.SetViewCache(cache, "cars");
+  EXPECT_TRUE(s.ExplainAnalyze().status().IsFailedPrecondition());  // no pivot
+  ASSERT_TRUE(s.SetPivot("Make").ok());
+
+  auto cold = s.ExplainAnalyze();
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  for (const char* stage : {"tpfacet_view", "cache_probe", "partition",
+                            "chi_square", "kmeans", "labeling", "div_topk"}) {
+    EXPECT_NE(cold->find(stage), std::string::npos)
+        << "missing stage '" << stage << "' in:\n" << *cold;
+  }
+  EXPECT_NE(cold->find("result=miss"), std::string::npos) << *cold;
+  EXPECT_NE(cold->find("cache: hits="), std::string::npos);
+
+  // The first ExplainAnalyze populated the cache; the second hits it.
+  auto warm = s.ExplainAnalyze();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm->find("result=hit"), std::string::npos) << *warm;
+  EXPECT_EQ(warm->find("kmeans"), std::string::npos) << *warm;
+
+  ViewCacheSnapshot snapshot = s.CacheSnapshot();
+  EXPECT_EQ(snapshot.stats.hits, 1u);
+  EXPECT_EQ(snapshot.stats.entries, snapshot.entries.size());
+}
+
+TEST_F(TpFacetTest, CacheSnapshotEmptyWithoutCache) {
+  TpFacetSession s = MakeSession();
+  ViewCacheSnapshot snapshot = s.CacheSnapshot();
+  EXPECT_EQ(snapshot.stats.entries, 0u);
+  EXPECT_TRUE(snapshot.entries.empty());
+}
+
 }  // namespace
 }  // namespace dbx

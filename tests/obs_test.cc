@@ -1,0 +1,465 @@
+// Tests for the observability layer (src/obs/): metrics registry semantics
+// and concurrency, histogram quantiles against a sorted-vector oracle,
+// span collection and parent/child nesting across pool workers, Chrome-trace
+// JSON well-formedness, Prometheus exposition, and the EXPLAIN span-tree
+// renderer.
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/explain.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace dbx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax checker (values only, no semantics): enough to prove a
+// Chrome trace export is well-formed without pulling in a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("dbx_test_events_total");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  // Same name -> same instrument.
+  EXPECT_EQ(registry.GetCounter("dbx_test_events_total"), c);
+
+  Gauge* g = registry.GetGauge("dbx_test_entries");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 7);
+  EXPECT_EQ(registry.GetGauge("dbx_test_entries"), g);
+}
+
+TEST(MetricsTest, HistogramCountsAndSum) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 555.5);
+  std::vector<uint64_t> cum = h.CumulativeCounts();
+  ASSERT_EQ(cum.size(), 4u);
+  EXPECT_EQ(cum[0], 1u);
+  EXPECT_EQ(cum[1], 2u);
+  EXPECT_EQ(cum[2], 3u);
+  EXPECT_EQ(cum[3], 4u);  // total including overflow
+}
+
+TEST(MetricsTest, HistogramQuantileMatchesSortedVectorOracle) {
+  // Deterministic pseudo-random samples over [0, 200); the histogram estimate
+  // must land in the same bucket as the exact order statistic.
+  std::vector<double> bounds = {1, 2, 5, 10, 20, 50, 100, 200};
+  Histogram h(bounds);
+  Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.NextDouble() * 200.0;
+    samples.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+    double exact = samples[static_cast<size_t>(q * (samples.size() - 1))];
+    double est = h.Quantile(q);
+    // The estimate interpolates within the containing bucket: it must lie
+    // within one bucket of the exact value.
+    auto bucket_of = [&](double v) {
+      return std::lower_bound(bounds.begin(), bounds.end(), v) -
+             bounds.begin();
+    };
+    EXPECT_LE(std::abs(static_cast<long>(bucket_of(est)) -
+                       static_cast<long>(bucket_of(exact))),
+              1)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(MetricsTest, HistogramQuantileEdgeCases) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty
+  h.Observe(100.0);                        // overflow only
+  // Overflow observations clamp to the highest finite bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0);
+}
+
+TEST(MetricsTest, RegistryConcurrentHammer) {
+  // Concurrent Get* + update across threads: TSAN-clean and no lost counts.
+  MetricsRegistry registry;
+  const size_t kThreads = std::max<size_t>(4, TestThreads(4));
+  const int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, kPerThread] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.GetCounter("dbx_test_hammer_total")->Increment();
+        registry.GetGauge("dbx_test_hammer_gauge")->Add(1);
+        registry.GetHistogram("dbx_test_hammer_ms")->Observe(i % 7);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const uint64_t expect = kThreads * static_cast<uint64_t>(kPerThread);
+  EXPECT_EQ(registry.GetCounter("dbx_test_hammer_total")->Value(), expect);
+  EXPECT_EQ(registry.GetGauge("dbx_test_hammer_gauge")->Value(),
+            static_cast<int64_t>(expect));
+  EXPECT_EQ(registry.GetHistogram("dbx_test_hammer_ms")->Count(), expect);
+}
+
+TEST(MetricsTest, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("dbx_test_hits_total")->Increment(3);
+  registry.GetGauge("dbx_test_bytes")->Set(1024);
+  Histogram* h = registry.GetHistogram("dbx_test_lat_ms", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(20.0);
+  EXPECT_EQ(registry.PrometheusText(),
+            "# TYPE dbx_test_hits_total counter\n"
+            "dbx_test_hits_total 3\n"
+            "# TYPE dbx_test_bytes gauge\n"
+            "dbx_test_bytes 1024\n"
+            "# TYPE dbx_test_lat_ms histogram\n"
+            "dbx_test_lat_ms_bucket{le=\"1\"} 1\n"
+            "dbx_test_lat_ms_bucket{le=\"10\"} 2\n"
+            "dbx_test_lat_ms_bucket{le=\"+Inf\"} 3\n"
+            "dbx_test_lat_ms_sum 25.5\n"
+            "dbx_test_lat_ms_count 3\n");
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(TraceTest, DisabledTracerIsInert) {
+  Tracer* off = Tracer::Disabled();
+  EXPECT_FALSE(off->enabled());
+  {
+    ScopedSpan span(off, "nothing");
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_FALSE(span.active());
+    span.AddArg("k", "v");
+  }
+  ScopedSpan null_span(nullptr, "also nothing");
+  EXPECT_EQ(null_span.id(), 0u);
+  EXPECT_TRUE(off->Events().empty());
+  EXPECT_EQ(off->Emit("x", 0, 0, 1), 0u);
+}
+
+TEST(TraceTest, RecordsNestedSpans) {
+  Tracer tracer;
+  {
+    ScopedSpan root(&tracer, "root");
+    ASSERT_NE(root.id(), 0u);
+    {
+      ScopedSpan child(&tracer, "child", root.id());
+      child.AddArg("rows", static_cast<uint64_t>(42));
+      child.AddArg("mode", "fast");
+    }
+  }
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Chronological: root started first.
+  EXPECT_EQ(events[0].name, "root");
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_EQ(events[1].name, "child");
+  EXPECT_EQ(events[1].parent, events[0].id);
+  EXPECT_EQ(events[1].args, "rows=42, mode=fast");
+  // The child closed before the root: its extent nests inside the root's.
+  EXPECT_GE(events[1].start_ns, events[0].start_ns);
+  EXPECT_LE(events[1].start_ns + events[1].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+}
+
+TEST(TraceTest, ExplicitEndStopsTheClockEarly) {
+  Tracer tracer;
+  ScopedSpan span(&tracer, "early");
+  span.End();
+  span.End();  // idempotent
+  EXPECT_EQ(tracer.Events().size(), 1u);
+}
+
+TEST(TraceTest, SpanNestingAcrossPoolWorkers) {
+  // Spans opened inside ParallelFor chunks must attach to the parent passed
+  // by id — nesting is explicit, never inferred from thread-local state.
+  Tracer tracer;
+  const size_t kItems = 64;
+  uint64_t parent_id = 0;
+  {
+    ScopedSpan parent(&tracer, "fanout");
+    parent_id = parent.id();
+    Status st = ParallelFor(TestThreads(4), 0, kItems, 4,
+                            [&tracer, parent_id](size_t i) {
+                              ScopedSpan leaf(&tracer, "leaf", parent_id);
+                              leaf.AddArg("index", static_cast<uint64_t>(i));
+                              return Status::OK();
+                            });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), kItems + 1);
+  size_t leaves = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == "leaf") {
+      ++leaves;
+      EXPECT_EQ(e.parent, parent_id);
+    }
+  }
+  EXPECT_EQ(leaves, kItems);
+}
+
+TEST(TraceTest, RingOverflowDropsOldestAndCounts) {
+  Tracer tracer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Emit("span" + std::to_string(i), 0, static_cast<uint64_t>(i), 1);
+  }
+  EXPECT_EQ(tracer.dropped(), 6u);
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest four survive.
+  EXPECT_EQ(events.front().name, "span6");
+  EXPECT_EQ(events.back().name, "span9");
+}
+
+TEST(TraceTest, ClearResetsEpochAndSpans) {
+  Tracer tracer;
+  tracer.Emit("before", 0, 0, 1);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Events().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TraceTest, ChromeJsonIsWellFormed) {
+  Tracer tracer;
+  {
+    ScopedSpan root(&tracer, "root \"quoted\"\npath\\seg");
+    root.AddArg("detail", "a=b\tc");
+    ScopedSpan child(&tracer, "child", root.id());
+  }
+  std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(TraceTest, WriteChromeJsonRoundTripsThroughDisk) {
+  Tracer tracer;
+  tracer.Emit("stage", 0, 1000, 2000, "rows=5");
+  std::string path = ::testing::TempDir() + "/dbx_obs_trace.json";
+  Status st = tracer.WriteChromeJson(path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  fclose(f);
+  EXPECT_EQ(content, tracer.ToChromeJson());
+  EXPECT_TRUE(JsonChecker(content).Valid());
+}
+
+TEST(TraceTest, ConcurrentEmitIsSafe) {
+  Tracer tracer;
+  const size_t kThreads = std::max<size_t>(4, TestThreads(4));
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < 500; ++i) {
+        ScopedSpan span(&tracer, "worker" + std::to_string(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.Events().size(), kThreads * 500u);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN rendering + pool bridge
+
+TEST(ExplainTest, RendersSpanTreeWithSharesAndArgs) {
+  std::vector<TraceEvent> events;
+  events.push_back({1, 0, "build", "", 0, 1000000, 0});
+  events.push_back({2, 1, "partition", "partitions=4", 0, 400000, 0});
+  events.push_back({3, 1, "kmeans", "k=3", 400000, 600000, 1});
+  std::string tree = RenderSpanTree(events);
+  EXPECT_NE(tree.find("build"), std::string::npos);
+  EXPECT_NE(tree.find("partition"), std::string::npos);
+  EXPECT_NE(tree.find("partitions=4"), std::string::npos);
+  EXPECT_NE(tree.find("100.0%"), std::string::npos);  // root share
+  // Children are indented beneath the root.
+  EXPECT_LT(tree.find("build"), tree.find("partition"));
+}
+
+TEST(ExplainTest, CollapsesWideFanout) {
+  std::vector<TraceEvent> events;
+  events.push_back({1, 0, "parent", "", 0, 1000, 0});
+  for (uint64_t i = 0; i < 20; ++i) {
+    events.push_back({2 + i, 1, "kmeans", "", i * 10, 10, 0});
+  }
+  std::string tree = RenderSpanTree(events, /*collapse_threshold=*/8);
+  EXPECT_NE(tree.find("kmeans x20"), std::string::npos);
+}
+
+TEST(ExplainTest, EmptyTreeAndOrphanSpans) {
+  EXPECT_EQ(RenderSpanTree({}), "(no spans recorded)\n");
+  // A span whose parent is missing renders as a root, not lost.
+  std::vector<TraceEvent> events;
+  events.push_back({5, 99, "orphan", "", 0, 10, 0});
+  EXPECT_NE(RenderSpanTree(events).find("orphan"), std::string::npos);
+}
+
+TEST(ExplainTest, ThreadPoolMetricsBridge) {
+  ThreadPool::Stats stats;
+  stats.tasks_submitted = 11;
+  stats.parallel_for_calls = 3;
+  stats.queue_depth = 2;
+  stats.num_threads = 4;
+  stats.worker_busy_ns = {1000000, 2000000, 0, 500000};
+  MetricsRegistry registry;
+  ExportThreadPoolMetrics(stats, &registry);
+  EXPECT_EQ(registry.GetGauge("dbx_pool_tasks_submitted")->Value(), 11);
+  EXPECT_EQ(registry.GetGauge("dbx_pool_parallel_for_calls")->Value(), 3);
+  EXPECT_EQ(registry.GetGauge("dbx_pool_queue_depth")->Value(), 2);
+  EXPECT_EQ(registry.GetGauge("dbx_pool_threads")->Value(), 4);
+  std::string line = ThreadPoolStatsLine(stats);
+  EXPECT_NE(line.find("threads=4"), std::string::npos);
+  EXPECT_NE(line.find("parallel_for=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbx

@@ -234,6 +234,28 @@ TEST(ParserTest, AggregateErrors) {
                   .IsInvalidArgument());
 }
 
+TEST(ParserTest, ExplainAnalyze) {
+  auto full = ParseStatement("EXPLAIN ANALYZE SELECT * FROM T");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  const auto* stmt = std::get_if<ExplainStmt>(&*full);
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->analyze);
+  ASSERT_NE(stmt->inner, nullptr);
+  EXPECT_TRUE(std::holds_alternative<SelectStmt>(stmt->inner->get()));
+  EXPECT_EQ(StatementToSql(*full), "EXPLAIN ANALYZE SELECT * FROM T");
+
+  // Bare EXPLAIN parses too (treated as a synonym at execution time).
+  auto bare = ParseStatement("EXPLAIN SELECT * FROM T");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_FALSE(std::get_if<ExplainStmt>(&*bare)->analyze);
+  EXPECT_EQ(StatementToSql(*bare), "EXPLAIN SELECT * FROM T");
+
+  EXPECT_TRUE(ParseStatement("EXPLAIN ANALYZE EXPLAIN SELECT * FROM T")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("EXPLAIN").status().IsInvalidArgument());
+}
+
 // --- Engine ------------------------------------------------------------------
 
 class EngineTest : public ::testing::Test {
@@ -456,6 +478,51 @@ TEST_F(EngineTest, CreateCadViewAndFetch) {
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(*v, r->view);
   EXPECT_TRUE(engine_.GetView("missing").status().IsNotFound());
+}
+
+TEST_F(EngineTest, ExplainAnalyzeCreateCadViewColdThenWarm) {
+  engine_.SetViewCache(std::make_shared<ViewCache>());
+  const std::string sql =
+      "EXPLAIN ANALYZE CREATE CADVIEW ev AS SET pivot = Make SELECT Price "
+      "FROM UsedCars WHERE BodyType = SUV AND (Make = Ford OR Make = Jeep) "
+      "LIMIT COLUMNS 4 IUNITS 2";
+
+  auto cold = engine_.ExecuteSql(sql);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->kind, ExecOutcome::Kind::kExplain);
+  ASSERT_NE(cold->view, nullptr);  // the inner statement really executed
+  // The cold build renders the full paper pipeline as stages.
+  for (const char* stage :
+       {"parse", "cache_probe", "discretize", "partition", "chi_square",
+        "kmeans", "labeling", "div_topk"}) {
+    EXPECT_NE(cold->rendered.find(stage), std::string::npos)
+        << "missing stage '" << stage << "' in:\n" << cold->rendered;
+  }
+  EXPECT_NE(cold->rendered.find("result=miss"), std::string::npos)
+      << cold->rendered;
+  EXPECT_NE(cold->rendered.find("cache: hits="), std::string::npos);
+  EXPECT_NE(cold->rendered.find("pool: threads="), std::string::npos);
+
+  // Warm: same statement short-circuits to the cache-hit path — the probe
+  // reports the hit and no pipeline stage runs.
+  auto warm = engine_.ExecuteSql(sql);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_NE(warm->rendered.find("result=hit"), std::string::npos)
+      << warm->rendered;
+  EXPECT_EQ(warm->rendered.find("kmeans"), std::string::npos)
+      << warm->rendered;
+}
+
+TEST_F(EngineTest, ExplainSelectAndErrors) {
+  auto r = engine_.ExecuteSql("EXPLAIN SELECT * FROM UsedCars LIMIT 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->kind, ExecOutcome::Kind::kExplain);
+  EXPECT_EQ(r->rows.size(), 5u);  // inner outcome fields pass through
+  EXPECT_NE(r->rendered.find("execute:select"), std::string::npos);
+  // Inner failures surface as the statement's own error.
+  EXPECT_TRUE(engine_.ExecuteSql("EXPLAIN ANALYZE SELECT * FROM Nope")
+                  .status()
+                  .IsNotFound());
 }
 
 TEST_F(EngineTest, HighlightAndReorderAgainstStoredView) {
