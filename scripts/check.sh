@@ -11,6 +11,10 @@
 #                 timing thresholds not enforced)
 #   obs         — observability suites (metrics/tracing/EXPLAIN; subset of
 #                 unit, also run standalone so failures are easy to spot)
+#   lint        — dbx_lint over the tree + its unit suite (scripts/check_lint.sh
+#                 adds the seeded-violation self-test and optional clang-tidy)
+#   fuzz        — deterministic dialect fuzz smoke: corpus replay + fixed
+#                 mutation budget (scripts/check_fuzz.sh)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +22,9 @@ fail() { echo "CHECK FAILED: $*" >&2; exit 1; }
 
 cmake -B build -G Ninja || fail "configure"
 cmake --build build || fail "build"
+
+scripts/check_lint.sh || fail "lint (dbx_lint + self-test)"
+ctest --test-dir build -L fuzz --output-on-failure || fail "fuzz smoke"
 
 ctest --test-dir build -L unit --output-on-failure || fail "unit tests"
 ctest --test-dir build -L integration --output-on-failure \
@@ -30,6 +37,14 @@ ctest --test-dir build -L obs --output-on-failure || fail "obs tests"
 # read DBX_TEST_THREADS and add that thread count to their sweep.
 DBX_TEST_THREADS=4 ctest --test-dir build -L 'unit|integration' \
   --output-on-failure || fail "threaded test re-run"
+
+# UBSan tier: rebuild with -fsanitize=undefined (no-recover) and run the
+# full unit tier. Catches signed overflow, bad shifts, misaligned access.
+cmake -B build-ubsan -S . -G Ninja -DDBX_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo || fail "ubsan configure"
+cmake --build build-ubsan || fail "ubsan build"
+ctest --test-dir build-ubsan -L unit --output-on-failure \
+  || fail "unit tier under UBSan"
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

@@ -15,12 +15,15 @@ cmake -B "$BUILD_DIR" -S . -DDBX_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo || fail "configure"
 cmake --build "$BUILD_DIR" -j --target \
   thread_pool_test cad_view_test cluster_test feature_selection_test \
-  facet_index_test facet_test view_cache_test obs_test || fail "build"
+  facet_index_test facet_test view_cache_test obs_test \
+  lexer_fuzz parser_fuzz || fail "build"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 export DBX_TEST_THREADS="$THREADS"
 # Unbuilt targets' _NOT_BUILT placeholders carry no label, so `-L unit` runs
-# exactly the suites built above.
-ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure \
-  || fail "unit tier under TSAN"
+# exactly the suites built above. The fuzz smoke rides along: the harnesses
+# are single-threaded but exercise lexer/parser allocation paths, and a tier
+# that exists must propagate its failures here like everywhere else.
+ctest --test-dir "$BUILD_DIR" -L 'unit|fuzz' --output-on-failure \
+  || fail "unit+fuzz tiers under TSAN"
 echo "TSAN CHECKS PASSED"

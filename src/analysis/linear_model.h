@@ -38,14 +38,17 @@ struct OlsFit {
 /// Fits y = X beta + e by least squares (normal equations with partial
 /// pivoting). Fails when X'X is singular (collinear design) or dimensions
 /// mismatch.
+[[nodiscard]]
 Result<OlsFit> FitOls(const DesignMatrix& X, const std::vector<double>& y);
 
 /// Solves A x = b for a dense n x n system (Gaussian elimination, partial
 /// pivoting). Fails on singular A. Exposed for tests.
+[[nodiscard]]
 Result<std::vector<double>> SolveLinearSystem(std::vector<double> a, size_t n,
                                               std::vector<double> b);
 
 /// Inverts a dense n x n matrix. Fails on singular input. Exposed for tests.
+[[nodiscard]]
 Result<std::vector<double>> InvertMatrix(std::vector<double> a, size_t n);
 
 }  // namespace dbx

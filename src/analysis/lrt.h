@@ -33,6 +33,7 @@ struct LrtResult {
 /// Fits response ~ 1 + user + treatment against response ~ 1 + user and
 /// compares them with a chi-square(1) likelihood-ratio test.
 /// Requires >= 2 users and both treatment arms present.
+[[nodiscard]]
 Result<LrtResult> DisplayTypeLrt(const std::vector<StudyObservation>& obs,
                                  size_t num_users);
 

@@ -27,6 +27,7 @@ struct WilcoxonResult {
 /// Tests whether paired differences a[i] - b[i] are symmetric about zero.
 /// Zero differences are dropped (standard treatment); ties share midranks.
 /// Fails when fewer than 2 non-zero differences remain.
+[[nodiscard]]
 Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
                                           const std::vector<double>& b);
 

@@ -28,7 +28,7 @@ class OneHotEncoder {
  public:
   /// Plans the encoding for `attr_indices` of `dt`. Attributes with zero
   /// cardinality (all-null) are skipped.
-  static Result<OneHotEncoder> Plan(const DiscretizedTable& dt,
+  [[nodiscard]] static Result<OneHotEncoder> Plan(const DiscretizedTable& dt,
                                     const std::vector<size_t>& attr_indices);
 
   /// Encodes the rows of `dt` at positions `row_positions` (indices into the

@@ -50,7 +50,7 @@ struct KMeansResult {
 
 /// Runs k-means over `points`. k is clamped to the number of points; empty
 /// input fails. Deterministic for a fixed seed.
-Result<KMeansResult> RunKMeans(const EncodedMatrix& points,
+[[nodiscard]] Result<KMeansResult> RunKMeans(const EncodedMatrix& points,
                                const KMeansOptions& options);
 
 /// Squared Euclidean distance between two dense vectors of length `dims`.

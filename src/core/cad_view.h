@@ -71,24 +71,25 @@ class CadView {
   CadViewTimings timings;
 
   /// Row index of `pivot_value`; Status::NotFound if absent.
-  Result<size_t> RowIndexOf(const std::string& pivot_value) const;
+  [[nodiscard]] Result<size_t> RowIndexOf(const std::string& pivot_value) const;
 
   /// Problem 3 (HIGHLIGHT SIMILAR IUNITS): all IUnits in the view whose
   /// Algorithm-1 similarity to the referenced IUnit is >= `min_similarity`.
   /// `iunit_rank` is 0-based within the row. The reference IUnit itself is
   /// excluded. Results are ordered by descending similarity.
-  Result<std::vector<IUnitRef>> FindSimilarIUnits(
+  [[nodiscard]] Result<std::vector<IUnitRef>> FindSimilarIUnits(
       const std::string& pivot_value, size_t iunit_rank,
       double min_similarity) const;
 
   /// Problem 4 (REORDER ROWS): every row's Algorithm-2 distance to the given
   /// row, ascending (the given row first, at distance 0 to itself).
+  [[nodiscard]]
   Result<std::vector<std::pair<std::string, double>>> RankRowsBySimilarity(
       const std::string& pivot_value) const;
 
   /// Applies the Problem-4 ordering in place (the paper's REORDER ROWS ...
   /// ORDER BY SIMILARITY(value) DESC).
-  Status ReorderRowsBySimilarity(const std::string& pivot_value);
+  [[nodiscard]] Status ReorderRowsBySimilarity(const std::string& pivot_value);
 };
 
 }  // namespace dbx

@@ -133,7 +133,7 @@ struct CadViewBuildExtras {
 /// Fails when the pivot attribute is unknown/non-categorical, when no pivot
 /// value has any rows, or when option values are out of range. Partitions
 /// with fewer rows than l simply yield fewer IUnits.
-Result<CadView> BuildCadView(const TableSlice& slice,
+[[nodiscard]] Result<CadView> BuildCadView(const TableSlice& slice,
                              const CadViewOptions& options);
 
 /// As BuildCadView, but reuses a pre-built discretization of the same slice
@@ -142,6 +142,7 @@ Result<CadView> BuildCadView(const TableSlice& slice,
 /// lists instead of scanning the pivot column — output is byte-identical to
 /// an unseeded build for any valid seed. `extras`, when non-null, receives
 /// the partitions of this build (codes >= 0 with members, sorted by code).
+[[nodiscard]]
 Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
                                             const CadViewOptions& options,
                                             const PartitionSeed* seed = nullptr,

@@ -51,6 +51,7 @@ const char* DivTopKAlgorithmName(DivTopKAlgorithm a);
 
 /// Returns indices of the chosen items (sorted by descending score). Requires
 /// scores.size() == graph.size(); k >= 1.
+[[nodiscard]]
 Result<std::vector<size_t>> DiversifiedTopK(const std::vector<double>& scores,
                                             const SimilarityGraph& graph,
                                             size_t k,

@@ -30,7 +30,7 @@ struct LabelerOptions {
 /// attribute indices into `dt` defining the label schema. Fills `cells`,
 /// `attr_freqs`, `member_positions`, and `score` (cluster size; callers may
 /// override with a custom preference).
-Result<IUnit> LabelCluster(const DiscretizedTable& dt,
+[[nodiscard]] Result<IUnit> LabelCluster(const DiscretizedTable& dt,
                            const std::vector<size_t>& compare_attrs,
                            std::vector<size_t> member_positions,
                            const LabelerOptions& options);

@@ -48,6 +48,7 @@ struct SurrogateOptions {
 /// Finds the best surrogate selections for `target_attr = target_label` over
 /// the discretized fragment. Greedy beam construction: best singles, then
 /// the best AND-refinements of the beam. Deterministic.
+[[nodiscard]]
 Result<std::vector<Surrogate>> FindSurrogates(const DiscretizedTable& dt,
                                               const std::string& target_attr,
                                               const std::string& target_label,

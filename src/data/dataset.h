@@ -19,6 +19,7 @@ struct Dataset {
 
 /// Loads a built-in dataset by name ("UsedCars", "Mushroom", or "Hotels",
 /// case-insensitive). `rows` = 0 uses the default size (40000 / 8124 / 6000).
+[[nodiscard]]
 Result<Dataset> LoadDataset(const std::string& name, size_t rows = 0,
                             uint64_t seed = 0);
 

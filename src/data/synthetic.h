@@ -33,6 +33,6 @@ struct SyntheticSpec {
 /// Generates a table per `spec`. The first categorical attribute C0 takes
 /// the latent cluster id itself ("v<cluster>"), making it a natural pivot.
 /// Fails on degenerate specs (zero rows/attributes/cardinality).
-Result<Table> GenerateSynthetic(const SyntheticSpec& spec);
+[[nodiscard]] Result<Table> GenerateSynthetic(const SyntheticSpec& spec);
 
 }  // namespace dbx

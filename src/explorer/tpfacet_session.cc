@@ -177,11 +177,11 @@ std::vector<std::string> TpFacetSession::SelectionPredicates() const {
     for (int32_t code : sel.codes) {  // std::set: ascending, deterministic
       if (!first) pred += ", ";
       first = false;
-      pred += "'";
       if (code >= 0 && static_cast<size_t>(code) < attr.labels.size()) {
-        pred += attr.labels[static_cast<size_t>(code)];
+        pred += QuoteSqlString(attr.labels[static_cast<size_t>(code)]);
+      } else {
+        pred += "''";
       }
-      pred += "'";
     }
     pred += ")";
     predicates.push_back(std::move(pred));

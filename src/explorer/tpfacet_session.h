@@ -33,12 +33,13 @@ class TpFacetSession {
  public:
   /// `cad_defaults.pivot_attr`/`pivot_values` are ignored; they come from
   /// interaction.
-  static Result<TpFacetSession> Create(const Table* table,
+  [[nodiscard]] static Result<TpFacetSession> Create(const Table* table,
                                        const DiscretizerOptions& disc_options,
                                        CadViewOptions cad_defaults);
 
   // --- Query panel (shared by both phases) ---------------------------------
 
+  [[nodiscard]]
   Status SelectValue(const std::string& attr, const std::string& label) {
     Checkpoint();
     InvalidateView();
@@ -46,6 +47,7 @@ class TpFacetSession {
     if (!st.ok()) DropCheckpoint();
     return st;
   }
+  [[nodiscard]]
   Status DeselectValue(const std::string& attr, const std::string& label) {
     Checkpoint();
     InvalidateView();
@@ -53,7 +55,7 @@ class TpFacetSession {
     if (!st.ok()) DropCheckpoint();
     return st;
   }
-  Status ClearAttribute(const std::string& attr) {
+  [[nodiscard]] Status ClearAttribute(const std::string& attr) {
     Checkpoint();
     InvalidateView();
     Status st = facets_.ClearAttribute(attr);
@@ -74,7 +76,7 @@ class TpFacetSession {
 
   /// Restores the query panel and pivot to the state before the most recent
   /// selection change / pivot change. Fails when there is nothing to undo.
-  Status Undo();
+  [[nodiscard]] Status Undo();
 
   /// Number of exploration states recorded.
   size_t history_depth() const { return history_.size(); }
@@ -84,6 +86,7 @@ class TpFacetSession {
   /// Renders one page of the current result set as an ASCII table (the
   /// paper's results panel). `columns` empty = all attributes. Offsets past
   /// the end yield an empty page, not an error.
+  [[nodiscard]]
   Result<std::string> RenderResultPage(size_t offset, size_t limit,
                                        const std::vector<std::string>& columns
                                        = {}) const;
@@ -103,21 +106,23 @@ class TpFacetSession {
   // --- CAD View interactions (query-revision phase) -------------------------
 
   /// Radio-button pivot selection. Rebuilds the view lazily on next access.
-  Status SetPivot(const std::string& attr);
+  [[nodiscard]] Status SetPivot(const std::string& attr);
 
   /// Restricts the view to specific pivot values (empty = all).
   void SetPivotValues(std::vector<std::string> values);
 
   /// The current CAD View, building it if stale. Requires SetPivot.
-  Result<const CadView*> View();
+  [[nodiscard]] Result<const CadView*> View();
 
   /// Click on an IUnit: returns similar IUnits across the view (threshold
   /// tau from the build options), mirroring the paper's highlight effect.
+  [[nodiscard]]
   Result<std::vector<IUnitRef>> ClickIUnit(const std::string& pivot_value,
                                            size_t iunit_rank);
 
   /// Click on a pivot value: reorders the view's rows by Algorithm-2
   /// similarity and returns the new order with distances.
+  [[nodiscard]]
   Result<std::vector<std::pair<std::string, double>>> ClickPivotValue(
       const std::string& pivot_value);
 
@@ -165,13 +170,13 @@ class TpFacetSession {
   /// Writes the attached tracer's spans as Chrome trace_event JSON (load via
   /// chrome://tracing or https://ui.perfetto.dev). FailedPrecondition when no
   /// enabled tracer is attached.
-  Status DumpTrace(const std::string& path) const;
+  [[nodiscard]] Status DumpTrace(const std::string& path) const;
 
   /// Rebuilds the current view under a one-shot tracer and renders the
   /// per-stage span tree plus the cache snapshot — the session-level
   /// EXPLAIN ANALYZE. Call twice to see the cold build and then the
   /// cache-hit path. Requires SetPivot; does not count as an operation.
-  Result<std::string> ExplainAnalyze();
+  [[nodiscard]] Result<std::string> ExplainAnalyze();
 
   /// Point-in-time aggregate + per-entry picture of the attached cache
   /// (empty snapshot when none is attached).

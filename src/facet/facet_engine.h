@@ -32,7 +32,7 @@ class FacetEngine {
  public:
   /// Discretizes the full table once (the facet domain) and starts with an
   /// empty selection (all rows).
-  static Result<FacetEngine> Create(const Table* table,
+  [[nodiscard]] static Result<FacetEngine> Create(const Table* table,
                                     const DiscretizerOptions& options);
 
   const Table& table() const { return *table_; }
@@ -40,11 +40,13 @@ class FacetEngine {
 
   /// Toggles a value by label. Fails on unknown attribute/value or on a
   /// non-queriable attribute.
+  [[nodiscard]]
   Status SelectValue(const std::string& attr, const std::string& label);
+  [[nodiscard]]
   Status DeselectValue(const std::string& attr, const std::string& label);
 
   /// Clears one attribute's selections / the whole panel.
-  Status ClearAttribute(const std::string& attr);
+  [[nodiscard]] Status ClearAttribute(const std::string& attr);
   void Reset();
 
   /// Current selections (attr index -> selection).
@@ -68,12 +70,13 @@ class FacetEngine {
   /// Digest restricted to rows that additionally carry `attr = label`
   /// ("select each of the given attribute values, one at a time, and compare
   /// their summary digest" — the §6.2.2 Solr workflow).
-  Result<SummaryDigest> DigestForValue(const std::string& attr,
+  [[nodiscard]] Result<SummaryDigest> DigestForValue(const std::string& attr,
                                        const std::string& label) const;
 
   /// Multi-select facet counts for the query panel: `attr`'s value counts
   /// computed with that attribute's own selections removed, so users can
   /// widen a multi-selected facet (standard e-commerce behaviour).
+  [[nodiscard]]
   Result<AttributeDigest> PanelCounts(const std::string& attr) const;
 
   /// Number of interface operations performed so far (selection changes);
@@ -92,6 +95,7 @@ class FacetEngine {
   FacetEngine() = default;
 
  private:
+  [[nodiscard]]
   Result<std::pair<size_t, int32_t>> ResolveValue(const std::string& attr,
                                                   const std::string& label,
                                                   bool must_be_queriable) const;

@@ -81,7 +81,7 @@ class Tracer {
   std::string ToChromeJson() const;
 
   /// Writes ToChromeJson() to `path`.
-  Status WriteChromeJson(const std::string& path) const;
+  [[nodiscard]] Status WriteChromeJson(const std::string& path) const;
 
  private:
   friend class ScopedSpan;

@@ -88,14 +88,15 @@ std::string ToSql(const CreateCadViewStmt& stmt) {
 
 std::string ToSql(const HighlightStmt& stmt) {
   return "HIGHLIGHT SIMILAR IUNITS IN " + stmt.view_name +
-         " WHERE SIMILARITY('" + stmt.pivot_value + "', " +
+         " WHERE SIMILARITY(" + QuoteSqlString(stmt.pivot_value) + ", " +
          std::to_string(stmt.iunit_rank) + ") > " +
          NumberToSql(stmt.threshold);
 }
 
 std::string ToSql(const ReorderStmt& stmt) {
-  return "REORDER ROWS IN " + stmt.view_name + " ORDER BY SIMILARITY('" +
-         stmt.pivot_value + "')" + (stmt.descending ? " DESC" : " ASC");
+  return "REORDER ROWS IN " + stmt.view_name + " ORDER BY SIMILARITY(" +
+         QuoteSqlString(stmt.pivot_value) + ")" +
+         (stmt.descending ? " DESC" : " ASC");
 }
 
 std::string ToSql(const DescribeStmt& stmt) { return "DESCRIBE " + stmt.table; }

@@ -75,23 +75,26 @@ class Engine {
   }
 
   /// Parses and executes one statement.
-  Result<ExecOutcome> ExecuteSql(const std::string& sql);
+  [[nodiscard]] Result<ExecOutcome> ExecuteSql(const std::string& sql);
 
   /// Executes an already-parsed statement.
-  Result<ExecOutcome> Execute(Statement statement);
+  [[nodiscard]] Result<ExecOutcome> Execute(Statement statement);
 
   /// Fetches a stored view; Status::NotFound for unknown names.
-  Result<const CadView*> GetView(const std::string& name) const;
+  [[nodiscard]] Result<const CadView*> GetView(const std::string& name) const;
 
  private:
-  Result<ExecOutcome> ExecuteSelect(SelectStmt stmt);
+  [[nodiscard]] Result<ExecOutcome> ExecuteSelect(SelectStmt stmt);
+  [[nodiscard]]
   Result<ExecOutcome> ExecuteAggregate(const Table& table, SelectStmt stmt);
+  [[nodiscard]]
   Result<ExecOutcome> ExecuteCreateCadView(CreateCadViewStmt stmt);
-  Result<ExecOutcome> ExecuteHighlight(const HighlightStmt& stmt);
-  Result<ExecOutcome> ExecuteReorder(const ReorderStmt& stmt);
-  Result<ExecOutcome> ExecuteDescribe(const DescribeStmt& stmt);
-  Result<ExecOutcome> ExecuteShow(const ShowStmt& stmt);
-  Result<ExecOutcome> ExecuteDrop(const DropCadViewStmt& stmt);
+  [[nodiscard]] Result<ExecOutcome> ExecuteHighlight(const HighlightStmt& stmt);
+  [[nodiscard]] Result<ExecOutcome> ExecuteReorder(const ReorderStmt& stmt);
+  [[nodiscard]] Result<ExecOutcome> ExecuteDescribe(const DescribeStmt& stmt);
+  [[nodiscard]] Result<ExecOutcome> ExecuteShow(const ShowStmt& stmt);
+  [[nodiscard]] Result<ExecOutcome> ExecuteDrop(const DropCadViewStmt& stmt);
+  [[nodiscard]]
   Result<ExecOutcome> ExecuteExplain(ExplainStmt stmt, uint64_t parse_ns);
 
   std::map<std::string, const Table*> tables_;

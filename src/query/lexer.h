@@ -15,7 +15,7 @@ namespace dbx {
 
 /// Tokenizes `sql`. The final token is always kEnd. Fails on unterminated
 /// strings and unexpected characters.
-Result<std::vector<Token>> Lex(const std::string& sql);
+[[nodiscard]] Result<std::vector<Token>> Lex(const std::string& sql);
 
 /// True when `word` (upper-cased) is a keyword of the dialect.
 bool IsKeyword(const std::string& upper_word);

@@ -12,6 +12,6 @@ namespace dbx {
 
 /// Parses one statement (optionally ';'-terminated). Fails with
 /// InvalidArgument and a position-bearing message on syntax errors.
-Result<Statement> ParseStatement(const std::string& sql);
+[[nodiscard]] Result<Statement> ParseStatement(const std::string& sql);
 
 }  // namespace dbx

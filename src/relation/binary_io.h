@@ -24,10 +24,10 @@ std::string ToBinary(const Table& table);
 
 /// Parses a DBXT byte string. Fails with Corruption on any structural
 /// problem (bad magic, truncation, oversized counts).
-Result<Table> FromBinary(const std::string& bytes);
+[[nodiscard]] Result<Table> FromBinary(const std::string& bytes);
 
 /// File variants.
-Status WriteBinary(const Table& table, const std::string& path);
-Result<Table> ReadBinary(const std::string& path);
+[[nodiscard]] Status WriteBinary(const Table& table, const std::string& path);
+[[nodiscard]] Result<Table> ReadBinary(const std::string& path);
 
 }  // namespace dbx

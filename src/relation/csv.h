@@ -12,7 +12,7 @@
 namespace dbx {
 
 /// Writes `table` (header + rows) to `path` with RFC-4180-style quoting.
-Status WriteCsv(const Table& table, const std::string& path);
+[[nodiscard]] Status WriteCsv(const Table& table, const std::string& path);
 
 /// Serializes `table` to a CSV string.
 std::string ToCsvString(const Table& table);
@@ -20,9 +20,11 @@ std::string ToCsvString(const Table& table);
 /// Reads a CSV with a header row into a table following `schema`. Header
 /// names must match the schema's attribute names (order-sensitive). Numeric
 /// cells that fail to parse become nulls; empty cells are nulls.
+[[nodiscard]]
 Result<Table> ReadCsv(const std::string& path, const Schema& schema);
 
 /// Parses a CSV string (same semantics as ReadCsv).
+[[nodiscard]]
 Result<Table> ParseCsvString(const std::string& csv, const Schema& schema);
 
 }  // namespace dbx

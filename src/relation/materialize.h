@@ -15,7 +15,7 @@ namespace dbx {
 
 /// Copies the given rows and columns of `slice` into a new Table. An empty
 /// `columns` list keeps every attribute. Fails on unknown column names.
-Result<Table> MaterializeSlice(const TableSlice& slice,
+[[nodiscard]] Result<Table> MaterializeSlice(const TableSlice& slice,
                                const std::vector<std::string>& columns = {});
 
 }  // namespace dbx

@@ -73,7 +73,7 @@ class CmpPredicate : public Predicate {
 
   std::string ToString() const override {
     return attr_ + " " + CmpOpName(op_) + " " +
-           (value_.is_string() ? "'" + value_.AsString() + "'"
+           (value_.is_string() ? QuoteSqlString(value_.AsString())
                                : value_.ToDisplay());
   }
 
@@ -146,7 +146,7 @@ class InPredicate : public Predicate {
   std::string ToString() const override {
     std::vector<std::string> quoted;
     quoted.reserve(values_.size());
-    for (const auto& v : values_) quoted.push_back("'" + v + "'");
+    for (const auto& v : values_) quoted.push_back(QuoteSqlString(v));
     return attr_ + " IN (" + Join(quoted, ", ") + ")";
   }
 

@@ -33,9 +33,10 @@ class Predicate {
 
   /// Binds attribute names to column indices; Status::NotFound on unknown
   /// attributes. Must be called (directly or via Evaluate) before Matches.
-  virtual Status Bind(const Schema& schema) = 0;
+  [[nodiscard]] virtual Status Bind(const Schema& schema) = 0;
 
   /// Binds and evaluates over `slice`, returning the accepted rows (ascending).
+  [[nodiscard]]
   static Result<RowSet> Evaluate(Predicate* pred, const TableSlice& slice);
 };
 

@@ -30,7 +30,7 @@ class Schema {
   Schema() = default;
 
   /// Builds a schema; fails on duplicate or empty attribute names.
-  static Result<Schema> Make(std::vector<AttributeDef> attrs) {
+  [[nodiscard]] static Result<Schema> Make(std::vector<AttributeDef> attrs) {
     Schema s;
     for (auto& a : attrs) {
       if (a.name.empty()) {

@@ -34,11 +34,11 @@ class Table {
   Column& col(size_t i) { return *cols_[i]; }
 
   /// Column by name; Status::NotFound for unknown attributes.
-  Result<const Column*> ColByName(const std::string& name) const;
+  [[nodiscard]] Result<const Column*> ColByName(const std::string& name) const;
 
   /// Appends one tuple; `row` must have one Value per attribute with matching
   /// types (nulls always allowed).
-  Status AppendRow(const std::vector<Value>& row);
+  [[nodiscard]] Status AppendRow(const std::vector<Value>& row);
 
   /// Cell accessor (generic; allocates for categorical cells).
   Value At(size_t row, size_t col_idx) const { return cols_[col_idx]->ValueAt(row); }

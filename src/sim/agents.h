@@ -43,36 +43,36 @@ struct AgentConfig {
 
 // --- §6.2.1 Simple Classifier ------------------------------------------------
 
-Result<TaskOutcome> SolrClassifier(const FacetEngine& engine,
+[[nodiscard]] Result<TaskOutcome> SolrClassifier(const FacetEngine& engine,
                                    const ClassifierTask& task,
                                    const UserProfile& user,
                                    const AgentConfig& config);
 
-Result<TaskOutcome> TpFacetClassifier(const FacetEngine& engine,
+[[nodiscard]] Result<TaskOutcome> TpFacetClassifier(const FacetEngine& engine,
                                       const ClassifierTask& task,
                                       const UserProfile& user,
                                       const AgentConfig& config);
 
 // --- §6.2.2 Most Similar Attribute-Value Pair --------------------------------
 
-Result<TaskOutcome> SolrSimilarPair(const FacetEngine& engine,
+[[nodiscard]] Result<TaskOutcome> SolrSimilarPair(const FacetEngine& engine,
                                     const SimilarPairTask& task,
                                     const UserProfile& user,
                                     const AgentConfig& config);
 
-Result<TaskOutcome> TpFacetSimilarPair(const FacetEngine& engine,
+[[nodiscard]] Result<TaskOutcome> TpFacetSimilarPair(const FacetEngine& engine,
                                        const SimilarPairTask& task,
                                        const UserProfile& user,
                                        const AgentConfig& config);
 
 // --- §6.2.3 Alternative Search Condition -------------------------------------
 
-Result<TaskOutcome> SolrAlternative(const FacetEngine& engine,
+[[nodiscard]] Result<TaskOutcome> SolrAlternative(const FacetEngine& engine,
                                     const AlternativeTask& task,
                                     const UserProfile& user,
                                     const AgentConfig& config);
 
-Result<TaskOutcome> TpFacetAlternative(const FacetEngine& engine,
+[[nodiscard]] Result<TaskOutcome> TpFacetAlternative(const FacetEngine& engine,
                                        const AlternativeTask& task,
                                        const UserProfile& user,
                                        const AgentConfig& config);

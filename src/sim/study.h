@@ -44,7 +44,7 @@ struct StudyResults {
 /// Runs the full crossover study over the given mushroom table.
 /// Users 0..n/2-1 form group 1 (task A on TPFacet, task B on Solr); the rest
 /// form group 2 with the assignment reversed — the paper's design.
-Result<StudyResults> RunUserStudy(const Table* mushroom,
+[[nodiscard]] Result<StudyResults> RunUserStudy(const Table* mushroom,
                                   const StudyConfig& config);
 
 /// The paper's per-task statistics: LRT of the display-type factor on the
@@ -59,6 +59,7 @@ struct TaskAnalysis {
   double mean_minutes_tpfacet = 0.0;
 };
 
+[[nodiscard]]
 Result<TaskAnalysis> AnalyzeTask(const StudyResults& results, char task_type,
                                  size_t num_users);
 

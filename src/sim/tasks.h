@@ -62,31 +62,31 @@ TaskSet DefaultTaskSet();
 /// Rows matching a conjunction of value conditions (values on the same
 /// attribute are OR-ed, facet semantics). Conditions referencing discretized
 /// labels are resolved through `engine`'s domain.
-Result<RowSet> RowsMatching(const FacetEngine& engine,
+[[nodiscard]] Result<RowSet> RowsMatching(const FacetEngine& engine,
                             const std::vector<ValueCondition>& conditions);
 
 /// F1 of `selection` as a classifier for target_attr = target_value over the
 /// whole table (§6.2.1's quality measure).
-Result<double> ClassifierF1(const FacetEngine& engine,
+[[nodiscard]] Result<double> ClassifierF1(const FacetEngine& engine,
                             const ClassifierTask& task,
                             const std::vector<ValueCondition>& selection);
 
 /// The §6.2.2 ground-truth similarity of two values of `attr`: cosine
 /// similarity of their conditioned summary digests.
-Result<double> ValuePairSimilarity(const FacetEngine& engine,
+[[nodiscard]] Result<double> ValuePairSimilarity(const FacetEngine& engine,
                                    const std::string& attr,
                                    const std::string& v1,
                                    const std::string& v2);
 
 /// Rank (1..6, 1 = most similar) of `chosen` among the 6 pairs of the task's
 /// 4 values under ValuePairSimilarity.
-Result<int> SimilarPairRank(const FacetEngine& engine,
+[[nodiscard]] Result<int> SimilarPairRank(const FacetEngine& engine,
                             const SimilarPairTask& task,
                             const std::pair<std::string, std::string>& chosen);
 
 /// Retrieval error (§6.2.3) of an alternative selection against the task's
 /// target rows.
-Result<double> AlternativeRetrievalError(
+[[nodiscard]] Result<double> AlternativeRetrievalError(
     const FacetEngine& engine, const AlternativeTask& task,
     const std::vector<ValueCondition>& alternative);
 

@@ -46,6 +46,7 @@ struct DependencyTree {
 /// Builds the Chow-Liu tree over `attr_indices` of `dt` (all attributes with
 /// non-zero cardinality when empty). Runs O(k^2) contingency builds over the
 /// fragment; use a sampled fragment for large tables.
+[[nodiscard]]
 Result<DependencyTree> BuildChowLiuTree(const DiscretizedTable& dt,
                                         std::vector<size_t> attr_indices = {});
 

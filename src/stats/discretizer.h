@@ -50,7 +50,7 @@ class DiscretizedTable {
  public:
   /// Discretizes every attribute of `slice`. Attributes whose slice is
   /// entirely null get cardinality 0 and all-null codes.
-  static Result<DiscretizedTable> Build(const TableSlice& slice,
+  [[nodiscard]] static Result<DiscretizedTable> Build(const TableSlice& slice,
                                         const DiscretizerOptions& options);
 
   size_t num_rows() const { return num_rows_; }

@@ -58,7 +58,7 @@ struct FeatureSelectionOptions {
 ///
 /// Returns every candidate, ranked; callers take the top `c` significant
 /// ones. Fails when dimensions mismatch.
-Result<std::vector<FeatureScore>> RankFeatures(
+[[nodiscard]] Result<std::vector<FeatureScore>> RankFeatures(
     const DiscretizedTable& dt, const std::vector<int32_t>& pivot_codes,
     size_t pivot_cardinality, const std::vector<size_t>& candidates,
     const FeatureSelectionOptions& options);

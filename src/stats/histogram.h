@@ -41,6 +41,7 @@ struct Bins {
 /// inputs (empty, or all-equal values) yield a single bin.
 /// V-optimal runs an O(n'^2 * b) DP over the distinct sorted values n' — use
 /// equi-depth when the domain is large and latency matters.
+[[nodiscard]]
 Result<Bins> BuildBins(const std::vector<double>& values, size_t max_bins,
                        BinStrategy strategy);
 

@@ -15,7 +15,7 @@ namespace dbx {
 /// Kendall's tau-b between two paired score vectors (ties handled by the
 /// tau-b denominator). Returns a value in [-1, 1]; requires length >= 2 and
 /// equal lengths; fails when either vector is entirely tied.
-Result<double> KendallTauB(const std::vector<double>& a,
+[[nodiscard]] Result<double> KendallTauB(const std::vector<double>& a,
                            const std::vector<double>& b);
 
 }  // namespace dbx

@@ -47,11 +47,13 @@ struct SoftFdOptions {
 };
 
 /// Strength of `determinant -> dependent` over the fragment (no filtering).
+[[nodiscard]]
 Result<SoftFd> MeasureSoftFd(const DiscretizedTable& dt, size_t determinant,
                              size_t dependent);
 
 /// Scans every ordered attribute pair of `dt` and returns dependencies
 /// passing the thresholds, strongest (by lift, then strength) first.
+[[nodiscard]]
 Result<std::vector<SoftFd>> DiscoverSoftFds(const DiscretizedTable& dt,
                                             const SoftFdOptions& options);
 

@@ -19,7 +19,7 @@ namespace dbx {
 ///   if (!r.ok()) return r.status();
 ///   Table t = std::move(r).value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Success. Implicit so `return value;` works in Result-returning code.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -15,7 +15,12 @@ namespace dbx {
 ///  * Functions that can fail return `Status` (or `Result<T>`, see result.h).
 ///  * `Status::OK()` is cheap (no allocation); error states carry a message.
 ///  * Callers must check `ok()` before using any output parameters.
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call that returns a Status and
+/// drops it is a compile error under -Werror (dbx-lint R2 checks the same
+/// contract at declaration level). Cast to (void) with a comment for the
+/// rare deliberate drop.
+class [[nodiscard]] Status {
  public:
   /// Machine-readable error category.
   enum class Code {
@@ -32,26 +37,26 @@ class Status {
   /// Constructs an OK status.
   Status() : code_(Code::kOk) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(Code::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(Code::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(Code::kOutOfRange, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  [[nodiscard]] static Status Corruption(std::string msg) {
     return Status(Code::kCorruption, std::move(msg));
   }
-  static Status NotSupported(std::string msg) {
+  [[nodiscard]] static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(Code::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
 

@@ -95,6 +95,18 @@ std::string FormatDouble(double value, int digits) {
   return buf;
 }
 
+std::string QuoteSqlString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '\'';
+  for (char c : s) {
+    if (c == '\'') out += '\'';
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
 std::string StringPrintf(const char* fmt, ...) {
   va_list ap;
   va_start(ap, fmt);

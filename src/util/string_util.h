@@ -39,6 +39,13 @@ bool ParseInt64(std::string_view s, int64_t* out);
 /// Formats `value` with `digits` places after the decimal point.
 std::string FormatDouble(double value, int digits);
 
+/// Renders `s` as a dialect SQL string literal: wraps in single quotes and
+/// doubles embedded quotes (the lexer's '' escape), so any value — including
+/// ones containing ' — survives a print/parse round trip. Every unparser
+/// (Predicate::ToString, query/canonical) must use this; fixed-point bugs
+/// here corrupt view-cache keys (tests/fuzz/parser_fuzz.cc guards it).
+std::string QuoteSqlString(std::string_view s);
+
 /// printf-style formatting into a std::string.
 std::string StringPrintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

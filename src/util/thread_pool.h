@@ -66,7 +66,7 @@ class ThreadPool {
   /// failed index — deterministic for any thread count.
   ///
   /// max_parallelism == 0 means caller + all workers.
-  Status ParallelFor(size_t begin, size_t end, size_t grain,
+  [[nodiscard]] Status ParallelFor(size_t begin, size_t end, size_t grain,
                      const std::function<Status(size_t)>& fn,
                      size_t max_parallelism = 0);
 
@@ -93,6 +93,7 @@ class ThreadPool {
 /// calling thread without touching the pool — but through the same chunked
 /// code path, so results and error selection match the parallel build
 /// exactly (see the determinism contract above).
+[[nodiscard]]
 Status ParallelFor(size_t num_threads, size_t begin, size_t end, size_t grain,
                    const std::function<Status(size_t)>& fn);
 

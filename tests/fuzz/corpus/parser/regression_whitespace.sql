@@ -1,0 +1,2 @@
+SELECT  *   FROM	T
+WHERE  a  =  1  ;

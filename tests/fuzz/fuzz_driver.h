@@ -1,0 +1,172 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Standalone driver for the dialect fuzz harnesses (DESIGN.md §11).
+//
+// Each harness defines the libFuzzer entry point
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+// When built with -DDBX_LIBFUZZER (clang + -fsanitize=fuzzer), libFuzzer
+// provides main() and drives coverage-guided exploration. Everywhere else —
+// including the gcc-only CI image — this header provides a deterministic
+// main(): it replays every file in the seed corpus, then runs a fixed budget
+// of seeded mutations (dbx::Rng, so the byte stream is identical on every
+// machine and every run). That makes the fuzz smoke a regular ctest:
+//
+//   lexer_fuzz  --corpus DIR [--iters N] [--seed S] [--max-len L]
+//
+// Exit is nonzero when the corpus is missing/empty; harness property
+// violations abort (the sanitizers or the test runner catch them).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#ifndef DBX_LIBFUZZER
+
+namespace dbx::fuzz {
+
+/// Dialect fragments the mutator splices in, so random inputs reach past the
+/// first keyword of the grammar instead of dying in the lexer.
+inline const std::vector<std::string>& Dictionary() {
+  static const std::vector<std::string> kDict = {
+      "SELECT",    "FROM",      "WHERE",   "CREATE",  "CADVIEW", "AS",
+      "SET",       "PIVOT",     "=",       "(",       ")",       ",",
+      "*",         "AND",       "OR",      "NOT",     "IN",      "BETWEEN",
+      "LIMIT",     "COLUMNS",   "IUNITS",  "ORDER",   "BY",      "GROUP",
+      "COUNT",     "AVG",       "SUM",     "MIN",     "MAX",     "ASC",
+      "DESC",      "HIGHLIGHT", "SIMILAR", "SIMILARITY",         "REORDER",
+      "ROWS",      "DESCRIBE",  "SHOW",    "TABLES",  "CADVIEWS", "DROP",
+      "EXPLAIN",   "ANALYZE",   "10K",     "1.5M",    "'str'",   "''",
+      "3.5",       ";",         "!=",      "<=",      ">=",      "<",
+      ">",         "T",         "v",       "Make",    "Price",   "a",
+  };
+  return kDict;
+}
+
+/// One deterministic mutation of `input` (byte edits or dictionary splices).
+inline std::string Mutate(const std::string& input, Rng* rng, size_t max_len) {
+  std::string s = input;
+  size_t edits = 1 + rng->NextBounded(4);
+  for (size_t e = 0; e < edits; ++e) {
+    switch (rng->NextBounded(5)) {
+      case 0:  // flip a byte
+        if (!s.empty()) {
+          s[rng->NextBounded(s.size())] =
+              static_cast<char>(rng->NextBounded(256));
+        }
+        break;
+      case 1:  // insert a random byte
+        s.insert(s.begin() + static_cast<ptrdiff_t>(
+                                 rng->NextBounded(s.size() + 1)),
+                 static_cast<char>(rng->NextBounded(256)));
+        break;
+      case 2:  // delete a span
+        if (!s.empty()) {
+          size_t at = rng->NextBounded(s.size());
+          size_t len = 1 + rng->NextBounded(8);
+          s.erase(at, len);
+        }
+        break;
+      case 3: {  // splice a dictionary token
+        const std::string& tok =
+            Dictionary()[rng->NextBounded(Dictionary().size())];
+        size_t at = rng->NextBounded(s.size() + 1);
+        s.insert(at, " " + tok + " ");
+        break;
+      }
+      case 4:  // duplicate a span (stresses quadratic paths)
+        if (!s.empty()) {
+          size_t at = rng->NextBounded(s.size());
+          size_t len = 1 + rng->NextBounded(16);
+          s.insert(at, s.substr(at, len));
+        }
+        break;
+    }
+  }
+  if (s.size() > max_len) s.resize(max_len);
+  return s;
+}
+
+inline int RunStandalone(int argc, char** argv) {
+  std::string corpus_dir;
+  size_t iters = 10000;
+  uint64_t seed = 1;
+  size_t max_len = 4096;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--corpus") corpus_dir = next();
+    else if (arg == "--iters") iters = static_cast<size_t>(atoll(next()));
+    else if (arg == "--seed") seed = static_cast<uint64_t>(atoll(next()));
+    else if (arg == "--max-len") max_len = static_cast<size_t>(atoll(next()));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s --corpus DIR [--iters N] [--seed S] "
+                   "[--max-len L]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (corpus_dir.empty()) {
+    std::fprintf(stderr, "fuzz driver: --corpus is required\n");
+    return 2;
+  }
+
+  // Replay the corpus in sorted order (deterministic across filesystems).
+  std::vector<std::string> corpus;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(corpus_dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    corpus.push_back(buf.str());
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "fuzz driver: empty corpus at %s\n",
+                 corpus_dir.c_str());
+    return 2;
+  }
+  for (const std::string& input : corpus) {
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                           input.size());
+  }
+
+  // Seeded mutation budget: every run of the smoke test executes the exact
+  // same input sequence.
+  Rng rng(seed);
+  for (size_t i = 0; i < iters; ++i) {
+    const std::string& base = corpus[rng.NextBounded(corpus.size())];
+    std::string mutated = Mutate(base, &rng, max_len);
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const uint8_t*>(mutated.data()), mutated.size());
+  }
+  std::printf("fuzz driver: %zu corpus entries + %zu mutations, no crash\n",
+              corpus.size(), iters);
+  return 0;
+}
+
+}  // namespace dbx::fuzz
+
+int main(int argc, char** argv) {
+  return dbx::fuzz::RunStandalone(argc, argv);
+}
+
+#endif  // DBX_LIBFUZZER

@@ -1,0 +1,50 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Lexer fuzz harness: arbitrary bytes through dbx::Lex must produce a
+// Result — never a crash, hang, or sanitizer report — and on success the
+// token stream must satisfy the lexer's structural contract (non-empty,
+// kEnd-terminated, in-bounds positions). Runs under libFuzzer when built
+// with -DDBX_LIBFUZZER, and as a deterministic corpus+mutation smoke test
+// otherwise (see fuzz_driver.h).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/query/lexer.h"
+#include "src/query/token.h"
+
+namespace {
+
+void Require(bool cond, const char* what, const std::string& input) {
+  if (cond) return;
+  std::fprintf(stderr, "lexer_fuzz: property violated: %s\ninput (%zu bytes)\n",
+               what, input.size());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string sql(reinterpret_cast<const char*>(data), size);
+  auto tokens = dbx::Lex(sql);
+  if (!tokens.ok()) {
+    // Errors must carry a message; empty diagnostics are a contract break.
+    Require(!tokens.status().message().empty(), "error without message", sql);
+    return 0;
+  }
+  Require(!tokens->empty(), "empty token stream", sql);
+  Require(tokens->back().type == dbx::TokenType::kEnd,
+          "stream not kEnd-terminated", sql);
+  for (const dbx::Token& t : *tokens) {
+    Require(t.offset <= sql.size(), "token offset out of bounds", sql);
+  }
+  // Lexing is a pure function: a second pass must agree exactly.
+  auto again = dbx::Lex(sql);
+  Require(again.ok(), "second lex of identical input failed", sql);
+  Require(again->size() == tokens->size(), "lex not deterministic", sql);
+  return 0;
+}
+
+#include "tests/fuzz/fuzz_driver.h"

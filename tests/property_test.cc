@@ -9,6 +9,8 @@
 #include "src/data/used_cars.h"
 #include "src/relation/csv.h"
 #include "src/relation/materialize.h"
+#include "src/query/canonical.h"
+#include "src/query/parser.h"
 #include "src/relation/predicate.h"
 #include "src/util/rng.h"
 
@@ -158,6 +160,117 @@ TEST(MaterializeTest, Errors) {
       MaterializeSlice(TableSlice::All(t), {"Nope"}).status().IsNotFound());
   TableSlice bad{&t, {99}};
   EXPECT_TRUE(MaterializeSlice(bad).status().IsOutOfRange());
+}
+
+// --- Canonical unparser fixed point ---------------------------------------------------
+//
+// For any statement built from the parser-expressible AST subset, the law
+//   sql1 = StatementToSql(S); parse(sql1) = S2; StatementToSql(S2) == sql1
+// must hold. The canonical text is part of the view-cache key, so a drift
+// here silently corrupts cache identity (see regression below: embedded
+// quotes were once re-emitted unescaped and failed to reparse at all).
+
+/// Random WHERE predicate from the grammar the parser can express. And/Or
+/// always get >= 2 children: the parser never produces 1-child conjunctions,
+/// and their parenthesized unparse would not round-trip.
+PredicatePtr RandomPredicate(Rng& rng, int depth) {
+  static const char* kAttrs[] = {"Make", "Model", "Price", "Year", "Mileage",
+                                 "Body_Type"};
+  static const char* kStrings[] = {"Jeep",  "it's",     "two  words", "",
+                                   "O'Br", "trailing'", "'lead",      "42"};
+  auto attr = [&] { return std::string(kAttrs[rng.NextBounded(6)]); };
+  auto str = [&] { return std::string(kStrings[rng.NextBounded(8)]); };
+  // Nonnegative quarter-steps: ToDisplay prints them exactly ("7" / "7.250")
+  // and the lexer reads both forms back to the same double.
+  auto num = [&] { return static_cast<double>(rng.NextInt(0, 40)) * 0.25; };
+
+  int pick = static_cast<int>(rng.NextBounded(depth > 0 ? 7 : 4));
+  switch (pick) {
+    case 0:
+      return MakeCmp(attr(), static_cast<CmpOp>(rng.NextBounded(6)),
+                     rng.NextBool() ? Value(str()) : Value(num()));
+    case 1: {
+      double lo = static_cast<double>(rng.NextInt(0, 50));
+      return MakeBetween(attr(), lo,
+                         lo + static_cast<double>(rng.NextInt(0, 50)));
+    }
+    case 2: {
+      std::vector<std::string> values;
+      for (int i = static_cast<int>(rng.NextInt(1, 3)); i > 0; --i) {
+        values.push_back(str());
+      }
+      return MakeIn(attr(), std::move(values));
+    }
+    case 3:
+      return MakeNot(RandomPredicate(rng, depth - 1));
+    default: {  // AND / OR with 2-3 children
+      std::vector<PredicatePtr> children;
+      for (int i = static_cast<int>(rng.NextInt(2, 3)); i > 0; --i) {
+        children.push_back(RandomPredicate(rng, depth - 1));
+      }
+      return pick <= 5 ? MakeAnd(std::move(children))
+                       : MakeOr(std::move(children));
+    }
+  }
+}
+
+void ExpectFixedPoint(const Statement& stmt) {
+  std::string sql1 = StatementToSql(stmt);
+  auto reparsed = ParseStatement(sql1);
+  ASSERT_TRUE(reparsed.ok()) << sql1 << "\n" << reparsed.status().ToString();
+  EXPECT_EQ(StatementToSql(*reparsed), sql1);
+}
+
+class CanonicalFixedPointTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CanonicalFixedPointTest, RandomSelects) {
+  Rng rng(GetParam() * 1031);
+  for (int iter = 0; iter < 50; ++iter) {
+    SelectStmt s;
+    s.table = "Cars";
+    if (rng.NextBool()) {
+      s.star = true;
+    } else {
+      for (int i = static_cast<int>(rng.NextInt(1, 3)); i > 0; --i) {
+        s.columns.push_back(rng.NextBool() ? "Make" : "Price");
+      }
+    }
+    if (rng.NextBool(0.8)) s.where = RandomPredicate(rng, 3);
+    if (rng.NextBool()) s.order_by.emplace_back("Price", rng.NextBool());
+    if (rng.NextBool()) s.limit = rng.NextBounded(100);
+    ExpectFixedPoint(Statement{std::move(s)});
+  }
+}
+
+TEST_P(CanonicalFixedPointTest, RandomCadViews) {
+  Rng rng(GetParam() * 7919);
+  for (int iter = 0; iter < 50; ++iter) {
+    CreateCadViewStmt s;
+    s.view_name = "V1";
+    s.pivot_attr = "Make";
+    s.table = "Cars";
+    if (rng.NextBool()) {
+      s.compare_attrs = {"Price", "Year"};
+    }
+    if (rng.NextBool(0.8)) s.where = RandomPredicate(rng, 3);
+    if (rng.NextBool()) s.limit_columns = 1 + rng.NextBounded(8);
+    if (rng.NextBool()) s.iunits = 1 + rng.NextBounded(5);
+    if (rng.NextBool()) s.order_by.emplace_back("Year", rng.NextBool());
+    ExpectFixedPoint(Statement{std::move(s)});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalFixedPointTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(CanonicalFixedPointTest, QuoteEscapeRegression) {
+  // An embedded quote must be re-escaped by the unparser ('' form). Before
+  // QuoteSqlString, this emitted  s = 'it's quoted'  which fails to reparse.
+  auto stmt = ParseStatement("SELECT * FROM T WHERE s = 'it''s quoted'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  std::string sql = StatementToSql(*stmt);
+  EXPECT_NE(sql.find("'it''s quoted'"), std::string::npos) << sql;
+  ExpectFixedPoint(*stmt);
 }
 
 // --- CAD View invariants over the option grid ----------------------------------------

@@ -1,0 +1,119 @@
+// Copyright (c) DBExplorer reproduction authors.
+// dbx-lint: project-specific static analysis for the repo's correctness
+// contracts. Token/regex level — no compiler front-end — so it runs in
+// milliseconds on every check.sh invocation and in the `lint` ctest tier.
+//
+// Rule classes (DESIGN.md §11):
+//   R1 determinism      — `determinism` (banned nondeterminism sources) and
+//                         `unordered-iter` (range-for over unordered
+//                         containers, which have unspecified iteration order
+//                         and therefore may not feed IUnit/label/render
+//                         output paths)
+//   R2 Status contract  — `nodiscard` (Status/Result-returning header
+//                         declarations must be [[nodiscard]]) and
+//                         `discarded-status` (expression-statement calls that
+//                         drop a Status/Result)
+//   R3 lock discipline  — `lock-discipline` (std::mutex members may only be
+//                         taken through lock_guard/unique_lock/scoped_lock)
+//   R4 layering         — `layering` (src/util includes only src/util;
+//                         src/obs includes only src/util + src/obs)
+//
+// Suppressions: `// dbx-lint: allow(<rule>): <reason>` on the offending line
+// or alone on the line above. A suppression without a reason is itself a
+// finding (`suppression`), so every exception in the tree is explained.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dbx::lint {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;   // path as given to the linter (repo-relative)
+  size_t line = 0;    // 1-based
+  std::string rule;   // rule id, e.g. "determinism"
+  std::string message;
+
+  /// "file:line: [rule] message" — the grep-able report line.
+  std::string ToString() const;
+};
+
+/// Static metadata for one rule, for --list-rules and the docs table.
+struct RuleInfo {
+  const char* name;
+  const char* rule_class;  // "R1".."R4" or "meta"
+  const char* description;
+};
+
+/// All rules the linter knows, in report order.
+const std::vector<RuleInfo>& Rules();
+
+/// True when `rule` names a known rule.
+bool IsKnownRule(const std::string& rule);
+
+/// Two-pass linter. Feed every file to AddFile, then call Run: pass one
+/// harvests cross-file facts (Status/Result-returning function names, mutex
+/// member names), pass two evaluates the rules with that registry in scope.
+class Linter {
+ public:
+  /// Registers `content` for linting under `path` (repo-relative, forward
+  /// slashes; the directory prefix drives the per-layer rules).
+  void AddFile(const std::string& path, const std::string& content);
+
+  /// Runs every rule over every added file; findings sorted by file/line.
+  std::vector<Finding> Run();
+
+  /// Names of Status/Result-returning functions harvested from headers
+  /// (valid after Run; exposed for tests).
+  const std::set<std::string>& status_functions() const {
+    return status_functions_;
+  }
+
+ private:
+  struct SourceFile {
+    std::string path;
+    std::vector<std::string> raw_lines;      // original text
+    std::vector<std::string> code_lines;     // comments/strings blanked
+    std::vector<std::string> comment_lines;  // strings blanked, comments kept
+    // line (1-based) -> rules allowed on that line; populated from
+    // `dbx-lint: allow(...)` comments on the line itself or the line above.
+    std::map<size_t, std::set<std::string>> allowed;
+  };
+
+  void CollectFacts(const SourceFile& f);
+  void LintFile(const SourceFile& f, std::vector<Finding>* out) const;
+  /// Appends `finding` unless suppressed for its line.
+  void Emit(const SourceFile& f, size_t line, const std::string& rule,
+            std::string message, std::vector<Finding>* out) const;
+
+  void RuleDeterminism(const SourceFile& f, std::vector<Finding>* out) const;
+  void RuleUnorderedIter(const SourceFile& f, std::vector<Finding>* out) const;
+  void RuleNodiscard(const SourceFile& f, std::vector<Finding>* out) const;
+  void RuleDiscardedStatus(const SourceFile& f,
+                           std::vector<Finding>* out) const;
+  void RuleLockDiscipline(const SourceFile& f,
+                          std::vector<Finding>* out) const;
+  void RuleLayering(const SourceFile& f, std::vector<Finding>* out) const;
+
+  std::vector<SourceFile> files_;
+  std::set<std::string> status_functions_;  // R2 registry (from headers)
+  std::set<std::string> mutex_members_;     // R3 registry (all files)
+};
+
+/// Blanks comments and string/char literals (newlines preserved) so rules
+/// never fire inside them. Handles //, /*...*/, "...", '...', and raw
+/// strings R"delim(...)delim". Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& content);
+
+/// Blanks only string/char literals, keeping comments verbatim. This is the
+/// view the suppression scanner reads: a `dbx-lint: allow(...)` marker only
+/// counts inside an actual comment, never inside a string literal (so code
+/// that merely mentions the marker text — tests, docs generators — does not
+/// create suppressions or suppression findings).
+std::string StripStrings(const std::string& content);
+
+}  // namespace dbx::lint

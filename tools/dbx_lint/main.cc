@@ -1,0 +1,103 @@
+// Copyright (c) DBExplorer reproduction authors.
+// dbx-lint CLI: walks the given trees (default: src bench tests), runs the
+// rule registry, and exits non-zero on any finding. See lint.h for rules and
+// DESIGN.md §11 for policy.
+//
+//   dbx_lint [--root DIR] [--list-rules] [paths...]
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/dbx_lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+/// Collects lintable files under `path` (file or directory), repo-relative.
+std::vector<std::string> CollectFiles(const fs::path& root,
+                                      const std::string& rel) {
+  std::vector<std::string> out;
+  fs::path base = root / rel;
+  std::error_code ec;
+  if (fs::is_regular_file(base, ec)) {
+    out.push_back(rel);
+    return out;
+  }
+  for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file() && IsSourceFile(it->path())) {
+      out.push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const dbx::lint::RuleInfo& r : dbx::lint::Rules()) {
+        std::cout << r.rule_class << " " << r.name << ": " << r.description
+                  << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dbx_lint [--root DIR] [--list-rules] [paths...]\n"
+                << "Lints the given files/trees (default: src bench tests) "
+                << "against the repo contracts.\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "bench", "tests"};
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::vector<std::string> collected = CollectFiles(root, p);
+    files.insert(files.end(), collected.begin(), collected.end());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "dbx-lint: no source files found under the given paths\n";
+    return 2;
+  }
+
+  dbx::lint::Linter linter;
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) {
+      std::cerr << "dbx-lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    linter.AddFile(rel, buf.str());
+  }
+
+  std::vector<dbx::lint::Finding> findings = linter.Run();
+  for (const dbx::lint::Finding& f : findings) {
+    std::cout << f.ToString() << "\n";
+  }
+  std::cerr << "dbx-lint: " << files.size() << " file(s), "
+            << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
