@@ -13,8 +13,10 @@
 #                 unit, also run standalone so failures are easy to spot)
 #   lint        — dbx_lint over the tree + its unit suite (scripts/check_lint.sh
 #                 adds the seeded-violation self-test and optional clang-tidy)
-#   fuzz        — deterministic dialect fuzz smoke: corpus replay + fixed
-#                 mutation budget (scripts/check_fuzz.sh)
+#   fuzz        — deterministic dialect + protocol-frame fuzz smoke: corpus
+#                 replay + fixed mutation budget (scripts/check_fuzz.sh)
+#   server      — multi-session exploration server suites over the loopback
+#                 transport (subset of unit, also run standalone)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +34,7 @@ ctest --test-dir build -L integration --output-on-failure \
 ctest --test-dir build -L bench-smoke --output-on-failure \
   || fail "bench smoke runs"
 ctest --test-dir build -L obs --output-on-failure || fail "obs tests"
+ctest --test-dir build -L server --output-on-failure || fail "server tests"
 
 # Re-run the test tiers with the threaded paths forced on: the parallel tests
 # read DBX_TEST_THREADS and add that thread count to their sweep.

@@ -47,6 +47,11 @@ EOF
 cat > "$SEED_DIR/src/util/seed_r4.cc" <<'EOF'
 #include "src/obs/trace.h"
 EOF
+# R4's reverse direction: a library layer reaching up into the server.
+mkdir -p "$SEED_DIR/src/query"
+cat > "$SEED_DIR/src/query/seed_r4_server.cc" <<'EOF'
+#include "src/server/dispatcher.h"
+EOF
 
 expect_rule() {  # expect_rule <rule> <relpath>
   local rule="$1" file="$2" out
@@ -61,7 +66,8 @@ expect_rule determinism      src/core/seed_r1.cc
 expect_rule nodiscard        src/core/seed_r2.h
 expect_rule lock-discipline  src/core/seed_r3.cc
 expect_rule layering         src/util/seed_r4.cc
-rm -rf "$SEED_DIR"/src/core/* "$SEED_DIR"/src/util/*
+expect_rule layering         src/query/seed_r4_server.cc
+rm -rf "$SEED_DIR"/src/core/* "$SEED_DIR"/src/util/* "$SEED_DIR"/src/query/*
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy"

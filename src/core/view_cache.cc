@@ -1,7 +1,9 @@
 #include "src/core/view_cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <iterator>
 
 #include "src/obs/metrics.h"
 
@@ -60,6 +62,15 @@ std::string FingerprintDouble(double v) {
 }
 
 }  // namespace
+
+std::string MakeSnapshotDatasetId(const std::string& name) {
+  // Monotonic process-wide counter: ids are unique per registration, and
+  // ordered registrations get ordered ids (handy in logs). Never reused, so
+  // a key built from a snapshot id can only ever match builds over the very
+  // same registration.
+  static std::atomic<uint64_t> next{1};
+  return name + "@" + std::to_string(next.fetch_add(1));
+}
 
 std::string CanonicalizePredicate(const std::string& predicate) {
   std::string out;
@@ -171,7 +182,8 @@ std::shared_ptr<const CachedCadView> ViewCache::Lookup(
 }
 
 void ViewCache::Insert(const ViewCacheKey& key, CadView view,
-                       CachedPartitions partitions, double build_cost_ms) {
+                       CachedPartitions partitions, double build_cost_ms,
+                       const std::string& owner) {
   auto entry = std::make_shared<CachedCadView>();
   entry->view = std::move(view);
   entry->partitions = std::move(partitions);
@@ -197,6 +209,17 @@ void ViewCache::Insert(const ViewCacheKey& key, CadView view,
     // either — see above.
     return;
   }
+  if (!owner.empty()) {
+    auto it = owners_.find(owner);
+    if (it != owners_.end() && it->second.budget != 0 &&
+        it->second.bytes + entry->bytes > it->second.budget) {
+      // Over the session's budget: the caller keeps its finished view, the
+      // shared store just declines to hold it. Global LRU eviction would
+      // punish *other* sessions for this one's appetite.
+      ++stats_.owner_budget_rejects;
+      return;
+    }
+  }
   while (!lru_.empty() && stats_.bytes_in_use + entry->bytes > byte_budget_) {
     EvictLruLocked();
   }
@@ -205,6 +228,8 @@ void ViewCache::Insert(const ViewCacheKey& key, CadView view,
   e.key = key;
   e.value = std::move(entry);
   e.lru_pos = lru_.begin();
+  e.owner = owner;
+  if (!owner.empty()) owners_[owner].bytes += e.value->bytes;
   stats_.bytes_in_use += e.value->bytes;
   CacheMetrics::Get().bytes_in_use->Add(static_cast<int64_t>(e.value->bytes));
   entries_.emplace(key.canonical, std::move(e));
@@ -247,10 +272,39 @@ std::shared_ptr<const CachedCadView> ViewCache::FindRefinementBase(
   return best->value;
 }
 
+void ViewCache::SetOwnerBudget(const std::string& owner, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owners_.find(owner);
+  if (bytes == 0) {
+    if (it != owners_.end()) {
+      it->second.budget = 0;
+      if (it->second.bytes == 0) owners_.erase(it);
+    }
+    return;
+  }
+  owners_[owner].budget = bytes;
+}
+
+size_t ViewCache::OwnerBytes(const std::string& owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owners_.find(owner);
+  return it == owners_.end() ? 0 : it->second.bytes;
+}
+
+void ViewCache::ReleaseOwnerBytesLocked(const std::string& owner,
+                                        size_t bytes) {
+  if (owner.empty()) return;
+  auto it = owners_.find(owner);
+  if (it == owners_.end()) return;
+  it->second.bytes -= std::min(it->second.bytes, bytes);
+  if (it->second.bytes == 0 && it->second.budget == 0) owners_.erase(it);
+}
+
 void ViewCache::InvalidateDataset(const std::string& dataset) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.key.dataset == dataset) {
+      ReleaseOwnerBytesLocked(it->second.owner, it->second.value->bytes);
       stats_.bytes_in_use -= it->second.value->bytes;
       ++stats_.invalidations;
       CacheMetrics::Get().invalidations->Increment();
@@ -275,6 +329,10 @@ void ViewCache::Clear() {
   CacheMetrics::Get().entries->Add(-static_cast<int64_t>(entries_.size()));
   entries_.clear();
   lru_.clear();
+  for (auto it = owners_.begin(); it != owners_.end();) {
+    it->second.bytes = 0;
+    it = it->second.budget == 0 ? owners_.erase(it) : std::next(it);
+  }
   stats_.bytes_in_use = 0;
   stats_.entries = 0;
 }
@@ -317,6 +375,7 @@ void ViewCache::EvictLruLocked() {
   const std::string& victim = lru_.back();
   auto it = entries_.find(victim);
   if (it != entries_.end()) {
+    ReleaseOwnerBytesLocked(it->second.owner, it->second.value->bytes);
     stats_.bytes_in_use -= it->second.value->bytes;
     ++stats_.evictions;
     CacheMetrics::Get().evictions->Increment();

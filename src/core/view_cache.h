@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -36,6 +37,16 @@ namespace dbx {
 /// Collapses whitespace runs to single spaces and trims, so textually
 /// different spellings of one predicate ("a  =  1" vs "a = 1") key equal.
 std::string CanonicalizePredicate(const std::string& predicate);
+
+/// Mints a dataset id naming one *registration* of a table, not the bare
+/// table name: "name@<n>" with a process-unique, monotonically increasing
+/// n. Cache keys built from snapshot ids can never collide across two
+/// registrations of the same name — two engines sharing one cache that each
+/// register a different table as "T" get disjoint key spaces instead of
+/// serving each other stale partitions. Invalidation then only has to drop
+/// the superseded snapshot's entries to reclaim budget, never for
+/// correctness.
+std::string MakeSnapshotDatasetId(const std::string& name);
 
 /// Canonicalized identity of one CAD View build request: dataset, selection
 /// predicate set, pivot attribute, pivot values, and build parameters.
@@ -100,6 +111,7 @@ struct ViewCacheStats {
   uint64_t invalidations = 0;   // entries removed by InvalidateDataset/Clear
   uint64_t refinement_seeds = 0;  // FindRefinementBase successes
   uint64_t oversize_rejects = 0;  // entries larger than the whole budget
+  uint64_t owner_budget_rejects = 0;  // inserts over the owner's byte budget
   /// Sum of the original build costs of every hit — wall time the cache has
   /// saved the session so far.
   double hit_saved_ms = 0.0;
@@ -141,9 +153,22 @@ class ViewCache {
   /// Stores a finished build. Evicts LRU entries until the new entry fits;
   /// entries larger than the whole budget are rejected. Re-inserting an
   /// existing key keeps the resident entry (both are byte-identical by the
-  /// determinism contract).
+  /// determinism contract). `owner` attributes the entry's bytes to a
+  /// session for per-owner budgeting ("" = unattributed); an insert that
+  /// would push the owner past its budget is rejected (the build still
+  /// returns to the caller, it just isn't cached) and counted in
+  /// owner_budget_rejects.
   void Insert(const ViewCacheKey& key, CadView view,
-              CachedPartitions partitions, double build_cost_ms);
+              CachedPartitions partitions, double build_cost_ms,
+              const std::string& owner = "");
+
+  /// Caps the resident bytes attributable to `owner`'s inserts. 0 removes
+  /// the cap. Lookups are never budgeted — cross-session reuse is the point
+  /// of a shared cache.
+  void SetOwnerBudget(const std::string& owner, size_t bytes);
+
+  /// Resident bytes currently attributed to `owner`.
+  size_t OwnerBytes(const std::string& owner) const;
 
   /// Finds a seed donor for partial reuse: an entry over the same dataset,
   /// pivot attribute, and params whose predicate set is a strict subset of
@@ -173,15 +198,25 @@ class ViewCache {
     std::shared_ptr<const CachedCadView> value;
     std::list<std::string>::iterator lru_pos;  // into lru_, front = MRU
     uint64_t hits = 0;
+    std::string owner;  // budget attribution; "" = unattributed
   };
 
   void EvictLruLocked();
+  /// Removes `bytes` from `owner`'s attribution, erasing the record when it
+  /// reaches zero and carries no budget.
+  void ReleaseOwnerBytesLocked(const std::string& owner, size_t bytes);
   std::vector<ViewCacheEntryInfo> EntryInfosLocked() const;
 
   const size_t byte_budget_;
   mutable std::mutex mu_;
   std::list<std::string> lru_;  // canonical keys, front = MRU
   std::unordered_map<std::string, Entry> entries_;
+  /// Per-owner accounting: resident bytes and (optional, 0 = none) budget.
+  struct OwnerAccount {
+    size_t bytes = 0;
+    size_t budget = 0;
+  };
+  std::map<std::string, OwnerAccount> owners_;
   ViewCacheStats stats_;
 };
 

@@ -100,9 +100,10 @@ Status TpFacetSession::Undo() {
 }
 
 void TpFacetSession::SetViewCache(std::shared_ptr<ViewCache> cache,
-                                  std::string dataset_id) {
+                                  std::string dataset_id, std::string owner) {
   cache_ = std::move(cache);
   dataset_id_ = std::move(dataset_id);
+  cache_owner_ = std::move(owner);
 }
 
 void TpFacetSession::SetTracer(Tracer* tracer, uint64_t trace_parent) {
@@ -267,7 +268,8 @@ Result<const CadView*> TpFacetSession::View() {
     if (cacheable_partitions) {
       parts = PartitionsToBaseRows(extras.partitions, facets_.result_rows());
     }
-    cache_->Insert(*key, *view, std::move(parts), view->timings.total_ms);
+    cache_->Insert(*key, *view, std::move(parts), view->timings.total_ms,
+                   cache_owner_);
   }
   view_ = std::move(*view);
   return const_cast<const CadView*>(&*view_);

@@ -149,9 +149,14 @@ class TpFacetSession {
   /// the current (selections, pivot, options) context before building; misses
   /// insert the finished view, and on the global-domain path a cached
   /// strictly-coarser context seeds the rebuild with its partition row-id
-  /// lists. `dataset_id` names the table for keying/invalidation. Output is
-  /// byte-identical with or without a cache. nullptr detaches.
-  void SetViewCache(std::shared_ptr<ViewCache> cache, std::string dataset_id);
+  /// lists. `dataset_id` names the table *registration* for keying — use a
+  /// MakeSnapshotDatasetId value when the cache is shared, so sessions over
+  /// different registrations of one name can never collide. `owner`
+  /// attributes this session's inserts for per-owner byte budgeting in a
+  /// shared cache ("" = unattributed). Output is byte-identical with or
+  /// without a cache. nullptr detaches.
+  void SetViewCache(std::shared_ptr<ViewCache> cache, std::string dataset_id,
+                    std::string owner = "");
   const std::shared_ptr<ViewCache>& view_cache() const { return cache_; }
 
   /// Canonical predicate strings of the current query panel, one per selected
@@ -211,6 +216,7 @@ class TpFacetSession {
   bool reuse_global_domain_ = true;
   std::shared_ptr<ViewCache> cache_;
   std::string dataset_id_;
+  std::string cache_owner_;
   Tracer* tracer_ = Tracer::Disabled();
   uint64_t trace_parent_ = 0;
 };

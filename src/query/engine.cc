@@ -35,9 +35,21 @@ const char* StatementKindName(const Statement& statement) {
 }  // namespace
 
 void Engine::RegisterTable(const std::string& name, const Table* table) {
-  // A (re-)registration means the data under `name` may have changed; cached
-  // views over it are stale.
-  if (cache_ != nullptr) cache_->InvalidateDataset(name);
+  // A (re-)registration means the data under `name` may have changed. The
+  // fresh snapshot id keeps the new registration's cache keys disjoint from
+  // every prior one (correctness, even across engines sharing the cache);
+  // invalidating the superseded id just reclaims budget promptly.
+  auto it = dataset_ids_.find(name);
+  if (cache_ != nullptr && it != dataset_ids_.end()) {
+    cache_->InvalidateDataset(it->second);
+  }
+  dataset_ids_[name] = MakeSnapshotDatasetId(name);
+  tables_[name] = table;
+}
+
+void Engine::RegisterTableSnapshot(const std::string& name, const Table* table,
+                                   std::string dataset_id) {
+  dataset_ids_[name] = std::move(dataset_id);
   tables_[name] = table;
 }
 
@@ -388,8 +400,9 @@ Result<ExecOutcome> Engine::ExecuteCreateCadView(CreateCadViewStmt stmt) {
       }
       std::vector<std::string> predicates;
       if (stmt.where) predicates.push_back(stmt.where->ToString());
-      key = ViewCacheKey::Make(stmt.table, std::move(predicates),
-                               stmt.pivot_attr, {}, std::move(params));
+      key = ViewCacheKey::Make(dataset_ids_.at(stmt.table),
+                               std::move(predicates), stmt.pivot_attr, {},
+                               std::move(params));
       if (auto hit = cache_->Lookup(*key)) {
         probe_span.AddArg("result", "hit");
         probe_span.AddArg("saved_build_ms",
@@ -459,7 +472,8 @@ Result<ExecOutcome> Engine::ExecuteCreateCadView(CreateCadViewStmt stmt) {
   }
 
   if (key.has_value()) {
-    cache_->Insert(*key, *view, CachedPartitions{}, view->timings.total_ms);
+    cache_->Insert(*key, *view, CachedPartitions{}, view->timings.total_ms,
+                   cache_owner_);
   }
 
   auto stored = std::make_unique<CadView>(std::move(*view));

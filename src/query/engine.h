@@ -49,8 +49,22 @@ struct ExecOutcome {
 class Engine {
  public:
   /// Registers `table` under `name`; the table must outlive the engine.
-  /// Re-registering a name replaces it.
+  /// Re-registering a name replaces it. Each registration mints a fresh
+  /// snapshot dataset id (see MakeSnapshotDatasetId) that keys any attached
+  /// cache, so views built over a superseded registration can never be
+  /// served for the new one — even by a cache shared with other engines.
   void RegisterTable(const std::string& name, const Table* table);
+
+  /// Registers `table` under `name` with a caller-owned snapshot dataset id.
+  /// Several engines registering the *same* immutable snapshot under the
+  /// same id share cache entries (the multi-session server's sessions); the
+  /// caller owns invalidation for the id's lifecycle.
+  void RegisterTableSnapshot(const std::string& name, const Table* table,
+                             std::string dataset_id);
+
+  /// Attributes this engine's cache inserts to `owner` for per-session byte
+  /// budgeting in a shared ViewCache ("" = unattributed).
+  void SetCacheOwner(std::string owner) { cache_owner_ = std::move(owner); }
 
   /// Default options applied to every CREATE CADVIEW (seed, discretizer,
   /// optimizations); statement clauses override M/K/pivot/attrs.
@@ -98,9 +112,13 @@ class Engine {
   Result<ExecOutcome> ExecuteExplain(ExplainStmt stmt, uint64_t parse_ns);
 
   std::map<std::string, const Table*> tables_;
+  /// Snapshot dataset id of each registered name — the cache keying
+  /// identity. Always present for a registered table.
+  std::map<std::string, std::string> dataset_ids_;
   std::map<std::string, std::unique_ptr<CadView>> views_;
   CadViewOptions defaults_;
   std::shared_ptr<ViewCache> cache_;
+  std::string cache_owner_;
   Tracer* tracer_ = Tracer::Disabled();
   uint64_t trace_parent_ = 0;
   /// Parse time of the statement ExecuteSql just handed to Execute — the

@@ -1,0 +1,41 @@
+#include "src/server/client.h"
+
+#include <utility>
+
+namespace dbx::server {
+
+Client::Client(std::unique_ptr<Connection> conn) : conn_(std::move(conn)) {}
+
+Result<Response> Client::Call(const std::string& request) {
+  DBX_ASSIGN_OR_RETURN(std::string frame, EncodeFrame(request));
+  DBX_RETURN_IF_ERROR(conn_->Write(frame));
+  for (;;) {
+    if (auto payload = decoder_.Next()) return DecodeResponse(*payload);
+    DBX_RETURN_IF_ERROR(decoder_.status());
+    DBX_ASSIGN_OR_RETURN(std::string chunk, conn_->Read(64u << 10));
+    if (chunk.empty()) {
+      return Status::Unavailable("connection closed before a response");
+    }
+    DBX_RETURN_IF_ERROR(decoder_.Feed(chunk));
+  }
+}
+
+Result<std::string> Client::Open() {
+  DBX_ASSIGN_OR_RETURN(Response r, Call("OPEN"));
+  DBX_RETURN_IF_ERROR(r.status);
+  return r.body;
+}
+
+Result<std::string> Client::Exec(const std::string& sid,
+                                 const std::string& statement) {
+  DBX_ASSIGN_OR_RETURN(Response r, Call("EXEC " + sid + " " + statement));
+  DBX_RETURN_IF_ERROR(r.status);
+  return r.body;
+}
+
+Status Client::CloseSession(const std::string& sid) {
+  DBX_ASSIGN_OR_RETURN(Response r, Call("CLOSE " + sid));
+  return r.status;
+}
+
+}  // namespace dbx::server

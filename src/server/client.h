@@ -1,0 +1,49 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Synchronous protocol client over any Connection: frames one request,
+// blocks for the matching response frame, decodes it back into Status +
+// body. Tests and the load generator both talk to the server through this,
+// so the wire grammar is exercised by every caller.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/server/protocol.h"
+#include "src/server/transport.h"
+#include "src/util/result.h"
+
+namespace dbx::server {
+
+/// One request/response conversation at a time; not thread-safe.
+class Client {
+ public:
+  /// Takes ownership of the connection. It must already be established.
+  explicit Client(std::unique_ptr<Connection> conn);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends `request` as one frame and blocks for one response frame.
+  /// Transport or framing failures surface as the outer Result error; a
+  /// server-side ERR response decodes into Response::status.
+  [[nodiscard]] Result<Response> Call(const std::string& request);
+
+  /// OPEN — returns the new session id.
+  [[nodiscard]] Result<std::string> Open();
+
+  /// EXEC <sid> <statement> — returns the rendered statement output.
+  [[nodiscard]] Result<std::string> Exec(const std::string& sid,
+                                         const std::string& statement);
+
+  /// CLOSE <sid>.
+  [[nodiscard]] Status CloseSession(const std::string& sid);
+
+  Connection* connection() { return conn_.get(); }
+
+ private:
+  std::unique_ptr<Connection> conn_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace dbx::server

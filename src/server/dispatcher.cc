@@ -1,0 +1,312 @@
+#include "src/server/dispatcher.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/obs/metrics.h"
+#include "src/util/stopwatch.h"
+
+namespace dbx::server {
+namespace {
+
+/// Splits "<first-token> <rest>"; rest keeps internal whitespace (statements
+/// may span lines). Leading/trailing whitespace around the token is eaten.
+std::pair<std::string, std::string> SplitToken(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {"", ""};
+  size_t e = s.find_first_of(" \t\r\n", b);
+  if (e == std::string::npos) return {s.substr(b), ""};
+  size_t r = s.find_first_not_of(" \t\r\n", e);
+  return {s.substr(b, e - b), r == std::string::npos ? "" : s.substr(r)};
+}
+
+/// Decrements the in-flight statement count on every exit path.
+class InflightSlot {
+ public:
+  explicit InflightSlot(std::atomic<size_t>* inflight) : inflight_(inflight) {}
+  ~InflightSlot() { inflight_->fetch_sub(1); }
+  InflightSlot(const InflightSlot&) = delete;
+  InflightSlot& operator=(const InflightSlot&) = delete;
+
+ private:
+  std::atomic<size_t>* inflight_;
+};
+
+}  // namespace
+
+Dispatcher::Dispatcher(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(std::make_shared<ViewCache>(options_.cache_budget_bytes)),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : MetricsRegistry::Global()) {}
+
+void Dispatcher::RegisterTable(const std::string& name, const Table* table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it != tables_.end()) {
+    // Superseded registration: its snapshot id keeps old entries unreachable
+    // (correctness); invalidating reclaims their budget promptly.
+    cache_->InvalidateDataset(it->second.second);
+  }
+  tables_[name] = {table, MakeSnapshotDatasetId(name)};
+}
+
+Result<std::string> Dispatcher::OpenSession(ConnectionScope* scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= options_.max_sessions) {
+    metrics_->GetCounter("dbx_server_admission_rejects_total")->Increment();
+    return Status::Unavailable(
+        "session limit reached (" + std::to_string(options_.max_sessions) +
+        " open); close a session or retry later");
+  }
+  auto session = std::make_shared<Session>();
+  session->id = "s" + std::to_string(++next_session_id_);
+  for (const auto& [name, entry] : tables_) {
+    session->engine.RegisterTableSnapshot(name, entry.first, entry.second);
+  }
+  session->engine.SetDefaultCadViewOptions(options_.cad_defaults);
+  session->engine.SetViewCache(cache_);
+  session->engine.SetCacheOwner(session->id);
+  if (options_.session_cache_budget_bytes > 0) {
+    cache_->SetOwnerBudget(session->id, options_.session_cache_budget_bytes);
+  }
+  sessions_[session->id] = session;
+  if (scope != nullptr) scope->sessions.push_back(session->id);
+  metrics_->GetCounter("dbx_server_sessions_opened_total")->Increment();
+  metrics_->GetGauge("dbx_server_sessions_active")
+      ->Set(static_cast<int64_t>(sessions_.size()));
+  return session->id;
+}
+
+Status Dispatcher::CloseSession(const std::string& sid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session named '" + sid + "'");
+  }
+  sessions_.erase(it);
+  // The budget record dies with the session; its cached views stay resident
+  // for other sessions to hit (sharing them is the point of a global cache).
+  cache_->SetOwnerBudget(sid, 0);
+  metrics_->GetGauge("dbx_server_sessions_active")
+      ->Set(static_cast<int64_t>(sessions_.size()));
+  return Status::OK();
+}
+
+std::shared_ptr<Dispatcher::Session> Dispatcher::FindSession(
+    const std::string& sid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+size_t Dispatcher::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::string Dispatcher::HandleExec(const std::string& sid,
+                                   const std::string& sql) {
+  if (sql.empty()) {
+    return EncodeResponse(
+        Status::InvalidArgument("EXEC needs a statement: EXEC <sid> <stmt>"),
+        "");
+  }
+  auto session = FindSession(sid);
+  if (session == nullptr) {
+    return EncodeResponse(Status::NotFound("no session named '" + sid + "'"),
+                          "");
+  }
+  if (options_.max_inflight > 0 &&
+      inflight_.fetch_add(1) >= options_.max_inflight) {
+    inflight_.fetch_sub(1);
+    metrics_->GetCounter("dbx_server_admission_rejects_total")->Increment();
+    return EncodeResponse(
+        Status::Unavailable(
+            "server saturated: " + std::to_string(options_.max_inflight) +
+            " statements in flight; retry"),
+        "");
+  }
+  // Slot released on every path below; unlimited mode never took one.
+  std::optional<InflightSlot> slot;
+  if (options_.max_inflight > 0) slot.emplace(&inflight_);
+  if (options_.exec_hook_for_test) options_.exec_hook_for_test(sql);
+
+  // A session is one sequential conversation: statements addressed to it
+  // are serialized here even when several connections send them.
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  auto outcome = session->engine.ExecuteSql(sql);
+  if (!outcome.ok()) return EncodeResponse(outcome.status(), "");
+  return EncodeResponse(Status::OK(), outcome->rendered);
+}
+
+std::string Dispatcher::RenderStats() const {
+  const ViewCacheStats s = cache_->stats();
+  std::string out;
+  out += "hits=" + std::to_string(s.hits);
+  out += " misses=" + std::to_string(s.misses);
+  out += " inserts=" + std::to_string(s.inserts);
+  out += " evictions=" + std::to_string(s.evictions);
+  out += " invalidations=" + std::to_string(s.invalidations);
+  out += " owner_budget_rejects=" + std::to_string(s.owner_budget_rejects);
+  out += " entries=" + std::to_string(s.entries);
+  out += " bytes_in_use=" + std::to_string(s.bytes_in_use);
+  out += " sessions=" + std::to_string(session_count());
+  return out;
+}
+
+std::string Dispatcher::HandleRequest(const std::string& payload,
+                                      ConnectionScope* scope) {
+  Stopwatch timer;
+  metrics_->GetCounter("dbx_server_requests_total")->Increment();
+  std::string response;
+  auto [command, rest] = SplitToken(payload);
+  if (command == "OPEN" && rest.empty()) {
+    auto sid = OpenSession(scope);
+    response = sid.ok() ? EncodeResponse(Status::OK(), *sid)
+                        : EncodeResponse(sid.status(), "");
+  } else if (command == "EXEC") {
+    auto [sid, sql] = SplitToken(rest);
+    response = HandleExec(sid, sql);
+  } else if (command == "CLOSE") {
+    auto [sid, extra] = SplitToken(rest);
+    if (sid.empty() || !extra.empty()) {
+      response = EncodeResponse(
+          Status::InvalidArgument("usage: CLOSE <session-id>"), "");
+    } else {
+      Status st = CloseSession(sid);
+      if (st.ok() && scope != nullptr) {
+        auto& owned = scope->sessions;
+        owned.erase(std::remove(owned.begin(), owned.end(), sid),
+                    owned.end());
+      }
+      response = st.ok() ? EncodeResponse(st, "closed " + sid)
+                         : EncodeResponse(st, "");
+    }
+  } else if (command == "STATS" && rest.empty()) {
+    response = EncodeResponse(Status::OK(), RenderStats());
+  } else if (command == "METRICS" && rest.empty()) {
+    response = EncodeResponse(Status::OK(), metrics_->PrometheusText());
+  } else {
+    response = EncodeResponse(
+        Status::InvalidArgument(
+            "unknown request '" + command +
+            "'; expected OPEN, EXEC, CLOSE, STATS, or METRICS"),
+        "");
+  }
+  if (response.compare(0, 3, "ERR") == 0) {
+    metrics_->GetCounter("dbx_server_errors_total")->Increment();
+  }
+  metrics_->GetHistogram("dbx_server_request_ms")
+      ->ObserveNs(timer.ElapsedNanos());
+  return response;
+}
+
+void Dispatcher::ServeConnection(Connection* conn) {
+  FrameDecoder decoder;
+  ConnectionScope scope;
+  bool sync_lost = false;
+  for (;;) {
+    auto chunk = conn->Read(64u << 10);
+    if (!chunk.ok() || chunk->empty()) break;  // EOF or transport failure
+    if (Status st = decoder.Feed(*chunk); !st.ok()) {
+      // Framing is gone; answer once, well-formed, and hang up.
+      metrics_->GetCounter("dbx_server_frame_errors_total")->Increment();
+      if (auto frame = EncodeFrame(EncodeResponse(st, "")); frame.ok()) {
+        (void)conn->Write(*frame);  // best effort: the peer may be gone
+      }
+      sync_lost = true;
+      break;
+    }
+    bool write_failed = false;
+    while (auto payload = decoder.Next()) {
+      std::string response = HandleRequest(*payload, &scope);
+      auto frame = EncodeFrame(response);
+      if (!frame.ok()) {
+        // The rendered body outgrew the frame limit; degrade to an error
+        // response (always small) rather than killing the connection.
+        frame = EncodeFrame(EncodeResponse(
+            Status::OutOfRange("response exceeds the frame size limit; "
+                               "narrow the statement"),
+            ""));
+      }
+      if (!conn->Write(*frame).ok()) {
+        write_failed = true;
+        break;
+      }
+    }
+    if (write_failed) break;
+    if (!decoder.status().ok()) {
+      metrics_->GetCounter("dbx_server_frame_errors_total")->Increment();
+      if (auto frame = EncodeFrame(EncodeResponse(decoder.status(), ""));
+          frame.ok()) {
+        (void)conn->Write(*frame);  // best effort
+      }
+      sync_lost = true;
+      break;
+    }
+  }
+  if (!sync_lost && decoder.mid_frame()) {
+    // EOF cut a frame short: tell the peer (it may still be reading) with a
+    // well-formed error before hanging up.
+    metrics_->GetCounter("dbx_server_frame_errors_total")->Increment();
+    if (auto frame = EncodeFrame(EncodeResponse(
+            Status::Corruption("connection closed mid-frame"), ""));
+        frame.ok()) {
+      (void)conn->Write(*frame);  // best effort
+    }
+  }
+  conn->CloseWrite();
+  // A connection's sessions die with it — no leak, whatever bytes arrived.
+  for (const std::string& sid : scope.sessions) {
+    (void)CloseSession(sid);  // raced CLOSE frames may have beaten us here
+  }
+}
+
+Server::Server(Dispatcher* dispatcher, Listener* listener)
+    : dispatcher_(dispatcher), listener_(listener) {}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  accept_thread_ = std::thread([this] {
+    for (;;) {
+      auto conn = listener_->Accept();
+      if (!conn.ok()) break;  // Shutdown() or listener failure
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) break;
+      connections_.push_back(std::move(*conn));
+      Connection* raw = connections_.back().get();
+      connection_threads_.emplace_back(
+          [this, raw] { dispatcher_->ServeConnection(raw); });
+    }
+  });
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Wake serve loops blocked on clients that never disconnected; their
+    // Read returns EOF/error and ServeConnection reaps the sessions.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : connections_) conn->Close();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.clear();
+}
+
+}  // namespace dbx::server

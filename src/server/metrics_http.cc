@@ -1,0 +1,88 @@
+#include "src/server/metrics_http.h"
+
+#include "src/obs/metrics.h"
+
+namespace dbx::server {
+
+Result<std::string> ParseHttpGetPath(const std::string& head) {
+  const size_t line_end = head.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || line.substr(0, sp1) != "GET") {
+    return Status::InvalidArgument("only GET is served");
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) {
+    return Status::InvalidArgument("malformed request line: " + line);
+  }
+  return line.substr(sp1 + 1, sp2 - sp1 - 1);
+}
+
+std::string HttpOkResponse(const std::string& body) {
+  return "HTTP/1.1 200 OK\r\n"
+         "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+         "Content-Length: " +
+         std::to_string(body.size()) +
+         "\r\n"
+         "Connection: close\r\n"
+         "\r\n" +
+         body;
+}
+
+std::string HttpNotFoundResponse() {
+  const std::string body = "not found; scrape /metrics\n";
+  return "HTTP/1.1 404 Not Found\r\n"
+         "Content-Type: text/plain; charset=utf-8\r\n"
+         "Content-Length: " +
+         std::to_string(body.size()) +
+         "\r\n"
+         "Connection: close\r\n"
+         "\r\n" +
+         body;
+}
+
+void ServeMetricsExchange(Connection* conn, MetricsRegistry* metrics) {
+  // Read until the head terminator; scrapers send no body. Cap the head so a
+  // garbage peer can't grow the buffer without bound.
+  constexpr size_t kMaxHeadBytes = 16u << 10;
+  std::string head;
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.size() < kMaxHeadBytes) {
+    auto chunk = conn->Read(4096);
+    if (!chunk.ok() || chunk->empty()) break;
+    head.append(*chunk);
+  }
+  auto path = ParseHttpGetPath(head);
+  const std::string response = (path.ok() && *path == "/metrics")
+                                   ? HttpOkResponse(metrics->PrometheusText())
+                                   : HttpNotFoundResponse();
+  (void)conn->Write(response);  // best effort: the scraper may have gone
+  conn->CloseWrite();
+}
+
+MetricsHttpServer::MetricsHttpServer(MetricsRegistry* metrics,
+                                     Listener* listener)
+    : metrics_(metrics), listener_(listener) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::Start() {
+  thread_ = std::thread([this] {
+    for (;;) {
+      auto conn = listener_->Accept();
+      if (!conn.ok()) break;  // Shutdown() or listener failure
+      ServeMetricsExchange(conn->get(), metrics_);
+      (*conn)->Close();
+    }
+  });
+}
+
+void MetricsHttpServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  listener_->Shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace dbx::server

@@ -1,0 +1,56 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Minimal HTTP/1.1 scrape endpoint for Prometheus: answers GET /metrics with
+// the registry's text exposition and 404s everything else. Request parsing
+// and response formatting are free functions so the protocol surface is unit
+// tested without sockets; MetricsHttpServer glues them to any Listener.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/server/transport.h"
+#include "src/util/result.h"
+
+namespace dbx {
+class MetricsRegistry;
+}  // namespace dbx
+
+namespace dbx::server {
+
+/// Extracts the request target from an HTTP request head ("GET /metrics
+/// HTTP/1.1\r\n..."). InvalidArgument unless the method is GET.
+[[nodiscard]] Result<std::string> ParseHttpGetPath(const std::string& head);
+
+/// 200 response carrying `body` as Prometheus text exposition.
+[[nodiscard]] std::string HttpOkResponse(const std::string& body);
+
+/// 404 response for any path other than /metrics.
+[[nodiscard]] std::string HttpNotFoundResponse();
+
+/// Serves one HTTP exchange on `conn`: reads the request head, answers, and
+/// half-closes. Exposed for deterministic loopback tests.
+void ServeMetricsExchange(Connection* conn, MetricsRegistry* metrics);
+
+/// Accept loop serving GET /metrics sequentially (a scrape is tiny; one at a
+/// time keeps this a single background thread).
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer(MetricsRegistry* metrics, Listener* listener);
+  ~MetricsHttpServer();
+
+  /// Spawns the accept thread. Call once.
+  void Start();
+
+  /// Shuts the listener down and joins.
+  void Stop();
+
+ private:
+  MetricsRegistry* metrics_;
+  Listener* listener_;
+  std::thread thread_;
+  bool stopped_ = false;
+};
+
+}  // namespace dbx::server

@@ -1,0 +1,128 @@
+#include "src/server/protocol.h"
+
+#include <cstdint>
+
+namespace dbx::server {
+namespace {
+
+void AppendBigEndian32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+uint32_t ReadBigEndian32(const char* p) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+/// Rebuilds a Status from its CodeName; nullopt for unknown names.
+std::optional<Status> StatusFromCodeName(const std::string& name,
+                                         std::string message) {
+  if (name == "InvalidArgument") {
+    return Status::InvalidArgument(std::move(message));
+  }
+  if (name == "NotFound") return Status::NotFound(std::move(message));
+  if (name == "OutOfRange") return Status::OutOfRange(std::move(message));
+  if (name == "Corruption") return Status::Corruption(std::move(message));
+  if (name == "NotSupported") return Status::NotSupported(std::move(message));
+  if (name == "FailedPrecondition") {
+    return Status::FailedPrecondition(std::move(message));
+  }
+  if (name == "Internal") return Status::Internal(std::move(message));
+  if (name == "Unavailable") return Status::Unavailable(std::move(message));
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<std::string> EncodeFrame(std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte frame limit");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendBigEndian32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+Status FrameDecoder::Feed(std::string_view bytes) {
+  if (!poisoned_.ok()) return poisoned_;
+  buf_.append(bytes);
+  // Validate the frame at the head of the queue eagerly so a caller that
+  // only feeds (never drains) still learns the stream lost sync. A bad
+  // header *behind* undrained frames is caught by Next() instead.
+  if (buf_.size() - pos_ >= kFrameHeaderBytes) {
+    (void)CheckFrontLength();
+  }
+  return poisoned_;
+}
+
+bool FrameDecoder::CheckFrontLength() {
+  const uint32_t len = ReadBigEndian32(buf_.data() + pos_);
+  if (len > kMaxFramePayload) {
+    poisoned_ = Status::Corruption(
+        "frame declares a " + std::to_string(len) +
+        "-byte payload, over the " + std::to_string(kMaxFramePayload) +
+        "-byte limit; stream out of sync");
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> FrameDecoder::Next() {
+  if (!poisoned_.ok()) return std::nullopt;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return std::nullopt;
+  if (!CheckFrontLength()) return std::nullopt;
+  const uint32_t len = ReadBigEndian32(buf_.data() + pos_);
+  if (buf_.size() - pos_ - kFrameHeaderBytes < len) return std::nullopt;
+  std::string payload = buf_.substr(pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  // Compact once the consumed prefix dominates, keeping Feed() amortized
+  // linear without copying the tail on every frame.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return payload;
+}
+
+std::string EncodeResponse(const Status& status, std::string_view body) {
+  if (status.ok()) {
+    std::string out = "OK\n";
+    out.append(body);
+    return out;
+  }
+  std::string out = "ERR ";
+  out += Status::CodeName(status.code());
+  out += '\n';
+  out += status.message();
+  return out;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  const size_t nl = payload.find('\n');
+  if (nl == std::string_view::npos) {
+    return Status::InvalidArgument("response payload has no status line");
+  }
+  const std::string head(payload.substr(0, nl));
+  std::string rest(payload.substr(nl + 1));
+  if (head == "OK") return Response{Status::OK(), std::move(rest)};
+  if (head.rfind("ERR ", 0) == 0) {
+    auto status = StatusFromCodeName(head.substr(4), std::move(rest));
+    if (status.has_value()) return Response{std::move(*status), ""};
+    return Status::InvalidArgument("response names unknown status code '" +
+                                   head.substr(4) + "'");
+  }
+  return Status::InvalidArgument("response status line is neither OK nor "
+                                 "ERR <code>");
+}
+
+}  // namespace dbx::server

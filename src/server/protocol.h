@@ -1,0 +1,79 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Wire protocol of the multi-session exploration server (DESIGN.md §12): a
+// length-prefixed frame layer carrying text payloads. Requests are dialect
+// statements addressed to a session ("EXEC <sid> <statement>") plus a tiny
+// control vocabulary (OPEN/CLOSE/STATS/METRICS); responses are a status line
+// followed by a body. The framing is symmetric, so one decoder serves the
+// server, the client helper, the load generator, and the frame fuzzer.
+//
+// Frame:    uint32 big-endian payload length, then that many payload bytes.
+//           Payloads above kMaxFramePayload poison the decoder (Corruption);
+//           the server answers a well-formed error frame and closes.
+// Response: "OK\n<body>" or "ERR <CodeName>\n<message>" — CodeName is
+//           Status::CodeName, so the client can reconstruct the Status.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace dbx::server {
+
+/// Upper bound on a single frame's payload bytes (requests and responses).
+inline constexpr size_t kMaxFramePayload = 1u << 20;  // 1 MiB
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Frames `payload`; InvalidArgument when it exceeds kMaxFramePayload.
+[[nodiscard]] Result<std::string> EncodeFrame(std::string_view payload);
+
+/// Incremental frame parser: Feed() raw bytes as they arrive, Next() pops
+/// complete payloads in order. A declared length over kMaxFramePayload
+/// poisons the decoder — Feed() returns (and status() stays) Corruption, and
+/// no further frames are produced; the stream has lost sync and the
+/// connection must close.
+class FrameDecoder {
+ public:
+  /// Appends bytes. Fails (Corruption) once poisoned.
+  [[nodiscard]] Status Feed(std::string_view bytes);
+
+  /// Pops the next complete payload, or nullopt when more bytes are needed.
+  std::optional<std::string> Next();
+
+  /// True when buffered bytes form an incomplete frame (header or payload
+  /// cut short) — at EOF this means the peer truncated a frame.
+  bool mid_frame() const { return !poisoned_.ok() || buf_.size() > pos_; }
+
+  const Status& status() const { return poisoned_; }
+
+ private:
+  /// Poisons (and returns false) when the queue-front header declares an
+  /// over-limit payload. Requires a complete buffered header.
+  bool CheckFrontLength();
+
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_, compacted periodically
+  Status poisoned_ = Status::OK();
+};
+
+/// One decoded response: the statement-level Status plus the body text
+/// (rendered output on OK, empty on error — the message travels in the
+/// Status).
+struct Response {
+  Status status;
+  std::string body;
+};
+
+/// Renders a response payload. OK statuses carry `body`; error statuses
+/// carry their message (body ignored).
+std::string EncodeResponse(const Status& status, std::string_view body);
+
+/// Parses a response payload; InvalidArgument when it is not well-formed
+/// (missing status line or unknown code name).
+[[nodiscard]] Result<Response> DecodeResponse(std::string_view payload);
+
+}  // namespace dbx::server

@@ -1,0 +1,190 @@
+#include "src/server/socket_transport.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dbx::server {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// A Connection over one stream-socket fd.
+class FdConnection : public Connection {
+ public:
+  explicit FdConnection(int fd) : fd_(fd) {}
+  ~FdConnection() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<std::string> Read(size_t max_bytes) override {
+    std::string buf(max_bytes, '\0');
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+      if (n >= 0) {
+        buf.resize(static_cast<size_t>(n));
+        return buf;  // n == 0 is EOF, surfaced as ""
+      }
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+  }
+
+  Status Write(std::string_view bytes) override {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          return Status::Unavailable("peer closed the connection");
+        }
+        return Errno("send");
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  void CloseWrite() override { ::shutdown(fd_, SHUT_WR); }
+
+  /// shutdown() rather than close(): it wakes a Read blocked on another
+  /// thread (recv returns EOF) without racing fd reuse — the fd itself is
+  /// released by the destructor, after every user is done with it.
+  void Close() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+};
+
+Result<std::unique_ptr<Connection>> AcceptOn(int fd) {
+  for (;;) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      return std::unique_ptr<Connection>(new FdConnection(conn));
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINVAL || errno == EBADF) {
+      return Status::Unavailable("listener shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<UnixListener>> UnixListener::Bind(
+    const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Errno("bind(" + path + ")");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<UnixListener>(new UnixListener(fd, path));
+}
+
+UnixListener::~UnixListener() {
+  Shutdown();
+  ::unlink(path_.c_str());
+}
+
+Result<std::unique_ptr<Connection>> UnixListener::Accept() {
+  return AcceptOn(fd_.load());
+}
+
+void UnixListener::Shutdown() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+Result<std::unique_ptr<Connection>> UnixConnect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Errno("connect(" + path + ")");
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<Connection>(new FdConnection(fd));
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Bind(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+TcpListener::~TcpListener() { Shutdown(); }
+
+Result<std::unique_ptr<Connection>> TcpListener::Accept() {
+  return AcceptOn(fd_.load());
+}
+
+void TcpListener::Shutdown() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace dbx::server

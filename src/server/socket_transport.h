@@ -1,0 +1,64 @@
+// Copyright (c) DBExplorer reproduction authors.
+// POSIX socket implementations of the transport seam: a unix-domain-socket
+// listener for the exploration protocol (no ports, filesystem-addressed) and
+// a localhost TCP listener for the Prometheus scrape endpoint. Everything
+// above this file is socket-agnostic — tests drive the same dispatcher over
+// the loopback transport.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/server/transport.h"
+#include "src/util/result.h"
+
+namespace dbx::server {
+
+/// Binds a unix-domain stream socket at `path` (unlinking a stale socket
+/// file first). The socket file is removed on destruction.
+class UnixListener : public Listener {
+ public:
+  [[nodiscard]] static Result<std::unique_ptr<UnixListener>> Bind(
+      const std::string& path);
+  ~UnixListener() override;
+
+  [[nodiscard]] Result<std::unique_ptr<Connection>> Accept() override;
+  void Shutdown() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  UnixListener(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  /// Atomic because Shutdown() races with a blocked Accept() by design.
+  std::atomic<int> fd_;
+  std::string path_;
+};
+
+/// Connects to a unix-domain socket server at `path`.
+[[nodiscard]] Result<std::unique_ptr<Connection>> UnixConnect(
+    const std::string& path);
+
+/// Binds a TCP listener on 127.0.0.1:`port` (0 = ephemeral; see port()).
+class TcpListener : public Listener {
+ public:
+  [[nodiscard]] static Result<std::unique_ptr<TcpListener>> Bind(
+      uint16_t port);
+  ~TcpListener() override;
+
+  [[nodiscard]] Result<std::unique_ptr<Connection>> Accept() override;
+  void Shutdown() override;
+
+  /// The bound port (resolved when constructed with port 0).
+  uint16_t port() const { return port_; }
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  /// Atomic because Shutdown() races with a blocked Accept() by design.
+  std::atomic<int> fd_;
+  uint16_t port_;
+};
+
+}  // namespace dbx::server

@@ -1,0 +1,100 @@
+#include "src/server/transport.h"
+
+#include <algorithm>
+
+namespace dbx::server {
+namespace {
+
+/// One direction of a loopback connection: an unbounded byte buffer plus the
+/// writer's close flag. Readers block on the condition variable.
+struct Pipe {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string buf;
+  bool closed = false;  // writer hung up; drain then EOF
+};
+
+class LoopbackConnection : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<Pipe> in, std::shared_ptr<Pipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~LoopbackConnection() override { Close(); }
+
+  Result<std::string> Read(size_t max_bytes) override {
+    std::unique_lock<std::mutex> lock(in_->mu);
+    in_->cv.wait(lock, [&] { return !in_->buf.empty() || in_->closed; });
+    if (in_->buf.empty()) return std::string();  // EOF
+    const size_t n = std::min(max_bytes, in_->buf.size());
+    std::string chunk = in_->buf.substr(0, n);
+    in_->buf.erase(0, n);
+    return chunk;
+  }
+
+  Status Write(std::string_view bytes) override {
+    std::lock_guard<std::mutex> lock(out_->mu);
+    if (out_->closed) {
+      return Status::Unavailable("loopback peer closed the connection");
+    }
+    out_->buf.append(bytes);
+    out_->cv.notify_all();
+    return Status::OK();
+  }
+
+  void CloseWrite() override {
+    std::lock_guard<std::mutex> lock(out_->mu);
+    out_->closed = true;
+    out_->cv.notify_all();
+  }
+
+  void Close() override {
+    CloseWrite();
+    std::lock_guard<std::mutex> lock(in_->mu);
+    in_->closed = true;
+    in_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<Pipe> in_;
+  std::shared_ptr<Pipe> out_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+LoopbackPair() {
+  auto a_to_b = std::make_shared<Pipe>();
+  auto b_to_a = std::make_shared<Pipe>();
+  auto a = std::make_unique<LoopbackConnection>(b_to_a, a_to_b);
+  auto b = std::make_unique<LoopbackConnection>(a_to_b, b_to_a);
+  return {std::move(a), std::move(b)};
+}
+
+std::unique_ptr<Connection> LoopbackListener::Connect() {
+  auto [client, server] = LoopbackPair();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(std::move(server));
+    cv_.notify_all();
+  }
+  return std::move(client);
+}
+
+Result<std::unique_ptr<Connection>> LoopbackListener::Accept() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !pending_.empty() || shutdown_; });
+  if (!pending_.empty()) {
+    auto conn = std::move(pending_.front());
+    pending_.pop_front();
+    return conn;
+  }
+  return Status::Unavailable("listener shut down");
+}
+
+void LoopbackListener::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+}  // namespace dbx::server

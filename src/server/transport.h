@@ -1,0 +1,80 @@
+// Copyright (c) DBExplorer reproduction authors.
+// The server's transport seam (DESIGN.md §12): a byte-stream Connection and
+// an accepting Listener, abstract so the dispatcher, session lifecycle,
+// budget accounting, and frame handling are all exercised deterministically
+// in-process — under ctest and TSAN, without binding a port. The loopback
+// implementation here is a pair of in-memory pipes; socket_transport.h holds
+// the unix-domain/TCP implementations the real server binary uses.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace dbx::server {
+
+/// One bidirectional byte stream. Implementations are thread-safe in the
+/// one-reader/one-writer pattern the dispatcher uses (reads from a single
+/// service loop, writes from the same loop; the peer end mirrors that).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Blocks until at least one byte is available (returning up to
+  /// `max_bytes`) or the peer closed its write side (returning ""). Errors
+  /// are transport failures, not EOF.
+  [[nodiscard]] virtual Result<std::string> Read(size_t max_bytes) = 0;
+
+  /// Writes all of `bytes`; Unavailable when the peer is gone.
+  [[nodiscard]] virtual Status Write(std::string_view bytes) = 0;
+
+  /// Half-close: signals EOF to the peer's Read while keeping our Read open.
+  virtual void CloseWrite() = 0;
+
+  /// Full close of both directions.
+  virtual void Close() = 0;
+};
+
+/// Accepts incoming connections. Accept() blocks; Shutdown() unblocks every
+/// pending and future Accept() with Unavailable.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  [[nodiscard]] virtual Result<std::unique_ptr<Connection>> Accept() = 0;
+  virtual void Shutdown() = 0;
+};
+
+/// Creates two connected in-memory endpoints (each one's writes are the
+/// other's reads). Pipes buffer without bound, so a single thread can write
+/// a whole scripted request stream, half-close, and then run the server
+/// loop to completion — the deterministic harness pattern.
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+LoopbackPair();
+
+/// In-process Listener: Connect() hands back a client endpoint and queues
+/// the matching server endpoint for Accept().
+class LoopbackListener : public Listener {
+ public:
+  /// Creates a connected pair, enqueues the server end, returns the client
+  /// end. Safe from any thread.
+  std::unique_ptr<Connection> Connect();
+
+  [[nodiscard]] Result<std::unique_ptr<Connection>> Accept() override;
+  void Shutdown() override;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Connection>> pending_;
+  bool shutdown_ = false;
+};
+
+}  // namespace dbx::server

@@ -32,6 +32,7 @@ class [[nodiscard]] Status {
     kNotSupported,
     kFailedPrecondition,
     kInternal,
+    kUnavailable,
   };
 
   /// Constructs an OK status.
@@ -59,6 +60,11 @@ class [[nodiscard]] Status {
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  /// The service cannot take the work right now (admission control,
+  /// saturation, shutdown); retrying later may succeed.
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -70,6 +76,7 @@ class [[nodiscard]] Status {
     return code_ == Code::kFailedPrecondition;
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -90,6 +97,7 @@ class [[nodiscard]] Status {
       case Code::kNotSupported: return "NotSupported";
       case Code::kFailedPrecondition: return "FailedPrecondition";
       case Code::kInternal: return "Internal";
+      case Code::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

@@ -226,6 +226,44 @@ TEST(LayeringRule, AllowedIncludesPass) {
                   .empty());
 }
 
+TEST(LayeringRule, ServerIncludesItsWhitelistedLayers) {
+  EXPECT_TRUE(RulesHit("src/server/dispatcher.cc",
+                       "#include \"src/server/protocol.h\"\n"
+                       "#include \"src/explorer/tpfacet_session.h\"\n"
+                       "#include \"src/query/engine.h\"\n"
+                       "#include \"src/obs/metrics.h\"\n"
+                       "#include \"src/util/result.h\"\n")
+                  .empty());
+  // The server must consume tables through the query/explorer layers, not
+  // reach into core or data directly.
+  EXPECT_TRUE(Contains(RulesHit("src/server/dispatcher.cc",
+                                "#include \"src/core/cad_view.h\"\n"),
+                       "layering"));
+  EXPECT_TRUE(Contains(RulesHit("src/server/dispatcher.cc",
+                                "#include \"src/data/used_cars.h\"\n"),
+                       "layering"));
+}
+
+TEST(LayeringRule, NothingBelowMayDependOnTheServer) {
+  EXPECT_TRUE(Contains(RulesHit("src/query/engine.cc",
+                                "#include \"src/server/protocol.h\"\n"),
+                       "layering"));
+  EXPECT_TRUE(Contains(RulesHit("src/explorer/tpfacet_session.cc",
+                                "#include \"src/server/dispatcher.h\"\n"),
+                       "layering"));
+  EXPECT_TRUE(Contains(RulesHit("src/util/status.cc",
+                                "#include \"src/server/transport.h\"\n"),
+                       "layering"));
+  // Outside src/ the rule does not bite: tests, tools, and benches are the
+  // server's intended consumers.
+  EXPECT_TRUE(RulesHit("tests/server_test.cc",
+                       "#include \"src/server/dispatcher.h\"\n")
+                  .empty());
+  EXPECT_TRUE(RulesHit("bench/server_load.cpp",
+                       "#include \"src/server/client.h\"\n")
+                  .empty());
+}
+
 // --- suppressions -----------------------------------------------------------
 
 TEST(SuppressionTest, ReasonedAllowSilencesFinding) {

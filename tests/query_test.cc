@@ -841,5 +841,83 @@ TEST(RoundTripPropertyTest, PredicateToStringIsCanonicalForTheViewCache) {
   }
 }
 
+
+// --- Shared-cache snapshot identity ------------------------------------------
+//
+// Regression for stale-partition serving: before snapshot-identity dataset
+// ids, a ViewCache shared by two engines keyed entries by bare table name,
+// so two sessions that registered *different* tables under the same name
+// served each other's cached partitions.
+
+TEST(EngineSharedCacheTest, DistinctRegistrationsNeverShareEntries) {
+  auto cache = std::make_shared<ViewCache>();
+  Table t1 = GenerateUsedCars(400, 1);
+  Table t2 = GenerateUsedCars(400, 2);  // different rows, same schema
+  Engine e1;
+  Engine e2;
+  e1.SetViewCache(cache);
+  e2.SetViewCache(cache);
+  e1.RegisterTable("T", &t1);
+  e2.RegisterTable("T", &t2);
+  const std::string stmt =
+      "CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM T "
+      "WHERE BodyType = SUV LIMIT COLUMNS 2 IUNITS 2";
+  auto r1 = e1.ExecuteSql(stmt);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = e2.ExecuteSql(stmt);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  // The identical statement over a different registration must NOT hit.
+  ViewCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.inserts, 2u);
+}
+
+TEST(EngineSharedCacheTest, SharedSnapshotRegistrationsShareEntries) {
+  auto cache = std::make_shared<ViewCache>();
+  Table t = GenerateUsedCars(400, 1);
+  const std::string snapshot = MakeSnapshotDatasetId("T");
+  Engine e1;
+  Engine e2;
+  e1.SetViewCache(cache);
+  e2.SetViewCache(cache);
+  // Both engines name the same immutable snapshot — the multi-session
+  // server's arrangement — so they share cache entries.
+  e1.RegisterTableSnapshot("T", &t, snapshot);
+  e2.RegisterTableSnapshot("T", &t, snapshot);
+  const std::string stmt =
+      "CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM T "
+      "WHERE BodyType = SUV LIMIT COLUMNS 2 IUNITS 2";
+  auto r1 = e1.ExecuteSql(stmt);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = e2.ExecuteSql(stmt);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ViewCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(r1->rendered, r2->rendered);
+}
+
+TEST(EngineSharedCacheTest, ReRegistrationInvalidatesItsOwnSnapshotOnly) {
+  auto cache = std::make_shared<ViewCache>();
+  Table t = GenerateUsedCars(400, 1);
+  Engine engine;
+  engine.SetViewCache(cache);
+  engine.RegisterTable("T", &t);
+  const std::string stmt =
+      "CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM T "
+      "WHERE BodyType = SUV LIMIT COLUMNS 2 IUNITS 2";
+  ASSERT_TRUE(engine.ExecuteSql(stmt).ok());
+  EXPECT_EQ(cache->stats().entries, 1u);
+  // Re-registering (same pointer, "reloaded" data) drops the old snapshot's
+  // entries and the rebuild is a miss.
+  engine.RegisterTable("T", &t);
+  EXPECT_EQ(cache->stats().entries, 0u);
+  EXPECT_GE(cache->stats().invalidations, 1u);
+  ASSERT_TRUE(engine.ExecuteSql(stmt).ok());
+  ViewCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.inserts, 2u);
+}
+
 }  // namespace
 }  // namespace dbx

@@ -1,0 +1,206 @@
+// Golden end-to-end replay of a multi-client drill-down trace against the
+// exploration server (renderer_golden_test.cc style): two clients open
+// sessions, build the same overview CAD View, drill into SUVs, and close.
+// The committed golden pins every response payload byte-for-byte — the wire
+// grammar, the session-id sequence, and the rendered CAD Views — and the
+// final shared-cache counters pin the cross-session reuse (client B's builds
+// must be served from client A's cached views). The trace is deterministic
+// at any DBX_TEST_THREADS, so this suite runs unmodified under the
+// thread-count sweep and TSAN.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/data/used_cars.h"
+#include "src/obs/metrics.h"
+#include "src/server/dispatcher.h"
+#include "src/server/protocol.h"
+#include "src/server/transport.h"
+#include "src/util/thread_pool.h"
+
+namespace dbx::server {
+namespace {
+
+constexpr char kOverview[] =
+    "CREATE CADVIEW overview AS SET pivot = BodyType "
+    "SELECT Price, Mileage FROM UsedCars LIMIT COLUMNS 2 IUNITS 2";
+constexpr char kDrillSuv[] =
+    "CREATE CADVIEW suv AS SET pivot = Make "
+    "SELECT Price, Mileage FROM UsedCars WHERE BodyType = SUV AND "
+    "(Make = Ford OR Make = Jeep OR Make = Toyota) "
+    "LIMIT COLUMNS 2 IUNITS 2";
+
+/// The committed transcript: every response payload of both clients, in
+/// order, each prefixed with "--- <client><n> ---". On mismatch the test
+/// prints the actual transcript to stderr for regeneration.
+constexpr char kGolden[] =
+    "--- A1 ---\n"
+    "OK\n"
+    "s1\n"
+    "--- A2 ---\n"
+    "OK\n"
+    "+-----------+----------------+----------------------------+----------------------------+\n"
+    "| BodyType  | Compare Attrs. | IUnit 1                    | IUnit 2                    |\n"
+    "+-----------+----------------+----------------------------+----------------------------+\n"
+    "| SUV       | Price          | [21.7K-24.5K, 29.3K-56.4K] | [16.7K-18.9K]              |\n"
+    "|           | Mileage        | [500-10.1K, 62.4K-90.6K]   | [37.1K-43.6K]              |\n"
+    "| Sedan     | Price          | [7.0K-11.6K, 14.3K-16.7K]  | [11.6K-14.3K]              |\n"
+    "|           | Mileage        | [62.4K-90.6K, 20.4K-29.5K] | [51.6K-62.4K]              |\n"
+    "| Truck     | Price          | [29.3K-56.4K, 24.5K-29.3K] | [18.9K-21.7K, 24.5K-29.3K] |\n"
+    "|           | Mileage        | [10.1K-20.4K, 29.5K-37.1K] | [43.6K-51.6K]              |\n"
+    "| Minivan   | Price          | [14.3K-16.7K, 16.7K-18.9K] | [18.9K-21.7K]              |\n"
+    "|           | Mileage        | [20.4K-29.5K]              | [10.1K-20.4K, 500-10.1K]   |\n"
+    "| Hatchback | Price          | [7.0K-11.6K]               | [7.0K-11.6K]               |\n"
+    "|           | Mileage        | [37.1K-43.6K, 29.5K-37.1K] | [62.4K-90.6K]              |\n"
+    "+-----------+----------------+----------------------------+----------------------------+\n"
+    "\n"
+    "--- A3 ---\n"
+    "OK\n"
+    "+--------+----------------+----------------------------+----------------------------+\n"
+    "| Make   | Compare Attrs. | IUnit 1                    | IUnit 2                    |\n"
+    "+--------+----------------+----------------------------+----------------------------+\n"
+    "| Ford   | Price          | [19.2K-21.6K, 15.8K-19.2K] | [11.7K-14.1K, 21.6K-25.1K] |\n"
+    "|        | Mileage        | [20.2K-30.4K, 5.8K-20.2K]  | [30.4K-37.6K]              |\n"
+    "| Jeep   | Price          | [29.3K-36.3K]              | [7.9K-11.7K, 11.7K-14.1K]  |\n"
+    "|        | Mileage        | [500-5.8K, 5.8K-20.2K]     | [44.7K-53.8K]              |\n"
+    "| Toyota | Price          | [21.6K-25.1K, 15.8K-19.2K] | [11.7K-14.1K]              |\n"
+    "|        | Mileage        | [37.6K-44.7K]              | [66.2K-90.6K]              |\n"
+    "+--------+----------------+----------------------------+----------------------------+\n"
+    "\n"
+    "--- A4 ---\n"
+    "OK\n"
+    "closed s1\n"
+    "--- B1 ---\n"
+    "OK\n"
+    "s2\n"
+    "--- B2 ---\n"
+    "OK\n"
+    "+-----------+----------------+----------------------------+----------------------------+\n"
+    "| BodyType  | Compare Attrs. | IUnit 1                    | IUnit 2                    |\n"
+    "+-----------+----------------+----------------------------+----------------------------+\n"
+    "| SUV       | Price          | [21.7K-24.5K, 29.3K-56.4K] | [16.7K-18.9K]              |\n"
+    "|           | Mileage        | [500-10.1K, 62.4K-90.6K]   | [37.1K-43.6K]              |\n"
+    "| Sedan     | Price          | [7.0K-11.6K, 14.3K-16.7K]  | [11.6K-14.3K]              |\n"
+    "|           | Mileage        | [62.4K-90.6K, 20.4K-29.5K] | [51.6K-62.4K]              |\n"
+    "| Truck     | Price          | [29.3K-56.4K, 24.5K-29.3K] | [18.9K-21.7K, 24.5K-29.3K] |\n"
+    "|           | Mileage        | [10.1K-20.4K, 29.5K-37.1K] | [43.6K-51.6K]              |\n"
+    "| Minivan   | Price          | [14.3K-16.7K, 16.7K-18.9K] | [18.9K-21.7K]              |\n"
+    "|           | Mileage        | [20.4K-29.5K]              | [10.1K-20.4K, 500-10.1K]   |\n"
+    "| Hatchback | Price          | [7.0K-11.6K]               | [7.0K-11.6K]               |\n"
+    "|           | Mileage        | [37.1K-43.6K, 29.5K-37.1K] | [62.4K-90.6K]              |\n"
+    "+-----------+----------------+----------------------------+----------------------------+\n"
+    "\n"
+    "--- B3 ---\n"
+    "OK\n"
+    "+--------+----------------+----------------------------+----------------------------+\n"
+    "| Make   | Compare Attrs. | IUnit 1                    | IUnit 2                    |\n"
+    "+--------+----------------+----------------------------+----------------------------+\n"
+    "| Ford   | Price          | [19.2K-21.6K, 15.8K-19.2K] | [11.7K-14.1K, 21.6K-25.1K] |\n"
+    "|        | Mileage        | [20.2K-30.4K, 5.8K-20.2K]  | [30.4K-37.6K]              |\n"
+    "| Jeep   | Price          | [29.3K-36.3K]              | [7.9K-11.7K, 11.7K-14.1K]  |\n"
+    "|        | Mileage        | [500-5.8K, 5.8K-20.2K]     | [44.7K-53.8K]              |\n"
+    "| Toyota | Price          | [21.6K-25.1K, 15.8K-19.2K] | [11.7K-14.1K]              |\n"
+    "|        | Mileage        | [37.6K-44.7K]              | [66.2K-90.6K]              |\n"
+    "+--------+----------------+----------------------------+----------------------------+\n"
+    "\n"
+    "--- B4 ---\n"
+    "OK\n"
+    "closed s2\n";
+
+/// Runs one scripted connection synchronously and returns its response
+/// payloads in order.
+std::vector<std::string> RunConnection(
+    Dispatcher* dispatcher, const std::vector<std::string>& requests) {
+  auto [client, server] = LoopbackPair();
+  for (const auto& r : requests) {
+    auto frame = EncodeFrame(r);
+    EXPECT_TRUE(frame.ok());
+    EXPECT_TRUE(client->Write(*frame).ok());
+  }
+  client->CloseWrite();
+  dispatcher->ServeConnection(server.get());
+  FrameDecoder dec;
+  for (;;) {
+    auto chunk = client->Read(64u << 10);
+    EXPECT_TRUE(chunk.ok());
+    if (!chunk.ok() || chunk->empty()) break;
+    EXPECT_TRUE(dec.Feed(*chunk).ok());
+  }
+  std::vector<std::string> payloads;
+  while (auto p = dec.Next()) payloads.push_back(*p);
+  EXPECT_FALSE(dec.mid_frame());
+  return payloads;
+}
+
+TEST(ServerReplayTest, MultiClientDrillDownTrace) {
+  Table table = GenerateUsedCars(500, 11);
+  MetricsRegistry metrics;
+  ServerOptions options;
+  options.metrics = &metrics;
+  options.cad_defaults.num_threads = TestThreads(2);
+  Dispatcher dispatcher(std::move(options));
+  dispatcher.RegisterTable("UsedCars", &table);
+
+  // Client A explores first; client B replays the same drill-down path.
+  const std::vector<std::string> client_a = {
+      "OPEN",
+      std::string("EXEC s1 ") + kOverview,
+      std::string("EXEC s1 ") + kDrillSuv,
+      "CLOSE s1",
+  };
+  const std::vector<std::string> client_b = {
+      "OPEN",
+      std::string("EXEC s2 ") + kOverview,
+      std::string("EXEC s2 ") + kDrillSuv,
+      "CLOSE s2",
+  };
+  auto responses_a = RunConnection(&dispatcher, client_a);
+  auto responses_b = RunConnection(&dispatcher, client_b);
+  ASSERT_EQ(responses_a.size(), 4u);
+  ASSERT_EQ(responses_b.size(), 4u);
+
+  // B's builds hit A's cached views, so the rendered bytes must agree.
+  EXPECT_EQ(responses_a[1], responses_b[1]);
+  EXPECT_EQ(responses_a[2], responses_b[2]);
+
+  std::string transcript;
+  const auto append = [&transcript](const char client,
+                                    const std::vector<std::string>& rs) {
+    for (size_t i = 0; i < rs.size(); ++i) {
+      transcript += "--- ";
+      transcript += client;
+      transcript += std::to_string(i + 1) + " ---\n" + rs[i] + "\n";
+    }
+  };
+  append('A', responses_a);
+  append('B', responses_b);
+
+  if (transcript != kGolden) {
+    // Raw transcript for regenerating the golden after an intended change.
+    std::fprintf(stderr, "=== BEGIN TRANSCRIPT ===\n%s=== END TRANSCRIPT ===\n",
+                 transcript.c_str());
+  }
+  EXPECT_EQ(transcript, kGolden);
+
+  // The cross-session reuse pinned as counters: A missed and inserted both
+  // views, B hit both. (bytes_in_use is platform-dependent and asserted only
+  // as nonzero.)
+  const ViewCacheStats stats = dispatcher.cache()->stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(stats.owner_budget_rejects, 0u);
+  EXPECT_GT(stats.bytes_in_use, 0u);
+  EXPECT_EQ(dispatcher.session_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dbx::server

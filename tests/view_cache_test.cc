@@ -388,5 +388,107 @@ TEST(ViewCacheTest, ConcurrentLookupInsertHammering) {
   EXPECT_LE(stats.entries, 8u);
 }
 
+
+// --- Snapshot dataset ids ----------------------------------------------------
+
+TEST(SnapshotDatasetIdTest, DistinctPerRegistration) {
+  const std::string a = MakeSnapshotDatasetId("T");
+  const std::string b = MakeSnapshotDatasetId("T");
+  EXPECT_NE(a, b) << "two registrations must never share a key space";
+  EXPECT_EQ(a.rfind("T@", 0), 0u);
+  EXPECT_EQ(b.rfind("T@", 0), 0u);
+  // Same-name-different-table and different-name ids all stay disjoint.
+  EXPECT_NE(MakeSnapshotDatasetId("U"), MakeSnapshotDatasetId("U"));
+}
+
+TEST(SnapshotDatasetIdTest, KeysOverDistinctSnapshotsNeverCollide) {
+  // The stale-partition scenario: two sessions register different tables
+  // under the same name into one shared cache. Snapshot ids keep the
+  // identical build request from hitting the other session's entry.
+  ViewCache cache;
+  const std::string snap1 = MakeSnapshotDatasetId("T");
+  const std::string snap2 = MakeSnapshotDatasetId("T");
+  cache.Insert(MakeKey(snap1, {"a = 1"}), MakeViewOfSize(100), {}, 1.0);
+  EXPECT_EQ(cache.Lookup(MakeKey(snap2, {"a = 1"})), nullptr);
+  EXPECT_NE(cache.Lookup(MakeKey(snap1, {"a = 1"})), nullptr);
+  // Refinement seeding must not cross snapshots either.
+  EXPECT_EQ(cache.FindRefinementBase(MakeKey(snap2, {"a = 1", "b = 2"})),
+            nullptr);
+}
+
+// --- Per-owner byte budgets --------------------------------------------------
+
+TEST(ViewCacheOwnerTest, AttributesAndReleasesBytes) {
+  ViewCache cache(1u << 20);
+  CadView v = MakeViewOfSize(1000);
+  const size_t bytes = ApproxCadViewBytes(v);
+  cache.Insert(MakeKey("m", {"a = 1"}), std::move(v), {}, 1.0, "s1");
+  EXPECT_EQ(cache.OwnerBytes("s1"), bytes);
+  EXPECT_EQ(cache.OwnerBytes("s2"), 0u);
+  cache.InvalidateDataset("m");
+  EXPECT_EQ(cache.OwnerBytes("s1"), 0u);
+}
+
+TEST(ViewCacheOwnerTest, BudgetRejectsInsertThatWouldExceedIt) {
+  ViewCache cache(1u << 20);
+  CadView first = MakeViewOfSize(1000);
+  const size_t first_bytes = ApproxCadViewBytes(first);
+  // Budget admits exactly the first entry.
+  cache.SetOwnerBudget("s1", first_bytes);
+  cache.Insert(MakeKey("m", {"a = 1"}), std::move(first), {}, 1.0, "s1");
+  EXPECT_EQ(cache.OwnerBytes("s1"), first_bytes);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+
+  cache.Insert(MakeKey("m", {"a = 2"}), MakeViewOfSize(1000), {}, 1.0, "s1");
+  ViewCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.owner_budget_rejects, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(cache.Lookup(MakeKey("m", {"a = 2"})), nullptr);
+  EXPECT_EQ(cache.OwnerBytes("s1"), first_bytes);
+
+  // Another owner and unattributed inserts are unaffected by s1's budget.
+  cache.Insert(MakeKey("m", {"a = 3"}), MakeViewOfSize(1000), {}, 1.0, "s2");
+  cache.Insert(MakeKey("m", {"a = 4"}), MakeViewOfSize(1000), {}, 1.0);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ViewCacheOwnerTest, InvalidationFreesBudgetForNewInserts) {
+  ViewCache cache(1u << 20);
+  CadView v = MakeViewOfSize(1000);
+  const size_t bytes = ApproxCadViewBytes(v);
+  cache.SetOwnerBudget("s1", bytes);
+  cache.Insert(MakeKey("m", {"a = 1"}), std::move(v), {}, 1.0, "s1");
+  cache.InvalidateDataset("m");
+  // The owner's attribution was released with the entry, so the budget
+  // admits a new insert of the same size.
+  cache.Insert(MakeKey("m", {"a = 2"}), MakeViewOfSize(1000), {}, 1.0, "s1");
+  EXPECT_EQ(cache.stats().owner_budget_rejects, 0u);
+  EXPECT_EQ(cache.OwnerBytes("s1"), bytes);
+}
+
+TEST(ViewCacheOwnerTest, EvictionReleasesOwnerBytes) {
+  CadView probe = MakeViewOfSize(1000);
+  const size_t bytes = ApproxCadViewBytes(probe);
+  // A cache sized for one entry: the second insert evicts the first.
+  ViewCache cache(bytes + bytes / 2);
+  cache.Insert(MakeKey("m", {"a = 1"}), std::move(probe), {}, 1.0, "s1");
+  cache.Insert(MakeKey("m", {"a = 2"}), MakeViewOfSize(1000), {}, 1.0, "s2");
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.OwnerBytes("s1"), 0u);
+  EXPECT_EQ(cache.OwnerBytes("s2"), bytes);
+}
+
+TEST(ViewCacheOwnerTest, ZeroBudgetRemovesTheCap) {
+  ViewCache cache(1u << 20);
+  cache.SetOwnerBudget("s1", 1);  // rejects everything
+  cache.Insert(MakeKey("m", {"a = 1"}), MakeViewOfSize(1000), {}, 1.0, "s1");
+  EXPECT_EQ(cache.stats().owner_budget_rejects, 1u);
+  cache.SetOwnerBudget("s1", 0);  // cap removed
+  cache.Insert(MakeKey("m", {"a = 2"}), MakeViewOfSize(1000), {}, 1.0, "s1");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_GT(cache.OwnerBytes("s1"), 0u);
+}
+
 }  // namespace
 }  // namespace dbx

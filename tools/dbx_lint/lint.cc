@@ -206,7 +206,8 @@ const std::vector<RuleInfo>& Rules() {
        "lock_guard/unique_lock/scoped_lock, never raw lock()/unlock()"},
       {"layering", "R4",
        "src/util includes only src/util; src/obs includes only src/util and "
-       "src/obs"},
+       "src/obs; src/server includes only src/{server,explorer,query,obs,"
+       "util}, and no other src/ layer may include src/server"},
       {"suppression", "meta",
        "every `dbx-lint: allow(rule)` must name a known rule and carry a "
        "`: reason`"},
@@ -635,21 +636,36 @@ void Linter::RuleLayering(const SourceFile& f,
   static const std::vector<Layer> kLayers = {
       {"src/util/", {"src/util/"}},
       {"src/obs/", {"src/util/", "src/obs/"}},
+      // The server sits at the top of the stack: it may use the exploration
+      // and query layers (plus obs/util), but nothing below may know it
+      // exists — the dispatcher stays a pure consumer of the library.
+      {"src/server/",
+       {"src/server/", "src/explorer/", "src/query/", "src/obs/",
+        "src/util/"}},
   };
-  for (const Layer& layer : kLayers) {
-    if (!StartsWith(f.path, layer.dir)) continue;
-    for (size_t i = 0; i < f.raw_lines.size(); ++i) {
-      const std::string& raw = f.raw_lines[i];
-      size_t hash = raw.find_first_not_of(" \t");
-      if (hash == std::string::npos || raw[hash] != '#') continue;
-      size_t inc = raw.find("include", hash);
-      if (inc == std::string::npos) continue;
-      size_t q1 = raw.find('"', inc);
-      if (q1 == std::string::npos) continue;
-      size_t q2 = raw.find('"', q1 + 1);
-      if (q2 == std::string::npos) continue;
-      std::string path = raw.substr(q1 + 1, q2 - q1 - 1);
-      if (!StartsWith(path, "src/")) continue;
+  const bool below_server =
+      StartsWith(f.path, "src/") && !StartsWith(f.path, "src/server/");
+  for (size_t i = 0; i < f.raw_lines.size(); ++i) {
+    const std::string& raw = f.raw_lines[i];
+    size_t hash = raw.find_first_not_of(" \t");
+    if (hash == std::string::npos || raw[hash] != '#') continue;
+    size_t inc = raw.find("include", hash);
+    if (inc == std::string::npos) continue;
+    size_t q1 = raw.find('"', inc);
+    if (q1 == std::string::npos) continue;
+    size_t q2 = raw.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    std::string path = raw.substr(q1 + 1, q2 - q1 - 1);
+    if (!StartsWith(path, "src/")) continue;
+    if (below_server && StartsWith(path, "src/server/")) {
+      Emit(f, i + 1, "layering",
+           "only src/server may include \"" + path +
+               "\"; the library layers must not depend on the server",
+           out);
+      continue;
+    }
+    for (const Layer& layer : kLayers) {
+      if (!StartsWith(f.path, layer.dir)) continue;
       bool ok = false;
       for (const char* allowed : layer.allowed) {
         if (StartsWith(path, allowed)) ok = true;

@@ -16,7 +16,11 @@
 //   R3 lock discipline  — `lock-discipline` (std::mutex members may only be
 //                         taken through lock_guard/unique_lock/scoped_lock)
 //   R4 layering         — `layering` (src/util includes only src/util;
-//                         src/obs includes only src/util + src/obs)
+//                         src/obs includes only src/util + src/obs;
+//                         src/server includes only src/{server,explorer,
+//                         query,obs,util}, and no src/ layer outside
+//                         src/server may include src/server — the library
+//                         must not depend on the service built on top of it)
 //
 // Suppressions: `// dbx-lint: allow(<rule>): <reason>` on the offending line
 // or alone on the line above. A suppression without a reason is itself a

@@ -1,0 +1,139 @@
+// dbx_serve: the exploration server binary (DESIGN.md §12). Registers the
+// built-in datasets with a Dispatcher and serves the length-prefixed CADVIEW
+// protocol on a unix-domain socket (default) or localhost TCP, with the
+// Prometheus scrape endpoint on a second TCP port. This binary is the only
+// consumer of the socket transports — every protocol/dispatcher behavior is
+// exercised in-process by the test suites over the loopback transport.
+//
+// Usage:
+//   dbx_serve [--socket /tmp/dbx.sock | --tcp PORT] [--metrics-port PORT]
+//             [--rows N] [--max-sessions N] [--max-inflight N]
+//             [--session-budget-kb N]
+//
+// Runs until SIGINT/SIGTERM, then drains connections and exits cleanly.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/obs/metrics.h"
+#include "src/server/dispatcher.h"
+#include "src/server/metrics_http.h"
+#include "src/server/socket_transport.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/dbx.sock";
+  int tcp_port = -1;           // -1 = use the unix socket
+  int metrics_port = 0;        // 0 = ephemeral (printed at startup)
+  size_t rows = 0;             // 0 = each dataset's default size
+  dbx::server::ServerOptions options;
+  options.max_inflight = 8;
+  options.session_cache_budget_bytes = 8u << 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tcp") == 0 && i + 1 < argc) {
+      tcp_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      metrics_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-sessions") == 0 && i + 1 < argc) {
+      options.max_sessions = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      options.max_inflight = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--session-budget-kb") == 0 &&
+               i + 1 < argc) {
+      options.session_cache_budget_bytes =
+          static_cast<size_t>(std::atoi(argv[++i])) << 10;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // The generated datasets stay alive (and immutable) for the server's whole
+  // life — the dispatcher only borrows them.
+  std::vector<dbx::Dataset> datasets;
+  for (const std::string& name : dbx::BuiltinDatasetNames()) {
+    auto ds = dbx::LoadDataset(name, rows);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "load %s: %s\n", name.c_str(),
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    datasets.push_back(std::move(*ds));
+  }
+
+  options.metrics = dbx::MetricsRegistry::Global();
+  dbx::server::Dispatcher dispatcher(std::move(options));
+  for (const dbx::Dataset& ds : datasets) {
+    dispatcher.RegisterTable(ds.name, ds.table.get());
+    std::printf("registered %s (%zu rows)\n", ds.name.c_str(),
+                ds.table->num_rows());
+  }
+
+  std::unique_ptr<dbx::server::Listener> listener;
+  if (tcp_port >= 0) {
+    auto l = dbx::server::TcpListener::Bind(static_cast<uint16_t>(tcp_port));
+    if (!l.ok()) {
+      std::fprintf(stderr, "bind tcp: %s\n", l.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("serving on 127.0.0.1:%u\n", (*l)->port());
+    listener = std::move(*l);
+  } else {
+    auto l = dbx::server::UnixListener::Bind(socket_path);
+    if (!l.ok()) {
+      std::fprintf(stderr, "bind unix: %s\n", l.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("serving on unix:%s\n", (*l)->path().c_str());
+    listener = std::move(*l);
+  }
+
+  auto metrics_listener =
+      dbx::server::TcpListener::Bind(static_cast<uint16_t>(metrics_port));
+  if (!metrics_listener.ok()) {
+    std::fprintf(stderr, "bind metrics: %s\n",
+                 metrics_listener.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("metrics on http://127.0.0.1:%u/metrics\n",
+              (*metrics_listener)->port());
+
+  dbx::server::Server server(&dispatcher, listener.get());
+  server.Start();
+  dbx::server::MetricsHttpServer metrics_server(dbx::MetricsRegistry::Global(),
+                                                metrics_listener->get());
+  metrics_server.Start();
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("ready (SIGINT/SIGTERM to stop)\n");
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("stopping...\n");
+  metrics_server.Stop();
+  server.Stop();
+  std::printf("stopped; %zu session(s) reaped\n", dispatcher.session_count());
+  return 0;
+}
