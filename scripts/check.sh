@@ -36,10 +36,12 @@ ctest --test-dir build -L bench-smoke --output-on-failure \
 ctest --test-dir build -L obs --output-on-failure || fail "obs tests"
 ctest --test-dir build -L server --output-on-failure || fail "server tests"
 
-# Re-run the test tiers with the threaded paths forced on: the parallel tests
-# read DBX_TEST_THREADS and add that thread count to their sweep.
-DBX_TEST_THREADS=4 ctest --test-dir build -L 'unit|integration' \
-  --output-on-failure || fail "threaded test re-run"
+# Re-run the test tiers with the threaded and sharded paths forced on: the
+# parallel tests read DBX_TEST_THREADS / DBX_TEST_SHARDS and add those counts
+# to their sweeps (thread count never changes output; shard count must not
+# either — the byte-identity suites fail loudly if it does).
+DBX_TEST_THREADS=4 DBX_TEST_SHARDS=8 ctest --test-dir build \
+  -L 'unit|integration' --output-on-failure || fail "threaded/sharded re-run"
 
 # UBSan tier: rebuild with -fsanitize=undefined (no-recover) and run the
 # full unit tier. Catches signed overflow, bad shifts, misaligned access.

@@ -16,11 +16,15 @@ cmake -B "$BUILD_DIR" -S . -DDBX_SANITIZE=thread \
 cmake --build "$BUILD_DIR" -j --target \
   thread_pool_test cad_view_test cluster_test feature_selection_test \
   facet_index_test facet_test view_cache_test obs_test \
-  server_test server_replay_test \
+  server_test server_replay_test shard_merge_test \
   lexer_fuzz parser_fuzz server_frame_fuzz || fail "build"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 export DBX_TEST_THREADS="$THREADS"
+# Force the sharded fan-out on under TSAN too: the per-shard scans write
+# disjoint sketch slots concurrently, which is exactly the pattern a race
+# detector should vet.
+export DBX_TEST_SHARDS="${DBX_TEST_SHARDS:-4}"
 # Unbuilt targets' _NOT_BUILT placeholders carry no label, so `-L unit` runs
 # exactly the suites built above. The fuzz smoke rides along: the harnesses
 # are single-threaded but exercise lexer/parser allocation paths, and a tier

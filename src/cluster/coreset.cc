@@ -1,0 +1,61 @@
+#include "src/cluster/coreset.h"
+
+#include <algorithm>
+
+namespace dbx {
+
+uint64_t CoresetRowHash(uint64_t salt, uint64_t row) {
+  // SplitMix64 finalizer over the salted row id; full 64-bit avalanche, so
+  // ties in the bottom-k order are vanishingly rare (and broken by row id).
+  uint64_t z = salt + 0x9E3779B97F4A7C15ULL * (row + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+CoresetSketch BuildCoresetSketch(const std::vector<size_t>& rows, size_t begin,
+                                 size_t end, uint64_t salt, size_t budget) {
+  CoresetSketch sketch;
+  sketch.budget = budget;
+  if (budget == 0) return sketch;
+  end = std::min(end, rows.size());
+  // Max-heap on the front: the largest kept hash is evicted first once the
+  // sketch is full. std::pair ordering (hash, then row) breaks hash ties.
+  auto& heap = sketch.entries;
+  for (size_t i = begin; i < end; ++i) {
+    std::pair<uint64_t, size_t> e{CoresetRowHash(salt, rows[i]), rows[i]};
+    if (heap.size() < budget) {
+      heap.push_back(e);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (e < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = e;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::sort(heap.begin(), heap.end());
+  return sketch;
+}
+
+Status MergeCoresetSketch(CoresetSketch* into, const CoresetSketch& from) {
+  if (into->budget != from.budget) {
+    return Status::InvalidArgument("coreset merge budget mismatch");
+  }
+  std::vector<std::pair<uint64_t, size_t>> merged;
+  merged.reserve(into->entries.size() + from.entries.size());
+  std::merge(into->entries.begin(), into->entries.end(), from.entries.begin(),
+             from.entries.end(), std::back_inserter(merged));
+  if (merged.size() > into->budget) merged.resize(into->budget);
+  into->entries = std::move(merged);
+  return Status::OK();
+}
+
+std::vector<size_t> CoresetMembers(const CoresetSketch& sketch) {
+  std::vector<size_t> rows;
+  rows.reserve(sketch.entries.size());
+  for (const auto& [hash, row] : sketch.entries) rows.push_back(row);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace dbx

@@ -1,0 +1,48 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Mergeable uniform coresets for sharded k-means (DESIGN.md §13). A bottom-k
+// sketch keeps the `budget` rows with the smallest values of a deterministic
+// per-row hash — a uniform sample without replacement whose membership
+// depends only on (salt, row id), never on shard boundaries or merge order.
+// Per-shard sketches merged associatively therefore equal the single-pass
+// sketch byte for byte, which is what lets the sharded CAD View builder run
+// k-means on a bounded point set at 10M+ rows while keeping the repo's
+// shard-count determinism contract intact.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace dbx {
+
+/// Deterministic 64-bit hash of one row id under `salt` (SplitMix64
+/// finalizer). Exposed so tests can verify the bottom-k selection rule.
+uint64_t CoresetRowHash(uint64_t salt, uint64_t row);
+
+/// A bottom-k sample sketch: at most `budget` (hash, row) pairs, kept sorted
+/// ascending by (hash, row). Mergeable and order-insensitive.
+struct CoresetSketch {
+  size_t budget = 0;
+  std::vector<std::pair<uint64_t, size_t>> entries;  // sorted, size <= budget
+};
+
+/// Sketches rows[begin, end) under `salt`, keeping the `budget` smallest
+/// hashes (all rows when the range is smaller than the budget). budget == 0
+/// yields an empty sketch.
+CoresetSketch BuildCoresetSketch(const std::vector<size_t>& rows, size_t begin,
+                                 size_t end, uint64_t salt, size_t budget);
+
+/// Folds `from` into `into`, keeping the bottom `budget` entries of the
+/// union. Fails when the budgets differ. Associative and commutative for
+/// sketches over disjoint row sets: the result depends only on the union.
+[[nodiscard]] Status MergeCoresetSketch(CoresetSketch* into,
+                                        const CoresetSketch& from);
+
+/// The sketched row ids in ascending row order — the deterministic k-means
+/// input order (matching how partition member lists are consumed).
+std::vector<size_t> CoresetMembers(const CoresetSketch& sketch);
+
+}  // namespace dbx

@@ -4,11 +4,14 @@
 #include <cmath>
 
 #include "src/cluster/cluster_metrics.h"
+#include "src/cluster/coreset.h"
 #include "src/cluster/kmeans.h"
 #include "src/obs/metrics.h"
 #include "src/stats/contingency.h"
 #include "src/core/iunit_similarity.h"
+#include "src/core/sharded.h"
 #include "src/stats/sampling.h"
+#include "src/util/shard.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
@@ -162,6 +165,27 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
     return Status::InvalidArgument("max_compare_attrs must be >= 1");
   }
 
+  // Sharded builds (DESIGN.md §13): scan the pivot column shard-parallel into
+  // a merged PartitionSeed, then continue through the seeded path below,
+  // which is already byte-identical to the single-pass scan. A caller-given
+  // seed wins — it means partition membership is already known.
+  const size_t effective_shards = EffectiveShardCount(
+      dt.num_rows(), options.sharding.num_shards,
+      options.sharding.min_rows_per_shard);
+  PartitionSeed sharded_seed;
+  if (seed == nullptr && effective_shards > 1) {
+    if (auto pivot_idx = dt.IndexOf(options.pivot_attr)) {
+      ScopedSpan shard_span(options.tracer, "shard_scan", options.trace_parent);
+      shard_span.AddArg("shards", static_cast<uint64_t>(effective_shards));
+      DBX_ASSIGN_OR_RETURN(
+          sharded_seed,
+          BuildShardedPartitionSeed(dt, *pivot_idx, options.sharding,
+                                    options.num_threads));
+      seed = &sharded_seed;
+    }
+    // Unknown pivot attribute: fall through so PlanPivot reports NotFound.
+  }
+
   DBX_ASSIGN_OR_RETURN(
       PivotPlan plan,
       seed ? PlanPivotFromSeed(dt, options, *seed) : PlanPivot(dt, options));
@@ -235,6 +259,7 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
 
   FeatureSelectionOptions fs_options = options.feature_selection;
   fs_options.num_threads = options.num_threads;
+  fs_options.num_shards = effective_shards;
   fs_options.tracer = options.tracer;
   fs_options.trace_parent = options.trace_parent;
 
@@ -429,10 +454,21 @@ Result<CadView> BuildCadViewFromDiscretized(const DiscretizedTable& dt,
     }
     l = std::max<size_t>(1, l);
 
-    // Optimization 1b: cluster over a sample of the partition.
+    // Optimization 1b: cluster over a sample of the partition. The coreset
+    // mode (DESIGN.md §13) takes precedence: a bottom-k hash sample whose
+    // membership depends only on (seed, row id), so sharded 100M-row builds
+    // stay byte-identical across shard counts.
     std::vector<size_t> cluster_members;
-    if (options.clustering_sample > 0 &&
-        options.clustering_sample < members.size()) {
+    if (options.sharding.coreset_clustering &&
+        options.sharding.coreset_budget > 0 &&
+        options.sharding.coreset_budget < members.size()) {
+      CoresetSketch sketch = BuildCoresetSketch(
+          members, 0, members.size(),
+          options.seed ^ (0xD1B54A32D192ED03ULL * (v + 1)),
+          options.sharding.coreset_budget);
+      cluster_members = CoresetMembers(sketch);
+    } else if (options.clustering_sample > 0 &&
+               options.clustering_sample < members.size()) {
       RowSet as_rows(members.begin(), members.end());
       RowSet sampled =
           SampleRows(as_rows, options.clustering_sample, &part_rng);

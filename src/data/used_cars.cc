@@ -2,29 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 
+#include "src/data/used_cars_model.h"
 #include "src/util/rng.h"
 
 namespace dbx {
 namespace {
 
-struct ModelSpec {
-  const char* make;
-  const char* model;
-  const char* body;           // SUV, Sedan, Truck, Coupe, Hatchback, Minivan
-  const char* engines[3];     // candidate engines, nullptr-terminated usage
-  double engine_w[3];         // weights, 0 for unused slots
-  const char* drivetrains[3]; // candidate drivetrains
-  double drive_w[3];
-  double price_mean;          // new-vehicle price anchor (USD)
-  double price_sd;
-  double weight;              // listing frequency
-};
-
 // A compact market model. The five Table-1 makes carry the paper's model
 // names; a dozen more makes give the Make attribute the paper's ">50 values"
 // long-tail flavor (several makes contribute 2+ models).
-constexpr ModelSpec kModels[] = {
+constexpr UsedCarModelSpec kModels[] = {
     // Chevrolet
     {"Chevrolet", "Traverse LT", "SUV", {"V6", nullptr, nullptr}, {1, 0, 0},
      {"AWD", "2WD", nullptr}, {0.7, 0.3, 0}, 31000, 2500, 2.2},
@@ -152,7 +141,7 @@ constexpr double kColorWeights[] = {2.2, 2.0, 1.9, 1.6, 1.2, 1.1,
                                     0.4, 0.4, 0.3, 0.2};
 
 // Base city fuel economy (mpg) per engine; body adjusts it.
-double FuelEconomyFor(const std::string& engine, const std::string& body,
+double FuelEconomyFor(std::string_view engine, std::string_view body,
                       Rng* rng) {
   double base = engine == "V4" ? 26.0 : engine == "V6" ? 20.0 : 15.5;
   if (body == "SUV") base -= 2.0;
@@ -163,6 +152,89 @@ double FuelEconomyFor(const std::string& engine, const std::string& body,
 }
 
 }  // namespace
+
+const UsedCarModelSpec* UsedCarModels() { return kModels; }
+size_t UsedCarModelCount() { return std::size(kModels); }
+const char* const* UsedCarColors() { return kColors; }
+size_t UsedCarColorCount() { return std::size(kColors); }
+
+std::vector<double> UsedCarModelWeights() {
+  std::vector<double> w;
+  w.reserve(std::size(kModels));
+  for (const UsedCarModelSpec& m : kModels) w.push_back(m.weight);
+  return w;
+}
+
+std::vector<double> UsedCarColorWeights() {
+  return std::vector<double>(std::begin(kColorWeights),
+                             std::end(kColorWeights));
+}
+
+UsedCarRow DrawUsedCarRow(Rng* rng, const std::vector<double>& model_weights,
+                          const std::vector<double>& color_weights) {
+  UsedCarRow r;
+  r.model_idx = rng->NextWeighted(model_weights);
+  const UsedCarModelSpec& m = kModels[r.model_idx];
+
+  // Engine / drivetrain from the model's option mix.
+  std::vector<double> ew, dw;
+  for (double w : m.engine_w) ew.push_back(w);
+  for (double w : m.drive_w) dw.push_back(w);
+  r.engine_idx = rng->NextWeighted(ew);
+  r.drive_idx = rng->NextWeighted(dw);
+  std::string_view engine = m.engines[r.engine_idx];
+
+  // Listing year: each specific model is prominent for only a short window
+  // (the paper's §3.1.1 anecdote — "a specific model is prominent in the
+  // database for only a short period of time"), with recent years more
+  // common within the window.
+  int window_start = 2008 + static_cast<int>(r.model_idx % 4);
+  int window_len = 2 + static_cast<int>(r.model_idx % 2);  // 2-3 years
+  int window_end = std::min(2013, window_start + window_len - 1);
+  std::vector<double> yw;
+  for (int y = window_start; y <= window_end; ++y) {
+    yw.push_back(1.0 + 0.5 * (y - window_start));
+  }
+  r.year = window_start + static_cast<int>(rng->NextWeighted(yw));
+  double age = 2013.0 - r.year;
+
+  // Mileage grows with age: ~12K/yr with heavy dispersion.
+  double mileage =
+      std::max(500.0, age * 12000.0 + rng->NextGaussian(6000.0, 14000.0));
+
+  // Price: anchor depreciated by age and mileage, engine premium.
+  double engine_premium =
+      engine == "V8" ? 2500.0 : engine == "V6" ? 800.0 : 0.0;
+  double price = (m.price_mean + engine_premium) * std::pow(0.88, age) *
+                     (1.0 - 0.04 * (mileage / 30000.0)) +
+                 rng->NextGaussian(0.0, m.price_sd);
+  price = std::max(3000.0, price);
+
+  r.automatic = rng->NextBool(0.92);
+  r.color_idx = rng->NextWeighted(color_weights);
+
+  r.price = std::round(price / 10.0) * 10.0;
+  r.mileage = std::round(mileage / 100.0) * 100.0;
+  r.fuel_economy =
+      std::round(FuelEconomyFor(engine, m.body, rng) * 10.0) / 10.0;
+  return r;
+}
+
+void UsedCarRowToValues(const UsedCarRow& r, std::vector<Value>* row) {
+  const UsedCarModelSpec& m = kModels[r.model_idx];
+  row->resize(11);
+  (*row)[0] = Value(m.make);
+  (*row)[1] = Value(m.model);
+  (*row)[2] = Value(m.body);
+  (*row)[3] = Value(r.automatic ? "Automatic" : "Manual");
+  (*row)[4] = Value(m.engines[r.engine_idx]);
+  (*row)[5] = Value(m.drivetrains[r.drive_idx]);
+  (*row)[6] = Value(r.price);
+  (*row)[7] = Value(r.mileage);
+  (*row)[8] = Value(static_cast<double>(r.year));
+  (*row)[9] = Value(r.fuel_economy);
+  (*row)[10] = Value(kColors[r.color_idx]);
+}
 
 Schema UsedCarSchema() {
   auto schema = Schema::Make({
@@ -188,64 +260,16 @@ Table GenerateUsedCars(size_t n, uint64_t seed) {
   Rng rng(seed);
   Table table(UsedCarSchema());
 
-  std::vector<double> model_weights;
-  model_weights.reserve(std::size(kModels));
-  for (const ModelSpec& m : kModels) model_weights.push_back(m.weight);
-  std::vector<double> color_weights(std::begin(kColorWeights),
-                                    std::end(kColorWeights));
+  std::vector<double> model_weights = UsedCarModelWeights();
+  std::vector<double> color_weights = UsedCarColorWeights();
 
   std::vector<Value> row(11);
   for (size_t i = 0; i < n; ++i) {
-    size_t model_idx = rng.NextWeighted(model_weights);
-    const ModelSpec& m = kModels[model_idx];
-
-    // Engine / drivetrain from the model's option mix.
-    std::vector<double> ew, dw;
-    for (double w : m.engine_w) ew.push_back(w);
-    for (double w : m.drive_w) dw.push_back(w);
-    std::string engine = m.engines[rng.NextWeighted(ew)];
-    std::string drive = m.drivetrains[rng.NextWeighted(dw)];
-
-    // Listing year: each specific model is prominent for only a short window
-    // (the paper's §3.1.1 anecdote — "a specific model is prominent in the
-    // database for only a short period of time"), with recent years more
-    // common within the window.
-    int window_start = 2008 + static_cast<int>(model_idx % 4);
-    int window_len = 2 + static_cast<int>(model_idx % 2);  // 2-3 years
-    int window_end = std::min(2013, window_start + window_len - 1);
-    std::vector<double> yw;
-    for (int y = window_start; y <= window_end; ++y) {
-      yw.push_back(1.0 + 0.5 * (y - window_start));
-    }
-    int year = window_start + static_cast<int>(rng.NextWeighted(yw));
-    double age = 2013.0 - year;
-
-    // Mileage grows with age: ~12K/yr with heavy dispersion.
-    double mileage = std::max(
-        500.0, age * 12000.0 + rng.NextGaussian(6000.0, 14000.0));
-
-    // Price: anchor depreciated by age and mileage, engine premium.
-    double engine_premium = engine == "V8" ? 2500.0 : engine == "V6" ? 800.0 : 0.0;
-    double price = (m.price_mean + engine_premium) *
-                       std::pow(0.88, age) *
-                       (1.0 - 0.04 * (mileage / 30000.0)) +
-                   rng.NextGaussian(0.0, m.price_sd);
-    price = std::max(3000.0, price);
-
-    std::string transmission = rng.NextBool(0.92) ? "Automatic" : "Manual";
-    std::string color = kColors[rng.NextWeighted(color_weights)];
-
-    row[0] = Value(m.make);
-    row[1] = Value(m.model);
-    row[2] = Value(m.body);
-    row[3] = Value(transmission);
-    row[4] = Value(engine);
-    row[5] = Value(drive);
-    row[6] = Value(std::round(price / 10.0) * 10.0);
-    row[7] = Value(std::round(mileage / 100.0) * 100.0);
-    row[8] = Value(static_cast<double>(year));
-    row[9] = Value(std::round(FuelEconomyFor(engine, m.body, &rng) * 10.0) / 10.0);
-    row[10] = Value(color);
+    // One shared generator across rows (the scaled generator instead seeds
+    // per row); DrawUsedCarRow consumes draws in the original loop's order,
+    // so the table's bytes match pre-refactor builds.
+    UsedCarRow r = DrawUsedCarRow(&rng, model_weights, color_weights);
+    UsedCarRowToValues(r, &row);
     // Rows are schema-valid by construction.
     Status st = table.AppendRow(row);
     (void)st;

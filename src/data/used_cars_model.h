@@ -1,0 +1,69 @@
+// Copyright (c) DBExplorer reproduction authors.
+// The used-car market model behind GenerateUsedCars, factored out so the
+// out-of-core ScaledUsedCars generator (synthetic.h) can draw listings from
+// the identical distribution without materializing Value rows. DrawUsedCarRow
+// consumes generator draws in exactly the order the original inline loop did,
+// so GenerateUsedCars output is byte-identical to pre-refactor builds.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/relation/value.h"
+#include "src/util/rng.h"
+
+namespace dbx {
+
+/// One market entry: a (make, model) with its option mix and price anchor.
+struct UsedCarModelSpec {
+  const char* make;
+  const char* model;
+  const char* body;            // SUV, Sedan, Truck, Coupe, Hatchback, Minivan
+  const char* engines[3];      // candidate engines, nullptr-terminated usage
+  double engine_w[3];          // weights, 0 for unused slots
+  const char* drivetrains[3];  // candidate drivetrains
+  double drive_w[3];
+  double price_mean;           // new-vehicle price anchor (USD)
+  double price_sd;
+  double weight;               // listing frequency
+};
+
+/// The model table (57 entries) and the color palette (10 entries).
+const UsedCarModelSpec* UsedCarModels();
+size_t UsedCarModelCount();
+const char* const* UsedCarColors();
+size_t UsedCarColorCount();
+
+/// Unnormalized draw weights in table order, ready for Rng::NextWeighted.
+std::vector<double> UsedCarModelWeights();
+std::vector<double> UsedCarColorWeights();
+
+/// One drawn listing in model-table coordinates. Numeric fields carry the
+/// display rounding (price to $10, mileage to 100 mi, fuel economy to
+/// 0.1 mpg), so a row renders to the same values on every path.
+struct UsedCarRow {
+  size_t model_idx = 0;
+  size_t engine_idx = 0;  // into UsedCarModels()[model_idx].engines
+  size_t drive_idx = 0;   // into UsedCarModels()[model_idx].drivetrains
+  int year = 0;
+  bool automatic = true;
+  size_t color_idx = 0;
+  double price = 0.0;
+  double mileage = 0.0;
+  double fuel_economy = 0.0;
+};
+
+/// Draws one listing. The draw order against `rng` is load-bearing: it
+/// matches the original GenerateUsedCars loop draw for draw (model, engine,
+/// drivetrain, year, mileage, price, transmission, color, fuel economy), so
+/// the shared-generator dataset keeps its golden bytes.
+UsedCarRow DrawUsedCarRow(Rng* rng, const std::vector<double>& model_weights,
+                          const std::vector<double>& color_weights);
+
+/// Renders a drawn listing into the 11-value UsedCarSchema() row layout.
+void UsedCarRowToValues(const UsedCarRow& r, std::vector<Value>* row);
+
+}  // namespace dbx

@@ -63,6 +63,21 @@ Result<DiscretizedTable> DiscretizedTable::Build(
   return out;
 }
 
+Result<DiscretizedTable> DiscretizedTable::FromParts(
+    std::vector<DiscreteAttr> attrs, RowSet rows) {
+  for (const DiscreteAttr& a : attrs) {
+    if (a.codes.size() != rows.size()) {
+      return Status::InvalidArgument("attribute '" + a.name +
+                                     "' codes not parallel to rows");
+    }
+  }
+  DiscretizedTable out;
+  out.num_rows_ = rows.size();
+  out.rows_ = std::move(rows);
+  out.attrs_ = std::move(attrs);
+  return out;
+}
+
 DiscretizedTable DiscretizedTable::Project(const RowSet& rows) const {
   DiscretizedTable out;
   out.num_rows_ = rows.size();

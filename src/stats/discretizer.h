@@ -53,6 +53,14 @@ class DiscretizedTable {
   [[nodiscard]] static Result<DiscretizedTable> Build(const TableSlice& slice,
                                         const DiscretizerOptions& options);
 
+  /// Assembles a discretization directly from per-attribute parts. The
+  /// streaming generators (ScaledUsedCars in src/data/synthetic.h) compute
+  /// codes shard-parallel without ever materializing a Value table; `rows`
+  /// indexes the virtual base table and every attribute's codes must be
+  /// parallel to it. Fails on a length mismatch.
+  [[nodiscard]] static Result<DiscretizedTable> FromParts(
+      std::vector<DiscreteAttr> attrs, RowSet rows);
+
   size_t num_rows() const { return num_rows_; }
   size_t num_attrs() const { return attrs_.size(); }
   const DiscreteAttr& attr(size_t i) const { return attrs_[i]; }

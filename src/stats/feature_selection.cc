@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "src/obs/metrics.h"
 #include "src/stats/contingency.h"
+#include "src/util/shard.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
@@ -29,46 +31,83 @@ Result<std::vector<FeatureScore>> RankFeatures(
   if (pivot_cardinality < 1) {
     return Status::InvalidArgument("pivot cardinality must be >= 1");
   }
+  size_t shards = EffectiveShardCount(
+      dt.num_rows(), std::max<size_t>(1, options.num_shards), 1);
   ScopedSpan span(options.tracer, "chi_square", options.trace_parent);
   span.AddArg("ranker", FeatureRankerName(options.ranker));
   span.AddArg("candidates", static_cast<uint64_t>(candidates.size()));
   span.AddArg("rows", static_cast<uint64_t>(dt.num_rows()));
+  span.AddArg("shards", static_cast<uint64_t>(shards));
   Stopwatch timer;
   // One contingency table per candidate, each filling its own score slot;
   // the sort afterwards makes the ranking independent of execution order.
   std::vector<FeatureScore> scores(candidates.size());
-  DBX_RETURN_IF_ERROR(ParallelFor(
-      options.num_threads, 0, candidates.size(), 1, [&](size_t c) -> Status {
-        size_t idx = candidates[c];
-        if (idx >= dt.num_attrs()) {
-          return Status::OutOfRange("candidate attribute index out of range");
-        }
-        const DiscreteAttr& a = dt.attr(idx);
-        ContingencyTable ct = ContingencyTable::FromCodes(
-            pivot_codes, pivot_cardinality, a.codes, a.cardinality());
-        ChiSquareResult chi = ChiSquareTest(ct);
-
-        FeatureScore fs;
-        fs.attr_index = idx;
-        fs.name = a.name;
-        fs.chi2 = chi.statistic;
-        fs.df = chi.df;
-        fs.p_value = chi.p_value;
-        fs.significant = chi.p_value <= options.significance && chi.df > 0;
-        switch (options.ranker) {
-          case FeatureRanker::kChiSquare:
-            fs.score = chi.statistic;
-            break;
-          case FeatureRanker::kMutualInformation:
-            fs.score = MutualInformationBits(ct);
-            break;
-          case FeatureRanker::kCramersV:
-            fs.score = CramersV(ct);
-            break;
-        }
-        scores[c] = std::move(fs);
-        return Status::OK();
-      }));
+  auto score_one = [&](size_t c, const ContingencyTable& ct) {
+    const DiscreteAttr& a = dt.attr(candidates[c]);
+    ChiSquareResult chi = ChiSquareTest(ct);
+    FeatureScore fs;
+    fs.attr_index = candidates[c];
+    fs.name = a.name;
+    fs.chi2 = chi.statistic;
+    fs.df = chi.df;
+    fs.p_value = chi.p_value;
+    fs.significant = chi.p_value <= options.significance && chi.df > 0;
+    switch (options.ranker) {
+      case FeatureRanker::kChiSquare:
+        fs.score = chi.statistic;
+        break;
+      case FeatureRanker::kMutualInformation:
+        fs.score = MutualInformationBits(ct);
+        break;
+      case FeatureRanker::kCramersV:
+        fs.score = CramersV(ct);
+        break;
+    }
+    scores[c] = std::move(fs);
+  };
+  for (size_t idx : candidates) {
+    if (idx >= dt.num_attrs()) {
+      return Status::OutOfRange("candidate attribute index out of range");
+    }
+  }
+  if (shards <= 1) {
+    DBX_RETURN_IF_ERROR(ParallelFor(
+        options.num_threads, 0, candidates.size(), 1, [&](size_t c) -> Status {
+          const DiscreteAttr& a = dt.attr(candidates[c]);
+          ContingencyTable ct = ContingencyTable::FromCodes(
+              pivot_codes, pivot_cardinality, a.codes, a.cardinality());
+          score_one(c, ct);
+          return Status::OK();
+        }));
+  } else {
+    // Sharded counting (DESIGN.md §13): one task per (candidate, shard) pair
+    // fills its own slot; each candidate's shard tables then merge in shard
+    // order. Count addition is exact, so the merged table — and every score
+    // derived from it — equals the single-pass table for any shard count.
+    std::vector<ShardRange> ranges = MakeShardRanges(dt.num_rows(), shards);
+    std::vector<std::unique_ptr<ContingencyTable>> cells(candidates.size() *
+                                                         shards);
+    DBX_RETURN_IF_ERROR(ParallelFor(
+        options.num_threads, 0, cells.size(), 1, [&](size_t t) -> Status {
+          size_t c = t / shards;
+          size_t s = t % shards;
+          const DiscreteAttr& a = dt.attr(candidates[c]);
+          cells[t] = std::make_unique<ContingencyTable>(
+              ContingencyTable::FromCodesRange(
+                  pivot_codes, pivot_cardinality, a.codes, a.cardinality(),
+                  ranges[s].begin, ranges[s].end));
+          return Status::OK();
+        }));
+    DBX_RETURN_IF_ERROR(ParallelFor(
+        options.num_threads, 0, candidates.size(), 1, [&](size_t c) -> Status {
+          ContingencyTable ct = std::move(*cells[c * shards]);
+          for (size_t s = 1; s < shards; ++s) {
+            DBX_RETURN_IF_ERROR(ct.MergeFrom(*cells[c * shards + s]));
+          }
+          score_one(c, ct);
+          return Status::OK();
+        }));
+  }
   std::stable_sort(scores.begin(), scores.end(),
                    [](const FeatureScore& a, const FeatureScore& b) {
                      if (a.score != b.score) return a.score > b.score;

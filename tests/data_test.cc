@@ -350,6 +350,124 @@ TEST(SyntheticTest, Deterministic) {
   }
 }
 
+// --- Scaled used-car generator ---------------------------------------------------
+
+// Golden row fingerprints (FNV-1a over rendered values, schema order) pin the
+// scaled generator's output at two scales. Per-row seeding makes each row
+// O(1) to reach, so a 1M-scale golden costs microseconds, and the prefix
+// property means the 10K goldens are literally rows of every larger instance
+// with the same seed.
+constexpr uint64_t kScaled10KSeed = 7;
+
+TEST(ScaledUsedCarsTest, PrefixProperty) {
+  ScaledUsedCars small(100, kScaled10KSeed);
+  ScaledUsedCars large(100000, kScaled10KSeed);
+  for (size_t i : {size_t{0}, size_t{1}, size_t{42}, size_t{99}}) {
+    EXPECT_EQ(small.RowFingerprint(i), large.RowFingerprint(i)) << "row " << i;
+  }
+}
+
+TEST(ScaledUsedCarsTest, MaterializeMatchesGenerateRow) {
+  ScaledUsedCars gen(300, 5);
+  auto table = gen.Materialize();
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->num_rows(), 300u);
+  ASSERT_EQ(table->num_cols(), 11u);
+  for (size_t i = 0; i < 300; i += 29) {
+    UsedCarRow r = gen.GenerateRow(i);
+    const UsedCarModelSpec& m = UsedCarModels()[r.model_idx];
+    EXPECT_EQ(table->At(i, 0).AsString(), m.make);
+    EXPECT_EQ(table->At(i, 1).AsString(), m.model);
+    EXPECT_EQ(table->At(i, 6).AsNumber(), r.price);
+    EXPECT_EQ(table->At(i, 8).AsNumber(), static_cast<double>(r.year));
+  }
+}
+
+TEST(ScaledUsedCarsTest, GoldenFingerprints10K) {
+  ScaledUsedCars gen(10000, kScaled10KSeed);
+  EXPECT_EQ(gen.RowFingerprint(0), 8729064608167067213ULL);
+  EXPECT_EQ(gen.RowFingerprint(1), 14817515657620075477ULL);
+  EXPECT_EQ(gen.RowFingerprint(9999), 14274994860044901425ULL);
+  uint64_t agg = 0;
+  for (size_t i = 0; i < gen.num_rows(); i += 97) {
+    agg ^= gen.RowFingerprint(i);
+  }
+  EXPECT_EQ(agg, 17941898387973014028ULL);
+}
+
+TEST(ScaledUsedCarsTest, GoldenFingerprints1M) {
+  ScaledUsedCars gen(1000000, kScaled10KSeed);
+  // Same seed, larger scale: row 0 keeps the 10K fingerprint (prefix
+  // property made observable in the goldens).
+  EXPECT_EQ(gen.RowFingerprint(0), 8729064608167067213ULL);
+  EXPECT_EQ(gen.RowFingerprint(123456), 5379093808169835640ULL);
+  EXPECT_EQ(gen.RowFingerprint(999999), 11083188769024652066ULL);
+  uint64_t agg = 0;
+  for (size_t i = 0; i < gen.num_rows(); i += 9973) {
+    agg ^= gen.RowFingerprint(i);
+  }
+  EXPECT_EQ(agg, 15573333469258059151ULL);
+}
+
+TEST(ScaledUsedCarsTest, StreamingDiscretizeMatchesBuildAcrossShards) {
+  // With bin_sample == 0 the streaming discretization must equal
+  // DiscretizedTable::Build over the materialized table byte for byte, at
+  // every shard x thread combination.
+  ScaledUsedCars gen(10000, kScaled10KSeed);
+  auto table = gen.Materialize();
+  ASSERT_TRUE(table.ok());
+  auto built = DiscretizedTable::Build(TableSlice::All(*table),
+                                       DiscretizerOptions{});
+  ASSERT_TRUE(built.ok());
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ScaledDiscretizeOptions opts;
+      opts.num_shards = shards;
+      opts.num_threads = threads;
+      opts.bin_sample = 0;
+      auto streamed = gen.Discretize(opts);
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+      ASSERT_EQ(streamed->num_rows(), built->num_rows());
+      ASSERT_EQ(streamed->num_attrs(), built->num_attrs());
+      for (size_t a = 0; a < built->num_attrs(); ++a) {
+        const DiscreteAttr& want = built->attr(a);
+        const DiscreteAttr& got = streamed->attr(a);
+        EXPECT_EQ(got.name, want.name);
+        EXPECT_EQ(got.queriable, want.queriable);
+        EXPECT_EQ(got.labels, want.labels)
+            << "attr " << want.name << " shards=" << shards;
+        EXPECT_EQ(got.codes, want.codes)
+            << "attr " << want.name << " shards=" << shards
+            << " threads=" << threads;
+        EXPECT_EQ(got.bins.edges, want.bins.edges) << "attr " << want.name;
+      }
+    }
+  }
+}
+
+TEST(ScaledUsedCarsTest, SampledBinsShardInvariant) {
+  // bin_sample > 0 approximates the bin edges but must stay independent of
+  // the shard decomposition.
+  ScaledUsedCars gen(20000, 3);
+  ScaledDiscretizeOptions opts;
+  opts.bin_sample = 1024;
+  opts.num_shards = 1;
+  auto base = gen.Discretize(opts);
+  ASSERT_TRUE(base.ok());
+  for (size_t shards : {size_t{2}, size_t{8}}) {
+    opts.num_shards = shards;
+    opts.num_threads = 4;
+    auto other = gen.Discretize(opts);
+    ASSERT_TRUE(other.ok());
+    for (size_t a = 0; a < base->num_attrs(); ++a) {
+      EXPECT_EQ(other->attr(a).labels, base->attr(a).labels);
+      EXPECT_EQ(other->attr(a).codes, base->attr(a).codes)
+          << "attr " << base->attr(a).name << " shards=" << shards;
+    }
+  }
+}
+
 // --- Dataset registry ------------------------------------------------------------
 
 TEST(DatasetTest, LoadByNameCaseInsensitive) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/cad_view_io.h"
 #include "src/data/used_cars.h"
 #include "src/explorer/tpfacet_session.h"
 
@@ -48,6 +49,31 @@ TEST_F(TpFacetTest, ViewRequiresPivot) {
   auto v = s.View();
   ASSERT_TRUE(v.ok()) << v.status().ToString();
   EXPECT_EQ((*v)->pivot_attr, "Make");
+}
+
+TEST_F(TpFacetTest, ShardedDefaultsAreOutputTransparent) {
+  // Shard policy flows into the session via cad_defaults; the view it serves
+  // must be byte-identical to an unsharded session's (timings excluded).
+  auto serve = [&](size_t num_shards) {
+    CadViewOptions cad;
+    cad.max_compare_attrs = 4;
+    cad.iunits_per_value = 2;
+    cad.seed = 5;
+    cad.sharding.num_shards = num_shards;
+    cad.sharding.min_rows_per_shard = 1;
+    auto s = TpFacetSession::Create(table_, DiscretizerOptions{}, cad);
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(s->SetPivot("Make").ok());
+    s->SetPivotValues({"Ford", "Jeep", "Toyota"});
+    auto v = s->View();
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    CadView stable = **v;
+    stable.timings = CadViewTimings{};
+    return CadViewToJson(stable);
+  };
+  const std::string unsharded = serve(1);
+  EXPECT_EQ(serve(4), unsharded);
+  EXPECT_EQ(serve(8), unsharded);
 }
 
 TEST_F(TpFacetTest, ViewReflectsSelections) {

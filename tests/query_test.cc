@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/cad_view_io.h"
 #include "src/core/view_cache.h"
 #include "src/data/used_cars.h"
 #include "src/query/canonical.h"
@@ -619,6 +620,33 @@ TEST_F(EngineTest, DefaultOptionsRespected) {
   for (const CadViewRow& row : r->view->rows) {
     EXPECT_LE(row.iunits.size(), 1u);
   }
+}
+
+TEST_F(EngineTest, ShardedDefaultsAreOutputTransparent) {
+  // Shard policy rides along via the engine's default CadViewOptions; the
+  // sharded build must be byte-identical to the unsharded one through the
+  // full SQL path (timings excluded — they are wall-clock, not output).
+  const char* kSql =
+      "CREATE CADVIEW v AS SET pivot = Make SELECT * FROM UsedCars "
+      "WHERE Make = Ford OR Make = Jeep OR Make = Toyota";
+  auto baseline = engine_.ExecuteSql(kSql);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  Engine sharded;
+  sharded.RegisterTable("UsedCars", table_);
+  CadViewOptions defaults;
+  defaults.sharding.num_shards = 4;
+  defaults.sharding.min_rows_per_shard = 1;
+  defaults.num_threads = 2;
+  sharded.SetDefaultCadViewOptions(defaults);
+  auto r = sharded.ExecuteSql(kSql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  CadView a = *baseline->view;
+  CadView b = *r->view;
+  a.timings = CadViewTimings{};
+  b.timings = CadViewTimings{};
+  EXPECT_EQ(CadViewToJson(b), CadViewToJson(a));
 }
 
 // --- Property-based round trips ----------------------------------------------

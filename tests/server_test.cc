@@ -462,6 +462,32 @@ TEST_F(ServerTest, ResponsesByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(runs[0], runs[1]) << "thread count leaked into response bytes";
 }
 
+TEST_F(ServerTest, ResponsesByteIdenticalAcrossShardCounts) {
+  // Same contract as the thread-count test, one layer up the stack: shard
+  // policy arrives via ServerOptions::cad_defaults and must never leak into
+  // response bytes.
+  const std::vector<std::string> script = {
+      "OPEN",
+      ExecCadView("s1"),
+      "EXEC s1 SELECT * FROM UsedCars WHERE Make = Ford LIMIT 7",
+      "CLOSE s1",
+  };
+  std::vector<std::vector<std::string>> runs;
+  for (size_t shards : {size_t{1}, size_t{4}, size_t{8}}) {
+    ServerOptions options;
+    options.metrics = &metrics_;
+    options.cad_defaults.num_threads = TestThreads(2);
+    options.cad_defaults.sharding.num_shards = shards;
+    options.cad_defaults.sharding.min_rows_per_shard = 1;
+    Dispatcher d(std::move(options));
+    d.RegisterTable("UsedCars", table_);
+    runs.push_back(RunScript(&d, script));
+  }
+  ASSERT_EQ(runs[0].size(), script.size());
+  EXPECT_EQ(runs[0], runs[1]) << "shard count 4 leaked into response bytes";
+  EXPECT_EQ(runs[0], runs[2]) << "shard count 8 leaked into response bytes";
+}
+
 // --- Client helper over a live server ---------------------------------------
 
 TEST_F(ServerTest, ClientAgainstLoopbackServer) {

@@ -1,0 +1,338 @@
+// Property tests for the sharded-build merge layer (DESIGN.md §13): shard
+// ranges, contingency/frequency count merges, coreset sketches, and the
+// sharded partition seed must all be associative, order-insensitive, and
+// byte-identical to their single-pass equivalents — the invariant the
+// sharded CAD View builder's determinism contract rests on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/coreset.h"
+#include "src/core/cad_view_builder.h"
+#include "src/core/cad_view_io.h"
+#include "src/core/sharded.h"
+#include "src/data/mushroom.h"
+#include "src/data/used_cars.h"
+#include "src/stats/contingency.h"
+#include "src/stats/discretizer.h"
+#include "src/stats/frequency.h"
+#include "src/util/rng.h"
+#include "src/util/shard.h"
+#include "src/util/thread_pool.h"
+
+namespace dbx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shard range primitives.
+
+TEST(ShardRangeTest, RangesCoverRowsDisjointAscending) {
+  for (size_t rows : {size_t{1}, size_t{7}, size_t{100}, size_t{1001}}) {
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{3}, size_t{8}}) {
+      auto ranges = MakeShardRanges(rows, shards);
+      ASSERT_FALSE(ranges.empty());
+      EXPECT_EQ(ranges.front().begin, 0u);
+      EXPECT_EQ(ranges.back().end, rows);
+      for (size_t s = 1; s < ranges.size(); ++s) {
+        EXPECT_EQ(ranges[s].begin, ranges[s - 1].end);
+        EXPECT_LE(ranges[s - 1].size(), ranges[s].size() + 1);
+      }
+    }
+  }
+}
+
+TEST(ShardRangeTest, EffectiveCountClamps) {
+  EXPECT_EQ(EffectiveShardCount(100, 8, 50), 2u);
+  EXPECT_EQ(EffectiveShardCount(100, 8, 1), 8u);
+  EXPECT_EQ(EffectiveShardCount(100, 0, 1), 1u);
+  EXPECT_EQ(EffectiveShardCount(0, 8, 1), 1u);
+  EXPECT_EQ(EffectiveShardCount(3, 8, 1), 3u);
+  EXPECT_EQ(EffectiveShardCount(8124, 4, 1024), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Count-table merges: random codes, random shard boundaries, every merge
+// order. Boundaries come from the repo's seeded Rng so failures replay.
+
+std::vector<size_t> RandomBoundaries(size_t n, size_t shards, Rng* rng) {
+  std::vector<size_t> cuts{0, n};
+  while (cuts.size() < shards + 1) {
+    cuts.push_back(rng->NextBounded(n + 1));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  return cuts;
+}
+
+std::vector<int32_t> RandomCodes(size_t n, size_t card, double null_p,
+                                 Rng* rng) {
+  std::vector<int32_t> codes(n);
+  for (size_t i = 0; i < n; ++i) {
+    codes[i] = rng->NextBool(null_p)
+                   ? -1
+                   : static_cast<int32_t>(rng->NextBounded(card));
+  }
+  return codes;
+}
+
+void ExpectSameContingency(const ContingencyTable& a,
+                           const ContingencyTable& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(a.grand_total(), b.grand_total());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    EXPECT_EQ(a.row_total(r), b.row_total(r));
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a.at(r, c), b.at(r, c)) << "cell " << r << "," << c;
+    }
+  }
+  for (size_t c = 0; c < a.cols(); ++c) {
+    EXPECT_EQ(a.col_total(c), b.col_total(c));
+  }
+}
+
+TEST(ContingencyMergeTest, RandomShardsMatchSinglePassAnyOrder) {
+  Rng rng(2024);
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const size_t n = 4096;
+    std::vector<int32_t> a = RandomCodes(n, 5, 0.05, &rng);
+    std::vector<int32_t> b = RandomCodes(n, 9, 0.05, &rng);
+    ContingencyTable full = ContingencyTable::FromCodes(a, 5, b, 9);
+
+    std::vector<size_t> cuts = RandomBoundaries(n, shards, &rng);
+    std::vector<ContingencyTable> parts;
+    for (size_t s = 0; s + 1 < cuts.size(); ++s) {
+      parts.push_back(
+          ContingencyTable::FromCodesRange(a, 5, b, 9, cuts[s], cuts[s + 1]));
+    }
+    // Forward merge order.
+    ContingencyTable fwd = parts[0];
+    for (size_t s = 1; s < parts.size(); ++s) {
+      ASSERT_TRUE(fwd.MergeFrom(parts[s]).ok());
+    }
+    ExpectSameContingency(fwd, full);
+    // Shuffled merge order — the merge must be order-insensitive.
+    std::vector<size_t> order(parts.size());
+    for (size_t s = 0; s < order.size(); ++s) order[s] = s;
+    rng.Shuffle(&order);
+    ContingencyTable shuffled(full.rows(), full.cols());
+    for (size_t s : order) {
+      ASSERT_TRUE(shuffled.MergeFrom(parts[s]).ok());
+    }
+    ExpectSameContingency(shuffled, full);
+  }
+}
+
+TEST(ContingencyMergeTest, DimensionMismatchRejected) {
+  ContingencyTable a(2, 3);
+  ContingencyTable b(3, 2);
+  EXPECT_FALSE(a.MergeFrom(b).ok());
+}
+
+TEST(FrequencyMergeTest, RandomShardsMatchSinglePassAnyOrder) {
+  Rng rng(515);
+  std::vector<std::string> labels{"a", "b", "c", "d", "e", "f"};
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const size_t n = 2048;
+    std::vector<int32_t> codes = RandomCodes(n, labels.size(), 0.1, &rng);
+    FrequencyTable full = FrequencyTable::FromCodes(codes, labels.size(),
+                                                    labels);
+    std::vector<size_t> cuts = RandomBoundaries(n, shards, &rng);
+    std::vector<size_t> order(cuts.size() - 1);
+    for (size_t s = 0; s < order.size(); ++s) order[s] = s;
+    rng.Shuffle(&order);
+    std::unique_ptr<FrequencyTable> merged;
+    for (size_t s : order) {
+      FrequencyTable part = FrequencyTable::FromCodesRange(
+          codes, labels.size(), labels, cuts[s], cuts[s + 1]);
+      if (!merged) {
+        merged = std::make_unique<FrequencyTable>(std::move(part));
+      } else {
+        ASSERT_TRUE(merged->MergeFrom(part).ok());
+      }
+    }
+    ASSERT_NE(merged, nullptr);
+    EXPECT_EQ(merged->counts(), full.counts());
+    EXPECT_EQ(merged->total(), full.total());
+    EXPECT_EQ(merged->null_count(), full.null_count());
+    ASSERT_EQ(merged->sorted().size(), full.sorted().size());
+    for (size_t i = 0; i < full.sorted().size(); ++i) {
+      EXPECT_EQ(merged->sorted()[i].code, full.sorted()[i].code);
+      EXPECT_EQ(merged->sorted()[i].label, full.sorted()[i].label);
+      EXPECT_EQ(merged->sorted()[i].count, full.sorted()[i].count);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coreset sketches: the bottom-k sample must not care where shard cuts fall.
+
+TEST(CoresetTest, ShardedMergeMatchesSinglePass) {
+  Rng rng(99);
+  std::vector<size_t> rows(3000);
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i * 3 + 1;
+  const uint64_t salt = 0xABCDEF12345678ULL;
+  const size_t budget = 256;
+  CoresetSketch full = BuildCoresetSketch(rows, 0, rows.size(), salt, budget);
+  ASSERT_EQ(full.entries.size(), budget);
+  for (size_t shards : {size_t{2}, size_t{4}, size_t{8}}) {
+    std::vector<size_t> cuts = RandomBoundaries(rows.size(), shards, &rng);
+    std::vector<size_t> order(cuts.size() - 1);
+    for (size_t s = 0; s < order.size(); ++s) order[s] = s;
+    rng.Shuffle(&order);
+    std::unique_ptr<CoresetSketch> merged;
+    for (size_t s : order) {
+      CoresetSketch part =
+          BuildCoresetSketch(rows, cuts[s], cuts[s + 1], salt, budget);
+      if (!merged) {
+        merged = std::make_unique<CoresetSketch>(std::move(part));
+      } else {
+        ASSERT_TRUE(MergeCoresetSketch(merged.get(), part).ok());
+      }
+    }
+    ASSERT_NE(merged, nullptr);
+    EXPECT_EQ(merged->entries, full.entries)
+        << "shards=" << shards << " diverged from the single-pass sketch";
+    EXPECT_EQ(CoresetMembers(*merged), CoresetMembers(full));
+  }
+}
+
+TEST(CoresetTest, SmallInputKeepsEveryRowAscending) {
+  std::vector<size_t> rows{42, 7, 19, 3};
+  CoresetSketch s = BuildCoresetSketch(rows, 0, rows.size(), 1, 64);
+  EXPECT_EQ(CoresetMembers(s), (std::vector<size_t>{3, 7, 19, 42}));
+}
+
+TEST(CoresetTest, SelectsBottomKByHash) {
+  std::vector<size_t> rows(100);
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const uint64_t salt = 7;
+  CoresetSketch s = BuildCoresetSketch(rows, 0, rows.size(), salt, 10);
+  ASSERT_EQ(s.entries.size(), 10u);
+  uint64_t kept_max = s.entries.back().first;
+  size_t below = 0;
+  for (size_t r : rows) {
+    if (CoresetRowHash(salt, r) <= kept_max) ++below;
+  }
+  EXPECT_EQ(below, 10u);
+}
+
+TEST(CoresetTest, BudgetMismatchRejected) {
+  CoresetSketch a, b;
+  a.budget = 8;
+  b.budget = 16;
+  EXPECT_FALSE(MergeCoresetSketch(&a, b).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded partition seeds and whole-view byte identity.
+
+Result<DiscretizedTable> DiscretizeAll(const Table& table) {
+  return DiscretizedTable::Build(TableSlice::All(table), DiscretizerOptions{});
+}
+
+TEST(ShardedSeedTest, MatchesUnshardedPartitions) {
+  Table table = GenerateMushrooms(2000);
+  auto dt = DiscretizeAll(table);
+  ASSERT_TRUE(dt.ok());
+
+  CadViewOptions o;
+  o.pivot_attr = "Class";
+  o.max_compare_attrs = 4;
+  CadViewBuildExtras extras;
+  auto baseline = BuildCadViewFromDiscretized(*dt, o, nullptr, &extras);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto idx = dt->IndexOf("Class");
+  ASSERT_TRUE(idx.has_value());
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ShardOptions sharding;
+    sharding.num_shards = shards;
+    sharding.min_rows_per_shard = 1;
+    auto seed = BuildShardedPartitionSeed(*dt, *idx, sharding, TestThreads(2));
+    ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+    ASSERT_EQ(seed->members_by_code.size(),
+              extras.partitions.members_by_code.size());
+    for (size_t p = 0; p < seed->members_by_code.size(); ++p) {
+      EXPECT_EQ(seed->members_by_code[p].first,
+                extras.partitions.members_by_code[p].first);
+      EXPECT_EQ(seed->members_by_code[p].second,
+                extras.partitions.members_by_code[p].second)
+          << "shards=" << shards << " partition code "
+          << seed->members_by_code[p].first;
+    }
+  }
+}
+
+std::string SerializeStable(CadView view) {
+  view.timings = CadViewTimings{};
+  return CadViewToJson(view) + "\n---\n" + CadViewToCsv(view);
+}
+
+void ExpectShardedBuildsIdentical(const Table& table, CadViewOptions options) {
+  options.sharding.num_shards = 1;
+  auto baseline = BuildCadView(TableSlice::All(table), options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string expected = SerializeStable(*baseline);
+  for (size_t shards :
+       {size_t{2}, size_t{4}, size_t{8}, TestShards(2)}) {
+    options.sharding.num_shards = shards;
+    options.sharding.min_rows_per_shard = 1;
+    auto view = BuildCadView(TableSlice::All(table), options);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(SerializeStable(*view), expected)
+        << "num_shards=" << shards << " diverged from the unsharded build";
+  }
+}
+
+TEST(ShardedBuildTest, MushroomByteIdenticalAcrossShardCounts) {
+  Table table = GenerateMushrooms(2000);
+  CadViewOptions o;
+  o.pivot_attr = "Class";
+  o.max_compare_attrs = 4;
+  o.seed = 7;
+  o.num_threads = TestThreads(2);
+  ExpectShardedBuildsIdentical(table, o);
+}
+
+TEST(ShardedBuildTest, UsedCarsByteIdenticalAcrossShardCounts) {
+  Table table = GenerateUsedCars(4000, 11);
+  CadViewOptions o;
+  o.pivot_attr = "Make";
+  o.pivot_values = {"Chevrolet", "Ford", "Toyota"};
+  o.max_compare_attrs = 5;
+  o.seed = 3;
+  o.num_threads = TestThreads(2);
+  ExpectShardedBuildsIdentical(table, o);
+}
+
+TEST(ShardedBuildTest, CoresetModeByteIdenticalAcrossShardCounts) {
+  // Coreset clustering changes the view vs. exact mode (it is fingerprinted
+  // in the cache key for exactly that reason), but must itself be invariant
+  // to shard and thread counts: membership depends only on (seed, row).
+  Table table = GenerateUsedCars(4000, 11);
+  CadViewOptions o;
+  o.pivot_attr = "Make";
+  o.pivot_values = {"Chevrolet", "Ford", "Toyota"};
+  o.max_compare_attrs = 5;
+  o.seed = 3;
+  o.sharding.coreset_clustering = true;
+  o.sharding.coreset_budget = 300;
+  ExpectShardedBuildsIdentical(table, o);
+
+  o.sharding.num_shards = 1;
+  auto exact = BuildCadView(TableSlice::All(table), CadViewOptions{o});
+  CadViewOptions plain = o;
+  plain.sharding.coreset_clustering = false;
+  auto full = BuildCadView(TableSlice::All(table), plain);
+  ASSERT_TRUE(exact.ok() && full.ok());
+  EXPECT_NE(SerializeStable(*exact), SerializeStable(*full))
+      << "coreset mode unexpectedly produced the exact-mode view; the "
+         "cache-key fingerprint test relies on them differing";
+}
+
+}  // namespace
+}  // namespace dbx

@@ -107,6 +107,34 @@ TEST(CadViewOptionsFingerprintTest, ThreadCountIsOutputNeutral) {
   EXPECT_EQ(*CadViewOptionsFingerprint(a), *CadViewOptionsFingerprint(b));
 }
 
+TEST(CadViewOptionsFingerprintTest, ShardPolicyIsOutputNeutral) {
+  // The sharded build path produces byte-identical views for any shard
+  // decomposition (tests/cad_view_test.cc), so shard count and shard sizing
+  // must not fragment the cache: a view built unsharded must satisfy a
+  // lookup from a sharded build and vice versa.
+  CadViewOptions a;
+  CadViewOptions b;
+  b.sharding.num_shards = 8;
+  b.sharding.min_rows_per_shard = 1;
+  EXPECT_EQ(*CadViewOptionsFingerprint(a), *CadViewOptionsFingerprint(b));
+}
+
+TEST(CadViewOptionsFingerprintTest, CoresetFieldsChangeKey) {
+  // Coreset clustering is an opt-in approximation that changes view bytes,
+  // so both the toggle and the budget must be part of the fingerprint.
+  CadViewOptions base;
+  auto fp = CadViewOptionsFingerprint(base);
+  ASSERT_TRUE(fp.has_value());
+
+  CadViewOptions changed = base;
+  changed.sharding.coreset_clustering = true;
+  EXPECT_NE(*CadViewOptionsFingerprint(changed), *fp);
+
+  changed = base;
+  changed.sharding.coreset_budget = 128;
+  EXPECT_NE(*CadViewOptionsFingerprint(changed), *fp);
+}
+
 TEST(CadViewOptionsFingerprintTest, OpaquePreferenceIsUncacheable) {
   CadViewOptions o;
   o.preference = [](const IUnit&) { return 1.0; };
