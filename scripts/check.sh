@@ -36,6 +36,31 @@ ctest --test-dir build -L bench-smoke --output-on-failure \
 ctest --test-dir build -L obs --output-on-failure || fail "obs tests"
 ctest --test-dir build -L server --output-on-failure || fail "server tests"
 
+# Bench-trend gate (DESIGN.md §14): the bench-smoke tier above refreshed
+# build/BENCH_*.json; compare them against the committed baselines. First the
+# harness proves its own sensitivity — the self-test must pass and a seeded
+# +30% p95 regression must flip the exit code — then the live compare runs
+# with generous smoke-mode thresholds (override via DBX_BENCH_THRESHOLD /
+# DBX_BENCH_MIN_ABS_MS). DBX_UPDATE_BASELINES=1 refreshes the baselines
+# instead of gating on them.
+BENCHDIFF=build/tools/dbx_benchdiff/dbx_benchdiff
+"$BENCHDIFF" --self-test || fail "benchdiff self-test"
+if "$BENCHDIFF" --baseline bench/baselines/BENCH_server.json \
+    --current bench/baselines/BENCH_server.json \
+    --seed-regression p95_ms:1.3 >/dev/null; then
+  fail "benchdiff missed a seeded p95 regression"
+fi
+if [ "${DBX_UPDATE_BASELINES:-0}" = "1" ]; then
+  cp build/BENCH_server.json build/BENCH_scale.json bench/baselines/ \
+    || fail "baseline refresh"
+  echo "bench baselines refreshed from build/"
+else
+  "$BENCHDIFF" --baseline bench/baselines --current build \
+    --threshold "${DBX_BENCH_THRESHOLD:-0.5}" \
+    --min-abs-ms "${DBX_BENCH_MIN_ABS_MS:-3}" \
+    || fail "bench trend regression (rerun with DBX_UPDATE_BASELINES=1 after an intended change)"
+fi
+
 # Re-run the test tiers with the threaded and sharded paths forced on: the
 # parallel tests read DBX_TEST_THREADS / DBX_TEST_SHARDS and add those counts
 # to their sweeps (thread count never changes output; shard count must not

@@ -1,5 +1,10 @@
 #!/usr/bin/env bash
-# Runs every bench binary, the way EXPERIMENTS.md numbers are produced.
+# Runs every bench binary, the way EXPERIMENTS.md numbers are produced, then
+# renders an advisory trend summary (build/BENCH_TREND.md) comparing any
+# BENCH_*.json the benches wrote against the committed baselines. The summary
+# never fails this script — full runs and smoke baselines are different modes,
+# so benchdiff reports them as informational; the gating compare lives in
+# scripts/check.sh.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 rc=0
@@ -9,4 +14,15 @@ for b in build/bench/*; do
   echo "################ $(basename "$b") ################"
   "$b" || { echo "BENCH FAILED: $b"; rc=1; }
 done
+
+BENCHDIFF=build/tools/dbx_benchdiff/dbx_benchdiff
+if [ -x "$BENCHDIFF" ] && [ -d bench/baselines ] \
+    && ls build/BENCH_*.json >/dev/null 2>&1; then
+  echo
+  echo "################ bench trend (advisory) ################"
+  "$BENCHDIFF" --baseline bench/baselines --current build \
+    --out build/BENCH_TREND.md \
+    || echo "trend summary reported regressions (advisory only here)"
+  echo "trend summary -> build/BENCH_TREND.md"
+fi
 exit $rc

@@ -39,6 +39,22 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// Serializes one complete ("X") event under `pid`; Chrome expects
+// microsecond floats.
+void AppendChromeEvent(std::string* out, const TraceEvent& e, int pid) {
+  *out += StringPrintf(
+      "{\"name\":\"%s\",\"cat\":\"dbx\",\"ph\":\"X\",\"ts\":%.3f,"
+      "\"dur\":%.3f,\"pid\":%d,\"tid\":%u,\"args\":{\"id\":%llu,"
+      "\"parent\":%llu",
+      JsonEscape(e.name).c_str(), e.start_ns / 1000.0, e.dur_ns / 1000.0, pid,
+      e.tid, static_cast<unsigned long long>(e.id),
+      static_cast<unsigned long long>(e.parent));
+  if (!e.args.empty()) {
+    *out += StringPrintf(",\"detail\":\"%s\"", JsonEscape(e.args).c_str());
+  }
+  *out += "}}";
+}
+
 }  // namespace
 
 Tracer::Tracer(size_t capacity) : Tracer(true, capacity) {}
@@ -151,18 +167,30 @@ std::string Tracer::ToChromeJson() const {
   for (const TraceEvent& e : events) {
     if (!first) out += ",";
     first = false;
-    // Complete ("X") events; Chrome expects microsecond floats.
+    AppendChromeEvent(&out, e, /*pid=*/1);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string MergedChromeJson(const std::vector<NamedTraceSource>& sources) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const int pid = static_cast<int>(i) + 1;
+    if (!first) out += ",";
+    first = false;
     out += StringPrintf(
-        "{\"name\":\"%s\",\"cat\":\"dbx\",\"ph\":\"X\",\"ts\":%.3f,"
-        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"id\":%llu,"
-        "\"parent\":%llu",
-        JsonEscape(e.name).c_str(), e.start_ns / 1000.0, e.dur_ns / 1000.0,
-        e.tid, static_cast<unsigned long long>(e.id),
-        static_cast<unsigned long long>(e.parent));
-    if (!e.args.empty()) {
-      out += StringPrintf(",\"detail\":\"%s\"", JsonEscape(e.args).c_str());
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+        "\"args\":{\"name\":\"%s\"}}",
+        pid, JsonEscape(sources[i].process_name).c_str());
+    if (sources[i].tracer == nullptr || !sources[i].tracer->enabled()) {
+      continue;
     }
-    out += "}}";
+    for (const TraceEvent& e : sources[i].tracer->Events()) {
+      out += ",";
+      AppendChromeEvent(&out, e, pid);
+    }
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;

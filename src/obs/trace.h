@@ -102,6 +102,21 @@ class Tracer {
   std::vector<std::pair<std::thread::id, uint32_t>> thread_index_;
 };
 
+/// One process lane of a merged Chrome-trace export.
+struct NamedTraceSource {
+  std::string process_name;  // e.g. "client", "server"
+  const Tracer* tracer = nullptr;
+};
+
+/// Merges several tracers into one Chrome trace_event JSON document: source
+/// i's spans render under pid i+1 with a process_name metadata event, so a
+/// client-side tracer and the server's tracer load as two labelled process
+/// lanes on one timeline. Null/disabled tracers contribute an empty lane.
+/// Note: each tracer's timestamps are relative to its own epoch; lanes align
+/// at zero, which for a client/server pair created together is the intended
+/// "request-scoped timeline" view.
+std::string MergedChromeJson(const std::vector<NamedTraceSource>& sources);
+
 /// RAII span handle: opens on construction, records on destruction. Accepts a
 /// null or disabled tracer (every method becomes a no-op). Pass `id()` as the
 /// `parent` of child spans — including into worker threads.

@@ -54,11 +54,34 @@ void Engine::RegisterTableSnapshot(const std::string& name, const Table* table,
 }
 
 Result<ExecOutcome> Engine::ExecuteSql(const std::string& sql) {
+  Stopwatch total_timer;
   Stopwatch parse_timer;
   auto stmt = ParseStatement(sql);
-  if (!stmt.ok()) return stmt.status();
-  last_parse_ns_ = parse_timer.ElapsedNanos();
-  return Execute(std::move(*stmt));
+  std::string canonical;
+  std::optional<Result<ExecOutcome>> result;
+  if (!stmt.ok()) {
+    result.emplace(stmt.status());
+  } else {
+    last_parse_ns_ = parse_timer.ElapsedNanos();
+    canonical = StatementToSql(*stmt);
+    result.emplace(Execute(std::move(*stmt)));
+    if (result->ok()) (*result)->canonical_sql = canonical;
+  }
+  if (query_log_ != nullptr) {
+    QueryLogRecord rec;
+    rec.session = query_log_scope_;
+    // Parse failures have no canonical form; log the raw text.
+    rec.statement = canonical.empty() ? sql : canonical;
+    if (result->ok()) {
+      rec.cache = (*result)->cache_result;
+      rec.response_bytes = (*result)->rendered.size();
+    } else {
+      rec.status = Status::CodeName(result->status().code());
+    }
+    rec.total_ms = total_timer.ElapsedNanos() / 1e6;
+    query_log_->Append(std::move(rec));
+  }
+  return std::move(*result);
 }
 
 Result<ExecOutcome> Engine::Execute(Statement statement) {
@@ -391,6 +414,7 @@ Result<ExecOutcome> Engine::ExecuteCreateCadView(CreateCadViewStmt stmt) {
   // the post-ORDER-BY result. Engine builds rediscretize each fragment, so
   // only full hits apply (no partition seeds).
   ScopedSpan probe_span(tracer_, "cache_probe", trace_parent_);
+  const char* cache_result = "no-cache";
   std::optional<ViewCacheKey> key;
   if (cache_ != nullptr) {
     if (auto fp = CadViewOptionsFingerprint(options)) {
@@ -418,10 +442,13 @@ Result<ExecOutcome> Engine::ExecuteCreateCadView(CreateCadViewStmt stmt) {
         out.view_name = stmt.view_name;
         out.view = ptr;
         out.rendered = RenderCadView(*ptr);
+        out.cache_result = "hit";
         return out;
       }
+      cache_result = "miss";
       probe_span.AddArg("result", "miss");
     } else {
+      cache_result = "uncacheable";
       probe_span.AddArg("result", "uncacheable");
     }
   } else {
@@ -485,6 +512,7 @@ Result<ExecOutcome> Engine::ExecuteCreateCadView(CreateCadViewStmt stmt) {
   out.view_name = stmt.view_name;
   out.view = ptr;
   out.rendered = RenderCadView(*ptr);
+  out.cache_result = cache_result;
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include "src/core/cad_view.h"
 #include "src/core/cad_view_builder.h"
 #include "src/core/view_cache.h"
+#include "src/obs/query_log.h"
 #include "src/obs/trace.h"
 #include "src/query/ast.h"
 #include "src/util/result.h"
@@ -42,6 +43,15 @@ struct ExecOutcome {
 
   /// Pre-rendered text (CAD View table, highlight summary, ...) for REPLs.
   std::string rendered;
+
+  /// Canonical form of the executed statement (set by ExecuteSql; empty for
+  /// pre-parsed statements) — what the query log records.
+  std::string canonical_sql;
+
+  /// View-cache probe outcome for CREATE CADVIEW statements:
+  /// "hit" / "miss" / "uncacheable" / "no-cache"; "none" for every other
+  /// statement kind.
+  std::string cache_result = "none";
 };
 
 /// The exploratory-search engine: executes dialect statements against
@@ -88,6 +98,17 @@ class Engine {
     trace_parent_ = trace_parent;
   }
 
+  /// Attaches a query log: every ExecuteSql appends one record (scope label
+  /// as the session field, canonical statement text, status, cache probe
+  /// outcome, rendered bytes, total latency). The server dispatcher logs at
+  /// the request layer instead — richer records with trace ids and stage
+  /// latencies — so it leaves this unset to avoid double logging. nullptr
+  /// detaches.
+  void SetQueryLog(QueryLog* log, std::string scope_label = "engine") {
+    query_log_ = log;
+    query_log_scope_ = std::move(scope_label);
+  }
+
   /// Parses and executes one statement.
   [[nodiscard]] Result<ExecOutcome> ExecuteSql(const std::string& sql);
 
@@ -121,6 +142,8 @@ class Engine {
   std::string cache_owner_;
   Tracer* tracer_ = Tracer::Disabled();
   uint64_t trace_parent_ = 0;
+  QueryLog* query_log_ = nullptr;
+  std::string query_log_scope_;
   /// Parse time of the statement ExecuteSql just handed to Execute — the
   /// "parse" span of an EXPLAIN ANALYZE (0 for pre-parsed statements).
   uint64_t last_parse_ns_ = 0;

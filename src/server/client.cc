@@ -33,6 +33,19 @@ Result<std::string> Client::Exec(const std::string& sid,
   return r.body;
 }
 
+Result<std::string> Client::Exec(const std::string& sid,
+                                 const std::string& statement,
+                                 const std::string& trace_id) {
+  if (trace_id.empty()) return Exec(sid, statement);
+  ScopedSpan rpc(tracer_, "rpc:EXEC");
+  rpc.AddArg("session", sid);
+  rpc.AddArg("trace", trace_id);
+  DBX_ASSIGN_OR_RETURN(
+      Response r, Call("EXEC @trace=" + trace_id + " " + sid + " " + statement));
+  DBX_RETURN_IF_ERROR(r.status);
+  return r.body;
+}
+
 Status Client::CloseSession(const std::string& sid) {
   DBX_ASSIGN_OR_RETURN(Response r, Call("CLOSE " + sid));
   return r.status;

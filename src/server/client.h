@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "src/obs/trace.h"
 #include "src/server/protocol.h"
 #include "src/server/transport.h"
 #include "src/util/result.h"
@@ -36,14 +37,30 @@ class Client {
   [[nodiscard]] Result<std::string> Exec(const std::string& sid,
                                          const std::string& statement);
 
+  /// EXEC @trace=<trace_id> <sid> <statement> — the traced form: the server
+  /// tags the statement's root span (and query-log record) with `trace_id`,
+  /// and the client records a matching "rpc:EXEC" span on its own tracer
+  /// (SetTracer), so MergedChromeJson lines the two processes up. An empty
+  /// trace_id degrades to the plain (byte-identical pre-trace) encoding.
+  [[nodiscard]] Result<std::string> Exec(const std::string& sid,
+                                         const std::string& statement,
+                                         const std::string& trace_id);
+
   /// CLOSE <sid>.
   [[nodiscard]] Status CloseSession(const std::string& sid);
+
+  /// Attaches a span collector for the client side of traced Execs; nullptr
+  /// detaches. Must outlive the client (or the next SetTracer call).
+  void SetTracer(Tracer* tracer) {
+    tracer_ = tracer == nullptr ? Tracer::Disabled() : tracer;
+  }
 
   Connection* connection() { return conn_.get(); }
 
  private:
   std::unique_ptr<Connection> conn_;
   FrameDecoder decoder_;
+  Tracer* tracer_ = Tracer::Disabled();
 };
 
 }  // namespace dbx::server

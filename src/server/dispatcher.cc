@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <optional>
+#include <string_view>
 
+#include "src/obs/explain.h"
 #include "src/obs/metrics.h"
 #include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 namespace dbx::server {
 namespace {
@@ -38,7 +42,10 @@ Dispatcher::Dispatcher(ServerOptions options)
     : options_(std::move(options)),
       cache_(std::make_shared<ViewCache>(options_.cache_budget_bytes)),
       metrics_(options_.metrics != nullptr ? options_.metrics
-                                           : MetricsRegistry::Global()) {}
+                                           : MetricsRegistry::Global()),
+      tracer_(options_.tracer != nullptr ? options_.tracer
+                                         : Tracer::Disabled()),
+      query_log_(options_.query_log) {}
 
 void Dispatcher::RegisterTable(const std::string& name, const Table* table) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -106,38 +113,73 @@ size_t Dispatcher::session_count() const {
 }
 
 std::string Dispatcher::HandleExec(const std::string& sid,
-                                   const std::string& sql) {
+                                   const std::string& sql,
+                                   const std::string& trace_id) {
+  Stopwatch timer;
+  Status status = Status::OK();
+  std::string body;
+  std::string statement = sql;  // canonical form once a parse succeeds
+  std::string cache_result = "none";
+  std::vector<std::pair<std::string, double>> stages;
+
   if (sql.empty()) {
-    return EncodeResponse(
-        Status::InvalidArgument("EXEC needs a statement: EXEC <sid> <stmt>"),
-        "");
-  }
-  auto session = FindSession(sid);
-  if (session == nullptr) {
-    return EncodeResponse(Status::NotFound("no session named '" + sid + "'"),
-                          "");
-  }
-  if (options_.max_inflight > 0 &&
-      inflight_.fetch_add(1) >= options_.max_inflight) {
+    status =
+        Status::InvalidArgument("EXEC needs a statement: EXEC <sid> <stmt>");
+  } else if (auto session = FindSession(sid); session == nullptr) {
+    status = Status::NotFound("no session named '" + sid + "'");
+  } else if (options_.max_inflight > 0 &&
+             inflight_.fetch_add(1) >= options_.max_inflight) {
     inflight_.fetch_sub(1);
     metrics_->GetCounter("dbx_server_admission_rejects_total")->Increment();
-    return EncodeResponse(
-        Status::Unavailable(
-            "server saturated: " + std::to_string(options_.max_inflight) +
-            " statements in flight; retry"),
-        "");
-  }
-  // Slot released on every path below; unlimited mode never took one.
-  std::optional<InflightSlot> slot;
-  if (options_.max_inflight > 0) slot.emplace(&inflight_);
-  if (options_.exec_hook_for_test) options_.exec_hook_for_test(sql);
+    status = Status::Unavailable(
+        "server saturated: " + std::to_string(options_.max_inflight) +
+        " statements in flight; retry");
+  } else {
+    // Slot released on every path below; unlimited mode never took one.
+    std::optional<InflightSlot> slot;
+    if (options_.max_inflight > 0) slot.emplace(&inflight_);
+    if (options_.exec_hook_for_test) options_.exec_hook_for_test(sql);
 
-  // A session is one sequential conversation: statements addressed to it
-  // are serialized here even when several connections send them.
-  std::lock_guard<std::mutex> session_lock(session->mu);
-  auto outcome = session->engine.ExecuteSql(sql);
-  if (!outcome.ok()) return EncodeResponse(outcome.status(), "");
-  return EncodeResponse(Status::OK(), outcome->rendered);
+    // A session is one sequential conversation: statements addressed to it
+    // are serialized here even when several connections send them.
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    // Root span per statement, tagged with the session and the client-sent
+    // trace id; the engine hangs its cache_probe/pipeline spans beneath it.
+    ScopedSpan root(tracer_, "exec");
+    root.AddArg("session", sid);
+    if (!trace_id.empty()) root.AddArg("trace", trace_id);
+    const uint64_t root_id = root.id();
+    session->engine.SetTracer(tracer_, root_id);
+    auto outcome = session->engine.ExecuteSql(sql);
+    session->engine.SetTracer(nullptr);
+    if (outcome.ok()) {
+      body = outcome->rendered;
+      if (!outcome->canonical_sql.empty()) statement = outcome->canonical_sql;
+      cache_result = outcome->cache_result;
+    } else {
+      status = outcome.status();
+      root.AddArg("error", Status::CodeName(status.code()));
+    }
+    root.End();
+    if (query_log_ != nullptr && root_id != 0) {
+      stages = StageLatenciesFromSpans(tracer_->Events(), root_id);
+    }
+  }
+
+  const std::string response = EncodeResponse(status, body);
+  if (query_log_ != nullptr) {
+    QueryLogRecord rec;
+    rec.session = sid;
+    rec.trace = trace_id;
+    rec.statement = statement;
+    rec.status = status.ok() ? "OK" : Status::CodeName(status.code());
+    rec.cache = cache_result;
+    rec.response_bytes = response.size();
+    rec.total_ms = timer.ElapsedNanos() / 1e6;
+    rec.stages = std::move(stages);
+    query_log_->Append(std::move(rec));
+  }
+  return response;
 }
 
 std::string Dispatcher::RenderStats() const {
@@ -155,6 +197,31 @@ std::string Dispatcher::RenderStats() const {
   return out;
 }
 
+std::string Dispatcher::RenderStatusz() const {
+  std::string out;
+  out += "sessions_active: " + std::to_string(session_count()) + "\n";
+  const ViewCacheSnapshot snap = cache_->Snapshot();
+  const ViewCacheStats& s = snap.stats;
+  out += StringPrintf(
+      "cache: hits=%llu misses=%llu inserts=%llu evictions=%llu "
+      "invalidations=%llu entries=%zu bytes_in_use=%zu byte_budget=%zu\n",
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.misses),
+      static_cast<unsigned long long>(s.inserts),
+      static_cast<unsigned long long>(s.evictions),
+      static_cast<unsigned long long>(s.invalidations), s.entries,
+      s.bytes_in_use, s.byte_budget);
+  out += StringPrintf("cache_entries: %zu (MRU first)\n", snap.entries.size());
+  for (const ViewCacheEntryInfo& e : snap.entries) {
+    out += StringPrintf("  %zuB hits=%llu build_ms=%s %s\n", e.bytes,
+                        static_cast<unsigned long long>(e.hits),
+                        FormatDouble(e.build_cost_ms, 3).c_str(),
+                        e.canonical.c_str());
+  }
+  out += ThreadPoolStatsLine(ThreadPool::Shared().GetStats()) + "\n";
+  return out;
+}
+
 std::string Dispatcher::HandleRequest(const std::string& payload,
                                       ConnectionScope* scope) {
   Stopwatch timer;
@@ -166,8 +233,30 @@ std::string Dispatcher::HandleRequest(const std::string& payload,
     response = sid.ok() ? EncodeResponse(Status::OK(), *sid)
                         : EncodeResponse(sid.status(), "");
   } else if (command == "EXEC") {
-    auto [sid, sql] = SplitToken(rest);
-    response = HandleExec(sid, sql);
+    // Optional option token before the session id. Session ids never start
+    // with '@', so this never mis-parses a pre-trace request.
+    std::string trace_id;
+    std::string args = rest;
+    bool bad_option = false;
+    if (auto [first, after] = SplitToken(rest);
+        !first.empty() && first[0] == '@') {
+      constexpr std::string_view kTracePrefix = "@trace=";
+      if (first.size() > kTracePrefix.size() &&
+          first.compare(0, kTracePrefix.size(), kTracePrefix) == 0) {
+        trace_id = first.substr(kTracePrefix.size());
+        args = after;
+      } else {
+        response = EncodeResponse(
+            Status::InvalidArgument("unknown EXEC option '" + first +
+                                    "'; expected @trace=<id>"),
+            "");
+        bad_option = true;
+      }
+    }
+    if (!bad_option) {
+      auto [sid, sql] = SplitToken(args);
+      response = HandleExec(sid, sql, trace_id);
+    }
   } else if (command == "CLOSE") {
     auto [sid, extra] = SplitToken(rest);
     if (sid.empty() || !extra.empty()) {

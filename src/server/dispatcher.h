@@ -14,14 +14,23 @@
 // socket listeners only appear in the server binary and one smoke test.
 //
 // Request vocabulary (one request payload per frame, text):
-//   OPEN                  -> OK\n<session-id>
-//   EXEC <sid> <stmt>     -> OK\n<rendered statement output>
-//   CLOSE <sid>           -> OK\nclosed <sid>
-//   STATS                 -> OK\n<shared-cache counters, one line>
-//   METRICS               -> OK\n<Prometheus text exposition>
+//   OPEN                            -> OK\n<session-id>
+//   EXEC [@trace=<id>] <sid> <stmt> -> OK\n<rendered statement output>
+//   CLOSE <sid>                     -> OK\nclosed <sid>
+//   STATS                           -> OK\n<shared-cache counters, one line>
+//   METRICS                         -> OK\n<Prometheus text exposition>
 // Errors come back as ERR frames (see protocol.h). Sessions opened on a
 // connection are reaped when that connection ends — a dropped client can
 // never leak sessions.
+//
+// Trace propagation (DESIGN.md §14): EXEC accepts one optional option token
+// immediately after the verb. `@trace=<id>` tags the statement's root span
+// (and query-log record) with the client-chosen trace id, so a merged
+// client+server Chrome trace lines the two processes up per request. The
+// token is strictly optional and session ids never start with '@', so
+// requests without it are byte-for-byte the pre-trace wire encoding —
+// the golden replay test pins that. An unrecognized '@' option is
+// InvalidArgument, never a session-id guess.
 
 #pragma once
 
@@ -72,6 +81,15 @@ struct ServerOptions {
   /// Instrument sink; nullptr = MetricsRegistry::Global().
   MetricsRegistry* metrics = nullptr;
 
+  /// Span collector for per-statement root spans and engine pipeline spans;
+  /// nullptr = tracing off. Must outlive the dispatcher.
+  Tracer* tracer = nullptr;
+
+  /// Structured query log appended to on every EXEC (one record per
+  /// statement, including errors); nullptr = off. Must outlive the
+  /// dispatcher.
+  QueryLog* query_log = nullptr;
+
   /// Test seam: when set, called with the statement text inside EXEC, after
   /// admission but before execution — lets tests hold a statement in flight
   /// deterministically. Never set in production.
@@ -119,6 +137,10 @@ class Dispatcher {
   MetricsRegistry* metrics() const { return metrics_; }
   const ServerOptions& options() const { return options_; }
 
+  /// /statusz body: session count, shared-cache snapshot (aggregate counters
+  /// plus per-entry diagnostics, MRU first), and thread-pool stats.
+  std::string RenderStatusz() const;
+
  private:
   /// One exploration session: a dialect engine whose statements execute
   /// under the session mutex (a session is a sequential conversation even
@@ -131,12 +153,15 @@ class Dispatcher {
 
   [[nodiscard]] Result<std::string> OpenSession(ConnectionScope* scope);
   std::shared_ptr<Session> FindSession(const std::string& sid) const;
-  std::string HandleExec(const std::string& sid, const std::string& sql);
+  std::string HandleExec(const std::string& sid, const std::string& sql,
+                         const std::string& trace_id);
   std::string RenderStats() const;
 
   const ServerOptions options_;
   std::shared_ptr<ViewCache> cache_;
   MetricsRegistry* metrics_;
+  Tracer* tracer_;       // never null (Tracer::Disabled() when off)
+  QueryLog* query_log_;  // nullable
 
   mutable std::mutex mu_;
   /// name -> (table, snapshot dataset id); ordered so OPEN registers tables

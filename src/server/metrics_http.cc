@@ -1,6 +1,9 @@
 #include "src/server/metrics_http.h"
 
+#include <algorithm>
+
 #include "src/obs/metrics.h"
+#include "src/util/string_util.h"
 
 namespace dbx::server {
 
@@ -31,8 +34,15 @@ std::string HttpOkResponse(const std::string& body) {
 }
 
 std::string HttpNotFoundResponse() {
-  const std::string body = "not found; scrape /metrics\n";
-  return "HTTP/1.1 404 Not Found\r\n"
+  return HttpTextResponse(
+      404, "Not Found",
+      "not found; try /metrics /healthz /statusz /tracez\n");
+}
+
+std::string HttpTextResponse(int status_code, const std::string& reason,
+                             const std::string& body) {
+  return "HTTP/1.1 " + std::to_string(status_code) + " " + reason +
+         "\r\n"
          "Content-Type: text/plain; charset=utf-8\r\n"
          "Content-Length: " +
          std::to_string(body.size()) +
@@ -42,28 +52,96 @@ std::string HttpNotFoundResponse() {
          body;
 }
 
-void ServeMetricsExchange(Connection* conn, MetricsRegistry* metrics) {
-  // Read until the head terminator; scrapers send no body. Cap the head so a
-  // garbage peer can't grow the buffer without bound.
+std::string RenderTracez(const std::vector<TraceEvent>& events, size_t limit) {
+  std::vector<const TraceEvent*> roots;
+  for (const TraceEvent& e : events) {
+    if (e.parent == 0) roots.push_back(&e);
+  }
+  std::stable_sort(roots.begin(), roots.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->dur_ns != b->dur_ns) return a->dur_ns > b->dur_ns;
+                     return a->id < b->id;
+                   });
+  const size_t shown = std::min(roots.size(), limit);
+  std::string out = StringPrintf("tracez: %zu recent root span(s), slowest %zu\n",
+                                 roots.size(), shown);
+  for (size_t i = 0; i < shown; ++i) {
+    const TraceEvent& e = *roots[i];
+    out += StringPrintf("%10.3fms  %s", e.dur_ns / 1e6, e.name.c_str());
+    if (!e.args.empty()) out += " [" + e.args + "]";
+    out += "\n";
+  }
+  return out;
+}
+
+void ServeDebugExchange(Connection* conn, const DebugEndpoints& endpoints) {
+  // Read until the head terminator; peers send no body. Cap the head so a
+  // garbage peer can't grow the buffer without bound, and bound the read so
+  // a stalled peer can't wedge the accept loop.
+  if (endpoints.head_read_timeout_ms > 0) {
+    (void)conn->SetReadTimeout(endpoints.head_read_timeout_ms);
+  }
   constexpr size_t kMaxHeadBytes = 16u << 10;
   std::string head;
+  bool timed_out = false;
   while (head.find("\r\n\r\n") == std::string::npos &&
          head.size() < kMaxHeadBytes) {
     auto chunk = conn->Read(4096);
-    if (!chunk.ok() || chunk->empty()) break;
+    if (!chunk.ok()) {
+      timed_out = true;  // deadline hit or transport failure; give up either way
+      break;
+    }
+    if (chunk->empty()) break;  // EOF
     head.append(*chunk);
   }
+  std::string response;
   auto path = ParseHttpGetPath(head);
-  const std::string response = (path.ok() && *path == "/metrics")
-                                   ? HttpOkResponse(metrics->PrometheusText())
-                                   : HttpNotFoundResponse();
+  if (timed_out && head.find("\r\n\r\n") == std::string::npos) {
+    response = HttpTextResponse(408, "Request Timeout",
+                                "timed out reading request head\n");
+  } else if (!path.ok()) {
+    response = HttpNotFoundResponse();
+  } else if (*path == "/metrics" && endpoints.metrics != nullptr) {
+    response = HttpOkResponse(endpoints.metrics->PrometheusText());
+  } else if (*path == "/healthz") {
+    response = HttpTextResponse(200, "OK", "ok\n");
+  } else if (*path == "/statusz") {
+    std::string body;
+    if (endpoints.uptime_seconds) {
+      body += StringPrintf("uptime_s: %.3f\n", endpoints.uptime_seconds());
+    }
+    if (endpoints.statusz) body += endpoints.statusz();
+    response = HttpTextResponse(200, "OK", body);
+  } else if (*path == "/tracez") {
+    const std::string body =
+        (endpoints.tracer == nullptr || !endpoints.tracer->enabled())
+            ? "tracing disabled; start with a tracer attached\n"
+            : RenderTracez(endpoints.tracer->Events(),
+                           endpoints.tracez_limit);
+    response = HttpTextResponse(200, "OK", body);
+  } else {
+    response = HttpNotFoundResponse();
+  }
   (void)conn->Write(response);  // best effort: the scraper may have gone
   conn->CloseWrite();
 }
 
+void ServeMetricsExchange(Connection* conn, MetricsRegistry* metrics) {
+  DebugEndpoints endpoints;
+  endpoints.metrics = metrics;
+  endpoints.head_read_timeout_ms = 0;  // trusted in-process callers
+  ServeDebugExchange(conn, endpoints);
+}
+
 MetricsHttpServer::MetricsHttpServer(MetricsRegistry* metrics,
                                      Listener* listener)
-    : metrics_(metrics), listener_(listener) {}
+    : listener_(listener) {
+  endpoints_.metrics = metrics;
+}
+
+MetricsHttpServer::MetricsHttpServer(DebugEndpoints endpoints,
+                                     Listener* listener)
+    : endpoints_(std::move(endpoints)), listener_(listener) {}
 
 MetricsHttpServer::~MetricsHttpServer() { Stop(); }
 
@@ -72,7 +150,7 @@ void MetricsHttpServer::Start() {
     for (;;) {
       auto conn = listener_->Accept();
       if (!conn.ok()) break;  // Shutdown() or listener failure
-      ServeMetricsExchange(conn->get(), metrics_);
+      ServeDebugExchange(conn->get(), endpoints_);
       (*conn)->Close();
     }
   });

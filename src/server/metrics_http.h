@@ -1,15 +1,25 @@
 // Copyright (c) DBExplorer reproduction authors.
-// Minimal HTTP/1.1 scrape endpoint for Prometheus: answers GET /metrics with
-// the registry's text exposition and 404s everything else. Request parsing
-// and response formatting are free functions so the protocol surface is unit
+// Minimal HTTP/1.1 debug surface (DESIGN.md §14): answers GET /metrics
+// (Prometheus text exposition), /healthz (liveness), /statusz (uptime,
+// session count, view-cache snapshot, thread-pool stats), and /tracez (the N
+// slowest recent root spans), 404 for everything else. Request parsing and
+// response formatting are free functions so the protocol surface is unit
 // tested without sockets; MetricsHttpServer glues them to any Listener.
+//
+// Slow-peer guard: the head read is bounded by DebugEndpoints::
+// head_read_timeout_ms via Connection::SetReadTimeout, so one stalled
+// scraper cannot wedge the single-threaded accept loop (it gets a 408).
 
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "src/obs/trace.h"
 #include "src/server/transport.h"
 #include "src/util/result.h"
 
@@ -19,6 +29,24 @@ class MetricsRegistry;
 
 namespace dbx::server {
 
+/// What the debug HTTP surface serves. All pointers are unowned and must
+/// outlive the server; null/absent members degrade the matching endpoint
+/// (404 for /metrics, empty sections for /statusz, a note for /tracez).
+struct DebugEndpoints {
+  MetricsRegistry* metrics = nullptr;
+  /// Body of /statusz below the uptime line (e.g. Dispatcher::RenderStatusz).
+  std::function<std::string()> statusz;
+  /// Process uptime for /statusz's first line; absent = line omitted.
+  std::function<double()> uptime_seconds;
+  /// Span source for /tracez; null or disabled renders a note instead.
+  const Tracer* tracer = nullptr;
+  /// /tracez shows at most this many root spans, slowest first.
+  size_t tracez_limit = 10;
+  /// Read budget for the request head; <= 0 disables the guard (only safe
+  /// for trusted in-process peers).
+  int head_read_timeout_ms = 5000;
+};
+
 /// Extracts the request target from an HTTP request head ("GET /metrics
 /// HTTP/1.1\r\n..."). InvalidArgument unless the method is GET.
 [[nodiscard]] Result<std::string> ParseHttpGetPath(const std::string& head);
@@ -26,18 +54,38 @@ namespace dbx::server {
 /// 200 response carrying `body` as Prometheus text exposition.
 [[nodiscard]] std::string HttpOkResponse(const std::string& body);
 
-/// 404 response for any path other than /metrics.
+/// 404 response for unknown paths.
 [[nodiscard]] std::string HttpNotFoundResponse();
 
-/// Serves one HTTP exchange on `conn`: reads the request head, answers, and
-/// half-closes. Exposed for deterministic loopback tests.
+/// Arbitrary-status text/plain response ("408 Request Timeout", ...).
+[[nodiscard]] std::string HttpTextResponse(int status_code,
+                                           const std::string& reason,
+                                           const std::string& body);
+
+/// /tracez body: the slowest `limit` root spans (parent == 0) of `events`,
+/// one "<dur>ms <name> [<args>]" line each, slowest first.
+[[nodiscard]] std::string RenderTracez(const std::vector<TraceEvent>& events,
+                                       size_t limit);
+
+/// Serves one HTTP exchange on `conn`: bounds the head read per
+/// `endpoints.head_read_timeout_ms`, answers the matching endpoint (408 on a
+/// timed-out head), and half-closes. Exposed for deterministic loopback
+/// tests.
+void ServeDebugExchange(Connection* conn, const DebugEndpoints& endpoints);
+
+/// Metrics-only exchange: ServeDebugExchange with just /metrics populated
+/// and no read deadline (the pre-§14 surface, kept for in-process tests).
 void ServeMetricsExchange(Connection* conn, MetricsRegistry* metrics);
 
-/// Accept loop serving GET /metrics sequentially (a scrape is tiny; one at a
-/// time keeps this a single background thread).
+/// Accept loop serving the debug endpoints sequentially (an exchange is
+/// tiny; one at a time keeps this a single background thread, and the head
+/// deadline keeps one slow peer from wedging it).
 class MetricsHttpServer {
  public:
+  /// Metrics-only surface.
   MetricsHttpServer(MetricsRegistry* metrics, Listener* listener);
+  /// Full debug surface.
+  MetricsHttpServer(DebugEndpoints endpoints, Listener* listener);
   ~MetricsHttpServer();
 
   /// Spawns the accept thread. Call once.
@@ -47,7 +95,7 @@ class MetricsHttpServer {
   void Stop();
 
  private:
-  MetricsRegistry* metrics_;
+  DebugEndpoints endpoints_;
   Listener* listener_;
   std::thread thread_;
   bool stopped_ = false;

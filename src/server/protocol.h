@@ -1,10 +1,13 @@
 // Copyright (c) DBExplorer reproduction authors.
 // Wire protocol of the multi-session exploration server (DESIGN.md §12): a
 // length-prefixed frame layer carrying text payloads. Requests are dialect
-// statements addressed to a session ("EXEC <sid> <statement>") plus a tiny
-// control vocabulary (OPEN/CLOSE/STATS/METRICS); responses are a status line
-// followed by a body. The framing is symmetric, so one decoder serves the
-// server, the client helper, the load generator, and the frame fuzzer.
+// statements addressed to a session ("EXEC <sid> <statement>", optionally
+// "EXEC @trace=<id> <sid> <statement>" to propagate a client trace id —
+// DESIGN.md §14; trace-free requests are byte-identical to the pre-trace
+// encoding) plus a tiny control vocabulary (OPEN/CLOSE/STATS/METRICS);
+// responses are a status line followed by a body. The framing is symmetric,
+// so one decoder serves the server, the client helper, the load generator,
+// and the frame fuzzer.
 //
 // Frame:    uint32 big-endian payload length, then that many payload bytes.
 //           Payloads above kMaxFramePayload poison the decoder (Corruption);

@@ -2,6 +2,7 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -32,8 +33,20 @@ class FdConnection : public Connection {
         return buf;  // n == 0 is EOF, surfaced as ""
       }
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable("read timed out");
+      }
       return Errno("recv");
     }
+  }
+
+  bool SetReadTimeout(int timeout_ms) override {
+    timeval tv{};
+    if (timeout_ms > 0) {
+      tv.tv_sec = timeout_ms / 1000;
+      tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+    }
+    return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
   }
 
   Status Write(std::string_view bytes) override {

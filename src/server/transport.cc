@@ -1,6 +1,7 @@
 #include "src/server/transport.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace dbx::server {
 namespace {
@@ -23,12 +24,25 @@ class LoopbackConnection : public Connection {
 
   Result<std::string> Read(size_t max_bytes) override {
     std::unique_lock<std::mutex> lock(in_->mu);
-    in_->cv.wait(lock, [&] { return !in_->buf.empty() || in_->closed; });
+    const auto ready = [&] { return !in_->buf.empty() || in_->closed; };
+    if (read_timeout_ms_ > 0) {
+      if (!in_->cv.wait_for(lock, std::chrono::milliseconds(read_timeout_ms_),
+                            ready)) {
+        return Status::Unavailable("read timed out");
+      }
+    } else {
+      in_->cv.wait(lock, ready);
+    }
     if (in_->buf.empty()) return std::string();  // EOF
     const size_t n = std::min(max_bytes, in_->buf.size());
     std::string chunk = in_->buf.substr(0, n);
     in_->buf.erase(0, n);
     return chunk;
+  }
+
+  bool SetReadTimeout(int timeout_ms) override {
+    read_timeout_ms_ = timeout_ms > 0 ? timeout_ms : 0;
+    return true;
   }
 
   Status Write(std::string_view bytes) override {
@@ -57,6 +71,7 @@ class LoopbackConnection : public Connection {
  private:
   std::shared_ptr<Pipe> in_;
   std::shared_ptr<Pipe> out_;
+  int read_timeout_ms_ = 0;  // single-reader pattern: no lock needed
 };
 
 }  // namespace

@@ -41,6 +41,16 @@ class Connection {
 
   /// Full close of both directions.
   virtual void Close() = 0;
+
+  /// Bounds every subsequent Read to `timeout_ms` milliseconds: a Read with
+  /// no bytes and no EOF by the deadline returns Status::Unavailable
+  /// ("read timed out"). 0 restores blocking reads. Returns false when the
+  /// transport cannot enforce deadlines (the default); callers treat that as
+  /// "best effort only" and proceed.
+  virtual bool SetReadTimeout(int timeout_ms) {
+    (void)timeout_ms;
+    return false;
+  }
 };
 
 /// Accepts incoming connections. Accept() blocks; Shutdown() unblocks every

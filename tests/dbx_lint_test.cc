@@ -1,5 +1,5 @@
 // Unit tests for dbx-lint (tools/dbx_lint): one positive (violation caught)
-// and one negative (clean code passes) case per rule class R1–R4, plus the
+// and one negative (clean code passes) case per rule class R1–R5, plus the
 // suppression meta-rule and the comment/string stripper the rules rely on.
 
 #include "tools/dbx_lint/lint.h"
@@ -264,6 +264,49 @@ TEST(LayeringRule, NothingBelowMayDependOnTheServer) {
                   .empty());
 }
 
+// --- R5: raw streams --------------------------------------------------------
+
+TEST(RawStreamRule, FlagsRawStreamsInLibraryCode) {
+  EXPECT_TRUE(Contains(
+      RulesHit("src/query/engine.cc",
+               "void F() { std::cerr << \"parse failed\\n\"; }\n"),
+      "raw-stream"));
+  EXPECT_TRUE(Contains(
+      RulesHit("src/server/dispatcher.cc", "std::cout << stats;\n"),
+      "raw-stream"));
+}
+
+TEST(RawStreamRule, ObsToolsBenchAndTestsOwnTheirStdio) {
+  const std::string code = "std::cerr << \"diagnostic\\n\";\n";
+  // src/obs is the observability layer itself — exporters write streams.
+  EXPECT_FALSE(Contains(RulesHit("src/obs/explain.cc", code), "raw-stream"));
+  EXPECT_FALSE(Contains(RulesHit("tools/dbx_serve/main.cc", code),
+                        "raw-stream"));
+  EXPECT_FALSE(Contains(RulesHit("bench/server_load.cpp", code),
+                        "raw-stream"));
+  EXPECT_FALSE(Contains(RulesHit("tests/server_test.cc", code),
+                        "raw-stream"));
+}
+
+TEST(RawStreamRule, IdentifierBoundaryAndCommentsDoNotTrip) {
+  // Longer identifiers that merely start with the stream names must pass, as
+  // must mentions inside comments and string literals.
+  EXPECT_TRUE(RulesHit("src/core/foo.cc",
+                       "int std_cerr_count = my::std::cerrx(1);\n")
+                  .empty());
+  EXPECT_TRUE(RulesHit("src/core/foo.cc",
+                       "// std::cerr is banned here\n"
+                       "const char* kDoc = \"std::cout << x\";\n")
+                  .empty());
+}
+
+TEST(RawStreamRule, ReasonedAllowSilencesIt) {
+  EXPECT_TRUE(RulesHit("src/query/engine.cc",
+                       "std::cerr << \"x\";  // dbx-lint: allow(raw-stream): "
+                       "startup diagnostics before the log exists\n")
+                  .empty());
+}
+
 // --- suppressions -----------------------------------------------------------
 
 TEST(SuppressionTest, ReasonedAllowSilencesFinding) {
@@ -310,10 +353,11 @@ TEST(SuppressionTest, MarkerInsideStringLiteralIsIgnored) {
 TEST(RegistryTest, EveryRuleClassIsPresent) {
   std::vector<std::string> classes;
   for (const RuleInfo& r : Rules()) classes.push_back(r.rule_class);
-  for (const char* want : {"R1", "R2", "R3", "R4", "meta"}) {
+  for (const char* want : {"R1", "R2", "R3", "R4", "R5", "meta"}) {
     EXPECT_TRUE(Contains(classes, want)) << want;
   }
   EXPECT_TRUE(IsKnownRule("determinism"));
+  EXPECT_TRUE(IsKnownRule("raw-stream"));
   EXPECT_FALSE(IsKnownRule("bogus"));
 }
 

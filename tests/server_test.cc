@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -19,6 +20,8 @@
 
 #include "src/data/used_cars.h"
 #include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
+#include "src/obs/trace.h"
 #include "src/server/client.h"
 #include "src/server/metrics_http.h"
 #include "src/server/protocol.h"
@@ -567,6 +570,307 @@ TEST(MetricsHttpTest, NotFoundForOtherPaths) {
   auto chunk = client->Read(64u << 10);
   ASSERT_TRUE(chunk.ok());
   EXPECT_EQ(chunk->rfind("HTTP/1.1 404", 0), 0u);
+}
+
+// --- Request-scoped observability (DESIGN.md §14) ---------------------------
+
+// The trace option is purely additive: a trace-free request encodes to
+// exactly the pre-trace bytes, and carrying a trace id never changes the
+// response bytes (only the span tree).
+TEST_F(ServerTest, TraceFreeFramesAndResponsesBitIdentical) {
+  const std::string request = "EXEC s1 SELECT COUNT(*) FROM UsedCars";
+  auto frame = EncodeFrame(request);
+  ASSERT_TRUE(frame.ok());
+  std::string expected{'\x00', '\x00', '\x00',
+                       static_cast<char>(request.size())};
+  expected += request;
+  EXPECT_EQ(*frame, expected) << "trace-free wire encoding changed";
+
+  auto plain = MakeDispatcher();
+  auto plain_responses =
+      RunScript(plain.get(), {"OPEN", request, ExecCadView("s1")});
+
+  Tracer tracer;
+  ServerOptions options;
+  options.tracer = &tracer;
+  auto traced = MakeDispatcher(std::move(options));
+  auto traced_responses = RunScript(
+      traced.get(),
+      {"OPEN", "EXEC @trace=t-1 s1 SELECT COUNT(*) FROM UsedCars",
+       "EXEC @trace=t-2 s1 CREATE CADVIEW v AS SET pivot = Make SELECT "
+       "Price, Mileage FROM UsedCars WHERE BodyType = SUV LIMIT COLUMNS 2 "
+       "IUNITS 2"});
+  EXPECT_EQ(plain_responses, traced_responses)
+      << "trace id leaked into response bytes";
+}
+
+TEST_F(ServerTest, TraceIdTagsServerRootSpan) {
+  Tracer tracer;
+  ServerOptions options;
+  options.tracer = &tracer;
+  auto d = MakeDispatcher(std::move(options));
+  std::string exec = ExecCadView("s1");
+  exec.insert(std::strlen("EXEC "), "@trace=t-42 ");
+  auto responses = RunScript(d.get(), {"OPEN", exec});
+  ASSERT_EQ(responses.size(), 2u);
+  ASSERT_TRUE(DecodeResponse(responses[1])->status.ok());
+
+  const std::vector<TraceEvent> events = tracer.Events();
+  const TraceEvent* root = nullptr;
+  for (const TraceEvent& e : events) {
+    if (e.name == "exec" && e.parent == 0) root = &e;
+  }
+  ASSERT_NE(root, nullptr) << "no root exec span recorded";
+  EXPECT_NE(root->args.find("session=s1"), std::string::npos) << root->args;
+  EXPECT_NE(root->args.find("trace=t-42"), std::string::npos) << root->args;
+  // The engine's pipeline spans hang beneath the request's root span.
+  bool probe_under_root = false;
+  for (const TraceEvent& e : events) {
+    if (e.name == "cache_probe" && e.parent == root->id)
+      probe_under_root = true;
+  }
+  EXPECT_TRUE(probe_under_root)
+      << "engine spans not parented to the request root";
+}
+
+TEST_F(ServerTest, UnknownExecOptionRejected) {
+  auto d = MakeDispatcher();
+  auto responses = RunScript(
+      d.get(), {"OPEN", "EXEC @frob=1 s1 SELECT COUNT(*) FROM UsedCars",
+                "EXEC s1 SELECT COUNT(*) FROM UsedCars"});
+  ASSERT_EQ(responses.size(), 3u);
+  auto bad = DecodeResponse(responses[1]);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_TRUE(bad->status.IsInvalidArgument());
+  EXPECT_NE(bad->status.message().find("@frob=1"), std::string::npos);
+  // The bad option poisons nothing: the next statement runs normally.
+  EXPECT_TRUE(DecodeResponse(responses[2])->status.ok());
+}
+
+TEST_F(ServerTest, QueryLogCrossChecksCacheStatsAndMetrics) {
+  Tracer tracer;
+  QueryLog log;
+  ServerOptions options;
+  options.tracer = &tracer;
+  options.query_log = &log;
+  auto d = MakeDispatcher(std::move(options));
+
+  // Two connections: the second session's identical build must hit the
+  // shared cache; then a plain selection, a parse error, and a bad session.
+  auto r1 = RunScript(d.get(), {"OPEN", ExecCadView("s1")});
+  ASSERT_EQ(r1.size(), 2u);
+  ASSERT_TRUE(DecodeResponse(r1[1])->status.ok());
+  auto r2 = RunScript(
+      d.get(), {"OPEN", ExecCadView("s2"),
+                "EXEC @trace=t-7 s2 SELECT COUNT(*) FROM UsedCars",
+                "EXEC s2 BOGUS STATEMENT", "EXEC nosuch STATS"});
+  ASSERT_EQ(r2.size(), 5u);
+
+  auto records = log.Records();
+  ASSERT_EQ(records.size(), 5u);  // one per EXEC; OPENs are not statements
+
+  // Cache outcomes in the log must agree with the cache's own counters.
+  size_t hits = 0, misses = 0;
+  for (const auto& rec : records) {
+    if (rec.cache == "hit") ++hits;
+    if (rec.cache == "miss") ++misses;
+  }
+  EXPECT_EQ(records[0].cache, "miss");
+  EXPECT_EQ(records[1].cache, "hit");
+  const auto stats = d->cache()->stats();
+  EXPECT_EQ(hits, stats.hits);
+  EXPECT_EQ(misses, stats.misses);
+
+  // Sessions, trace ids, statuses, and exact response payload sizes.
+  EXPECT_EQ(records[0].session, "s1");
+  EXPECT_EQ(records[1].session, "s2");
+  EXPECT_EQ(records[2].trace, "t-7");
+  EXPECT_TRUE(records[0].trace.empty());
+  EXPECT_EQ(records[2].status, "OK");
+  EXPECT_EQ(records[3].status, "InvalidArgument");
+  EXPECT_EQ(records[4].status, "NotFound");
+  EXPECT_EQ(records[0].response_bytes, r1[1].size());
+  EXPECT_EQ(records[1].response_bytes, r2[1].size());
+  EXPECT_EQ(records[2].response_bytes, r2[2].size());
+  EXPECT_EQ(records[4].response_bytes, r2[4].size());
+
+  // The build's stage latencies were lifted from the span tree.
+  bool probed = false;
+  for (const auto& [name, ms] : records[0].stages) {
+    if (name == "cache_probe") probed = true;
+    EXPECT_GE(ms, 0.0);
+  }
+  EXPECT_TRUE(probed) << "cache_probe stage missing from the build record";
+
+  // And the request counter saw every frame (OPENs included).
+  EXPECT_EQ(metrics_.GetCounter("dbx_server_requests_total")->Value(), 7u);
+}
+
+TEST_F(ServerTest, MergedTraceCarriesClientTraceIdsAcrossTheWire) {
+  Tracer server_tracer;
+  ServerOptions options;
+  options.tracer = &server_tracer;
+  auto d = MakeDispatcher(std::move(options));
+  LoopbackListener listener;
+  Server server(d.get(), &listener);
+  server.Start();
+
+  Tracer trace_a, trace_b;
+  Client c1(listener.Connect());
+  Client c2(listener.Connect());
+  c1.SetTracer(&trace_a);
+  c2.SetTracer(&trace_b);
+  auto s1 = c1.Open();
+  auto s2 = c2.Open();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  auto out1 = c1.Exec(*s1, "SELECT COUNT(*) FROM UsedCars", "a-1");
+  auto out2 = c2.Exec(*s2, "SELECT COUNT(*) FROM UsedCars", "b-1");
+  ASSERT_TRUE(out1.ok() && out2.ok());
+  EXPECT_EQ(*out1, *out2);
+  c1.connection()->Close();
+  c2.connection()->Close();
+  server.Stop();
+
+  // Server root spans carry the ids the clients sent over the wire.
+  size_t tagged = 0;
+  for (const TraceEvent& e : server_tracer.Events()) {
+    if (e.name != "exec") continue;
+    if (e.args.find("trace=a-1") != std::string::npos) ++tagged;
+    if (e.args.find("trace=b-1") != std::string::npos) ++tagged;
+  }
+  EXPECT_EQ(tagged, 2u);
+
+  // The merged export lines the three tracers up as labelled process lanes.
+  const std::string merged = MergedChromeJson({{"client-a", &trace_a},
+                                               {"client-b", &trace_b},
+                                               {"server", &server_tracer}});
+  EXPECT_NE(merged.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(merged.find("\"name\":\"client-a\""), std::string::npos);
+  EXPECT_NE(merged.find("\"name\":\"client-b\""), std::string::npos);
+  EXPECT_NE(merged.find("\"name\":\"server\""), std::string::npos);
+  EXPECT_NE(merged.find("rpc:EXEC"), std::string::npos);
+  EXPECT_NE(merged.find("trace=a-1"), std::string::npos);
+  EXPECT_NE(merged.find("trace=b-1"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":3"), std::string::npos);
+}
+
+// --- Debug endpoints ---------------------------------------------------------
+
+namespace {
+std::string DebugGet(const DebugEndpoints& endpoints,
+                     const std::string& path) {
+  auto [client, server] = LoopbackPair();
+  EXPECT_TRUE(client->Write("GET " + path + " HTTP/1.1\r\n\r\n").ok());
+  client->CloseWrite();
+  ServeDebugExchange(server.get(), endpoints);
+  std::string http;
+  for (;;) {
+    auto chunk = client->Read(64u << 10);
+    EXPECT_TRUE(chunk.ok());
+    if (!chunk.ok() || chunk->empty()) break;
+    http += *chunk;
+  }
+  return http;
+}
+}  // namespace
+
+TEST_F(ServerTest, DebugEndpointsServeHealthStatusAndTraces) {
+  Tracer tracer;
+  ServerOptions options;
+  options.tracer = &tracer;
+  auto d = MakeDispatcher(std::move(options));
+  auto responses = RunScript(d.get(), {"OPEN", ExecCadView("s1")});
+  ASSERT_EQ(responses.size(), 2u);
+
+  DebugEndpoints endpoints;
+  endpoints.metrics = &metrics_;
+  endpoints.statusz = [&d] { return d->RenderStatusz(); };
+  endpoints.uptime_seconds = [] { return 1.5; };
+  endpoints.tracer = &tracer;
+
+  const std::string healthz = DebugGet(endpoints, "/healthz");
+  EXPECT_EQ(healthz.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(healthz.find("ok\n"), std::string::npos);
+
+  const std::string statusz = DebugGet(endpoints, "/statusz");
+  EXPECT_EQ(statusz.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(statusz.find("uptime_s: 1.500"), std::string::npos);
+  EXPECT_NE(statusz.find("sessions_active: 0"), std::string::npos);
+  EXPECT_NE(statusz.find("cache: hits="), std::string::npos);
+  EXPECT_NE(statusz.find("cache_entries: 1 (MRU first)"), std::string::npos);
+  EXPECT_NE(statusz.find("pivot"), std::string::npos);  // entry's cache key
+  EXPECT_NE(statusz.find("threads="), std::string::npos);  // pool stats line
+
+  const std::string tracez = DebugGet(endpoints, "/tracez");
+  EXPECT_EQ(tracez.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(tracez.find("root span(s)"), std::string::npos);
+  EXPECT_NE(tracez.find("exec [session=s1"), std::string::npos);
+
+  const std::string metrics = DebugGet(endpoints, "/metrics");
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(metrics.find("dbx_server_requests_total"), std::string::npos);
+
+  const std::string missing = DebugGet(endpoints, "/nope");
+  EXPECT_EQ(missing.rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_NE(missing.find("/statusz"), std::string::npos);  // hint lists paths
+
+  // Without a tracer the endpoint still answers, explaining itself.
+  endpoints.tracer = nullptr;
+  EXPECT_NE(DebugGet(endpoints, "/tracez").find("tracing disabled"),
+            std::string::npos);
+}
+
+TEST(MetricsHttpTest, RenderTracezOrdersSlowestFirst) {
+  Tracer tracer;
+  tracer.Emit("fast", 0, 0, 1'000'000);
+  uint64_t slow_id = tracer.Emit("slowest", 0, 0, 9'000'000);
+  tracer.Emit("child", slow_id, 0, 8'000'000);  // not a root: never listed
+  tracer.Emit("middle", 0, 0, 5'000'000);
+  const std::string out = RenderTracez(tracer.Events(), 2);
+  EXPECT_NE(out.find("tracez: 3 recent root span(s), slowest 2"),
+            std::string::npos);
+  const size_t slowest = out.find("slowest");  // header mention
+  const size_t first = out.find("slowest", slowest + 1);
+  const size_t second = out.find("middle");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_EQ(out.find("fast"), std::string::npos);   // over the limit
+  EXPECT_EQ(out.find("child"), std::string::npos);  // not a root
+}
+
+TEST(MetricsHttpTest, SlowPeerHeadReadTimesOutWith408) {
+  // A peer that opens the connection, sends half a request line, and stalls
+  // (no CloseWrite): the head-read deadline must bound the exchange instead
+  // of wedging the accept loop.
+  DebugEndpoints endpoints;
+  endpoints.head_read_timeout_ms = 50;
+  auto [client, server] = LoopbackPair();
+  ASSERT_TRUE(client->Write("GET /hea").ok());
+  ServeDebugExchange(server.get(), endpoints);
+  auto chunk = client->Read(64u << 10);
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->rfind("HTTP/1.1 408", 0), 0u);
+  EXPECT_NE(chunk->find("timed out reading request head"),
+            std::string::npos);
+}
+
+TEST(LoopbackTest, ReadTimeoutExpiresAndRestores) {
+  auto [a, b] = LoopbackPair();
+  ASSERT_TRUE(a->SetReadTimeout(30));
+  auto got = a->Read(16);
+  EXPECT_TRUE(got.status().IsUnavailable()) << got.status().ToString();
+  // Data already buffered is returned immediately, deadline or not.
+  ASSERT_TRUE(b->Write("late").ok());
+  got = a->Read(16);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "late");
+  // 0 restores fully blocking reads.
+  ASSERT_TRUE(a->SetReadTimeout(0));
+  b->CloseWrite();
+  got = a->Read(16);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
 }
 
 }  // namespace

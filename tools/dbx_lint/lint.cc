@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 
 namespace dbx::lint {
 namespace {
@@ -208,6 +209,10 @@ const std::vector<RuleInfo>& Rules() {
        "src/util includes only src/util; src/obs includes only src/util and "
        "src/obs; src/server includes only src/{server,explorer,query,obs,"
        "util}, and no other src/ layer may include src/server"},
+      {"raw-stream", "R5",
+       "std::cout/std::cerr diagnostics are banned in src/ outside src/obs; "
+       "report through returned Status, the query log, or metrics (tools "
+       "and bench own their stdio)"},
       {"suppression", "meta",
        "every `dbx-lint: allow(rule)` must name a known rule and carry a "
        "`: reason`"},
@@ -403,6 +408,7 @@ void Linter::LintFile(const SourceFile& f, std::vector<Finding>* out) const {
   RuleDiscardedStatus(f, out);
   RuleLockDiscipline(f, out);
   RuleLayering(f, out);
+  RuleRawStream(f, out);
   // Meta rule: malformed or unexplained suppressions.
   for (size_t i = 0; i < f.comment_lines.size(); ++i) {
     Suppression s;
@@ -623,6 +629,31 @@ void Linter::RuleLockDiscipline(const SourceFile& f,
                  "scoped_lock so unlock is exception-safe",
              out);
       }
+    }
+  }
+}
+
+void Linter::RuleRawStream(const SourceFile& f,
+                           std::vector<Finding>* out) const {
+  // Library scope only: src/ minus src/obs/ (the observability layer is the
+  // sanctioned sink and may render to streams). tools/ and bench/ are CLI
+  // surfaces — their stdio IS the interface.
+  const bool in_scope =
+      StartsWith(f.path, "src/") && !StartsWith(f.path, "src/obs/");
+  if (!in_scope) return;
+  for (size_t i = 0; i < f.code_lines.size(); ++i) {
+    const std::string& line = f.code_lines[i];
+    for (const char* stream : {"std::cerr", "std::cout"}) {
+      const size_t at = line.find(stream);
+      if (at == std::string::npos) continue;
+      // Identifier boundary on the right (left is guaranteed by "std::").
+      const size_t end = at + std::strlen(stream);
+      if (end < line.size() && IsIdentChar(line[end])) continue;
+      Emit(f, i + 1, "raw-stream",
+           std::string("raw ") + stream +
+               " diagnostic in library code; return a Status, append to the "
+               "query log, or bump a metric instead",
+           out);
     }
   }
 }

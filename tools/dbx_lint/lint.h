@@ -21,6 +21,10 @@
 //                         query,obs,util}, and no src/ layer outside
 //                         src/server may include src/server — the library
 //                         must not depend on the service built on top of it)
+//   R5 observability    — `raw-stream` (no std::cout/std::cerr diagnostics
+//                         in src/ outside src/obs; library code reports
+//                         through returned Status, the query log, or
+//                         metrics — tools and bench own their stdio)
 //
 // Suppressions: `// dbx-lint: allow(<rule>): <reason>` on the offending line
 // or alone on the line above. A suppression without a reason is itself a
@@ -102,6 +106,7 @@ class Linter {
   void RuleLockDiscipline(const SourceFile& f,
                           std::vector<Finding>* out) const;
   void RuleLayering(const SourceFile& f, std::vector<Finding>* out) const;
+  void RuleRawStream(const SourceFile& f, std::vector<Finding>* out) const;
 
   std::vector<SourceFile> files_;
   std::set<std::string> status_functions_;  // R2 registry (from headers)

@@ -9,6 +9,14 @@
 //   dbx_serve [--socket /tmp/dbx.sock | --tcp PORT] [--metrics-port PORT]
 //             [--rows N] [--max-sessions N] [--max-inflight N]
 //             [--session-budget-kb N]
+//             [--trace-out PATH] [--query-log PATH] [--slow-ms N]
+//             [--query-log-slow-only]
+//
+// Observability (DESIGN.md §14): --trace-out dumps the server tracer's
+// Chrome trace on clean shutdown; --query-log streams one JSONL record per
+// EXEC; --slow-ms sets the slow-query threshold (default 100ms) and
+// --query-log-slow-only keeps only slow statements. The metrics port also
+// serves /healthz, /statusz, and /tracez alongside /metrics.
 //
 // Runs until SIGINT/SIGTERM, then drains connections and exits cleanly.
 
@@ -24,15 +32,34 @@
 
 #include "src/data/dataset.h"
 #include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
+#include "src/obs/trace.h"
 #include "src/server/dispatcher.h"
 #include "src/server/metrics_http.h"
 #include "src/server/socket_transport.h"
+#include "src/util/stopwatch.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+
+/// Accepts "--flag VALUE" (consuming the next argv) and "--flag=VALUE".
+bool FlagValue(int argc, char** argv, int* i, const char* flag,
+               std::string* value) {
+  const size_t flag_len = std::strlen(flag);
+  if (std::strcmp(argv[*i], flag) == 0 && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  if (std::strncmp(argv[*i], flag, flag_len) == 0 &&
+      argv[*i][flag_len] == '=') {
+    *value = argv[*i] + flag_len + 1;
+    return true;
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -41,12 +68,25 @@ int main(int argc, char** argv) {
   int tcp_port = -1;           // -1 = use the unix socket
   int metrics_port = 0;        // 0 = ephemeral (printed at startup)
   size_t rows = 0;             // 0 = each dataset's default size
+  std::string trace_out;       // "" = no trace dump
+  std::string query_log_path;  // "" = in-memory ring only (still served)
+  double slow_ms = 100.0;
+  bool query_log_slow_only = false;
+  std::string flag_value;
   dbx::server::ServerOptions options;
   options.max_inflight = 8;
   options.session_cache_budget_bytes = 8u << 20;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (FlagValue(argc, argv, &i, "--trace-out", &flag_value)) {
+      trace_out = flag_value;
+    } else if (FlagValue(argc, argv, &i, "--query-log", &flag_value)) {
+      query_log_path = flag_value;
+    } else if (FlagValue(argc, argv, &i, "--slow-ms", &flag_value)) {
+      slow_ms = std::strtod(flag_value.c_str(), nullptr);
+    } else if (std::strcmp(argv[i], "--query-log-slow-only") == 0) {
+      query_log_slow_only = true;
     } else if (std::strcmp(argv[i], "--tcp") == 0 && i + 1 < argc) {
       tcp_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
@@ -80,7 +120,25 @@ int main(int argc, char** argv) {
     datasets.push_back(std::move(*ds));
   }
 
+  // Tracing is on whenever any §14 surface wants spans: a --trace-out dump,
+  // the query log's stage latencies, or the /tracez endpoint (always served,
+  // so always trace — span recording is cheap and bounded by the ring).
+  dbx::Tracer tracer(8192);
+  dbx::QueryLog query_log;
+  query_log.SetSlowThresholdMs(slow_ms);
+  query_log.SetSlowOnly(query_log_slow_only);
+  if (!query_log_path.empty()) {
+    if (dbx::Status st = query_log.AttachFile(query_log_path); !st.ok()) {
+      std::fprintf(stderr, "query log: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("query log -> %s (slow-ms=%.1f%s)\n", query_log_path.c_str(),
+                slow_ms, query_log_slow_only ? ", slow-only" : "");
+  }
+
   options.metrics = dbx::MetricsRegistry::Global();
+  options.tracer = &tracer;
+  options.query_log = &query_log;
   dbx::server::Dispatcher dispatcher(std::move(options));
   for (const dbx::Dataset& ds : datasets) {
     dispatcher.RegisterTable(ds.name, ds.table.get());
@@ -114,12 +172,21 @@ int main(int argc, char** argv) {
                  metrics_listener.status().ToString().c_str());
     return 1;
   }
-  std::printf("metrics on http://127.0.0.1:%u/metrics\n",
+  std::printf("debug endpoints on http://127.0.0.1:%u"
+              "{/metrics,/healthz,/statusz,/tracez}\n",
               (*metrics_listener)->port());
 
   dbx::server::Server server(&dispatcher, listener.get());
   server.Start();
-  dbx::server::MetricsHttpServer metrics_server(dbx::MetricsRegistry::Global(),
+  dbx::Stopwatch uptime;
+  dbx::server::DebugEndpoints endpoints;
+  endpoints.metrics = dbx::MetricsRegistry::Global();
+  endpoints.statusz = [&dispatcher] { return dispatcher.RenderStatusz(); };
+  endpoints.uptime_seconds = [&uptime] {
+    return uptime.ElapsedNanos() / 1e9;
+  };
+  endpoints.tracer = &tracer;
+  dbx::server::MetricsHttpServer metrics_server(endpoints,
                                                 metrics_listener->get());
   metrics_server.Start();
 
@@ -134,6 +201,16 @@ int main(int argc, char** argv) {
   std::printf("stopping...\n");
   metrics_server.Stop();
   server.Stop();
-  std::printf("stopped; %zu session(s) reaped\n", dispatcher.session_count());
+  if (!trace_out.empty()) {
+    if (dbx::Status st = tracer.WriteChromeJson(trace_out); st.ok()) {
+      std::printf("trace -> %s (%zu span(s))\n", trace_out.c_str(),
+                  tracer.Events().size());
+    } else {
+      std::fprintf(stderr, "trace dump: %s\n", st.ToString().c_str());
+    }
+  }
+  std::printf("stopped; %zu session(s) reaped, %llu statement(s) logged\n",
+              dispatcher.session_count(),
+              static_cast<unsigned long long>(query_log.appended()));
   return 0;
 }
