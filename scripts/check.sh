@@ -17,6 +17,9 @@
 #                 replay + fixed mutation budget (scripts/check_fuzz.sh)
 #   server      — multi-session exploration server suites over the loopback
 #                 transport (subset of unit, also run standalone)
+#   storage     — storage-backend suites: DBXC round-trip/durability contract
+#                 plus cross-backend server-path byte-identity (subset of
+#                 unit+integration, also run standalone)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +38,7 @@ ctest --test-dir build -L bench-smoke --output-on-failure \
   || fail "bench smoke runs"
 ctest --test-dir build -L obs --output-on-failure || fail "obs tests"
 ctest --test-dir build -L server --output-on-failure || fail "server tests"
+ctest --test-dir build -L storage --output-on-failure || fail "storage tests"
 
 # Bench-trend gate (DESIGN.md §14): the bench-smoke tier above refreshed
 # build/BENCH_*.json; compare them against the committed baselines. First the
@@ -51,7 +55,8 @@ if "$BENCHDIFF" --baseline bench/baselines/BENCH_server.json \
   fail "benchdiff missed a seeded p95 regression"
 fi
 if [ "${DBX_UPDATE_BASELINES:-0}" = "1" ]; then
-  cp build/BENCH_server.json build/BENCH_scale.json bench/baselines/ \
+  cp build/BENCH_server.json build/BENCH_scale.json \
+     build/BENCH_storage.json bench/baselines/ \
     || fail "baseline refresh"
   echo "bench baselines refreshed from build/"
 else

@@ -17,9 +17,9 @@ fail() { echo "FUZZ CHECK FAILED: $*" >&2; exit 1; }
 
 cmake -B build -G Ninja >/dev/null || fail "configure"
 cmake --build build --target lexer_fuzz parser_fuzz server_frame_fuzz \
-  >/dev/null || fail "build"
+  dbxc_fuzz >/dev/null || fail "build"
 
-for harness in lexer parser server_frame; do
+for harness in lexer parser server_frame dbxc; do
   echo "== ${harness}_fuzz: corpus + $ITERS mutations (seed $SEED)"
   build/tests/fuzz/${harness}_fuzz \
     --corpus "tests/fuzz/corpus/${harness}" \

@@ -52,6 +52,10 @@ mkdir -p "$SEED_DIR/src/query"
 cat > "$SEED_DIR/src/query/seed_r4_server.cc" <<'EOF'
 #include "src/server/dispatcher.h"
 EOF
+# R4's storage back-edge: only engine/session/server glue may see storage.
+cat > "$SEED_DIR/src/core/seed_r4_storage.cc" <<'EOF'
+#include "src/storage/storage.h"
+EOF
 
 expect_rule() {  # expect_rule <rule> <relpath>
   local rule="$1" file="$2" out
@@ -67,6 +71,7 @@ expect_rule nodiscard        src/core/seed_r2.h
 expect_rule lock-discipline  src/core/seed_r3.cc
 expect_rule layering         src/util/seed_r4.cc
 expect_rule layering         src/query/seed_r4_server.cc
+expect_rule layering         src/core/seed_r4_storage.cc
 rm -rf "$SEED_DIR"/src/core/* "$SEED_DIR"/src/util/* "$SEED_DIR"/src/query/*
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -16,8 +16,8 @@ cmake -B "$BUILD_DIR" -S . -DDBX_SANITIZE=thread \
 cmake --build "$BUILD_DIR" -j --target \
   thread_pool_test cad_view_test cluster_test feature_selection_test \
   facet_index_test facet_test view_cache_test obs_test query_log_test \
-  server_test server_replay_test shard_merge_test \
-  lexer_fuzz parser_fuzz server_frame_fuzz || fail "build"
+  server_test server_replay_test shard_merge_test storage_test \
+  lexer_fuzz parser_fuzz server_frame_fuzz dbxc_fuzz || fail "build"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 export DBX_TEST_THREADS="$THREADS"

@@ -18,6 +18,15 @@ Result<TpFacetSession> TpFacetSession::Create(
   return s;
 }
 
+Result<TpFacetSession> TpFacetSession::Create(
+    std::shared_ptr<const Table> table, const DiscretizerOptions& disc_options,
+    CadViewOptions cad_defaults) {
+  auto session = Create(table.get(), disc_options, std::move(cad_defaults));
+  if (!session.ok()) return session.status();
+  session->owned_table_ = std::move(table);
+  return session;
+}
+
 Result<std::string> TpFacetSession::RenderResultPage(
     size_t offset, size_t limit,
     const std::vector<std::string>& columns) const {

@@ -37,6 +37,13 @@ class TpFacetSession {
                                        const DiscretizerOptions& disc_options,
                                        CadViewOptions cad_defaults);
 
+  /// As above over a backend-owned snapshot (storage::TableSnapshot::table):
+  /// the session shares ownership, so the backend can be closed while the
+  /// exploration continues.
+  [[nodiscard]] static Result<TpFacetSession> Create(
+      std::shared_ptr<const Table> table,
+      const DiscretizerOptions& disc_options, CadViewOptions cad_defaults);
+
   // --- Query panel (shared by both phases) ---------------------------------
 
   [[nodiscard]]
@@ -205,6 +212,8 @@ class TpFacetSession {
   }
 
   std::vector<ExplorationState> history_;
+  /// Set by the snapshot Create overload; keeps the explored table alive.
+  std::shared_ptr<const Table> owned_table_;
   FacetEngine facets_;
   CadViewOptions cad_defaults_;
   std::string pivot_attr_;

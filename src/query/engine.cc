@@ -53,6 +53,13 @@ void Engine::RegisterTableSnapshot(const std::string& name, const Table* table,
   tables_[name] = table;
 }
 
+void Engine::RegisterTableSnapshot(const std::string& name,
+                                   std::shared_ptr<const Table> table,
+                                   std::string dataset_id) {
+  RegisterTableSnapshot(name, table.get(), std::move(dataset_id));
+  owned_tables_[name] = std::move(table);
+}
+
 Result<ExecOutcome> Engine::ExecuteSql(const std::string& sql) {
   Stopwatch total_timer;
   Stopwatch parse_timer;

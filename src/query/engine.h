@@ -72,6 +72,14 @@ class Engine {
   void RegisterTableSnapshot(const std::string& name, const Table* table,
                              std::string dataset_id);
 
+  /// As above, but the engine shares ownership of the snapshot — the form a
+  /// storage backend hands out (LoadTable returns shared_ptr<const Table> +
+  /// content-addressed id). The snapshot outlives any re-registration of the
+  /// name for as long as this engine does.
+  void RegisterTableSnapshot(const std::string& name,
+                             std::shared_ptr<const Table> table,
+                             std::string dataset_id);
+
   /// Attributes this engine's cache inserts to `owner` for per-session byte
   /// budgeting in a shared ViewCache ("" = unattributed).
   void SetCacheOwner(std::string owner) { cache_owner_ = std::move(owner); }
@@ -136,6 +144,8 @@ class Engine {
   /// Snapshot dataset id of each registered name — the cache keying
   /// identity. Always present for a registered table.
   std::map<std::string, std::string> dataset_ids_;
+  /// Keep-alive for snapshots registered via the shared_ptr overload.
+  std::map<std::string, std::shared_ptr<const Table>> owned_tables_;
   std::map<std::string, std::unique_ptr<CadView>> views_;
   CadViewOptions defaults_;
   std::shared_ptr<ViewCache> cache_;

@@ -58,6 +58,22 @@ void Dispatcher::RegisterTable(const std::string& name, const Table* table) {
   tables_[name] = {table, MakeSnapshotDatasetId(name)};
 }
 
+void Dispatcher::RegisterTableSnapshot(const std::string& name,
+                                       std::shared_ptr<const Table> table,
+                                       std::string snapshot_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it != tables_.end() && it->second.second != snapshot_id) {
+    // Different content under the same name: the superseded registration's
+    // entries are unreachable under the new id; invalidating reclaims their
+    // budget promptly. An unchanged id keeps them — that IS the warm-reopen
+    // path.
+    cache_->InvalidateDataset(it->second.second);
+  }
+  tables_[name] = {table.get(), std::move(snapshot_id)};
+  owned_tables_[name] = std::move(table);
+}
+
 Result<std::string> Dispatcher::OpenSession(ConnectionScope* scope) {
   std::lock_guard<std::mutex> lock(mu_);
   if (sessions_.size() >= options_.max_sessions) {

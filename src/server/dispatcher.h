@@ -112,6 +112,16 @@ class Dispatcher {
   /// entries unreachable either way. The table must outlive the dispatcher.
   void RegisterTable(const std::string& name, const Table* table);
 
+  /// Registers a backend-owned snapshot: the dispatcher shares ownership of
+  /// the (immutable) table and keys the shared cache with the caller's
+  /// content-addressed `snapshot_id` (storage::TableSnapshot::snapshot_id).
+  /// Re-registering a name with the SAME id is a no-op for the cache —
+  /// reopening an unchanged table keeps every warm entry — while a different
+  /// id invalidates the superseded registration's entries.
+  void RegisterTableSnapshot(const std::string& name,
+                             std::shared_ptr<const Table> table,
+                             std::string snapshot_id);
+
   /// Sessions opened by one connection, reaped when its loop exits.
   struct ConnectionScope {
     std::vector<std::string> sessions;
@@ -167,6 +177,8 @@ class Dispatcher {
   /// name -> (table, snapshot dataset id); ordered so OPEN registers tables
   /// deterministically.
   std::map<std::string, std::pair<const Table*, std::string>> tables_;
+  /// Keep-alive for snapshots registered via RegisterTableSnapshot.
+  std::map<std::string, std::shared_ptr<const Table>> owned_tables_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
   uint64_t next_session_id_ = 0;
 

@@ -1,0 +1,118 @@
+#include "src/storage/dbxc_backend.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+namespace dbx::storage {
+namespace {
+
+constexpr std::string_view kSuffix = ".dbxc";
+
+}  // namespace
+
+DbxcBackend::DbxcBackend(std::string location)
+    : location_(std::move(location)) {}
+
+Status DbxcBackend::Open() {
+  if (location_.empty()) {
+    return Status::InvalidArgument("dbxc: needs a directory location");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(location_, ec);
+  if (ec) {
+    return Status::Internal("dbxc: cannot create directory '" + location_ +
+                            "': " + ec.message());
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Status DbxcBackend::CheckOpen() const {
+  if (!open_) return Status::FailedPrecondition("dbxc: backend is not open");
+  return Status::OK();
+}
+
+std::string DbxcBackend::PathFor(const std::string& name) const {
+  return location_ + "/" + name + std::string(kSuffix);
+}
+
+Result<std::vector<std::string>> DbxcBackend::ListTables() {
+  DBX_RETURN_IF_ERROR(CheckOpen());
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(location_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string fname = entry.path().filename().string();
+    if (fname.size() <= kSuffix.size() ||
+        fname.substr(fname.size() - kSuffix.size()) != kSuffix) {
+      continue;
+    }
+    std::string name = fname.substr(0, fname.size() - kSuffix.size());
+    if (IsValidTableName(name)) out.push_back(std::move(name));
+  }
+  if (ec) {
+    return Status::Internal("dbxc: cannot list '" + location_ +
+                            "': " + ec.message());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<DbxcTableFile> DbxcBackend::OpenTableFile(
+    const std::string& name, const DbxcOpenOptions& options) {
+  DBX_RETURN_IF_ERROR(CheckOpen());
+  if (!IsValidTableName(name)) {
+    return Status::InvalidArgument("invalid table name '" + name + "'");
+  }
+  return DbxcTableFile::Open(PathFor(name), options);
+}
+
+Result<TableSnapshot> DbxcBackend::LoadTable(const std::string& name) {
+  auto file = OpenTableFile(name);
+  if (!file.ok()) return file.status();
+  auto table = file->Materialize();
+  if (!table.ok()) return table.status();
+  TableSnapshot snap;
+  snap.name = name;
+  snap.table = std::move(*table);
+  snap.snapshot_id = SnapshotIdFor(name, file->content_hash());
+  return snap;
+}
+
+Status DbxcBackend::StoreTable(const std::string& name, const Table& table) {
+  DBX_RETURN_IF_ERROR(CheckOpen());
+  if (!IsValidTableName(name)) {
+    return Status::InvalidArgument("invalid table name '" + name + "'");
+  }
+  return WriteDbxcFile(table, PathFor(name));
+}
+
+Result<std::string> DbxcBackend::SnapshotId(const std::string& name) {
+  // Header-only open: skip the data-checksum pass.
+  auto file = OpenTableFile(name, DbxcOpenOptions{.verify_data_checksum = false});
+  if (!file.ok()) return file.status();
+  return SnapshotIdFor(name, file->content_hash());
+}
+
+Status DbxcBackend::Close() {
+  open_ = false;
+  return Status::OK();
+}
+
+void RegisterDbxcBackend(StorageBackendFactory* factory) {
+  factory->Register("dbxc",
+                    [](const std::string& location)
+                        -> Result<std::unique_ptr<StorageBackend>> {
+                      if (location.empty()) {
+                        return Status::InvalidArgument(
+                            "dbxc: needs a directory location, e.g. "
+                            "dbxc:/var/tables");
+                      }
+                      return std::unique_ptr<StorageBackend>(
+                          new DbxcBackend(location));
+                    });
+}
+
+}  // namespace dbx::storage

@@ -1,0 +1,74 @@
+#include "src/storage/mem_backend.h"
+
+namespace dbx::storage {
+
+Status MemBackend::Open() {
+  open_ = true;
+  return Status::OK();
+}
+
+Status MemBackend::CheckOpen() const {
+  if (!open_) return Status::FailedPrecondition("mem: backend is not open");
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> MemBackend::ListTables() {
+  DBX_RETURN_IF_ERROR(CheckOpen());
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, unused] : tables_) out.push_back(name);
+  return out;
+}
+
+Result<TableSnapshot> MemBackend::LoadTable(const std::string& name) {
+  DBX_RETURN_IF_ERROR(CheckOpen());
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("mem: no table named '" + name + "'");
+  }
+  TableSnapshot snap;
+  snap.name = name;
+  snap.table = it->second.table;
+  snap.snapshot_id = SnapshotIdFor(name, it->second.content_hash);
+  return snap;
+}
+
+Status MemBackend::StoreTable(const std::string& name, const Table& table) {
+  DBX_RETURN_IF_ERROR(CheckOpen());
+  if (!IsValidTableName(name)) {
+    return Status::InvalidArgument("invalid table name '" + name + "'");
+  }
+  auto copy = CopyTable(table);
+  if (!copy.ok()) return copy.status();
+  Stored stored;
+  stored.table = std::move(*copy);
+  stored.content_hash = TableContentHash(*stored.table);
+  tables_[name] = std::move(stored);
+  return Status::OK();
+}
+
+Result<std::string> MemBackend::SnapshotId(const std::string& name) {
+  DBX_RETURN_IF_ERROR(CheckOpen());
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("mem: no table named '" + name + "'");
+  }
+  return SnapshotIdFor(name, it->second.content_hash);
+}
+
+Status MemBackend::Close() {
+  open_ = false;
+  tables_.clear();
+  return Status::OK();
+}
+
+void RegisterMemBackend(StorageBackendFactory* factory) {
+  factory->Register("mem",
+                    [](const std::string& location)
+                        -> Result<std::unique_ptr<StorageBackend>> {
+                      return std::unique_ptr<StorageBackend>(
+                          new MemBackend(location));
+                    });
+}
+
+}  // namespace dbx::storage

@@ -1,0 +1,55 @@
+// Copyright (c) DBExplorer reproduction authors.
+// The `mem:` storage backend: tables live in this process, exactly like the
+// pre-storage engine — StoreTable deep-copies into an immutable snapshot,
+// LoadTable hands that snapshot back. Restart loses everything (that is the
+// point of the on-disk backends), but the snapshot-id contract is identical:
+// ids are content hashes, so a mem: snapshot of the same logical table as a
+// dbxc: or sqlite: one carries the same id and shares warm ViewCache entries.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/storage.h"
+
+namespace dbx::storage {
+
+class MemBackend : public StorageBackend {
+ public:
+  /// `location` is accepted but unused ("mem:" and "mem:anything" behave
+  /// alike — there is exactly one store per backend instance).
+  explicit MemBackend(std::string location) : location_(std::move(location)) {}
+
+  std::string scheme() const override { return "mem"; }
+  std::string location() const override { return location_; }
+
+  [[nodiscard]] Status Open() override;
+  [[nodiscard]] Result<std::vector<std::string>> ListTables() override;
+  [[nodiscard]] Result<TableSnapshot> LoadTable(
+      const std::string& name) override;
+  [[nodiscard]] Status StoreTable(const std::string& name,
+                                  const Table& table) override;
+  [[nodiscard]] Result<std::string> SnapshotId(
+      const std::string& name) override;
+  [[nodiscard]] Status Close() override;
+
+ private:
+  struct Stored {
+    std::shared_ptr<const Table> table;
+    uint64_t content_hash = 0;
+  };
+
+  [[nodiscard]] Status CheckOpen() const;
+
+  std::string location_;
+  bool open_ = false;
+  std::map<std::string, Stored> tables_;
+};
+
+/// Registers the `mem:` scheme.
+void RegisterMemBackend(StorageBackendFactory* factory);
+
+}  // namespace dbx::storage

@@ -1,0 +1,43 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Read-only memory mapping of a whole file. The DBXC reader serves
+// dictionary pages and packed code pages straight out of the mapping, so
+// opening a table is O(header) and untouched columns never leave the page
+// cache — the property that lets tables exceed RAM.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/util/result.h"
+
+namespace dbx::storage {
+
+/// A read-only mmap of one file. Move-only; unmaps on destruction.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. NotFound when the file does not exist or cannot
+  /// be opened; an empty file maps to an empty view.
+  [[nodiscard]] static Result<MmapFile> Open(const std::string& path);
+
+  /// The mapped bytes (empty for an empty file). Valid until destruction.
+  std::string_view bytes() const {
+    if (data_ == nullptr) return {};
+    return {static_cast<const char*>(data_), size_};
+  }
+
+ private:
+  void* data_ = nullptr;  // nullptr when empty or unmapped
+  size_t size_ = 0;
+};
+
+}  // namespace dbx::storage

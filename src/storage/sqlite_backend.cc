@@ -1,0 +1,411 @@
+#include "src/storage/sqlite_backend.h"
+
+#if defined(DBX_HAVE_SQLITE)
+
+#include <sqlite3.h>
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace dbx::storage {
+namespace {
+
+constexpr char kMetaTable[] = "dbx_storage_meta";
+
+/// "name" -> "\"name\"" with embedded quotes doubled.
+std::string QuoteIdent(const std::string& name) {
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+/// RAII sqlite3_stmt.
+class Stmt {
+ public:
+  Stmt() = default;
+  ~Stmt() { Reset(); }
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] Status Prepare(sqlite3* db, const std::string& sql) {
+    Reset();
+    if (sqlite3_prepare_v2(db, sql.c_str(), -1, &stmt_, nullptr) !=
+        SQLITE_OK) {
+      return Status::Internal("sqlite: prepare failed: " +
+                              std::string(sqlite3_errmsg(db)));
+    }
+    return Status::OK();
+  }
+  sqlite3_stmt* get() const { return stmt_; }
+  void Reset() {
+    if (stmt_ != nullptr) {
+      sqlite3_finalize(stmt_);
+      stmt_ = nullptr;
+    }
+  }
+
+ private:
+  sqlite3_stmt* stmt_ = nullptr;
+};
+
+class SqliteBackend : public StorageBackend {
+ public:
+  explicit SqliteBackend(std::string location)
+      : location_(std::move(location)) {}
+  ~SqliteBackend() override {
+    if (db_ != nullptr) sqlite3_close(db_);
+  }
+
+  std::string scheme() const override { return "sqlite"; }
+  std::string location() const override { return location_; }
+
+  [[nodiscard]] Status Open() override {
+    if (db_ != nullptr) return Status::OK();
+    if (location_.empty()) {
+      return Status::InvalidArgument("sqlite: needs a database file location");
+    }
+    if (sqlite3_open_v2(location_.c_str(), &db_,
+                        SQLITE_OPEN_READWRITE | SQLITE_OPEN_CREATE,
+                        nullptr) != SQLITE_OK) {
+      Status out = Status::NotFound(
+          "sqlite: cannot open '" + location_ + "': " +
+          (db_ != nullptr ? sqlite3_errmsg(db_) : "out of memory"));
+      if (db_ != nullptr) sqlite3_close(db_);
+      db_ = nullptr;
+      return out;
+    }
+    return Status::OK();
+  }
+
+  [[nodiscard]] Result<std::vector<std::string>> ListTables() override {
+    DBX_RETURN_IF_ERROR(CheckOpen());
+    Stmt stmt;
+    DBX_RETURN_IF_ERROR(stmt.Prepare(
+        db_,
+        "SELECT name FROM sqlite_master WHERE type='table' "
+        "AND name NOT LIKE 'sqlite_%' ORDER BY name"));
+    std::vector<std::string> out;
+    int rc;
+    while ((rc = sqlite3_step(stmt.get())) == SQLITE_ROW) {
+      const unsigned char* text = sqlite3_column_text(stmt.get(), 0);
+      std::string name = text != nullptr
+                             ? reinterpret_cast<const char*>(text)
+                             : "";
+      if (name != kMetaTable && IsValidTableName(name)) {
+        out.push_back(std::move(name));
+      }
+    }
+    if (rc != SQLITE_DONE) return StepError();
+    return out;
+  }
+
+  [[nodiscard]] Result<TableSnapshot> LoadTable(
+      const std::string& name) override {
+    auto table = ReadTable(name);
+    if (!table.ok()) return table.status();
+    TableSnapshot snap;
+    snap.name = name;
+    snap.snapshot_id = SnapshotIdFor(name, TableContentHash(**table));
+    snap.table = std::move(*table);
+    return snap;
+  }
+
+  [[nodiscard]] Status StoreTable(const std::string& name,
+                                  const Table& table) override {
+    DBX_RETURN_IF_ERROR(CheckOpen());
+    if (!IsValidTableName(name)) {
+      return Status::InvalidArgument("invalid table name '" + name + "'");
+    }
+    DBX_RETURN_IF_ERROR(Exec("BEGIN IMMEDIATE"));
+    Status body = StoreTableLocked(name, table);
+    if (!body.ok()) {
+      (void)Exec("ROLLBACK");
+      return body;
+    }
+    return Exec("COMMIT");
+  }
+
+  [[nodiscard]] Result<std::string> SnapshotId(
+      const std::string& name) override {
+    // SQLite has no cheap content fingerprint: hashing requires the scan
+    // LoadTable does anyway.
+    auto snap = LoadTable(name);
+    if (!snap.ok()) return snap.status();
+    return snap->snapshot_id;
+  }
+
+  [[nodiscard]] Status Close() override {
+    if (db_ != nullptr) {
+      sqlite3_close(db_);
+      db_ = nullptr;
+    }
+    return Status::OK();
+  }
+
+ private:
+  [[nodiscard]] Status CheckOpen() const {
+    if (db_ == nullptr) {
+      return Status::FailedPrecondition("sqlite: backend is not open");
+    }
+    return Status::OK();
+  }
+
+  Status StepError() const {
+    return Status::Internal("sqlite: step failed: " +
+                            std::string(sqlite3_errmsg(db_)));
+  }
+
+  [[nodiscard]] Status Exec(const std::string& sql) {
+    char* err = nullptr;
+    if (sqlite3_exec(db_, sql.c_str(), nullptr, nullptr, &err) != SQLITE_OK) {
+      std::string msg = err != nullptr ? err : "unknown error";
+      sqlite3_free(err);
+      return Status::Internal("sqlite: '" + sql + "' failed: " + msg);
+    }
+    return Status::OK();
+  }
+
+  [[nodiscard]] Result<bool> TableExists(const std::string& name) {
+    Stmt stmt;
+    DBX_RETURN_IF_ERROR(stmt.Prepare(
+        db_, "SELECT 1 FROM sqlite_master WHERE type='table' AND name=?1"));
+    sqlite3_bind_text(stmt.get(), 1, name.c_str(), -1, SQLITE_TRANSIENT);
+    int rc = sqlite3_step(stmt.get());
+    if (rc == SQLITE_ROW) return true;
+    if (rc == SQLITE_DONE) return false;
+    return StepError();
+  }
+
+  /// Per-column metadata from the sidecar table, empty when absent.
+  [[nodiscard]] Result<std::map<std::string, std::pair<AttrType, bool>>>
+  ReadMeta(const std::string& name) {
+    std::map<std::string, std::pair<AttrType, bool>> meta;
+    auto exists = TableExists(kMetaTable);
+    if (!exists.ok()) return exists.status();
+    if (!*exists) return meta;
+    Stmt stmt;
+    DBX_RETURN_IF_ERROR(stmt.Prepare(
+        db_, "SELECT col, col_type, queriable FROM " +
+                 std::string(kMetaTable) + " WHERE tbl=?1"));
+    sqlite3_bind_text(stmt.get(), 1, name.c_str(), -1, SQLITE_TRANSIENT);
+    int rc;
+    while ((rc = sqlite3_step(stmt.get())) == SQLITE_ROW) {
+      const unsigned char* col = sqlite3_column_text(stmt.get(), 0);
+      if (col == nullptr) continue;
+      AttrType type = sqlite3_column_int(stmt.get(), 1) == 0
+                          ? AttrType::kCategorical
+                          : AttrType::kNumeric;
+      bool queriable = sqlite3_column_int(stmt.get(), 2) != 0;
+      meta[reinterpret_cast<const char*>(col)] = {type, queriable};
+    }
+    if (rc != SQLITE_DONE) return StepError();
+    return meta;
+  }
+
+  [[nodiscard]] Result<std::shared_ptr<Table>> ReadTable(
+      const std::string& name) {
+    DBX_RETURN_IF_ERROR(CheckOpen());
+    if (!IsValidTableName(name)) {
+      return Status::InvalidArgument("invalid table name '" + name + "'");
+    }
+    auto exists = TableExists(name);
+    if (!exists.ok()) return exists.status();
+    if (!*exists) {
+      return Status::NotFound("sqlite: no table named '" + name + "'");
+    }
+    auto meta = ReadMeta(name);
+    if (!meta.ok()) return meta.status();
+
+    // Row order must be deterministic for the content hash; rowid is the
+    // insertion order for tables this backend wrote. WITHOUT ROWID tables
+    // fall back to the table's natural (primary key) order.
+    Stmt stmt;
+    std::string select = "SELECT * FROM " + QuoteIdent(name);
+    if (!stmt.Prepare(db_, select + " ORDER BY rowid").ok()) {
+      DBX_RETURN_IF_ERROR(stmt.Prepare(db_, select));
+    }
+    const int ncols = sqlite3_column_count(stmt.get());
+    std::vector<std::string> names(static_cast<size_t>(ncols));
+    for (int c = 0; c < ncols; ++c) {
+      const char* n = sqlite3_column_name(stmt.get(), c);
+      names[static_cast<size_t>(c)] = n != nullptr ? n : "";
+    }
+
+    // Type sniff for columns the sidecar does not describe: numeric iff every
+    // non-null cell is INTEGER or FLOAT (all-null columns stay categorical).
+    std::vector<bool> described(static_cast<size_t>(ncols), false);
+    std::vector<bool> numeric(static_cast<size_t>(ncols), false);
+    std::vector<bool> queriable(static_cast<size_t>(ncols), true);
+    bool need_sniff = false;
+    for (int c = 0; c < ncols; ++c) {
+      auto it = meta->find(names[static_cast<size_t>(c)]);
+      if (it != meta->end()) {
+        described[static_cast<size_t>(c)] = true;
+        numeric[static_cast<size_t>(c)] =
+            it->second.first == AttrType::kNumeric;
+        queriable[static_cast<size_t>(c)] = it->second.second;
+      } else {
+        need_sniff = true;
+      }
+    }
+    if (need_sniff) {
+      std::vector<bool> saw_value(static_cast<size_t>(ncols), false);
+      std::vector<bool> all_numeric(static_cast<size_t>(ncols), true);
+      int rc;
+      while ((rc = sqlite3_step(stmt.get())) == SQLITE_ROW) {
+        for (int c = 0; c < ncols; ++c) {
+          int t = sqlite3_column_type(stmt.get(), c);
+          if (t == SQLITE_NULL) continue;
+          saw_value[static_cast<size_t>(c)] = true;
+          if (t != SQLITE_INTEGER && t != SQLITE_FLOAT) {
+            all_numeric[static_cast<size_t>(c)] = false;
+          }
+        }
+      }
+      if (rc != SQLITE_DONE) return StepError();
+      for (int c = 0; c < ncols; ++c) {
+        auto i = static_cast<size_t>(c);
+        if (!described[i]) numeric[i] = saw_value[i] && all_numeric[i];
+      }
+      sqlite3_reset(stmt.get());
+    }
+
+    std::vector<AttributeDef> attrs;
+    attrs.reserve(static_cast<size_t>(ncols));
+    for (int c = 0; c < ncols; ++c) {
+      auto i = static_cast<size_t>(c);
+      attrs.push_back({names[i],
+                       numeric[i] ? AttrType::kNumeric : AttrType::kCategorical,
+                       queriable[i]});
+    }
+    auto schema = Schema::Make(std::move(attrs));
+    if (!schema.ok()) return schema.status();
+    auto table = std::make_shared<Table>(std::move(*schema));
+
+    std::vector<Value> row(static_cast<size_t>(ncols));
+    int rc;
+    while ((rc = sqlite3_step(stmt.get())) == SQLITE_ROW) {
+      for (int c = 0; c < ncols; ++c) {
+        auto i = static_cast<size_t>(c);
+        if (sqlite3_column_type(stmt.get(), c) == SQLITE_NULL) {
+          row[i] = Value::Null();
+        } else if (numeric[i]) {
+          row[i] = Value(sqlite3_column_double(stmt.get(), c));
+        } else {
+          const unsigned char* text = sqlite3_column_text(stmt.get(), c);
+          row[i] = Value(std::string(
+              text != nullptr ? reinterpret_cast<const char*>(text) : ""));
+        }
+      }
+      DBX_RETURN_IF_ERROR(table->AppendRow(row));
+    }
+    if (rc != SQLITE_DONE) return StepError();
+    return table;
+  }
+
+  [[nodiscard]] Status StoreTableLocked(const std::string& name,
+                                        const Table& table) {
+    DBX_RETURN_IF_ERROR(
+        Exec("CREATE TABLE IF NOT EXISTS " + std::string(kMetaTable) +
+             " (tbl TEXT NOT NULL, col TEXT NOT NULL, "
+             "col_type INTEGER NOT NULL, queriable INTEGER NOT NULL, "
+             "PRIMARY KEY (tbl, col))"));
+    DBX_RETURN_IF_ERROR(Exec("DROP TABLE IF EXISTS " + QuoteIdent(name)));
+
+    std::string create = "CREATE TABLE " + QuoteIdent(name) + " (";
+    std::string insert = "INSERT INTO " + QuoteIdent(name) + " VALUES (";
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      const AttributeDef& a = table.schema().attr(c);
+      if (c > 0) {
+        create += ", ";
+        insert += ", ";
+      }
+      create += QuoteIdent(a.name);
+      create += a.type == AttrType::kCategorical ? " TEXT" : " REAL";
+      insert += "?";
+    }
+    create += ")";
+    insert += ")";
+    DBX_RETURN_IF_ERROR(Exec(create));
+
+    Stmt meta;
+    DBX_RETURN_IF_ERROR(meta.Prepare(
+        db_, "INSERT OR REPLACE INTO " + std::string(kMetaTable) +
+                 " (tbl, col, col_type, queriable) VALUES (?1, ?2, ?3, ?4)"));
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      const AttributeDef& a = table.schema().attr(c);
+      sqlite3_bind_text(meta.get(), 1, name.c_str(), -1, SQLITE_TRANSIENT);
+      sqlite3_bind_text(meta.get(), 2, a.name.c_str(), -1, SQLITE_TRANSIENT);
+      sqlite3_bind_int(meta.get(), 3, a.type == AttrType::kCategorical ? 0 : 1);
+      sqlite3_bind_int(meta.get(), 4, a.queriable ? 1 : 0);
+      if (sqlite3_step(meta.get()) != SQLITE_DONE) return StepError();
+      sqlite3_reset(meta.get());
+      sqlite3_clear_bindings(meta.get());
+    }
+
+    Stmt ins;
+    DBX_RETURN_IF_ERROR(ins.Prepare(db_, insert));
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      for (size_t c = 0; c < table.num_cols(); ++c) {
+        const Column& col = table.col(c);
+        const int idx = static_cast<int>(c) + 1;
+        if (col.IsNullAt(r)) {
+          sqlite3_bind_null(ins.get(), idx);
+        } else if (col.type() == AttrType::kCategorical) {
+          const std::string& s = col.DictString(col.CodeAt(r));
+          sqlite3_bind_text(ins.get(), idx, s.c_str(),
+                            static_cast<int>(s.size()), SQLITE_TRANSIENT);
+        } else {
+          sqlite3_bind_double(ins.get(), idx, col.NumberAt(r));
+        }
+      }
+      if (sqlite3_step(ins.get()) != SQLITE_DONE) return StepError();
+      sqlite3_reset(ins.get());
+      sqlite3_clear_bindings(ins.get());
+    }
+    return Status::OK();
+  }
+
+  std::string location_;
+  sqlite3* db_ = nullptr;
+};
+
+}  // namespace
+
+bool SqliteBackendAvailable() { return true; }
+
+void RegisterSqliteBackend(StorageBackendFactory* factory) {
+  factory->Register("sqlite",
+                    [](const std::string& location)
+                        -> Result<std::unique_ptr<StorageBackend>> {
+                      return std::unique_ptr<StorageBackend>(
+                          new SqliteBackend(location));
+                    });
+}
+
+}  // namespace dbx::storage
+
+#else  // !DBX_HAVE_SQLITE
+
+namespace dbx::storage {
+
+bool SqliteBackendAvailable() { return false; }
+
+void RegisterSqliteBackend(StorageBackendFactory* factory) {
+  factory->Register("sqlite",
+                    [](const std::string&)
+                        -> Result<std::unique_ptr<StorageBackend>> {
+                      return Status::NotSupported(
+                          "sqlite: backend not compiled in (build with the "
+                          "SQLite3 development files present)");
+                    });
+}
+
+}  // namespace dbx::storage
+
+#endif  // DBX_HAVE_SQLITE

@@ -1,0 +1,26 @@
+// Copyright (c) DBExplorer reproduction authors.
+// The `sqlite:` storage backend: an ingest adapter over a SQLite database
+// file. LoadTable reads any table (ORDER BY rowid), sniffing each column's
+// type from the stored values — all non-null cells numeric → kNumeric,
+// otherwise kCategorical. StoreTable writes TEXT/REAL columns plus a
+// `dbx_storage_meta` sidecar row per column recording the exact AttrType and
+// the queriable flag, so tables this backend wrote round-trip with full
+// schema fidelity (external tables default to queriable).
+//
+// Compiled only when SQLite3 is available (DBX_HAVE_SQLITE); otherwise the
+// scheme registers a creator that returns a clean NotSupported, and tests
+// auto-skip.
+
+#pragma once
+
+#include "src/storage/storage.h"
+
+namespace dbx::storage {
+
+/// True when this build can actually open sqlite: URIs.
+bool SqliteBackendAvailable();
+
+/// Registers the `sqlite:` scheme (real or NotSupported stub).
+void RegisterSqliteBackend(StorageBackendFactory* factory);
+
+}  // namespace dbx::storage

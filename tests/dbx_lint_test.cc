@@ -264,6 +264,46 @@ TEST(LayeringRule, NothingBelowMayDependOnTheServer) {
                   .empty());
 }
 
+TEST(LayeringRule, StorageIncludesItsWhitelistedLayers) {
+  EXPECT_TRUE(RulesHit("src/storage/dbxc_backend.cc",
+                       "#include \"src/storage/dbxc_format.h\"\n"
+                       "#include \"src/relation/table.h\"\n"
+                       "#include \"src/stats/discretizer.h\"\n"
+                       "#include \"src/obs/metrics.h\"\n"
+                       "#include \"src/util/result.h\"\n")
+                  .empty());
+  // Storage is a leaf: it may not reach up into query/session/server.
+  EXPECT_TRUE(Contains(RulesHit("src/storage/mem_backend.cc",
+                                "#include \"src/query/engine.h\"\n"),
+                       "layering"));
+  EXPECT_TRUE(Contains(RulesHit("src/storage/storage.cc",
+                                "#include \"src/server/dispatcher.h\"\n"),
+                       "layering"));
+}
+
+TEST(LayeringRule, OnlyGlueLayersMayIncludeStorage) {
+  // The library layers below the engine stay backend-agnostic.
+  EXPECT_TRUE(Contains(RulesHit("src/core/cad_view.cc",
+                                "#include \"src/storage/storage.h\"\n"),
+                       "layering"));
+  EXPECT_TRUE(Contains(RulesHit("src/relation/table.cc",
+                                "#include \"src/storage/dbxc_format.h\"\n"),
+                       "layering"));
+  EXPECT_TRUE(Contains(RulesHit("src/data/used_cars.cc",
+                                "#include \"src/storage/mem_backend.h\"\n"),
+                       "layering"));
+  // Engine/session/server glue and everything outside src/ may.
+  EXPECT_TRUE(RulesHit("src/query/engine.cc",
+                       "#include \"src/storage/storage.h\"\n")
+                  .empty());
+  EXPECT_TRUE(RulesHit("tools/dbx_serve/main.cc",
+                       "#include \"src/storage/storage.h\"\n")
+                  .empty());
+  EXPECT_TRUE(RulesHit("tests/storage_test.cc",
+                       "#include \"src/storage/dbxc_format.h\"\n")
+                  .empty());
+}
+
 // --- R5: raw streams --------------------------------------------------------
 
 TEST(RawStreamRule, FlagsRawStreamsInLibraryCode) {

@@ -1,0 +1,72 @@
+// Copyright (c) DBExplorer reproduction authors.
+// DBXC header-parser fuzz harness: arbitrary bytes thrown at the on-disk
+// columnar format's reader (DESIGN.md §15). Whatever the input — a valid
+// file, one flipped bit, a truncated prefix, binary garbage — the reader
+// must
+//   1. return a clean Status (never crash, hang, or trip a sanitizer),
+//   2. never accept a file whose header checksum does not match, and
+//   3. fully decode (dictionaries, code pages, numeric pages) anything it
+//      does accept without out-of-bounds reads — the full-validation path
+//      materializes every column of an accepted input.
+// Crashes/aborts and sanitizer reports fail the run. Runs under libFuzzer
+// with -DDBX_LIBFUZZER, or as a deterministic corpus+mutation smoke test
+// (fuzz_driver.h).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/storage/dbxc_format.h"
+
+namespace {
+
+void Require(bool cond, const char* what) {
+  if (cond) return;
+  std::fprintf(stderr, "dbxc_fuzz: property violated: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  // Header-only parse: must never crash.
+  auto header = dbx::storage::ParseDbxcHeader(bytes);
+
+  // Full structural validation (adds the data checksum).
+  dbx::Status valid = dbx::storage::ValidateDbxc(bytes);
+  Require(header.ok() || !valid.ok(),
+          "ValidateDbxc accepted what ParseDbxcHeader rejected");
+
+  // Anything the reader accepts must decode end-to-end: every dictionary,
+  // every packed code page (range-checked symbols), every numeric page.
+  auto file = dbx::storage::DbxcTableFile::FromBytes(bytes);
+  if (file.ok()) {
+    for (size_t c = 0; c < file->num_cols(); ++c) {
+      if (file->header().cols[c].type == dbx::AttrType::kCategorical) {
+        auto dict = file->DictStrings(c);
+        std::vector<int32_t> codes;
+        dbx::Status decoded = file->DecodeCodes(c, &codes);
+        if (dict.ok() && decoded.ok()) {
+          Require(codes.size() == file->num_rows(),
+                  "decoded codes not parallel to rows");
+        }
+      } else {
+        std::vector<double> nums;
+        (void)file->CopyNumbers(c, &nums);
+      }
+    }
+    auto table = file->Materialize();
+    if (table.ok()) {
+      Require((*table)->num_rows() == file->num_rows(),
+              "materialized row count disagrees with the header");
+    }
+  }
+  return 0;
+}
+
+#include "tests/fuzz/fuzz_driver.h"

@@ -207,8 +207,11 @@ const std::vector<RuleInfo>& Rules() {
        "lock_guard/unique_lock/scoped_lock, never raw lock()/unlock()"},
       {"layering", "R4",
        "src/util includes only src/util; src/obs includes only src/util and "
-       "src/obs; src/server includes only src/{server,explorer,query,obs,"
-       "util}, and no other src/ layer may include src/server"},
+       "src/obs; src/storage includes only src/{storage,core,relation,stats,"
+       "obs,util}; src/server includes only src/{server,explorer,query,obs,"
+       "util}; no other src/ layer may include src/server, and only the "
+       "engine/session/server glue (src/{query,explorer,server}) may include "
+       "src/storage"},
       {"raw-stream", "R5",
        "std::cout/std::cerr diagnostics are banned in src/ outside src/obs; "
        "report through returned Status, the query log, or metrics (tools "
@@ -667,6 +670,12 @@ void Linter::RuleLayering(const SourceFile& f,
   static const std::vector<Layer> kLayers = {
       {"src/util/", {"src/util/"}},
       {"src/obs/", {"src/util/", "src/obs/"}},
+      // Storage is a leaf subsystem over the data model: it may read and
+      // build relations (and discretize them), but knows nothing about
+      // query/session/server machinery.
+      {"src/storage/",
+       {"src/storage/", "src/core/", "src/relation/", "src/stats/",
+        "src/obs/", "src/util/"}},
       // The server sits at the top of the stack: it may use the exploration
       // and query layers (plus obs/util), but nothing below may know it
       // exists — the dispatcher stays a pure consumer of the library.
@@ -676,6 +685,13 @@ void Linter::RuleLayering(const SourceFile& f,
   };
   const bool below_server =
       StartsWith(f.path, "src/") && !StartsWith(f.path, "src/server/");
+  // Only the engine/session/server glue may pull storage in; the library
+  // layers below stay backend-agnostic (DESIGN.md §15).
+  const bool storage_blind =
+      StartsWith(f.path, "src/") && !StartsWith(f.path, "src/storage/") &&
+      !StartsWith(f.path, "src/query/") &&
+      !StartsWith(f.path, "src/explorer/") &&
+      !StartsWith(f.path, "src/server/");
   for (size_t i = 0; i < f.raw_lines.size(); ++i) {
     const std::string& raw = f.raw_lines[i];
     size_t hash = raw.find_first_not_of(" \t");
@@ -692,6 +708,13 @@ void Linter::RuleLayering(const SourceFile& f,
       Emit(f, i + 1, "layering",
            "only src/server may include \"" + path +
                "\"; the library layers must not depend on the server",
+           out);
+      continue;
+    }
+    if (storage_blind && StartsWith(path, "src/storage/")) {
+      Emit(f, i + 1, "layering",
+           "only the engine/session/server glue may include \"" + path +
+               "\"; the library layers stay storage-backend-agnostic",
            out);
       continue;
     }

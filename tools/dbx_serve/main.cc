@@ -7,10 +7,19 @@
 //
 // Usage:
 //   dbx_serve [--socket /tmp/dbx.sock | --tcp PORT] [--metrics-port PORT]
+//             [--backend URI] [--preload TABLE]...
 //             [--rows N] [--max-sessions N] [--max-inflight N]
 //             [--session-budget-kb N]
 //             [--trace-out PATH] [--query-log PATH] [--slow-ms N]
 //             [--query-log-slow-only]
+//
+// Storage (DESIGN.md §15): --backend selects where tables come from —
+// `mem:` (default; built-in datasets generated in-process), `dbxc:<dir>`
+// (on-disk columnar files), or `sqlite:<file>` (ingest adapter). --preload
+// names the tables to register (repeatable); without it every table the
+// backend lists is registered, and an empty backend falls back to the
+// built-in datasets — generated once, stored through the backend, then
+// loaded back, so a dbxc:/sqlite: server warm-starts on the next run.
 //
 // Observability (DESIGN.md §14): --trace-out dumps the server tracer's
 // Chrome trace on clean shutdown; --query-log streams one JSONL record per
@@ -32,6 +41,7 @@
 
 #include "src/data/dataset.h"
 #include "src/obs/metrics.h"
+#include "src/storage/storage.h"
 #include "src/obs/query_log.h"
 #include "src/obs/trace.h"
 #include "src/server/dispatcher.h"
@@ -68,6 +78,8 @@ int main(int argc, char** argv) {
   int tcp_port = -1;           // -1 = use the unix socket
   int metrics_port = 0;        // 0 = ephemeral (printed at startup)
   size_t rows = 0;             // 0 = each dataset's default size
+  std::string backend_uri = "mem:";
+  std::vector<std::string> preload;  // empty = whatever the backend lists
   std::string trace_out;       // "" = no trace dump
   std::string query_log_path;  // "" = in-memory ring only (still served)
   double slow_ms = 100.0;
@@ -91,6 +103,10 @@ int main(int argc, char** argv) {
       tcp_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
       metrics_port = std::atoi(argv[++i]);
+    } else if (FlagValue(argc, argv, &i, "--backend", &flag_value)) {
+      backend_uri = flag_value;
+    } else if (FlagValue(argc, argv, &i, "--preload", &flag_value)) {
+      preload.push_back(flag_value);
     } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
       rows = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--max-sessions") == 0 && i + 1 < argc) {
@@ -107,17 +123,52 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The generated datasets stay alive (and immutable) for the server's whole
-  // life — the dispatcher only borrows them.
-  std::vector<dbx::Dataset> datasets;
-  for (const std::string& name : dbx::BuiltinDatasetNames()) {
-    auto ds = dbx::LoadDataset(name, rows);
-    if (!ds.ok()) {
-      std::fprintf(stderr, "load %s: %s\n", name.c_str(),
-                   ds.status().ToString().c_str());
+  // Tables come from the storage backend as immutable shared snapshots; the
+  // dispatcher shares ownership, so the backend can vanish afterwards.
+  auto backend = dbx::storage::OpenStorageBackend(backend_uri);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "open backend %s: %s\n", backend_uri.c_str(),
+                 backend.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("storage backend %s\n", backend_uri.c_str());
+  std::vector<std::string> table_names = preload;
+  if (table_names.empty()) {
+    auto listed = (*backend)->ListTables();
+    if (!listed.ok()) {
+      std::fprintf(stderr, "list tables: %s\n",
+                   listed.status().ToString().c_str());
       return 1;
     }
-    datasets.push_back(std::move(*ds));
+    table_names = std::move(*listed);
+    // A brand-new store serves the built-in datasets, persisted through the
+    // backend so the next start reloads instead of regenerating.
+    if (table_names.empty()) table_names = dbx::BuiltinDatasetNames();
+  }
+  std::vector<dbx::storage::TableSnapshot> snapshots;
+  for (const std::string& name : table_names) {
+    auto snap = (*backend)->LoadTable(name);
+    if (!snap.ok() && snap.status().IsNotFound()) {
+      auto ds = dbx::LoadDataset(name, rows);
+      if (!ds.ok()) {
+        std::fprintf(stderr, "load %s: %s\n", name.c_str(),
+                     ds.status().ToString().c_str());
+        return 1;
+      }
+      if (dbx::Status st = (*backend)->StoreTable(name, *ds->table);
+          !st.ok()) {
+        std::fprintf(stderr, "store %s: %s\n", name.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+      snap = (*backend)->LoadTable(name);
+    }
+    if (!snap.ok()) {
+      std::fprintf(stderr, "load %s: %s\n", name.c_str(),
+                   snap.status().ToString().c_str());
+      return 1;
+    }
+    snapshots.push_back(std::move(*snap));
   }
 
   // Tracing is on whenever any §14 surface wants spans: a --trace-out dump,
@@ -140,10 +191,16 @@ int main(int argc, char** argv) {
   options.tracer = &tracer;
   options.query_log = &query_log;
   dbx::server::Dispatcher dispatcher(std::move(options));
-  for (const dbx::Dataset& ds : datasets) {
-    dispatcher.RegisterTable(ds.name, ds.table.get());
-    std::printf("registered %s (%zu rows)\n", ds.name.c_str(),
-                ds.table->num_rows());
+  for (dbx::storage::TableSnapshot& snap : snapshots) {
+    std::printf("registered %s (%zu rows, snapshot %s)\n", snap.name.c_str(),
+                snap.table->num_rows(), snap.snapshot_id.c_str());
+    dispatcher.RegisterTableSnapshot(snap.name, std::move(snap.table),
+                                     std::move(snap.snapshot_id));
+  }
+  snapshots.clear();
+  if (dbx::Status st = (*backend)->Close(); !st.ok()) {
+    std::fprintf(stderr, "close backend: %s\n", st.ToString().c_str());
+    return 1;
   }
 
   std::unique_ptr<dbx::server::Listener> listener;
