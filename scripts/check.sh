@@ -20,6 +20,10 @@
 #   storage     — storage-backend suites: DBXC round-trip/durability contract
 #                 plus cross-backend server-path byte-identity (subset of
 #                 unit+integration, also run standalone)
+#   analyze     — compile-time thread-safety analysis under clang++
+#                 (scripts/check_analyze.sh; auto-skips with a notice when
+#                 no Clang front end is installed — GCC compiles the
+#                 capability annotations as no-ops)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +33,7 @@ cmake -B build -G Ninja || fail "configure"
 cmake --build build || fail "build"
 
 scripts/check_lint.sh || fail "lint (dbx_lint + self-test)"
+scripts/check_analyze.sh || fail "thread-safety analysis (clang -Wthread-safety)"
 ctest --test-dir build -L fuzz --output-on-failure || fail "fuzz smoke"
 
 ctest --test-dir build -L unit --output-on-failure || fail "unit tests"

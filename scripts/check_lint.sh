@@ -2,11 +2,12 @@
 # Static-analysis gate (DESIGN.md §11):
 #
 #   1. Build dbx_lint and run it over src/ bench/ tests/ — any finding fails.
-#   2. Self-test: seed one violation per rule class (R1-R4) into a scratch
-#      tree and assert dbx_lint catches each. A linter that silently stopped
-#      matching would otherwise pass stage 1 forever.
-#   3. clang-tidy over compile_commands.json when the tool exists. The CI
-#      image is gcc-only, so absence is an announced skip, not a failure.
+#   2. Self-test: seed one violation per rule class (R1-R4, R6) into a
+#      scratch tree and assert dbx_lint catches each. A linter that silently
+#      stopped matching would otherwise pass stage 1 forever.
+#   3. clang-tidy over compile_commands.json when the tool exists — findings
+#      FAIL the stage (WarningsAsErrors in .clang-tidy). The CI image is
+#      gcc-only, so absence is an announced skip, not a failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +57,15 @@ EOF
 cat > "$SEED_DIR/src/core/seed_r4_storage.cc" <<'EOF'
 #include "src/storage/storage.h"
 EOF
+# R6: a mutex member that guards nothing — no DBX_GUARDED_BY(mu_) sibling.
+cat > "$SEED_DIR/src/core/seed_r6.h" <<'EOF'
+#include <mutex>
+class Registry {
+ private:
+  mutable std::mutex mu_;
+  int entries_ = 0;
+};
+EOF
 
 expect_rule() {  # expect_rule <rule> <relpath>
   local rule="$1" file="$2" out
@@ -72,6 +82,7 @@ expect_rule lock-discipline  src/core/seed_r3.cc
 expect_rule layering         src/util/seed_r4.cc
 expect_rule layering         src/query/seed_r4_server.cc
 expect_rule layering         src/core/seed_r4_storage.cc
+expect_rule guarded-by       src/core/seed_r6.h
 rm -rf "$SEED_DIR"/src/core/* "$SEED_DIR"/src/util/* "$SEED_DIR"/src/query/*
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -172,7 +172,7 @@ ViewCache::ViewCache(size_t byte_budget) : byte_budget_(byte_budget) {
 
 std::shared_ptr<const CachedCadView> ViewCache::Lookup(
     const ViewCacheKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key.canonical);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -199,7 +199,7 @@ void ViewCache::Insert(const ViewCacheKey& key, CadView view,
     entry->bytes += sizeof(code) + rows.size() * sizeof(uint32_t);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.insert_attempts;
   if (entry->bytes > byte_budget_) {
     // Not counted as an insert: the entry never becomes resident, and
@@ -247,7 +247,7 @@ void ViewCache::Insert(const ViewCacheKey& key, CadView view,
 
 std::shared_ptr<const CachedCadView> ViewCache::FindRefinementBase(
     const ViewCacheKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Entry* best = nullptr;
   for (const auto& [canonical, entry] : entries_) {
     const ViewCacheKey& k = entry.key;
@@ -279,7 +279,7 @@ std::shared_ptr<const CachedCadView> ViewCache::FindRefinementBase(
 }
 
 void ViewCache::SetOwnerBudget(const std::string& owner, size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = owners_.find(owner);
   if (bytes == 0) {
     if (it != owners_.end()) {
@@ -292,7 +292,7 @@ void ViewCache::SetOwnerBudget(const std::string& owner, size_t bytes) {
 }
 
 size_t ViewCache::OwnerBytes(const std::string& owner) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = owners_.find(owner);
   return it == owners_.end() ? 0 : it->second.bytes;
 }
@@ -307,7 +307,7 @@ void ViewCache::ReleaseOwnerBytesLocked(const std::string& owner,
 }
 
 void ViewCache::InvalidateDataset(const std::string& dataset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.key.dataset == dataset) {
       ReleaseOwnerBytesLocked(it->second.owner, it->second.value->bytes);
@@ -327,7 +327,7 @@ void ViewCache::InvalidateDataset(const std::string& dataset) {
 }
 
 void ViewCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.invalidations += entries_.size();
   CacheMetrics::Get().invalidations->Increment(entries_.size());
   CacheMetrics::Get().bytes_in_use->Add(
@@ -344,7 +344,7 @@ void ViewCache::Clear() {
 }
 
 ViewCacheStats ViewCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -365,12 +365,12 @@ std::vector<ViewCacheEntryInfo> ViewCache::EntryInfosLocked() const {
 }
 
 std::vector<ViewCacheEntryInfo> ViewCache::EntryInfos() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return EntryInfosLocked();
 }
 
 ViewCacheSnapshot ViewCache::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ViewCacheSnapshot snapshot;
   snapshot.stats = stats_;
   snapshot.entries = EntryInfosLocked();

@@ -23,7 +23,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -31,6 +30,8 @@
 
 #include "src/core/cad_view.h"
 #include "src/core/cad_view_builder.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace dbx {
 
@@ -201,23 +202,24 @@ class ViewCache {
     std::string owner;  // budget attribution; "" = unattributed
   };
 
-  void EvictLruLocked();
+  void EvictLruLocked() DBX_REQUIRES(mu_);
   /// Removes `bytes` from `owner`'s attribution, erasing the record when it
   /// reaches zero and carries no budget.
-  void ReleaseOwnerBytesLocked(const std::string& owner, size_t bytes);
-  std::vector<ViewCacheEntryInfo> EntryInfosLocked() const;
+  void ReleaseOwnerBytesLocked(const std::string& owner, size_t bytes)
+      DBX_REQUIRES(mu_);
+  std::vector<ViewCacheEntryInfo> EntryInfosLocked() const DBX_REQUIRES(mu_);
 
   const size_t byte_budget_;
-  mutable std::mutex mu_;
-  std::list<std::string> lru_;  // canonical keys, front = MRU
-  std::unordered_map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::list<std::string> lru_ DBX_GUARDED_BY(mu_);  // canonical keys, front = MRU
+  std::unordered_map<std::string, Entry> entries_ DBX_GUARDED_BY(mu_);
   /// Per-owner accounting: resident bytes and (optional, 0 = none) budget.
   struct OwnerAccount {
     size_t bytes = 0;
     size_t budget = 0;
   };
-  std::map<std::string, OwnerAccount> owners_;
-  ViewCacheStats stats_;
+  std::map<std::string, OwnerAccount> owners_ DBX_GUARDED_BY(mu_);
+  ViewCacheStats stats_ DBX_GUARDED_BY(mu_);
 };
 
 /// Approximate heap footprint of a view — the byte-budget charge unit.

@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace dbx {
 
@@ -105,10 +107,13 @@ class MetricsRegistry {
   std::string PrometheusText() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  // The maps are guarded; the instruments they own are internally atomic, so
+  // the stable pointers Get* hands out are safe to use without the lock.
+  std::map<std::string, std::unique_ptr<Counter>> counters_ DBX_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DBX_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DBX_GUARDED_BY(mu_);
 };
 
 }  // namespace dbx

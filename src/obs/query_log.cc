@@ -35,17 +35,17 @@ QueryLog::QueryLog(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 QueryLog::~QueryLog() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sink_ != nullptr) std::fclose(sink_);
 }
 
 void QueryLog::SetSlowThresholdMs(double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slow_threshold_ms_ = ms;
 }
 
 void QueryLog::SetSlowOnly(bool slow_only) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slow_only_ = slow_only;
 }
 
@@ -54,14 +54,14 @@ Status QueryLog::AttachFile(const std::string& path) {
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open query log file: " + path);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sink_ != nullptr) std::fclose(sink_);
   sink_ = f;
   return Status::OK();
 }
 
 uint64_t QueryLog::Append(QueryLogRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   record.slow =
       slow_threshold_ms_ > 0.0 && record.total_ms >= slow_threshold_ms_;
   if (slow_only_ && !record.slow) {
@@ -86,27 +86,27 @@ uint64_t QueryLog::Append(QueryLogRecord record) {
 }
 
 std::vector<QueryLogRecord> QueryLog::Records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<QueryLogRecord>(ring_.begin(), ring_.end());
 }
 
 uint64_t QueryLog::appended() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return appended_;
 }
 
 uint64_t QueryLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 uint64_t QueryLog::filtered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return filtered_;
 }
 
 void QueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   appended_ = 0;
   dropped_ = 0;

@@ -23,13 +23,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/obs/trace.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace dbx {
 
@@ -104,15 +105,15 @@ class QueryLog {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<QueryLogRecord> ring_;
-  uint64_t next_seq_ = 1;
-  uint64_t appended_ = 0;
-  uint64_t dropped_ = 0;
-  uint64_t filtered_ = 0;
-  double slow_threshold_ms_ = 0.0;
-  bool slow_only_ = false;
-  std::FILE* sink_ = nullptr;
+  mutable Mutex mu_;
+  std::deque<QueryLogRecord> ring_ DBX_GUARDED_BY(mu_);
+  uint64_t next_seq_ DBX_GUARDED_BY(mu_) = 1;
+  uint64_t appended_ DBX_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ DBX_GUARDED_BY(mu_) = 0;
+  uint64_t filtered_ DBX_GUARDED_BY(mu_) = 0;
+  double slow_threshold_ms_ DBX_GUARDED_BY(mu_) = 0.0;
+  bool slow_only_ DBX_GUARDED_BY(mu_) = false;
+  std::FILE* sink_ DBX_GUARDED_BY(mu_) = nullptr;
 };
 
 /// Sums span durations by name over the subtree rooted at `root_id`

@@ -62,7 +62,7 @@ Tracer::Tracer(size_t capacity) : Tracer(true, capacity) {}
 Tracer::Tracer(bool enabled, size_t capacity)
     : enabled_(enabled), capacity_(std::max<size_t>(capacity, 1)) {
   if (enabled_) {
-    epoch_ns_ = SteadyNowNs();
+    epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
     ring_.reserve(std::min<size_t>(capacity_, 1024));
   }
 }
@@ -74,7 +74,8 @@ Tracer* Tracer::Disabled() {
 
 uint64_t Tracer::NowNs() const {
   if (!enabled_) return 0;
-  return static_cast<uint64_t>(std::max<int64_t>(SteadyNowNs() - epoch_ns_, 0));
+  return static_cast<uint64_t>(std::max<int64_t>(
+      SteadyNowNs() - epoch_ns_.load(std::memory_order_relaxed), 0));
 }
 
 uint64_t Tracer::NextId() {
@@ -82,7 +83,7 @@ uint64_t Tracer::NextId() {
 }
 
 void Tracer::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Stable small thread index, first-come first-served under the lock.
   const std::thread::id self = std::this_thread::get_id();
   uint32_t tid = 0;
@@ -126,7 +127,7 @@ uint64_t Tracer::Emit(std::string name, uint64_t parent, uint64_t start_ns,
 std::vector<TraceEvent> Tracer::Events() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (ring_.size() < capacity_) {
       out = ring_;
     } else {
@@ -146,18 +147,18 @@ std::vector<TraceEvent> Tracer::Events() const {
 }
 
 uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_ - ring_.size();
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_slot_ = 0;
   recorded_ = 0;
   next_id_.store(1, std::memory_order_relaxed);
   thread_index_.clear();
-  if (enabled_) epoch_ns_ = SteadyNowNs();
+  if (enabled_) epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
 }
 
 std::string Tracer::ToChromeJson() const {

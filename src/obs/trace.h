@@ -17,13 +17,14 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace dbx {
 
@@ -93,13 +94,18 @@ class Tracer {
 
   const bool enabled_;
   const size_t capacity_;
-  std::int64_t epoch_ns_ = 0;  // steady_clock epoch offset
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  size_t next_slot_ = 0;
-  uint64_t recorded_ = 0;  // lifetime total, including dropped
+  /// steady_clock epoch offset. Atomic, not guarded: NowNs() reads it on
+  /// every span open/close without the lock, while Clear() re-stamps it —
+  /// the previously unsynchronized pair this annotation sweep flushed out
+  /// (regression: TraceTest.ClearConcurrentWithSpansIsRaceFree).
+  std::atomic<std::int64_t> epoch_ns_{0};
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ DBX_GUARDED_BY(mu_);
+  size_t next_slot_ DBX_GUARDED_BY(mu_) = 0;
+  uint64_t recorded_ DBX_GUARDED_BY(mu_) = 0;  // lifetime, incl. dropped
   std::atomic<uint64_t> next_id_{1};
-  std::vector<std::pair<std::thread::id, uint32_t>> thread_index_;
+  std::vector<std::pair<std::thread::id, uint32_t>> thread_index_
+      DBX_GUARDED_BY(mu_);
 };
 
 /// One process lane of a merged Chrome-trace export.

@@ -48,7 +48,7 @@ Dispatcher::Dispatcher(ServerOptions options)
       query_log_(options_.query_log) {}
 
 void Dispatcher::RegisterTable(const std::string& name, const Table* table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it != tables_.end()) {
     // Superseded registration: its snapshot id keeps old entries unreachable
@@ -61,7 +61,7 @@ void Dispatcher::RegisterTable(const std::string& name, const Table* table) {
 void Dispatcher::RegisterTableSnapshot(const std::string& name,
                                        std::shared_ptr<const Table> table,
                                        std::string snapshot_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it != tables_.end() && it->second.second != snapshot_id) {
     // Different content under the same name: the superseded registration's
@@ -75,7 +75,7 @@ void Dispatcher::RegisterTableSnapshot(const std::string& name,
 }
 
 Result<std::string> Dispatcher::OpenSession(ConnectionScope* scope) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sessions_.size() >= options_.max_sessions) {
     metrics_->GetCounter("dbx_server_admission_rejects_total")->Increment();
     return Status::Unavailable(
@@ -84,12 +84,17 @@ Result<std::string> Dispatcher::OpenSession(ConnectionScope* scope) {
   }
   auto session = std::make_shared<Session>();
   session->id = "s" + std::to_string(++next_session_id_);
-  for (const auto& [name, entry] : tables_) {
-    session->engine.RegisterTableSnapshot(name, entry.first, entry.second);
+  {
+    // Uncontended (the session is not yet published in sessions_); taken so
+    // every access to the guarded engine happens under the session mutex.
+    MutexLock session_lock(session->mu);
+    for (const auto& [name, entry] : tables_) {
+      session->engine.RegisterTableSnapshot(name, entry.first, entry.second);
+    }
+    session->engine.SetDefaultCadViewOptions(options_.cad_defaults);
+    session->engine.SetViewCache(cache_);
+    session->engine.SetCacheOwner(session->id);
   }
-  session->engine.SetDefaultCadViewOptions(options_.cad_defaults);
-  session->engine.SetViewCache(cache_);
-  session->engine.SetCacheOwner(session->id);
   if (options_.session_cache_budget_bytes > 0) {
     cache_->SetOwnerBudget(session->id, options_.session_cache_budget_bytes);
   }
@@ -102,7 +107,7 @@ Result<std::string> Dispatcher::OpenSession(ConnectionScope* scope) {
 }
 
 Status Dispatcher::CloseSession(const std::string& sid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(sid);
   if (it == sessions_.end()) {
     return Status::NotFound("no session named '" + sid + "'");
@@ -118,13 +123,13 @@ Status Dispatcher::CloseSession(const std::string& sid) {
 
 std::shared_ptr<Dispatcher::Session> Dispatcher::FindSession(
     const std::string& sid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(sid);
   return it == sessions_.end() ? nullptr : it->second;
 }
 
 size_t Dispatcher::session_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.size();
 }
 
@@ -158,7 +163,7 @@ std::string Dispatcher::HandleExec(const std::string& sid,
 
     // A session is one sequential conversation: statements addressed to it
     // are serialized here even when several connections send them.
-    std::lock_guard<std::mutex> session_lock(session->mu);
+    MutexLock session_lock(session->mu);
     // Root span per statement, tagged with the session and the client-sent
     // trace id; the engine hangs its cache_probe/pipeline spans beneath it.
     ScopedSpan root(tracer_, "exec");
@@ -378,7 +383,7 @@ void Server::Start() {
     for (;;) {
       auto conn = listener_->Accept();
       if (!conn.ok()) break;  // Shutdown() or listener failure
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopped_) break;
       connections_.push_back(std::move(*conn));
       Connection* raw = connections_.back().get();
@@ -390,7 +395,7 @@ void Server::Start() {
 
 void Server::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -399,18 +404,18 @@ void Server::Stop() {
   {
     // Wake serve loops blocked on clients that never disconnected; their
     // Read returns EOF/error and ServeConnection reaps the sessions.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& conn : connections_) conn->Close();
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     threads.swap(connection_threads_);
   }
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   connections_.clear();
 }
 

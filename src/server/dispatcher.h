@@ -39,7 +39,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -48,6 +47,7 @@
 #include "src/query/engine.h"
 #include "src/server/protocol.h"
 #include "src/server/transport.h"
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 
 namespace dbx {
@@ -156,9 +156,12 @@ class Dispatcher {
   /// under the session mutex (a session is a sequential conversation even
   /// when several connections address it).
   struct Session {
-    std::mutex mu;
-    Engine engine;
-    std::string id;
+    Mutex mu;
+    /// The dialect engine. Configured under `mu` in OpenSession before the
+    /// session is published, then every statement executes under `mu` —
+    /// a session is one sequential conversation.
+    Engine engine DBX_GUARDED_BY(mu);
+    std::string id;  // immutable after OpenSession publishes the session
   };
 
   [[nodiscard]] Result<std::string> OpenSession(ConnectionScope* scope);
@@ -173,14 +176,17 @@ class Dispatcher {
   Tracer* tracer_;       // never null (Tracer::Disabled() when off)
   QueryLog* query_log_;  // nullable
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// name -> (table, snapshot dataset id); ordered so OPEN registers tables
   /// deterministically.
-  std::map<std::string, std::pair<const Table*, std::string>> tables_;
+  std::map<std::string, std::pair<const Table*, std::string>> tables_
+      DBX_GUARDED_BY(mu_);
   /// Keep-alive for snapshots registered via RegisterTableSnapshot.
-  std::map<std::string, std::shared_ptr<const Table>> owned_tables_;
-  std::map<std::string, std::shared_ptr<Session>> sessions_;
-  uint64_t next_session_id_ = 0;
+  std::map<std::string, std::shared_ptr<const Table>> owned_tables_
+      DBX_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Session>> sessions_
+      DBX_GUARDED_BY(mu_);
+  uint64_t next_session_id_ DBX_GUARDED_BY(mu_) = 0;
 
   std::atomic<size_t> inflight_{0};
 };
@@ -203,11 +209,11 @@ class Server {
  private:
   Dispatcher* dispatcher_;
   Listener* listener_;
-  std::thread accept_thread_;
-  std::mutex mu_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<std::unique_ptr<Connection>> connections_;
-  bool stopped_ = false;
+  std::thread accept_thread_;  // touched only by Start()/Stop() (caller API)
+  Mutex mu_;
+  std::vector<std::thread> connection_threads_ DBX_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Connection>> connections_ DBX_GUARDED_BY(mu_);
+  bool stopped_ DBX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dbx::server

@@ -9,10 +9,10 @@ namespace {
 /// One direction of a loopback connection: an unbounded byte buffer plus the
 /// writer's close flag. Readers block on the condition variable.
 struct Pipe {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::string buf;
-  bool closed = false;  // writer hung up; drain then EOF
+  Mutex mu;
+  CondVar cv;
+  std::string buf DBX_GUARDED_BY(mu);
+  bool closed DBX_GUARDED_BY(mu) = false;  // writer hung up; drain then EOF
 };
 
 class LoopbackConnection : public Connection {
@@ -23,15 +23,18 @@ class LoopbackConnection : public Connection {
   ~LoopbackConnection() override { Close(); }
 
   Result<std::string> Read(size_t max_bytes) override {
-    std::unique_lock<std::mutex> lock(in_->mu);
-    const auto ready = [&] { return !in_->buf.empty() || in_->closed; };
+    MutexLock lock(in_->mu);
     if (read_timeout_ms_ > 0) {
-      if (!in_->cv.wait_for(lock, std::chrono::milliseconds(read_timeout_ms_),
-                            ready)) {
-        return Status::Unavailable("read timed out");
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(read_timeout_ms_);
+      while (in_->buf.empty() && !in_->closed) {
+        if (!in_->cv.WaitUntil(in_->mu, deadline) && in_->buf.empty() &&
+            !in_->closed) {
+          return Status::Unavailable("read timed out");
+        }
       }
     } else {
-      in_->cv.wait(lock, ready);
+      while (in_->buf.empty() && !in_->closed) in_->cv.Wait(in_->mu);
     }
     if (in_->buf.empty()) return std::string();  // EOF
     const size_t n = std::min(max_bytes, in_->buf.size());
@@ -46,26 +49,26 @@ class LoopbackConnection : public Connection {
   }
 
   Status Write(std::string_view bytes) override {
-    std::lock_guard<std::mutex> lock(out_->mu);
+    MutexLock lock(out_->mu);
     if (out_->closed) {
       return Status::Unavailable("loopback peer closed the connection");
     }
     out_->buf.append(bytes);
-    out_->cv.notify_all();
+    out_->cv.NotifyAll();
     return Status::OK();
   }
 
   void CloseWrite() override {
-    std::lock_guard<std::mutex> lock(out_->mu);
+    MutexLock lock(out_->mu);
     out_->closed = true;
-    out_->cv.notify_all();
+    out_->cv.NotifyAll();
   }
 
   void Close() override {
     CloseWrite();
-    std::lock_guard<std::mutex> lock(in_->mu);
+    MutexLock lock(in_->mu);
     in_->closed = true;
-    in_->cv.notify_all();
+    in_->cv.NotifyAll();
   }
 
  private:
@@ -88,16 +91,16 @@ LoopbackPair() {
 std::unique_ptr<Connection> LoopbackListener::Connect() {
   auto [client, server] = LoopbackPair();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_.push_back(std::move(server));
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   return std::move(client);
 }
 
 Result<std::unique_ptr<Connection>> LoopbackListener::Accept() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !pending_.empty() || shutdown_; });
+  MutexLock lock(mu_);
+  while (pending_.empty() && !shutdown_) cv_.Wait(mu_);
   if (!pending_.empty()) {
     auto conn = std::move(pending_.front());
     pending_.pop_front();
@@ -107,9 +110,9 @@ Result<std::unique_ptr<Connection>> LoopbackListener::Accept() {
 }
 
 void LoopbackListener::Shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   shutdown_ = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace dbx::server

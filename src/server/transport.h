@@ -8,16 +8,16 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace dbx::server {
 
@@ -81,10 +81,10 @@ class LoopbackListener : public Listener {
   void Shutdown() override;
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::unique_ptr<Connection>> pending_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::unique_ptr<Connection>> pending_ DBX_GUARDED_BY(mu_);
+  bool shutdown_ DBX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dbx::server

@@ -3,17 +3,19 @@
 namespace dbx::storage {
 
 Status MemBackend::Open() {
+  MutexLock lock(mu_);
   open_ = true;
   return Status::OK();
 }
 
-Status MemBackend::CheckOpen() const {
+Status MemBackend::CheckOpenLocked() const {
   if (!open_) return Status::FailedPrecondition("mem: backend is not open");
   return Status::OK();
 }
 
 Result<std::vector<std::string>> MemBackend::ListTables() {
-  DBX_RETURN_IF_ERROR(CheckOpen());
+  MutexLock lock(mu_);
+  DBX_RETURN_IF_ERROR(CheckOpenLocked());
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, unused] : tables_) out.push_back(name);
@@ -21,7 +23,8 @@ Result<std::vector<std::string>> MemBackend::ListTables() {
 }
 
 Result<TableSnapshot> MemBackend::LoadTable(const std::string& name) {
-  DBX_RETURN_IF_ERROR(CheckOpen());
+  MutexLock lock(mu_);
+  DBX_RETURN_IF_ERROR(CheckOpenLocked());
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("mem: no table named '" + name + "'");
@@ -34,7 +37,8 @@ Result<TableSnapshot> MemBackend::LoadTable(const std::string& name) {
 }
 
 Status MemBackend::StoreTable(const std::string& name, const Table& table) {
-  DBX_RETURN_IF_ERROR(CheckOpen());
+  MutexLock lock(mu_);
+  DBX_RETURN_IF_ERROR(CheckOpenLocked());
   if (!IsValidTableName(name)) {
     return Status::InvalidArgument("invalid table name '" + name + "'");
   }
@@ -48,7 +52,8 @@ Status MemBackend::StoreTable(const std::string& name, const Table& table) {
 }
 
 Result<std::string> MemBackend::SnapshotId(const std::string& name) {
-  DBX_RETURN_IF_ERROR(CheckOpen());
+  MutexLock lock(mu_);
+  DBX_RETURN_IF_ERROR(CheckOpenLocked());
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("mem: no table named '" + name + "'");
@@ -57,6 +62,7 @@ Result<std::string> MemBackend::SnapshotId(const std::string& name) {
 }
 
 Status MemBackend::Close() {
+  MutexLock lock(mu_);
   open_ = false;
   tables_.clear();
   return Status::OK();

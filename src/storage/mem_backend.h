@@ -5,6 +5,11 @@
 // point of the on-disk backends), but the snapshot-id contract is identical:
 // ids are content hashes, so a mem: snapshot of the same logical table as a
 // dbxc: or sqlite: one carries the same id and shares warm ViewCache entries.
+//
+// Unlike the file-backed backends (whose callers serialize access per the
+// StorageBackend contract), a mem: store is also the natural shared fixture
+// for multi-threaded tests, so it carries its own mutex: every operation is
+// safe to call concurrently.
 
 #pragma once
 
@@ -14,6 +19,8 @@
 #include <vector>
 
 #include "src/storage/storage.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace dbx::storage {
 
@@ -42,11 +49,12 @@ class MemBackend : public StorageBackend {
     uint64_t content_hash = 0;
   };
 
-  [[nodiscard]] Status CheckOpen() const;
+  [[nodiscard]] Status CheckOpenLocked() const DBX_REQUIRES(mu_);
 
-  std::string location_;
-  bool open_ = false;
-  std::map<std::string, Stored> tables_;
+  const std::string location_;
+  mutable Mutex mu_;
+  bool open_ DBX_GUARDED_BY(mu_) = false;
+  std::map<std::string, Stored> tables_ DBX_GUARDED_BY(mu_);
 };
 
 /// Registers the `mem:` scheme.

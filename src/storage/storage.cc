@@ -121,7 +121,7 @@ StorageBackendFactory& StorageBackendFactory::Global() {
 
 void StorageBackendFactory::Register(const std::string& scheme,
                                      Creator creator) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   creators_[scheme] = std::move(creator);
 }
 
@@ -132,7 +132,7 @@ Result<std::unique_ptr<StorageBackend>> StorageBackendFactory::Create(
   const auto& [scheme, location] = *parsed;
   Creator creator;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = creators_.find(scheme);
     if (it == creators_.end()) {
       std::string known;
@@ -149,7 +149,7 @@ Result<std::unique_ptr<StorageBackend>> StorageBackendFactory::Create(
 }
 
 std::vector<std::string> StorageBackendFactory::Schemes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(creators_.size());
   for (const auto& [scheme, unused] : creators_) out.push_back(scheme);

@@ -21,12 +21,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/relation/table.h"
+#include "src/util/mutex.h"
 #include "src/util/result.h"
+#include "src/util/thread_annotations.h"
 
 namespace dbx::storage {
 
@@ -124,8 +125,8 @@ class StorageBackendFactory {
   std::vector<std::string> Schemes() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Creator> creators_;
+  mutable Mutex mu_;
+  std::map<std::string, Creator> creators_ DBX_GUARDED_BY(mu_);
 };
 
 /// Splits "<scheme>:<location>". The scheme is lowercased; InvalidArgument

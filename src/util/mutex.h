@@ -1,0 +1,113 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Annotated synchronization primitives: thin wrappers over the std types that
+// Clang's Thread Safety Analysis can reason about (std::mutex itself is not
+// declared as a capability under libstdc++, so locking it directly makes
+// every DBX_GUARDED_BY annotation unenforceable). Zero overhead: each wrapper
+// is exactly its std member, and every method is an inline forward.
+//
+// Usage pattern (see DESIGN.md §16 for the per-subsystem capability map):
+//
+//   class Cache {
+//     mutable Mutex mu_;
+//     size_t bytes_ DBX_GUARDED_BY(mu_) = 0;
+//     void EvictLocked() DBX_REQUIRES(mu_);
+//   };
+//   void Cache::Add() { MutexLock lock(mu_); bytes_ += ...; EvictLocked(); }
+//
+// Condition waits go through CondVar::Wait(mu) in an explicit
+// `while (!ready) cv_.Wait(mu_);` loop — the analysis does not propagate
+// capabilities into lambdas, so the std predicate-wait overloads cannot be
+// annotated.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace dbx {
+
+/// Annotated exclusive mutex. Also satisfies BasicLockable/Lockable, so it
+/// still composes with std::lock_guard / std::unique_lock where an unannotated
+/// escape hatch is deliberately wanted (there are none in src/ today).
+class DBX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // The three forwards below are the one sanctioned place raw mutex calls
+  // exist: every caller goes through MutexLock (or these annotated methods),
+  // which is what R3 is for.
+  // dbx-lint: allow(lock-discipline): capability wrapper forwards to the raw mutex
+  void lock() DBX_ACQUIRE() { impl_.lock(); }
+  // dbx-lint: allow(lock-discipline): capability wrapper forwards to the raw mutex
+  void unlock() DBX_RELEASE() { impl_.unlock(); }
+  // dbx-lint: allow(lock-discipline): capability wrapper forwards to the raw mutex
+  bool try_lock() DBX_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  // The raw mutex is the wrapper's own implementation detail: this class IS
+  // the capability, so there is no sibling state for GUARDED_BY to name.
+  std::mutex impl_;  // dbx-lint: allow(guarded-by): wrapped by the capability type itself
+};
+
+/// RAII lock over Mutex, annotated as a scoped capability so the analysis
+/// tracks the critical section's extent.
+class DBX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DBX_ACQUIRE(mu) : mu_(mu) {
+    // dbx-lint: allow(lock-discipline): this RAII guard is the discipline
+    mu_.lock();
+  }
+  // dbx-lint: allow(lock-discipline): this RAII guard is the discipline
+  ~MutexLock() DBX_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to dbx::Mutex. Waits are annotated with
+/// DBX_REQUIRES so calling them without the lock is a compile error under
+/// the analysis; they release and reacquire it internally like any condvar.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups happen: always call from a `while (!ready)` loop.
+  void Wait(Mutex& mu) DBX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.impl_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Like Wait but gives up at `deadline`. Returns false on timeout (the
+  /// lock is reacquired either way; re-check the predicate regardless).
+  template <class Clock, class Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      DBX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.impl_, std::adopt_lock);
+    const bool notified = cv_.wait_until(lock, deadline) ==
+                          std::cv_status::no_timeout;
+    lock.release();
+    return notified;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dbx

@@ -1,0 +1,74 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Macro shims for Clang's Thread Safety Analysis attributes. Under Clang the
+// macros expand to the real attributes so `-Wthread-safety` (enabled by the
+// DBX_THREAD_SAFETY CMake option, see scripts/check_analyze.sh) can prove lock
+// discipline at compile time; under every other compiler they expand to
+// nothing and the annotated code compiles unchanged.
+//
+// The analysis only understands types declared as capabilities, which the
+// standard library types are not under libstdc++ — so annotated code locks
+// through the dbx::Mutex / dbx::MutexLock wrappers in src/util/mutex.h rather
+// than std::mutex directly. DESIGN.md §16 maps each subsystem's capabilities
+// and states the suppression policy (every DBX_NO_THREAD_SAFETY_ANALYSIS or
+// dbx-lint allow(guarded-by) needs a written reason).
+
+#pragma once
+
+#if defined(__clang__)
+#define DBX_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define DBX_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+// Declares a class to be a lockable capability (e.g. "mutex").
+#define DBX_CAPABILITY(x) DBX_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+// Declares an RAII class whose lifetime acquires/releases a capability.
+#define DBX_SCOPED_CAPABILITY DBX_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+// Data members: may only be read/written while holding the given capability.
+#define DBX_GUARDED_BY(x) DBX_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+// Pointer members: the pointed-to data needs the capability (the pointer
+// itself does not).
+#define DBX_PT_GUARDED_BY(x) DBX_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+// Functions: the caller must hold the capability (exclusively / shared).
+#define DBX_REQUIRES(...) \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define DBX_REQUIRES_SHARED(...) \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+// Functions: acquire / release the capability (must not hold it on entry /
+// must hold it on entry, respectively).
+#define DBX_ACQUIRE(...) \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define DBX_ACQUIRE_SHARED(...) \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define DBX_RELEASE(...) \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define DBX_RELEASE_SHARED(...) \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+// Functions: acquire the capability only when returning `true` (first arg).
+#define DBX_TRY_ACQUIRE(...) \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+// Functions: the caller must NOT hold the capability (deadlock guard for
+// public entry points of classes that lock internally).
+#define DBX_EXCLUDES(...) \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+// Assertion helpers: tell the analysis a capability is held without acquiring
+// it (for runtime-checked invariants the analysis cannot see).
+#define DBX_ASSERT_CAPABILITY(x) \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+// Functions returning a reference to a capability guarding other data.
+#define DBX_RETURN_CAPABILITY(x) \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use needs an
+// adjacent comment explaining why the analysis cannot model the code.
+#define DBX_NO_THREAD_SAFETY_ANALYSIS \
+  DBX_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

@@ -12,17 +12,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace dbx {
 
@@ -77,10 +77,10 @@ class ThreadPool {
  private:
   void WorkerLoop(size_t worker_index);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ DBX_GUARDED_BY(mu_);
+  bool shutdown_ DBX_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> tasks_submitted_{0};
   std::atomic<uint64_t> parallel_for_calls_{0};

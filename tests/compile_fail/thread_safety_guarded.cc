@@ -1,0 +1,37 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Positive control for the thread-safety compile-fail fixture (root
+// CMakeLists.txt, DBX_THREAD_SAFETY=ON under Clang): identical to
+// thread_safety_unguarded.cc except every access to the guarded member holds
+// the capability — so this file MUST compile under
+// -Wthread-safety -Werror. If it does not, the annotation macros themselves
+// are broken and a "clean" tree build would prove nothing.
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    dbx::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() {
+    dbx::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  dbx::Mutex mu_;
+  int balance_ DBX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+// Copyright (c) DBExplorer reproduction authors.
+// Compile-FAIL fixture for the thread-safety analysis (root CMakeLists.txt,
+// DBX_THREAD_SAFETY=ON under Clang): Deposit writes a DBX_GUARDED_BY member
+// without holding the capability. Under -Wthread-safety -Werror this file
+// MUST NOT compile; the configure step aborts if it does, because that means
+// the analysis is not actually firing and a "clean" tree build is
+// meaningless. Never add this file to a build target.
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // unguarded write: -Wthread-safety error
+  }
+
+  int balance() {
+    dbx::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  dbx::Mutex mu_;
+  int balance_ DBX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

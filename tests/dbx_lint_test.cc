@@ -1,6 +1,7 @@
 // Unit tests for dbx-lint (tools/dbx_lint): one positive (violation caught)
-// and one negative (clean code passes) case per rule class R1–R5, plus the
-// suppression meta-rule and the comment/string stripper the rules rely on.
+// and one negative (clean code passes) case per rule class R1–R6, plus the
+// suppression meta-rule, the machine-readable JSON emitter, and the
+// comment/string stripper the rules rely on.
 
 #include "tools/dbx_lint/lint.h"
 
@@ -185,9 +186,11 @@ TEST(LockDisciplineRule, FlagsRawLockOnMutexMember) {
 
 TEST(LockDisciplineRule, GuardsAndNonMutexLockPass) {
   // lock_guard/unique_lock/scoped_lock are the sanctioned forms, and
-  // .lock() on a non-mutex (weak_ptr) stays out of scope.
+  // .lock() on a non-mutex (weak_ptr) stays out of scope. The mutex guards
+  // annotated state so R6 stays quiet too.
   std::string code =
       "std::mutex mu_;\n"
+      "int n_ DBX_GUARDED_BY(mu_) = 0;\n"
       "std::weak_ptr<int> weak_;\n"
       "void F() {\n"
       "  std::lock_guard<std::mutex> lock(mu_);\n"
@@ -195,6 +198,33 @@ TEST(LockDisciplineRule, GuardsAndNonMutexLockPass) {
       "  auto strong = weak_.lock();\n"
       "}\n";
   EXPECT_TRUE(RulesHit("src/core/locky.cc", code).empty());
+}
+
+TEST(LockDisciplineRule, DbxMutexMembersJoinTheRegistry) {
+  // The capability wrapper (src/util/mutex.h) is subject to the same
+  // discipline as std::mutex: raw lock()/unlock() on a dbx::Mutex member is
+  // a finding, MutexLock is the sanctioned form.
+  std::string code =
+      "dbx::Mutex mu_;\n"
+      "int n_ DBX_GUARDED_BY(mu_) = 0;\n"
+      "void F() {\n"
+      "  mu_.lock();\n"
+      "  ++n_;\n"
+      "  mu_.unlock();\n"
+      "}\n";
+  std::vector<std::string> rules = RulesHit("src/core/locky.cc", code);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(),
+                       std::string("lock-discipline")),
+            2);
+
+  std::string clean =
+      "dbx::Mutex mu_;\n"
+      "int n_ DBX_GUARDED_BY(mu_) = 0;\n"
+      "void F() {\n"
+      "  MutexLock lock(mu_);\n"
+      "  ++n_;\n"
+      "}\n";
+  EXPECT_TRUE(RulesHit("src/core/locky.cc", clean).empty());
 }
 
 // --- R4: layering -----------------------------------------------------------
@@ -304,6 +334,70 @@ TEST(LayeringRule, OnlyGlueLayersMayIncludeStorage) {
                   .empty());
 }
 
+// --- R6: guarded-by coverage ------------------------------------------------
+
+TEST(GuardedByRule, FlagsMutexMemberThatGuardsNothing) {
+  for (const char* decl :
+       {"std::mutex mu_;", "mutable std::mutex mu_;",
+        "std::shared_mutex mu_;", "std::recursive_mutex mu_;",
+        "dbx::Mutex mu_;", "mutable Mutex mu_;", "static std::mutex mu_;"}) {
+    std::string code = std::string(decl) + "\nint n_ = 0;\n";
+    EXPECT_TRUE(Contains(RulesHit("src/core/reg.h", code), "guarded-by"))
+        << decl;
+  }
+}
+
+TEST(GuardedByRule, GuardedMembersAndNonMembersPass) {
+  // A single DBX_GUARDED_BY(mu_) sibling satisfies the rule for mu_.
+  EXPECT_TRUE(RulesHit("src/core/reg.h",
+                       "mutable std::mutex mu_;\n"
+                       "int entries_ DBX_GUARDED_BY(mu_) = 0;\n")
+                  .empty());
+  // PT_GUARDED_BY counts too: the mutex guards the pointee.
+  EXPECT_TRUE(RulesHit("src/core/reg.h",
+                       "dbx::Mutex mu_;\n"
+                       "int* slot_ DBX_PT_GUARDED_BY(mu_) = nullptr;\n")
+                  .empty());
+  // References, pointers, and lock-holder locals are not mutex members.
+  EXPECT_TRUE(RulesHit("src/core/reg.h",
+                       "std::mutex& ref_;\n"
+                       "std::mutex* ptr_ = nullptr;\n"
+                       "MutexLock lock(mu);\n")
+                  .empty());
+}
+
+TEST(GuardedByRule, ScopeIsSrcOnlyAndPerFile) {
+  // tests/, tools/, bench/ declare scratch mutexes freely.
+  const std::string code = "std::mutex mu_;\nint n_ = 0;\n";
+  EXPECT_TRUE(RulesHit("tests/foo_test.cc", code).empty());
+  EXPECT_TRUE(RulesHit("tools/dbx_serve/main.cc", code).empty());
+  EXPECT_TRUE(RulesHit("bench/b.cpp", code).empty());
+  // The annotation must live in the same file as the declaration: a
+  // GUARDED_BY in another file does not cover this one.
+  Linter linter;
+  linter.AddFile("src/core/a.h", "std::mutex mu_;\n");
+  linter.AddFile("src/core/b.h",
+                 "std::mutex mu_;\nint n_ DBX_GUARDED_BY(mu_) = 0;\n");
+  std::vector<std::string> rules;
+  for (const Finding& f : linter.Run()) {
+    if (f.rule == "guarded-by") rules.push_back(f.file);
+  }
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0], "src/core/a.h");
+}
+
+TEST(GuardedByRule, ReasonedAllowByNameOrRuleClassSilencesIt) {
+  EXPECT_TRUE(RulesHit("src/core/reg.h",
+                       "std::mutex mu_;  // dbx-lint: allow(guarded-by): "
+                       "guards the whole struct, annotated at use sites\n")
+                  .empty());
+  // ISSUE syntax: the rule-class id works as the suppression key too.
+  EXPECT_TRUE(RulesHit("src/core/reg.h",
+                       "// dbx-lint: allow(R6): capability wrapper\n"
+                       "std::mutex mu_;\n")
+                  .empty());
+}
+
 // --- R5: raw streams --------------------------------------------------------
 
 TEST(RawStreamRule, FlagsRawStreamsInLibraryCode) {
@@ -393,12 +487,48 @@ TEST(SuppressionTest, MarkerInsideStringLiteralIsIgnored) {
 TEST(RegistryTest, EveryRuleClassIsPresent) {
   std::vector<std::string> classes;
   for (const RuleInfo& r : Rules()) classes.push_back(r.rule_class);
-  for (const char* want : {"R1", "R2", "R3", "R4", "R5", "meta"}) {
+  for (const char* want : {"R1", "R2", "R3", "R4", "R5", "R6", "meta"}) {
     EXPECT_TRUE(Contains(classes, want)) << want;
   }
   EXPECT_TRUE(IsKnownRule("determinism"));
   EXPECT_TRUE(IsKnownRule("raw-stream"));
+  EXPECT_TRUE(IsKnownRule("guarded-by"));
+  // Rule-class ids are accepted wherever rule names are (allow(R6) etc.).
+  EXPECT_TRUE(IsKnownRule("R6"));
   EXPECT_FALSE(IsKnownRule("bogus"));
+}
+
+// --- JSON output ------------------------------------------------------------
+
+TEST(JsonOutputTest, GoldenArrayMatchesFindings) {
+  Linter linter;
+  linter.AddFile("src/core/a.cc", "int x = rand();\n");
+  std::vector<Finding> findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string json = FindingsToJson(findings);
+  const std::string want =
+      "[\n"
+      "  {\"file\": \"src/core/a.cc\", \"line\": 1, \"rule\": "
+      "\"determinism\", \"message\": \"" +
+      findings[0].message + "\"}\n]\n";
+  EXPECT_EQ(json, want);
+}
+
+TEST(JsonOutputTest, EscapesAndEmptyArray) {
+  EXPECT_EQ(FindingsToJson({}), "[]\n");
+  Finding f;
+  f.file = "src/a\"b.cc";
+  f.line = 7;
+  f.rule = "determinism";
+  f.message = "tab\there\nand \\ quote \"x\"";
+  const std::string json = FindingsToJson({f});
+  EXPECT_NE(json.find("\"src/a\\\"b.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there\\nand \\\\ quote \\\"x\\\""),
+            std::string::npos);
+  // Exactly one object, well-formed brackets.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 1);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 1);
 }
 
 }  // namespace

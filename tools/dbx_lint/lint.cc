@@ -140,6 +140,45 @@ std::string RangeExprIdent(const std::string& expr) {
   return t.substr(begin, end - begin);
 }
 
+/// Parses a mutex member/variable declaration from a (stripped, trimmed)
+/// code line: optional mutable/static, a mutex type — the std:: family or the
+/// annotated dbx wrapper — then an identifier and `;`. Returns the declared
+/// name or "". References and pointers (`Mutex&`, `std::mutex*`) are not
+/// member mutexes and yield "".
+std::string ParseMutexDecl(const std::string& code_line) {
+  std::string t = Trimmed(code_line);
+  if (t.empty() || t[0] == '#') return "";
+  size_t pos = 0;
+  for (;;) {
+    size_t save = pos;
+    std::string word = ReadIdent(t, &pos);
+    if (word != "mutable" && word != "static") {
+      pos = save;
+      break;
+    }
+  }
+  while (pos < t.size() && (t[pos] == ' ' || t[pos] == '\t')) ++pos;
+  static const char* kTypes[] = {"std::mutex",       "std::recursive_mutex",
+                                 "std::shared_mutex", "std::timed_mutex",
+                                 "dbx::Mutex",        "Mutex"};
+  bool matched = false;
+  for (const char* type : kTypes) {
+    const size_t n = std::strlen(type);
+    if (t.compare(pos, n, type) == 0 &&
+        !(pos + n < t.size() && IsIdentChar(t[pos + n]))) {
+      pos += n;
+      matched = true;
+      break;
+    }
+  }
+  if (!matched) return "";
+  std::string name = ReadIdent(t, &pos);
+  if (name.empty()) return "";
+  while (pos < t.size() && t[pos] == ' ') ++pos;
+  if (pos >= t.size() || t[pos] != ';') return "";
+  return name;
+}
+
 struct Suppression {
   std::vector<std::string> rules;
   bool has_reason = false;
@@ -186,6 +225,48 @@ std::string Finding::ToString() const {
   return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"file\": \"" + JsonEscape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           JsonEscape(f.rule) + "\", \"message\": \"" + JsonEscape(f.message) +
+           "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
 const std::vector<RuleInfo>& Rules() {
   static const std::vector<RuleInfo> kRules = {
       {"determinism", "R1",
@@ -216,19 +297,35 @@ const std::vector<RuleInfo>& Rules() {
        "std::cout/std::cerr diagnostics are banned in src/ outside src/obs; "
        "report through returned Status, the query log, or metrics (tools "
        "and bench own their stdio)"},
+      {"guarded-by", "R6",
+       "every mutex member in src/ (std::mutex family or dbx::Mutex) must "
+       "guard something: annotate at least one member in the same file with "
+       "DBX_GUARDED_BY(<that mutex>), or explain the exemption"},
       {"suppression", "meta",
-       "every `dbx-lint: allow(rule)` must name a known rule and carry a "
-       "`: reason`"},
+       "every `dbx-lint: allow(rule)` must name a known rule (or rule class, "
+       "e.g. R6) and carry a `: reason`"},
   };
   return kRules;
 }
 
 bool IsKnownRule(const std::string& rule) {
   for (const RuleInfo& r : Rules()) {
-    if (rule == r.name) return true;
+    if (rule == r.name || rule == r.rule_class) return true;
   }
   return false;
 }
+
+namespace {
+
+/// The rule class ("R1".."R6"/"meta") of a rule id, or "" when unknown.
+std::string RuleClassOf(const std::string& rule) {
+  for (const RuleInfo& r : Rules()) {
+    if (rule == r.name) return r.rule_class;
+  }
+  return "";
+}
+
+}  // namespace
 
 namespace {
 
@@ -394,13 +491,29 @@ void Linter::CollectFacts(const SourceFile& f) {
       std::string name = ReadIdent(line, &pos);
       if (!name.empty()) mutex_members_.insert(name);
     }
+    // Annotated wrapper (src/util/mutex.h): a bare `Mutex` token followed by
+    // an identifier declares a capability member; register it so R3 flags
+    // raw lock()/unlock() on it exactly like on the std types. Boundary
+    // checks keep MutexLock/CondVar and `Mutex&` parameters out.
+    for (size_t at = line.find("Mutex"); at != std::string::npos;
+         at = line.find("Mutex", at + 1)) {
+      if (at > 0 && IsIdentChar(line[at - 1])) continue;
+      size_t pos = at + 5;
+      if (pos < line.size() && IsIdentChar(line[pos])) continue;  // MutexLock
+      std::string name = ReadIdent(line, &pos);
+      if (!name.empty()) mutex_members_.insert(name);
+    }
   }
 }
 
 void Linter::Emit(const SourceFile& f, size_t line, const std::string& rule,
                   std::string message, std::vector<Finding>* out) const {
   auto it = f.allowed.find(line);
-  if (it != f.allowed.end() && it->second.count(rule) > 0) return;
+  if (it != f.allowed.end() &&
+      (it->second.count(rule) > 0 ||
+       it->second.count(RuleClassOf(rule)) > 0)) {
+    return;
+  }
   out->push_back(Finding{f.path, line, rule, std::move(message)});
 }
 
@@ -412,6 +525,7 @@ void Linter::LintFile(const SourceFile& f, std::vector<Finding>* out) const {
   RuleLockDiscipline(f, out);
   RuleLayering(f, out);
   RuleRawStream(f, out);
+  RuleGuardedBy(f, out);
   // Meta rule: malformed or unexplained suppressions.
   for (size_t i = 0; i < f.comment_lines.size(); ++i) {
     Suppression s;
@@ -633,6 +747,37 @@ void Linter::RuleLockDiscipline(const SourceFile& f,
              out);
       }
     }
+  }
+}
+
+void Linter::RuleGuardedBy(const SourceFile& f,
+                           std::vector<Finding>* out) const {
+  // Library scope only: src/ holds the annotated capability types; tools,
+  // bench, and tests lock ad hoc and are the compiler's (and TSAN's) problem.
+  if (!StartsWith(f.path, "src/")) return;
+  // Pass 1: every capability named by a GUARDED_BY / PT_GUARDED_BY argument
+  // anywhere in the file (the annotations may sit lines away from the mutex).
+  std::set<std::string> guarded;
+  for (const std::string& line : f.code_lines) {
+    for (size_t at = line.find("GUARDED_BY("); at != std::string::npos;
+         at = line.find("GUARDED_BY(", at + 1)) {
+      const size_t open = at + std::strlen("GUARDED_BY(");
+      const size_t close = line.find(')', open);
+      if (close == std::string::npos) continue;
+      std::string arg = RangeExprIdent(line.substr(open, close - open));
+      if (!arg.empty()) guarded.insert(arg);
+    }
+  }
+  // Pass 2: every mutex member declaration must be one of those capabilities.
+  for (size_t i = 0; i < f.code_lines.size(); ++i) {
+    std::string name = ParseMutexDecl(f.code_lines[i]);
+    if (name.empty() || guarded.count(name) > 0) continue;
+    Emit(f, i + 1, "guarded-by",
+         "mutex member '" + name +
+             "' guards nothing in this file; annotate its protected state "
+             "with DBX_GUARDED_BY(" + name +
+             ") (src/util/thread_annotations.h) or add a reasoned allow",
+         out);
   }
 }
 

@@ -25,10 +25,19 @@
 //                         in src/ outside src/obs; library code reports
 //                         through returned Status, the query log, or
 //                         metrics — tools and bench own their stdio)
+//   R6 guarded state    — `guarded-by` (every mutex member declared in src/
+//                         — std::mutex family or dbx::Mutex — must guard
+//                         something: at least one member in the same file
+//                         annotated DBX_GUARDED_BY(<that mutex>). A lock
+//                         protecting nothing, or guarded state that lost its
+//                         annotation, is a finding even under compilers where
+//                         Clang's thread-safety analysis cannot run; see
+//                         DESIGN.md §16)
 //
 // Suppressions: `// dbx-lint: allow(<rule>): <reason>` on the offending line
-// or alone on the line above. A suppression without a reason is itself a
-// finding (`suppression`), so every exception in the tree is explained.
+// or alone on the line above; a rule-class id (`allow(R6)`) covers every rule
+// in that class. A suppression without a reason is itself a finding
+// (`suppression`), so every exception in the tree is explained.
 
 #pragma once
 
@@ -50,6 +59,11 @@ struct Finding {
   std::string ToString() const;
 };
 
+/// Machine-readable findings: a JSON array of {file, line, rule, message}
+/// objects, one per line, in the given order (Run() already sorts). CI and
+/// editor integrations consume this via `dbx_lint --json`.
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
 /// Static metadata for one rule, for --list-rules and the docs table.
 struct RuleInfo {
   const char* name;
@@ -60,7 +74,8 @@ struct RuleInfo {
 /// All rules the linter knows, in report order.
 const std::vector<RuleInfo>& Rules();
 
-/// True when `rule` names a known rule.
+/// True when `rule` names a known rule or a rule class ("R1".."R6");
+/// suppressions may use either.
 bool IsKnownRule(const std::string& rule);
 
 /// Two-pass linter. Feed every file to AddFile, then call Run: pass one
@@ -107,6 +122,7 @@ class Linter {
                           std::vector<Finding>* out) const;
   void RuleLayering(const SourceFile& f, std::vector<Finding>* out) const;
   void RuleRawStream(const SourceFile& f, std::vector<Finding>* out) const;
+  void RuleGuardedBy(const SourceFile& f, std::vector<Finding>* out) const;
 
   std::vector<SourceFile> files_;
   std::set<std::string> status_functions_;  // R2 registry (from headers)

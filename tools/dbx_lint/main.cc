@@ -3,7 +3,11 @@
 // rule registry, and exits non-zero on any finding. See lint.h for rules and
 // DESIGN.md §11 for policy.
 //
-//   dbx_lint [--root DIR] [--list-rules] [paths...]
+//   dbx_lint [--root DIR] [--list-rules] [--json] [paths...]
+//
+// --json prints the findings as a JSON array of {file, line, rule, message}
+// objects on stdout (nothing else), for CI and editor integrations; the
+// exit code is unchanged (0 clean, 1 findings, 2 usage/io error).
 
 #include <algorithm>
 #include <filesystem>
@@ -48,11 +52,14 @@ std::vector<std::string> CollectFiles(const fs::path& root,
 
 int main(int argc, char** argv) {
   fs::path root = ".";
+  bool json = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--list-rules") {
       for (const dbx::lint::RuleInfo& r : dbx::lint::Rules()) {
         std::cout << r.rule_class << " " << r.name << ": " << r.description
@@ -60,7 +67,8 @@ int main(int argc, char** argv) {
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: dbx_lint [--root DIR] [--list-rules] [paths...]\n"
+      std::cout << "usage: dbx_lint [--root DIR] [--list-rules] [--json] "
+                << "[paths...]\n"
                 << "Lints the given files/trees (default: src bench tests) "
                 << "against the repo contracts.\n";
       return 0;
@@ -94,8 +102,12 @@ int main(int argc, char** argv) {
   }
 
   std::vector<dbx::lint::Finding> findings = linter.Run();
-  for (const dbx::lint::Finding& f : findings) {
-    std::cout << f.ToString() << "\n";
+  if (json) {
+    std::cout << dbx::lint::FindingsToJson(findings);
+  } else {
+    for (const dbx::lint::Finding& f : findings) {
+      std::cout << f.ToString() << "\n";
+    }
   }
   std::cerr << "dbx-lint: " << files.size() << " file(s), "
             << findings.size() << " finding(s)\n";
